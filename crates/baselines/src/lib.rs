@@ -1,0 +1,20 @@
+//! `desh-baselines`: comparison systems for the Desh evaluation.
+//!
+//! * [`deeplog`] — a DeepLog-style per-entry top-g anomaly detector
+//!   (Du et al., CCS'17), the paper's closest related work.
+//! * [`ngram`] — an MLE n-gram language model with backoff, the classical
+//!   technique the paper's Background section argues LSTMs supersede.
+//! * [`severity`] — flag-on-fatal-severity, the scheme Observation 6
+//!   dismisses (zero usable lead time).
+//! * [`compare`] — the Table 10 / Table 11 comparison harness combining
+//!   measured rows with the paper's cited literature rows.
+
+pub mod compare;
+pub mod deeplog;
+pub mod ngram;
+pub mod severity;
+
+pub use compare::{capability_matrix, literature_rows, measured_rows, ComparisonRow};
+pub use deeplog::{DeepLog, DeepLogConfig};
+pub use ngram::{NgramConfig, NgramModel};
+pub use severity::{SeverityConfig, SeverityDetector};

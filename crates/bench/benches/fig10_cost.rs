@@ -1,0 +1,52 @@
+//! Figure 10: cost analysis — prediction time vs steps of prediction for
+//! history sizes 5 and 8.
+//!
+//! The paper reports ~0.1-0.7 ms per prediction on its Intel platform,
+//! 3-step costing more than 1-step and history 8 slightly more than
+//! history 5. The absolute numbers depend on the machine; the shape is
+//! what this bench regenerates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use desh_core::{phase1::run_phase1, DeshConfig};
+use desh_loggen::{generate, SystemProfile};
+use desh_logparse::parse_records;
+use desh_nn::TokenLstm;
+use desh_util::Xoshiro256pp;
+use std::hint::black_box;
+
+fn trained_model() -> (TokenLstm, Vec<u32>) {
+    let d = generate(&SystemProfile::tiny(), 2018);
+    let parsed = parse_records(&d.records);
+    let mut cfg = DeshConfig::fast();
+    cfg.phase1.epochs = 1;
+    let mut rng = Xoshiro256pp::seed_from_u64(2018);
+    let out = run_phase1(&parsed, &cfg, &mut rng);
+    let seq = parsed
+        .node_sequences()
+        .into_iter()
+        .map(|(_, s)| s)
+        .find(|s| s.len() >= 16)
+        .expect("a long sequence exists");
+    (out.model, seq)
+}
+
+fn bench_prediction_cost(c: &mut Criterion) {
+    let (model, seq) = trained_model();
+    let mut group = c.benchmark_group("fig10_prediction_cost");
+    for history in [5usize, 8] {
+        for steps in [1usize, 2, 3] {
+            let ctx = &seq[..history];
+            group.bench_with_input(
+                BenchmarkId::new(format!("history{history}"), format!("{steps}step")),
+                &steps,
+                |b, &steps| {
+                    b.iter(|| black_box(model.predict_kstep(black_box(ctx), steps)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction_cost);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Substrate bench: matrix-multiply kernels across the size range the LSTM
+//! actually uses (batch x hidden shapes), including the rayon-parallel
+//! path for larger shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use desh_nn::Mat;
+use desh_util::Xoshiro256pp;
+use std::hint::black_box;
+
+fn rand_mat(r: usize, c: usize, rng: &mut Xoshiro256pp) -> Mat {
+    Mat::from_fn(r, c, |_, _| rng.f32() - 0.5)
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[16usize, 64, 128, 256] {
+        let a = rand_mat(n, n, &mut rng);
+        let b = rand_mat(n, n, &mut rng);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_t", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul_t(black_box(&b))));
+        });
+        group.bench_with_input(BenchmarkId::new("t_matmul", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.t_matmul(black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Scaling benches: dataset generation and parallel parsing throughput as
+//! the cluster grows — the operations that bound how large a system the
+//! harness can simulate and how much log volume the parser sustains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use desh_loggen::{generate, SystemProfile};
+use desh_logparse::parse_records;
+use std::hint::black_box;
+
+fn bench_generation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_scaling");
+    group.sample_size(10);
+    for factor in [0.25f64, 0.5, 1.0] {
+        let p = SystemProfile::m3().scaled(factor);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes", p.nodes)),
+            &p,
+            |b, p| b.iter(|| black_box(generate(p, 1))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parse_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse_scaling");
+    group.sample_size(10);
+    for factor in [0.25f64, 0.5, 1.0] {
+        let p = SystemProfile::m3().scaled(factor);
+        let d = generate(&p, 1);
+        group.throughput(Throughput::Elements(d.records.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}records", d.records.len())),
+            &d,
+            |b, d| b.iter(|| black_box(parse_records(&d.records))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation_scaling, bench_parse_scaling);
+criterion_main!(benches);

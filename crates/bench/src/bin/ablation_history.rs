@@ -1,0 +1,42 @@
+//! Ablation: history window size vs phase-1 prediction accuracy.
+//!
+//! The paper (§4.1): "the history window size is 5 to 8 in Desh. More
+//! history improves accuracy consuming more time. Reducing the history
+//! size to 3 brings down the accuracy by 10% to 14%."
+
+use desh_bench::EXPERIMENT_SEED;
+use desh_core::{phase1::run_phase1, DeshConfig};
+use desh_loggen::{generate, SystemProfile};
+use desh_logparse::parse_records;
+use desh_util::Xoshiro256pp;
+use std::time::Instant;
+
+fn main() {
+    let d = generate(&SystemProfile::m3(), EXPERIMENT_SEED);
+    let (train, _) = d.split_by_time(0.3);
+    let parsed = parse_records(&train.records);
+
+    println!("Ablation: phase-1 history size (system M3, 3-step prediction)\n");
+    println!("{:<9} {:>12} {:>14}", "history", "accuracy %", "train time (s)");
+    let mut acc8 = 0.0;
+    let mut acc3 = 0.0;
+    for history in [3usize, 5, 8] {
+        let mut cfg = DeshConfig::default();
+        cfg.phase1.history = history;
+        let mut rng = Xoshiro256pp::seed_from_u64(EXPERIMENT_SEED);
+        let t0 = Instant::now();
+        let out = run_phase1(&parsed, &cfg, &mut rng);
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{:<9} {:>12.1} {:>14.1}", history, out.accuracy_kstep * 100.0, dt);
+        if history == 8 {
+            acc8 = out.accuracy_kstep;
+        }
+        if history == 3 {
+            acc3 = out.accuracy_kstep;
+        }
+    }
+    println!(
+        "\naccuracy drop history 8 -> 3: {:.1} percentage points (paper: 10-14)",
+        (acc8 - acc3) * 100.0
+    );
+}

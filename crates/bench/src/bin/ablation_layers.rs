@@ -1,0 +1,34 @@
+//! Ablation: number of hidden LSTM layers.
+//!
+//! The paper: "More than 1 hidden layer strengthens LSTM's efficacy to
+//! remember past phrases to make predictions." This ablation trains
+//! phases 1 and 2 with 1, 2, and 3 hidden layers and reports phase-1
+//! accuracy plus end-to-end prediction quality.
+
+use desh_bench::{run_system, EXPERIMENT_SEED};
+use desh_core::DeshConfig;
+use desh_loggen::SystemProfile;
+
+fn main() {
+    println!("Ablation: hidden layers (system M3)\n");
+    println!(
+        "{:<8} {:>12} {:>9} {:>9} {:>9}",
+        "layers", "p1 acc %", "recall %", "FP %", "F1 %"
+    );
+    for layers in [1usize, 2, 3] {
+        let mut cfg = DeshConfig::default();
+        cfg.phase1.layers = layers;
+        cfg.phase2.layers = layers;
+        let run = run_system(SystemProfile::m3(), cfg, EXPERIMENT_SEED);
+        let c = &run.report.confusion;
+        println!(
+            "{:<8} {:>12.1} {:>9.1} {:>9.1} {:>9.1}",
+            layers,
+            run.report.phase1_accuracy * 100.0,
+            c.recall() * 100.0,
+            c.fp_rate() * 100.0,
+            c.f1() * 100.0
+        );
+    }
+    println!("\npaper setting: 2 hidden layers in every phase (Table 5).");
+}

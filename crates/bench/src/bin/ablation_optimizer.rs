@@ -1,0 +1,50 @@
+//! Ablation: phase-2 optimizer choice (Table 5 pairs the MSE loss with
+//! RMSprop; this compares against SGD+momentum and Adam on the same
+//! chain-regression task).
+
+use desh_bench::EXPERIMENT_SEED;
+use desh_core::{chain_to_vectors, extract_chains, DeshConfig};
+use desh_loggen::{generate, SystemProfile};
+use desh_logparse::parse_records;
+use desh_nn::{Adam, Optimizer, RmsProp, Sgd, TrainConfig, VectorLstm};
+use desh_util::Xoshiro256pp;
+
+fn main() {
+    let d = generate(&SystemProfile::m3(), EXPERIMENT_SEED);
+    let (train, _) = d.split_by_time(0.3);
+    let parsed = parse_records(&train.records);
+    let cfg = DeshConfig::default();
+    let chains = extract_chains(&parsed, &cfg.episodes);
+    let vocab = parsed.vocab_size();
+    let seqs: Vec<Vec<Vec<f32>>> = chains
+        .iter()
+        .map(|c| chain_to_vectors(c, cfg.phase2.dt_scale, vocab))
+        .collect();
+
+    println!(
+        "Ablation: phase-2 optimizer ({} chains, {} epochs)\n",
+        chains.len(),
+        cfg.phase2.epochs
+    );
+    println!("{:<16} {:>14} {:>14}", "optimizer", "first loss", "final loss");
+    let run = |name: &str, opt: &mut dyn Optimizer| {
+        let mut rng = Xoshiro256pp::seed_from_u64(EXPERIMENT_SEED);
+        let mut model = VectorLstm::new(vocab + 1, cfg.phase2.hidden, cfg.phase2.layers, &mut rng);
+        let tcfg = TrainConfig {
+            history: cfg.phase2.history,
+            batch: cfg.phase2.batch,
+            epochs: cfg.phase2.epochs,
+            clip: 5.0,
+        };
+        let losses = model.train(&seqs, &tcfg, opt, &mut rng);
+        println!(
+            "{:<16} {:>14.5} {:>14.5}",
+            name,
+            losses[0],
+            losses.last().unwrap()
+        );
+    };
+    run("RMSprop (paper)", &mut RmsProp::new(cfg.phase2.lr));
+    run("SGD+momentum", &mut Sgd::with_momentum(0.05, 0.9));
+    run("Adam", &mut Adam::new(cfg.phase2.lr));
+}

@@ -1,0 +1,32 @@
+//! Ablation: skip-gram embedding pre-training on vs off.
+//!
+//! §3.1 vectorizes phrases with skip-gram word embeddings before the LSTM;
+//! this ablation checks what that buys over a randomly initialised,
+//! jointly trained embedding.
+
+use desh_bench::EXPERIMENT_SEED;
+use desh_core::{phase1::run_phase1, DeshConfig};
+use desh_loggen::{generate, SystemProfile};
+use desh_logparse::parse_records;
+use desh_util::Xoshiro256pp;
+
+fn main() {
+    let d = generate(&SystemProfile::m3(), EXPERIMENT_SEED);
+    let (train, _) = d.split_by_time(0.3);
+    let parsed = parse_records(&train.records);
+
+    println!("Ablation: skip-gram pre-training (system M3)\n");
+    println!("{:<10} {:>12} {:>16}", "sgns", "accuracy %", "final p1 loss");
+    for use_sgns in [false, true] {
+        let mut cfg = DeshConfig::default();
+        cfg.phase1.use_sgns = use_sgns;
+        let mut rng = Xoshiro256pp::seed_from_u64(EXPERIMENT_SEED);
+        let out = run_phase1(&parsed, &cfg, &mut rng);
+        println!(
+            "{:<10} {:>12.1} {:>16.4}",
+            if use_sgns { "on" } else { "off" },
+            out.accuracy_kstep * 100.0,
+            out.losses.last().copied().unwrap_or(f64::NAN)
+        );
+    }
+}

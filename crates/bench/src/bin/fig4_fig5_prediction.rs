@@ -1,0 +1,54 @@
+//! Figure 4 (recall / precision / accuracy / F1) and Figure 5 (FP and FN
+//! rates) for all four systems, printed next to the paper's reported
+//! values.
+
+use desh_bench::{experiment_config, run_system, EXPERIMENT_SEED};
+use desh_loggen::SystemProfile;
+
+/// Paper values read off Figures 4 and 5, per system
+/// (recall, precision, accuracy, f1, fp_rate, fn_rate) in percent.
+const PAPER: [(&str, [f64; 6]); 4] = [
+    ("M1", [85.1, 95.2, 83.6, 89.8, 25.0, 14.89]),
+    ("M2", [87.5, 92.1, 85.7, 89.7, 18.75, 12.5]),
+    ("M3", [86.9, 97.5, 86.5, 91.9, 16.66, 13.04]),
+    ("M4", [85.1, 84.0, 85.7, 87.5, 17.39, 12.5]),
+];
+
+fn main() {
+    println!("Figures 4 + 5: Prediction Rates and FP/FN Rates\n");
+    println!(
+        "{:<4} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}   (this run, %)",
+        "Sys", "recall", "prec", "acc", "F1", "FPrate", "FNrate"
+    );
+    let mut rows = Vec::new();
+    for p in SystemProfile::all() {
+        let run = run_system(p.clone(), experiment_config(), EXPERIMENT_SEED);
+        let c = &run.report.confusion;
+        println!(
+            "{:<4} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+            p.name,
+            c.recall() * 100.0,
+            c.precision() * 100.0,
+            c.accuracy() * 100.0,
+            c.f1() * 100.0,
+            c.fp_rate() * 100.0,
+            c.fn_rate() * 100.0
+        );
+        rows.push((p.name.clone(), run));
+    }
+    println!();
+    println!(
+        "{:<4} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}   (paper, %)",
+        "Sys", "recall", "prec", "acc", "F1", "FPrate", "FNrate"
+    );
+    for (name, v) in PAPER {
+        println!(
+            "{:<4} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}",
+            name, v[0], v[1], v[2], v[3], v[4], v[5]
+        );
+    }
+    println!("\nphase-1 3-step accuracy per system (paper: ~85%):");
+    for (name, run) in &rows {
+        println!("  {name}: {:.1}%", run.report.phase1_accuracy * 100.0);
+    }
+}

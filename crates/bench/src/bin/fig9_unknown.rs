@@ -1,0 +1,45 @@
+//! Table 8 + Figure 9: unknown-phrase contribution to node failures.
+//!
+//! For every Unknown phrase, the percentage of its appearances that fall
+//! inside failure chains, printed next to the paper's Table 8 values for
+//! the twelve phrases it lists.
+
+use desh_bench::EXPERIMENT_SEED;
+use desh_core::{extract_chains, unknown_contributions, EpisodeConfig};
+use desh_loggen::{generate, Phrase, SystemProfile};
+use desh_logparse::parse_records;
+
+fn main() {
+    let d = generate(&SystemProfile::m1(), EXPERIMENT_SEED);
+    let parsed = parse_records(&d.records);
+    let chains = extract_chains(&parsed, &EpisodeConfig::default());
+    let contributions = unknown_contributions(&parsed, &chains, 10);
+
+    println!("Table 8 / Figure 9: Unknown Tagged Phrases (system M1)\n");
+    println!("{:<62} {:>7} {:>9} {:>8} {:>8}", "Phrase", "total", "in-chain", "this %", "paper %");
+    // Paper values by template prefix.
+    let paper: Vec<(String, f64)> = Phrase::table8()
+        .iter()
+        .map(|(p, pct)| (p.spec().static_form(), *pct))
+        .collect();
+    for c in &contributions {
+        let paper_pct = paper
+            .iter()
+            .find(|(t, _)| *t == c.template)
+            .map(|(_, pct)| format!("{pct:>7.0}%"))
+            .unwrap_or_else(|| "      -".to_string());
+        println!(
+            "{:<62} {:>7} {:>9} {:>7.1}% {:>8}",
+            c.template,
+            c.total,
+            c.in_chain,
+            c.contribution_pct(),
+            paper_pct
+        );
+    }
+    println!(
+        "\n{} unknown phrases analysed; {} failure chains in the dataset.",
+        contributions.len(),
+        chains.len()
+    );
+}

@@ -1,0 +1,58 @@
+//! Real-time feasibility check.
+//!
+//! The paper's motivation (§1): "prediction has to be performed in real
+//! time, and results have to be available prior to the actual failure."
+//! This experiment streams a full test split through the online detector,
+//! measures sustained ingest throughput, and compares it with the log
+//! arrival rate of the original system — the headroom factor says how many
+//! times larger a system one detector instance could watch.
+
+use desh_bench::{experiment_config, EXPERIMENT_SEED};
+use desh_core::{Desh, OnlineDetector};
+use desh_loggen::{generate, SystemProfile};
+use std::time::Instant;
+
+fn main() {
+    let profile = SystemProfile::m1();
+    let dataset = generate(&profile, EXPERIMENT_SEED);
+    let (train, test) = dataset.split_by_time(0.3);
+    let desh = Desh::new(experiment_config(), EXPERIMENT_SEED);
+    println!("training...");
+    let trained = desh.train(&train);
+
+    let mut det = OnlineDetector::new(
+        trained.lead_model.clone(),
+        trained.parsed_train.vocab.clone(),
+        desh.cfg.clone(),
+    );
+    let t0 = Instant::now();
+    let mut warnings = 0usize;
+    for r in &test.records {
+        if det.ingest(r).is_some() {
+            warnings += 1;
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let events = test.records.len() as f64;
+    let throughput = events / elapsed;
+
+    // Arrival rate of the simulated system (events per wall-clock second),
+    // and what the paper-scale system would produce (nodes scaled up).
+    let span_secs = test.duration.as_secs_f64() * 0.7;
+    let arrival = events / span_secs;
+    let paper_scale_arrival = arrival * profile.paper_scale as f64 / profile.nodes as f64;
+
+    println!("\nReal-time feasibility (system {})", profile.name);
+    println!("  events processed      : {events:.0} in {elapsed:.2}s  ({warnings} warnings)");
+    println!("  detector throughput   : {throughput:.0} events/s");
+    println!("  simulated arrival rate: {arrival:.2} events/s ({} nodes)", profile.nodes);
+    println!(
+        "  paper-scale arrival   : {paper_scale_arrival:.1} events/s ({} nodes)",
+        profile.paper_scale
+    );
+    println!(
+        "  headroom vs paper-scale system: {:.0}x",
+        throughput / paper_scale_arrival
+    );
+    println!("\nThe paper's requirement is satisfied when headroom > 1.");
+}

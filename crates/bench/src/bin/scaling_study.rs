@@ -1,0 +1,57 @@
+//! Scaling study: wall time of every pipeline stage as the simulated
+//! cluster grows. Complements the Criterion `scaling` bench with an
+//! end-to-end view (generation → parsing → phase 1 → phase 2 → phase 3).
+
+use desh_bench::{experiment_config, EXPERIMENT_SEED};
+use desh_core::{run_phase1, run_phase2, run_phase3};
+use desh_loggen::{generate, SystemProfile};
+use desh_logparse::{parse_records, parse_records_with_vocab};
+use desh_util::Xoshiro256pp;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:>6} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "nodes", "records", "generate", "parse", "phase1", "phase2", "phase3"
+    );
+    for factor in [0.5f64, 1.0, 2.0] {
+        let profile = SystemProfile::m3().scaled(factor);
+        let cfg = experiment_config();
+
+        let t = Instant::now();
+        let dataset = generate(&profile, EXPERIMENT_SEED);
+        let t_gen = t.elapsed().as_secs_f64();
+
+        let (train, test) = dataset.split_by_time(0.3);
+        let t = Instant::now();
+        let parsed_train = parse_records(&train.records);
+        let t_parse = t.elapsed().as_secs_f64();
+
+        let mut rng = Xoshiro256pp::seed_from_u64(EXPERIMENT_SEED);
+        let t = Instant::now();
+        let p1 = run_phase1(&parsed_train, &cfg, &mut rng);
+        let t_p1 = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let model = run_phase2(&p1.chains, parsed_train.vocab_size(), &cfg.phase2, &mut rng);
+        let t_p2 = t.elapsed().as_secs_f64();
+
+        let parsed_test = parse_records_with_vocab(&test.records, parsed_train.vocab.clone());
+        let t = Instant::now();
+        let out = run_phase3(&model, &parsed_test, &test.failures, &cfg);
+        let t_p3 = t.elapsed().as_secs_f64();
+
+        println!(
+            "{:>6} {:>9} {:>9.2}s {:>8.2}s {:>8.2}s {:>8.2}s {:>8.2}s   (recall {:.0}%)",
+            profile.nodes,
+            dataset.records.len(),
+            t_gen,
+            t_parse,
+            t_p1,
+            t_p2,
+            t_p3,
+            out.confusion.recall() * 100.0
+        );
+    }
+    println!("\nTraining phases (1-2) are offline; only phase 3 sits on the critical path.");
+}

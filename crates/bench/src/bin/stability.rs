@@ -1,0 +1,17 @@
+//! Multi-seed stability: the Figure 4/5 metrics re-run over independent
+//! dataset seeds, reported as mean ± standard deviation. Confirms the
+//! headline numbers are not a seed lottery.
+
+use desh_bench::experiment_config;
+use desh_core::stability_run;
+use desh_loggen::SystemProfile;
+
+fn main() {
+    let seeds = [2018u64, 2019, 2020];
+    println!("Stability over {} seeds (mean ± sd, %):\n", seeds.len());
+    for p in [SystemProfile::m1(), SystemProfile::m3()] {
+        let rep = stability_run(&p, &experiment_config(), &seeds);
+        println!("{}", rep.summary_row());
+    }
+    println!("\npaper bands: recall 85.1-87.5, FP 16.7-25.0, accuracy 83.6-86.9.");
+}

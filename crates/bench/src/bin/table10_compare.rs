@@ -1,0 +1,42 @@
+//! Tables 10 + 11: Desh vs the DeepLog-style and n-gram baselines (rows
+//! measured in this run) alongside the paper's cited literature rows, plus
+//! the capability matrix.
+
+use desh_baselines::{capability_matrix, literature_rows, measured_rows};
+use desh_bench::EXPERIMENT_SEED;
+use desh_loggen::{generate, SystemProfile};
+
+fn main() {
+    let dataset = generate(&SystemProfile::m1(), EXPERIMENT_SEED);
+    let mut rows = measured_rows(&dataset, EXPERIMENT_SEED);
+    rows.extend(literature_rows());
+
+    println!("Table 10: Desh Comparison (measured rows on M1; cited rows from the paper)\n");
+    println!(
+        "{:<18} {:<32} {:>9} {:>8} {:>10} {:>5} {:>9} {:>9}",
+        "Solution", "Method", "lead (s)", "recall", "precision", "inj", "location", "measured"
+    );
+    for r in &rows {
+        let fmt = |v: Option<f64>, scale: f64| {
+            v.map(|x| format!("{:.1}", x * scale)).unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<18} {:<32} {:>9} {:>8} {:>10} {:>5} {:>9} {:>9}",
+            r.solution,
+            r.method,
+            fmt(r.lead_time_secs, 1.0),
+            fmt(r.recall, 100.0),
+            fmt(r.precision, 100.0),
+            if r.injection { "yes" } else { "no" },
+            if r.location { "yes" } else { "no" },
+            if r.measured { "yes" } else { "cited" }
+        );
+    }
+
+    println!("\nTable 11: Desh vs DeepLog capability matrix\n");
+    println!("{:<26} {:>6} {:>6}", "Feature", "Desh", "DLog");
+    for (feature, desh, dlog) in capability_matrix() {
+        let mark = |b: bool| if b { "yes" } else { "no" };
+        println!("{:<26} {:>6} {:>6}", feature, mark(desh), mark(dlog));
+    }
+}

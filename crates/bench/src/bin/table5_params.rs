@@ -1,0 +1,18 @@
+//! Table 5: LSTM parameter specification per phase.
+
+use desh_core::DeshConfig;
+
+fn main() {
+    let cfg = DeshConfig::default();
+    println!("Table 5: LSTM Parameter Specifications\n");
+    print!("{}", cfg.table5());
+    println!();
+    println!("phase-1 embedding dim : {}", cfg.phase1.embed_dim);
+    println!("phase-1 hidden width  : {}", cfg.phase1.hidden);
+    println!("phase-2 hidden width  : {}", cfg.phase2.hidden);
+    println!("phase-3 MSE threshold : {}", cfg.phase3.mse_threshold);
+    println!(
+        "skip-gram window      : {} left / {} right (paper: 8 / 3)",
+        cfg.phase1.sgns.window_left, cfg.phase1.sgns.window_right
+    );
+}

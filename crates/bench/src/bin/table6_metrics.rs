@@ -1,0 +1,22 @@
+//! Table 6: prediction-efficiency metric formulas, with a worked example.
+
+use desh_core::Confusion;
+
+fn main() {
+    println!("Table 6: Prediction Efficiency\n");
+    for (metric, formula) in [
+        ("Metric", "Formula"),
+        ("Recall", "TP/(TP+FN)"),
+        ("Precision", "TP/(TP+FP)"),
+        ("Accuracy", "(TP+TN)/(TP+FP+FN+TN)"),
+        ("F1 Score", "2*(Recall*Precision)/(Recall+Precision)"),
+        ("FP Rate", "FP/(FP+TN)"),
+        ("FN Rate", "FN/(TP+FN), (1-Recall)"),
+    ] {
+        println!("{metric:<12} {formula}");
+    }
+
+    let c = Confusion { tp: 87, fp: 16, tn: 80, fnn: 13 };
+    println!("\nworked example with tp=87 fp=16 tn=80 fn=13:");
+    println!("{}", c.summary_row("  demo"));
+}

@@ -1,0 +1,72 @@
+//! Table 9: unknown phrases with and without node failures — concrete
+//! sequences from the generated data where the *same* phrases appear in a
+//! failure chain in one episode and in a recovered near-miss in another
+//! (Observation 5).
+
+use desh_bench::EXPERIMENT_SEED;
+use desh_core::{extract_episodes, EpisodeConfig};
+use desh_loggen::{generate, SystemProfile};
+use desh_logparse::parse_records;
+use desh_util::Micros;
+
+fn main() {
+    let d = generate(&SystemProfile::m1(), EXPERIMENT_SEED);
+    let parsed = parse_records(&d.records);
+    let episodes = extract_episodes(&parsed, &EpisodeConfig::default());
+
+    let is_failure = |ep: &desh_core::Episode| {
+        d.failures
+            .iter()
+            .any(|f| f.node == ep.node && f.time.abs_diff(ep.end()) < Micros::from_secs(5))
+    };
+
+    println!("Table 9: Unknown Phrases with and without Node Failures\n");
+
+    let mut shown_fail = 0;
+    let mut shown_ok = 0;
+    for ep in &episodes {
+        let fail = is_failure(ep);
+        if fail && shown_fail >= 2 || !fail && shown_ok >= 2 {
+            continue;
+        }
+        if fail {
+            shown_fail += 1;
+            println!("== Failure {} (node {}) ==", shown_fail, ep.node);
+        } else {
+            // Only show near-miss-like episodes with >= 3 events.
+            if ep.events.len() < 3 {
+                continue;
+            }
+            shown_ok += 1;
+            println!("== Not Failure {} (node {}) ==", shown_ok, ep.node);
+        }
+        for e in &ep.events {
+            println!("  {}  {}", e.time.as_clock(), parsed.template(e.phrase));
+        }
+        println!();
+        if shown_fail >= 2 && shown_ok >= 2 {
+            break;
+        }
+    }
+
+    // Observation 5 witness: a phrase present in both kinds of episodes.
+    let mut in_fail = std::collections::HashSet::new();
+    let mut in_ok = std::collections::HashSet::new();
+    for ep in &episodes {
+        let target = if is_failure(ep) { &mut in_fail } else { &mut in_ok };
+        for e in &ep.events {
+            target.insert(e.phrase);
+        }
+    }
+    let both: Vec<String> = in_fail
+        .intersection(&in_ok)
+        .map(|&p| parsed.template(p))
+        .collect();
+    println!(
+        "Observation 5: {} phrases appear in BOTH failure chains and non-failure episodes, e.g.:",
+        both.len()
+    );
+    for t in both.iter().take(5) {
+        println!("  {t}");
+    }
+}

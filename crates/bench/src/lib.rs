@@ -1,0 +1,58 @@
+//! `desh-bench`: the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation section has a binary
+//! under `src/bin/` that regenerates it (see DESIGN.md §4 for the index),
+//! and the timing experiments (Figure 10 plus ablations) live as Criterion
+//! benches under `benches/`.
+//!
+//! This library holds the shared runner so every experiment uses the same
+//! protocol: generate the system's dataset, split 30/70 chronologically,
+//! train phases 1+2 on the head, evaluate phase 3 on the tail.
+
+use desh_core::{Desh, DeshConfig, DeshReport, TrainedDesh};
+use desh_loggen::{generate, Dataset, SystemProfile};
+use desh_logparse::{parse_records_with_vocab, ParsedLog};
+
+/// Seed used by every experiment binary, so tables are reproducible.
+pub const EXPERIMENT_SEED: u64 = 2018;
+
+/// Everything a per-system experiment might need.
+pub struct SystemRun {
+    /// The profile that generated the data.
+    pub profile: SystemProfile,
+    /// The full dataset.
+    pub dataset: Dataset,
+    /// Test split (70%).
+    pub test: Dataset,
+    /// Trained pipeline (phases 1+2 on the 30% head).
+    pub trained: TrainedDesh,
+    /// Phase-3 report on the test split.
+    pub report: DeshReport,
+    /// The test split parsed against the training vocabulary.
+    pub parsed_test: ParsedLog,
+    /// The pipeline object (for re-runs with altered phase-3 settings).
+    pub desh: Desh,
+}
+
+/// Run the full Desh protocol on one system profile.
+pub fn run_system(profile: SystemProfile, cfg: DeshConfig, seed: u64) -> SystemRun {
+    let dataset = generate(&profile, seed);
+    let (train, test) = dataset.split_by_time(0.3);
+    let desh = Desh::new(cfg, seed);
+    let trained = desh.train(&train);
+    let mut report = desh.evaluate(&trained, &test);
+    report.system = profile.name.clone();
+    let parsed_test = parse_records_with_vocab(&test.records, trained.parsed_train.vocab.clone());
+    SystemRun { profile, dataset, test, trained, report, parsed_test, desh }
+}
+
+/// The configuration every experiment binary uses: the paper's Table 5
+/// settings with our calibrated training schedule.
+pub fn experiment_config() -> DeshConfig {
+    DeshConfig::default()
+}
+
+/// Markdown-ish separator line for table output.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}

@@ -1,0 +1,273 @@
+//! Online (streaming) node-failure detection — the deployment mode the
+//! paper motivates: "prediction has to be performed in real time, and
+//! results have to be available prior to the actual failure" (§1).
+//!
+//! [`OnlineDetector`] consumes raw log records *as they arrive*, keeps a
+//! small per-node buffer of recent anomaly-relevant events, and scores the
+//! buffer against the trained lead-time model after every event. When the
+//! model recognises a failure chain in progress, it emits a [`Warning`]
+//! carrying the predicted remaining lead time (the model's own predicted
+//! next-ΔT — this is the "in 2.5 minutes, node X is expected to fail"
+//! output of §4.5) and the inferred failure class.
+//!
+//! One warning is emitted per episode: after warning, a node stays quiet
+//! until its buffer resets (session gap elapses or a terminal arrives).
+
+use crate::classes::classify_templates;
+use crate::config::DeshConfig;
+use crate::phase2::LeadTimeModel;
+use desh_loggen::{FailureClass, Label, LogRecord, NodeId};
+use desh_logparse::{extract_template, is_failure_terminal, label_template, Vocab};
+use desh_util::Micros;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A proactive warning for one node.
+#[derive(Debug, Clone)]
+pub struct Warning {
+    /// Node expected to fail.
+    pub node: NodeId,
+    /// Time the warning was raised (time of the triggering event).
+    pub at: Micros,
+    /// Model-predicted remaining lead time, seconds.
+    pub predicted_lead_secs: f64,
+    /// Decision score (mean MSE, same units as the batch pipeline).
+    pub score: f64,
+    /// Failure class inferred from the buffered phrases.
+    pub class: FailureClass,
+    /// The phrase templates that triggered the warning, oldest first.
+    pub evidence: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct NodeState {
+    /// Recent non-Safe events: (time, phrase id).
+    events: Vec<(Micros, u32)>,
+    /// A warning was already raised for the current episode.
+    warned: bool,
+}
+
+/// Streaming detector wrapping a trained [`LeadTimeModel`].
+#[derive(Debug)]
+pub struct OnlineDetector {
+    model: LeadTimeModel,
+    cfg: DeshConfig,
+    vocab: Arc<Vocab>,
+    nodes: HashMap<NodeId, NodeState>,
+    warnings_emitted: u64,
+    events_seen: u64,
+}
+
+impl OnlineDetector {
+    /// Build from a trained model and the training vocabulary (phrase ids
+    /// must match what the model was trained on).
+    pub fn new(model: LeadTimeModel, vocab: Arc<Vocab>, cfg: DeshConfig) -> Self {
+        Self {
+            model,
+            cfg,
+            vocab,
+            nodes: HashMap::new(),
+            warnings_emitted: 0,
+            events_seen: 0,
+        }
+    }
+
+    /// Total events ingested (after Safe filtering).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Total warnings emitted.
+    pub fn warnings_emitted(&self) -> u64 {
+        self.warnings_emitted
+    }
+
+    /// Ingest one raw text line. Returns a warning if this line completed
+    /// a recognisable failure-chain prefix; `None` for benign/ignored
+    /// lines; `Err` for unparseable lines (which a deployment would count
+    /// and skip).
+    pub fn ingest_line(&mut self, line: &str) -> Result<Option<Warning>, String> {
+        let record: LogRecord = line.parse().map_err(|e| format!("{e}"))?;
+        Ok(self.ingest(&record))
+    }
+
+    /// Ingest one structured record.
+    pub fn ingest(&mut self, record: &LogRecord) -> Option<Warning> {
+        let template = extract_template(&record.text);
+        if label_template(&template) == Label::Safe {
+            return None;
+        }
+        let phrase = self.vocab.intern(&template);
+        let state = self.nodes.entry(record.node).or_default();
+
+        // Session split: a long quiet gap starts a new episode.
+        let gap = Micros::from_secs_f64(self.cfg.episodes.session_gap_secs);
+        if let Some(&(last, _)) = state.events.last() {
+            if record.time.saturating_sub(last) > gap {
+                state.events.clear();
+                state.warned = false;
+            }
+        }
+        state.events.push((record.time, phrase));
+        self.events_seen += 1;
+
+        // A terminal message ends the episode — too late to warn.
+        if is_failure_terminal(&template) {
+            state.events.clear();
+            state.warned = false;
+            return None;
+        }
+        if state.warned || state.events.len() < self.cfg.phase3.min_evidence + 1 {
+            return None;
+        }
+
+        // Score the buffered episode prefix: ΔTs relative to the newest
+        // event (what the batch pipeline does with completed episodes).
+        let newest = state.events.last().unwrap().0;
+        let seq: Vec<Vec<f32>> = state
+            .events
+            .iter()
+            .map(|&(t, p)| self.model.vectorize(newest.saturating_sub(t).as_secs_f64(), p))
+            .collect();
+        let raw = self.model.model.score_sequence(&seq, self.model.history);
+        if raw.len() < self.cfg.phase3.min_evidence {
+            return None;
+        }
+        let unit = (self.model.vocab_size + 1) as f64 / 2.0 * self.cfg.phase3.score_scale;
+        let score = raw.iter().map(|s| s * unit).sum::<f64>() / raw.len() as f64;
+        if score > self.cfg.phase3.mse_threshold {
+            return None;
+        }
+
+        // Chain recognised: the model's predicted *next* sample carries the
+        // expected remaining ΔT on channel 0.
+        let window: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
+        let next = self.model.model.predict_next(&window, self.model.history);
+        let predicted_lead_secs = self.model.denormalize_dt(next[0]);
+
+        state.warned = true;
+        self.warnings_emitted += 1;
+        let evidence: Vec<String> = state
+            .events
+            .iter()
+            .map(|&(_, p)| self.vocab.text(p).unwrap_or_default())
+            .collect();
+        let class = classify_templates(evidence.iter().cloned());
+        Some(Warning {
+            node: record.node,
+            at: record.time,
+            predicted_lead_secs,
+            score,
+            class,
+            evidence,
+        })
+    }
+
+    /// Render a warning the way the paper phrases it (§4.5).
+    pub fn format_warning(w: &Warning) -> String {
+        format!(
+            "In {:.1} seconds, node {} (cabinet {}-{}, chassis {}, slot {}) is expected to fail [{}]",
+            w.predicted_lead_secs,
+            w.node,
+            w.node.cab_x,
+            w.node.cab_y,
+            w.node.chassis,
+            w.node.slot,
+            w.class.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Desh;
+    use desh_loggen::{generate, SystemProfile};
+
+    fn trained_detector(seed: u64) -> (OnlineDetector, desh_loggen::Dataset) {
+        let mut p = SystemProfile::tiny();
+        p.failures = 30;
+        p.nodes = 24;
+        let d = generate(&p, seed);
+        let (train, test) = d.split_by_time(0.3);
+        let desh = Desh::new(DeshConfig::fast(), seed);
+        let trained = desh.train(&train);
+        let det = OnlineDetector::new(
+            trained.lead_model.clone(),
+            trained.parsed_train.vocab.clone(),
+            desh.cfg.clone(),
+        );
+        (det, test)
+    }
+
+    #[test]
+    fn warnings_precede_most_failures() {
+        let (mut det, test) = trained_detector(301);
+        let mut warned_nodes: Vec<(NodeId, Micros)> = Vec::new();
+        for r in &test.records {
+            if let Some(w) = det.ingest(r) {
+                warned_nodes.push((w.node, w.at));
+            }
+        }
+        assert!(det.warnings_emitted() > 0, "no warnings at all");
+        // Most ground-truth failures should have a warning strictly before
+        // the terminal on the same node.
+        let mut hit = 0;
+        for f in &test.failures {
+            if warned_nodes.iter().any(|&(n, at)| {
+                n == f.node && at < f.time && f.time.saturating_sub(at).as_mins_f64() < 10.0
+            }) {
+                hit += 1;
+            }
+        }
+        let frac = hit as f64 / test.failures.len() as f64;
+        assert!(frac > 0.5, "only {hit}/{} failures warned ahead", test.failures.len());
+    }
+
+    #[test]
+    fn one_warning_per_episode() {
+        let (mut det, test) = trained_detector(302);
+        let mut per_node_burst: HashMap<NodeId, u64> = HashMap::new();
+        for r in &test.records {
+            if let Some(w) = det.ingest(r) {
+                *per_node_burst.entry(w.node).or_default() += 1;
+            }
+        }
+        // Warnings per node bounded by its episodes: with 30 failures on 24
+        // nodes, no node should scream dozens of times.
+        for (node, count) in per_node_burst {
+            assert!(count <= 8, "node {node} warned {count} times");
+        }
+    }
+
+    #[test]
+    fn warnings_report_positive_leads_and_classes() {
+        let (mut det, test) = trained_detector(303);
+        for r in &test.records {
+            if let Some(w) = det.ingest(r) {
+                assert!(w.predicted_lead_secs >= 0.0 && w.predicted_lead_secs.is_finite());
+                assert!(!w.evidence.is_empty());
+                let line = OnlineDetector::format_warning(&w);
+                assert!(line.contains("expected to fail"), "{line}");
+                assert!(line.contains(&w.node.to_string()), "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_line_round_trip_and_errors() {
+        let (mut det, test) = trained_detector(304);
+        let line = test.records[0].to_raw_line();
+        det.ingest_line(&line).expect("generator lines parse");
+        assert!(det.ingest_line("not a log line").is_err());
+    }
+
+    #[test]
+    fn safe_traffic_is_ignored() {
+        let (mut det, _) = trained_detector(305);
+        let before = det.events_seen();
+        let r = LogRecord::new(Micros(1), NodeId::from_index(0), "Wait4Boot");
+        assert!(det.ingest(&r).is_none());
+        assert_eq!(det.events_seen(), before, "Safe events must not enter buffers");
+    }
+}

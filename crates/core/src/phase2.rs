@@ -1,0 +1,206 @@
+//! Phase 2: re-train on (ΔT, phrase) vectors from the learned failure
+//! chains (paper §3.2, Table 4).
+//!
+//! Each chain becomes a sequence of vectors `(ΔT_i, P_i)` where ΔT_i is
+//! the cumulative time difference to the terminal phrase. The LSTM is
+//! trained with history size 5, 1-step prediction, MSE loss and the
+//! RMSprop optimizer (Table 5) to learn "how late the terminal phrase is
+//! expected to appear in the sequence based on the previously seen
+//! phrases".
+//!
+//! **Encoding note.** The paper describes the input as a 2-state
+//! (ΔT, phrase-id) vector. Phrase ids are arbitrary integers, so under an
+//! MSE loss the numeric distance between two ids carries no meaning; with
+//! our interned vocabularies that representation measurably destroys the
+//! chain/near-miss separation. We therefore encode the phrase channel
+//! one-hot — the standard translation of a categorical variable for a
+//! regression loss — keeping the ΔT channel exactly as described. The
+//! model still "predicts the next sample" and phase 3 still thresholds
+//! the MSE between prediction and observation, as in the paper.
+
+use crate::chain::FailureChain;
+use crate::config::Phase2Config;
+use desh_nn::{Optimizer, RmsProp, TrainConfig, VectorLstm};
+use desh_util::Xoshiro256pp;
+
+/// The trained lead-time model plus the encoding constants that must
+/// travel with it to inference.
+#[derive(Debug, Clone)]
+pub struct LeadTimeModel {
+    /// The (ΔT, one-hot phrase) regressor.
+    pub model: VectorLstm,
+    /// Seconds scale for the ΔT channel.
+    pub dt_scale: f32,
+    /// Vocabulary size; the one-hot block width.
+    pub vocab_size: usize,
+    /// History window used at train time (reused at inference).
+    pub history: usize,
+    /// Per-epoch training losses.
+    pub losses: Vec<f64>,
+}
+
+impl LeadTimeModel {
+    /// Encode one (ΔT seconds, phrase id) sample.
+    pub fn vectorize(&self, delta_t_secs: f64, phrase: u32) -> Vec<f32> {
+        vectorize(delta_t_secs, phrase, self.dt_scale, self.vocab_size)
+    }
+
+    /// Recover seconds from the ΔT channel of a model output.
+    pub fn denormalize_dt(&self, v: f32) -> f64 {
+        (v.max(0.0) * self.dt_scale) as f64
+    }
+
+    /// The phrase id a model output predicts (argmax of the one-hot block).
+    pub fn predicted_phrase(&self, output: &[f32]) -> u32 {
+        debug_assert_eq!(output.len(), self.vocab_size + 1);
+        output[1..]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0)
+    }
+}
+
+/// Encode one sample: ΔT channel followed by a one-hot phrase block.
+pub fn vectorize(delta_t_secs: f64, phrase: u32, dt_scale: f32, vocab: usize) -> Vec<f32> {
+    let mut v = vec![0.0f32; vocab + 1];
+    v[0] = (delta_t_secs as f32 / dt_scale).min(4.0);
+    let idx = (phrase as usize).min(vocab.saturating_sub(1));
+    v[1 + idx] = 1.0;
+    v
+}
+
+/// A failure chain as a phase-2 input sequence.
+pub fn chain_to_vectors(chain: &FailureChain, dt_scale: f32, vocab: usize) -> Vec<Vec<f32>> {
+    chain
+        .events
+        .iter()
+        .map(|e| vectorize(e.delta_t, e.phrase, dt_scale, vocab))
+        .collect()
+}
+
+/// Run phase 2: train the lead-time model on the chains from phase 1.
+pub fn run_phase2(
+    chains: &[FailureChain],
+    vocab_size: usize,
+    cfg: &Phase2Config,
+    rng: &mut Xoshiro256pp,
+) -> LeadTimeModel {
+    assert!(!chains.is_empty(), "phase 2 requires at least one failure chain");
+    assert!(vocab_size > 0);
+    let seqs: Vec<Vec<Vec<f32>>> = chains
+        .iter()
+        .map(|c| chain_to_vectors(c, cfg.dt_scale, vocab_size))
+        .collect();
+    let mut model = VectorLstm::new(vocab_size + 1, cfg.hidden, cfg.layers, rng);
+    let tcfg = TrainConfig {
+        history: cfg.history,
+        batch: cfg.batch,
+        epochs: cfg.epochs,
+        clip: 5.0,
+    };
+    let mut opt = RmsProp::new(cfg.lr);
+    let losses = model.train(&seqs, &tcfg, &mut opt as &mut dyn Optimizer, rng);
+    LeadTimeModel {
+        model,
+        dt_scale: cfg.dt_scale,
+        vocab_size,
+        history: cfg.history,
+        losses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::extract_chains;
+    use crate::config::{DeshConfig, EpisodeConfig};
+    use desh_loggen::{generate, SystemProfile};
+    use desh_logparse::parse_records;
+
+    fn chains_fixture(seed: u64) -> (Vec<FailureChain>, usize) {
+        let d = generate(&SystemProfile::tiny(), seed);
+        let parsed = parse_records(&d.records);
+        let chains = extract_chains(&parsed, &EpisodeConfig::default());
+        (chains, parsed.vocab_size())
+    }
+
+    #[test]
+    fn vectorize_matches_table4_shape() {
+        // Table 4's ΔT column: earlier events carry larger cumulative ΔTs,
+        // the terminal carries zero; each vector one-hot encodes its phrase.
+        let (chains, vocab) = chains_fixture(81);
+        let c = &chains[0];
+        let vecs = chain_to_vectors(c, 300.0, vocab);
+        assert_eq!(vecs.len(), c.events.len());
+        assert!(vecs[0][0] > vecs[vecs.len() - 1][0]);
+        assert_eq!(vecs[vecs.len() - 1][0], 0.0);
+        for (v, e) in vecs.iter().zip(&c.events) {
+            assert_eq!(v.len(), vocab + 1);
+            assert!((0.0..=4.0).contains(&v[0]));
+            let ones: Vec<usize> = (1..v.len()).filter(|&i| v[i] == 1.0).collect();
+            assert_eq!(ones, vec![1 + e.phrase as usize]);
+        }
+    }
+
+    #[test]
+    fn phase2_loss_decreases() {
+        let (chains, vocab) = chains_fixture(82);
+        let mut rng = Xoshiro256pp::seed_from_u64(82);
+        let cfg = DeshConfig::fast().phase2;
+        let m = run_phase2(&chains, vocab, &cfg, &mut rng);
+        assert!(
+            m.losses.last().unwrap() < &m.losses[0],
+            "phase-2 loss should drop: first {} last {}",
+            m.losses[0],
+            m.losses.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn trained_model_predicts_chain_continuations() {
+        let (chains, vocab) = chains_fixture(83);
+        let mut rng = Xoshiro256pp::seed_from_u64(83);
+        let mut cfg = DeshConfig::fast().phase2;
+        cfg.epochs = 100;
+        let m = run_phase2(&chains, vocab, &cfg, &mut rng);
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for c in &chains {
+            let seq = chain_to_vectors(c, m.dt_scale, vocab);
+            for s in m.model.score_sequence(&seq, m.history) {
+                total += s;
+                n += 1;
+            }
+        }
+        let avg = total / n as f64;
+        assert!(avg < 0.01, "avg chain MSE {avg}");
+    }
+
+    #[test]
+    fn predicted_phrase_is_argmax() {
+        let (chains, vocab) = chains_fixture(84);
+        let mut rng = Xoshiro256pp::seed_from_u64(84);
+        let mut cfg = DeshConfig::fast().phase2;
+        cfg.epochs = 1;
+        let m = run_phase2(&chains, vocab, &cfg, &mut rng);
+        let mut out = vec![0.0f32; vocab + 1];
+        out[1 + 7] = 0.9;
+        out[1 + 3] = 0.4;
+        assert_eq!(m.predicted_phrase(&out), 7);
+    }
+
+    #[test]
+    fn dt_clipping_guards_against_outliers() {
+        let v = vectorize(10_000.0, 3, 300.0, 10);
+        assert_eq!(v[0], 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn phase2_requires_chains() {
+        let mut rng = Xoshiro256pp::seed_from_u64(84);
+        run_phase2(&[], 10, &Phase2Config::default(), &mut rng);
+    }
+}

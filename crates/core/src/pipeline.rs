@@ -1,0 +1,154 @@
+//! The end-to-end Desh pipeline: raw dataset → 30/70 chronological split →
+//! phase 1 (train) → phase 2 (re-train with ΔTs) → phase 3 (test).
+
+use crate::chain::FailureChain;
+use crate::config::DeshConfig;
+use crate::leadtime::{lead_by_class, lead_overall, observation4, recall_by_class};
+use crate::metrics::Confusion;
+use crate::phase1::{run_phase1, Phase1Output};
+use crate::phase2::{run_phase2, LeadTimeModel};
+use crate::phase3::{run_phase3, Verdict};
+use desh_loggen::{Dataset, FailureClass};
+use desh_logparse::{parse_records, parse_records_with_vocab, ParsedLog};
+use desh_util::{Summary, Xoshiro256pp};
+use std::collections::BTreeMap;
+
+/// Full report from one Desh run on one system's dataset.
+#[derive(Debug)]
+pub struct DeshReport {
+    /// System name (M1..M4).
+    pub system: String,
+    /// Phase-1 k-step prediction accuracy.
+    pub phase1_accuracy: f64,
+    /// Number of training failure chains learned.
+    pub chains_trained: usize,
+    /// Confusion counts over test episodes.
+    pub confusion: Confusion,
+    /// Per-episode verdicts.
+    pub verdicts: Vec<Verdict>,
+    /// Overall lead-time summary (true positives).
+    pub lead_overall: Summary,
+    /// Per-class lead-time summaries.
+    pub lead_by_class: BTreeMap<FailureClass, Summary>,
+    /// Per-class (flagged, total) ground-truth failure counts.
+    pub recall_by_class: BTreeMap<FailureClass, (u64, u64)>,
+    /// (mean per-class stddev, overall stddev) — Observation 4.
+    pub observation4: (f64, f64),
+}
+
+/// The Desh system: configuration + deterministic seed.
+#[derive(Debug, Clone)]
+pub struct Desh {
+    /// Pipeline configuration.
+    pub cfg: DeshConfig,
+    /// Seed for every stochastic component.
+    pub seed: u64,
+}
+
+/// Intermediate artifacts kept for inspection and reuse (benches, examples).
+#[derive(Debug)]
+pub struct TrainedDesh {
+    /// Phase-1 artifacts (token model + chains).
+    pub phase1: Phase1Output,
+    /// Phase-2 lead-time model.
+    pub lead_model: LeadTimeModel,
+    /// The parsed training log.
+    pub parsed_train: ParsedLog,
+}
+
+impl Desh {
+    /// New pipeline with the given configuration and seed.
+    pub fn new(cfg: DeshConfig, seed: u64) -> Self {
+        Self { cfg, seed }
+    }
+
+    /// Train phases 1 and 2 on a training dataset.
+    pub fn train(&self, train: &Dataset) -> TrainedDesh {
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
+        let parsed_train = parse_records(&train.records);
+        let phase1 = run_phase1(&parsed_train, &self.cfg, &mut rng);
+        assert!(
+            !phase1.chains.is_empty(),
+            "no failure chains in the training split; enlarge the dataset"
+        );
+        let lead_model = run_phase2(
+            &phase1.chains,
+            parsed_train.vocab_size(),
+            &self.cfg.phase2,
+            &mut rng,
+        );
+        TrainedDesh { phase1, lead_model, parsed_train }
+    }
+
+    /// Evaluate a trained pipeline on a test dataset. The test split is
+    /// parsed against the *training* vocabulary so phrase ids stay stable
+    /// between phases (new templates extend the vocabulary at fresh ids).
+    pub fn evaluate(&self, trained: &TrainedDesh, test: &Dataset) -> DeshReport {
+        let parsed_test =
+            parse_records_with_vocab(&test.records, trained.parsed_train.vocab.clone());
+        let out = run_phase3(&trained.lead_model, &parsed_test, &test.failures, &self.cfg);
+        DeshReport {
+            system: test.system.clone(),
+            phase1_accuracy: trained.phase1.accuracy_kstep,
+            chains_trained: trained.phase1.chains.len(),
+            lead_overall: lead_overall(&out.verdicts),
+            lead_by_class: lead_by_class(&out.verdicts),
+            recall_by_class: recall_by_class(&out.verdicts),
+            observation4: observation4(&out.verdicts),
+            confusion: out.confusion,
+            verdicts: out.verdicts,
+        }
+    }
+
+    /// Convenience: split 30/70 (the paper's §4 protocol), train, evaluate.
+    pub fn run(&self, dataset: &Dataset) -> DeshReport {
+        let (train, test) = dataset.split_by_time(0.3);
+        let trained = self.train(&train);
+        let mut report = self.evaluate(&trained, &test);
+        report.system = dataset.system.clone();
+        report
+    }
+
+    /// Access the training chains of a trained pipeline (for analyses).
+    pub fn chains(trained: &TrainedDesh) -> &[FailureChain] {
+        &trained.phase1.chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desh_loggen::{generate, SystemProfile};
+
+    #[test]
+    fn end_to_end_tiny_run_produces_sane_report() {
+        let mut p = SystemProfile::tiny();
+        p.failures = 30; // enough chains in the 30% training split
+        p.nodes = 24;
+        let d = generate(&p, 111);
+        let desh = Desh::new(DeshConfig::fast(), 111);
+        let report = desh.run(&d);
+        assert!(report.chains_trained >= 3, "chains {}", report.chains_trained);
+        assert!(report.confusion.total() > 0);
+        // With a trained model the pipeline must catch a majority of test
+        // failures even in the fast configuration.
+        assert!(
+            report.confusion.recall() > 0.5,
+            "{}",
+            report.confusion.summary_row(&report.system)
+        );
+    }
+
+    #[test]
+    fn report_is_deterministic_for_fixed_seed() {
+        let mut p = SystemProfile::tiny();
+        p.failures = 24;
+        p.nodes = 16;
+        let d = generate(&p, 112);
+        let desh = Desh::new(DeshConfig::fast(), 7);
+        let a = desh.run(&d);
+        let b = desh.run(&d);
+        assert_eq!(a.confusion, b.confusion);
+        assert_eq!(a.lead_overall.count(), b.lead_overall.count());
+    }
+}

@@ -1,0 +1,126 @@
+//! Temporal coalescing of duplicate events.
+//!
+//! Real HPC logs repeat messages in bursts (a flapping link logs the same
+//! LNet error hundreds of times in seconds). The paper's related work
+//! (Di Martino et al., DSN'12) studies time-coalescing techniques for
+//! exactly this; the pipeline applies coalescing per node so a burst of
+//! one phrase becomes a single event and cannot drown a failure chain's
+//! other phrases out of the history window.
+
+use crate::stream::{Event, ParsedLog};
+use desh_util::Micros;
+use std::collections::BTreeMap;
+
+/// Statistics from one coalescing pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Events before coalescing.
+    pub before: usize,
+    /// Events after coalescing.
+    pub after: usize,
+}
+
+impl CoalesceStats {
+    /// Fraction of events removed.
+    pub fn reduction(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            1.0 - self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Collapse consecutive duplicates of the same phrase on the same node
+/// when they are closer than `window`. The first event of each burst is
+/// kept (its timestamp marks the onset, which is what ΔT computation
+/// needs).
+pub fn coalesce(parsed: &ParsedLog, window: Micros) -> (ParsedLog, CoalesceStats) {
+    let mut per_node: BTreeMap<_, Vec<Event>> = BTreeMap::new();
+    let mut before = 0usize;
+    let mut after = 0usize;
+    for (&node, events) in &parsed.per_node {
+        before += events.len();
+        let mut out: Vec<Event> = Vec::with_capacity(events.len());
+        // Most recent occurrence (kept *or* dropped) of the phrase at the
+        // tail of `out`: a long burst keeps extending its own window.
+        let mut burst_last: Option<(u32, Micros)> = None;
+        for &ev in events {
+            let extends_burst = matches!(
+                burst_last,
+                Some((phrase, t)) if phrase == ev.phrase
+                    && ev.time.saturating_sub(t) <= window
+            );
+            if !extends_burst {
+                out.push(ev);
+            }
+            burst_last = Some((ev.phrase, ev.time));
+        }
+        after += out.len();
+        per_node.insert(node, out);
+    }
+    (
+        ParsedLog { vocab: parsed.vocab.clone(), labels: parsed.labels.clone(), per_node },
+        CoalesceStats { before, after },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::parse_records;
+    use desh_loggen::{LogRecord, NodeId};
+
+    fn record(t: u64, text: &str) -> LogRecord {
+        LogRecord::new(Micros::from_secs(t), NodeId::from_index(0), text)
+    }
+
+    #[test]
+    fn bursts_collapse_to_onset() {
+        let records: Vec<LogRecord> = (0..10)
+            .map(|i| record(i, &format!("LNet: Critical H/W error 0x{i:04x}")))
+            .collect();
+        let parsed = parse_records(&records);
+        let (out, stats) = coalesce(&parsed, Micros::from_secs(5));
+        assert_eq!(stats.before, 10);
+        let events = &out.per_node[&NodeId::from_index(0)];
+        // Events 0..=5 chain together (gaps of 1s <= 5s)... in fact all 10
+        // chain: each consecutive gap is 1s. One survivor at the onset.
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time, Micros::from_secs(0));
+        assert!(stats.reduction() > 0.8);
+    }
+
+    #[test]
+    fn distinct_phrases_are_untouched() {
+        let records = vec![
+            record(0, "LNet: Critical H/W error 0xa"),
+            record(1, "DVS: Verify Filesystem: /proc/stat1"),
+            record(2, "LNet: Critical H/W error 0xb"),
+        ];
+        let parsed = parse_records(&records);
+        let (out, stats) = coalesce(&parsed, Micros::from_secs(60));
+        // Alternating phrases never merge (only *consecutive* duplicates do).
+        assert_eq!(out.per_node[&NodeId::from_index(0)].len(), 3);
+        assert_eq!(stats.after, 3);
+    }
+
+    #[test]
+    fn far_apart_duplicates_survive() {
+        let records = vec![
+            record(0, "LNet: Critical H/W error 0xa"),
+            record(500, "LNet: Critical H/W error 0xb"),
+        ];
+        let parsed = parse_records(&records);
+        let (out, _) = coalesce(&parsed, Micros::from_secs(5));
+        assert_eq!(out.per_node[&NodeId::from_index(0)].len(), 2);
+    }
+
+    #[test]
+    fn vocabulary_is_shared_not_copied() {
+        let records = vec![record(0, "Wait4Boot")];
+        let parsed = parse_records(&records);
+        let (out, _) = coalesce(&parsed, Micros::from_secs(1));
+        assert!(std::sync::Arc::ptr_eq(&parsed.vocab, &out.vocab));
+    }
+}

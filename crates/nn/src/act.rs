@@ -1,0 +1,64 @@
+//! Scalar activations used by the LSTM gates.
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Hyperbolic tangent (thin wrapper for symmetry with [`sigmoid`]).
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of sigmoid expressed in terms of its output `s`.
+#[inline]
+pub fn dsigmoid_from_out(s: f32) -> f32 {
+    s * (1.0 - s)
+}
+
+/// Derivative of tanh expressed in terms of its output `t`.
+#[inline]
+pub fn dtanh_from_out(t: f32) -> f32 {
+    1.0 - t * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_known_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(20.0) > 0.999_999);
+        assert!(sigmoid(-20.0) < 1e-6);
+        // Stability: no NaN at extremes.
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for x in [-3.0f32, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let eps = 1e-3f32;
+        for x in [-2.0f32, -0.3, 0.0, 0.9, 1.7] {
+            let ds = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            assert!((dsigmoid_from_out(sigmoid(x)) - ds).abs() < 1e-4);
+            let dt = (tanh(x + eps) - tanh(x - eps)) / (2.0 * eps);
+            assert!((dtanh_from_out(tanh(x)) - dt).abs() < 1e-4);
+        }
+    }
+}

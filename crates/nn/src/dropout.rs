@@ -1,0 +1,120 @@
+//! Inverted dropout.
+//!
+//! Not part of the paper's configuration (its models are small enough not
+//! to need it), but a standard regulariser for anyone scaling the
+//! substrate to bigger vocabularies. Inverted scaling (divide by the keep
+//! probability at train time) keeps inference a no-op.
+
+use crate::mat::Mat;
+use desh_util::Xoshiro256pp;
+
+/// Dropout layer with keep probability `1 - rate`.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    rate: f64,
+}
+
+impl Dropout {
+    /// New layer dropping activations with probability `rate` in [0, 1).
+    pub fn new(rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0,1)");
+        Self { rate }
+    }
+
+    /// Drop rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Training-mode forward: zero each element with probability `rate`,
+    /// scale survivors by `1/(1-rate)`. Returns the output and the mask
+    /// (already scaled) for the backward pass.
+    pub fn forward_train(&self, x: &Mat, rng: &mut Xoshiro256pp) -> (Mat, Mat) {
+        let keep = 1.0 - self.rate;
+        let scale = (1.0 / keep) as f32;
+        let mask = Mat::from_fn(x.rows(), x.cols(), |_, _| {
+            if rng.chance(keep) {
+                scale
+            } else {
+                0.0
+            }
+        });
+        (x.hadamard(&mask), mask)
+    }
+
+    /// Inference-mode forward: identity (inverted dropout).
+    pub fn forward_infer(&self, x: &Mat) -> Mat {
+        x.clone()
+    }
+
+    /// Backward: gradients flow only through kept elements, with the same
+    /// scaling.
+    pub fn backward(&self, dy: &Mat, mask: &Mat) -> Mat {
+        dy.hadamard(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let d = Dropout::new(0.5);
+        let x = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward_infer(&x), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let d = Dropout::new(0.3);
+        let x = Mat::full(1, 10_000, 1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let (y, _) = d.forward_train(&x, &mut rng);
+        let mean: f32 = y.data().iter().sum::<f32>() / y.data().len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "expectation drifted: {mean}");
+    }
+
+    #[test]
+    fn dropped_fraction_matches_rate() {
+        let d = Dropout::new(0.4);
+        let x = Mat::full(1, 10_000, 1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let (y, _) = d.forward_train(&x, &mut rng);
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count() as f64 / 10_000.0;
+        assert!((dropped - 0.4).abs() < 0.03, "dropped {dropped}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let d = Dropout::new(0.5);
+        let x = Mat::full(2, 3, 2.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let (y, mask) = d.forward_train(&x, &mut rng);
+        let dy = Mat::full(2, 3, 1.0);
+        let dx = d.backward(&dy, &mask);
+        // dx is zero exactly where y is zero, scaled elsewhere.
+        for (o, g) in y.data().iter().zip(dx.data()) {
+            if *o == 0.0 {
+                assert_eq!(*g, 0.0);
+            } else {
+                assert_eq!(*g, 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_identity_in_training_too() {
+        let d = Dropout::new(0.0);
+        let x = Mat::from_vec(1, 4, vec![1.0, -2.0, 3.0, -4.0]);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let (y, _) = d.forward_train(&x, &mut rng);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rate_one_rejected() {
+        Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Embedding lookup table mapping phrase ids to dense vectors.
+//!
+//! Phase 1 of Desh feeds encoded phrase ids through word embeddings before
+//! the stacked LSTM. The table can be trained jointly with the LSTM (rows
+//! receive gradients through [`Embedding::backward`]) or pre-trained with
+//! the skip-gram model in [`crate::sgns`] and then loaded here.
+
+use crate::mat::Mat;
+use crate::param::Param;
+use desh_util::Xoshiro256pp;
+
+/// Lookup table of shape [vocab, dim].
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// The table; row `i` is the vector for id `i`.
+    pub table: Param,
+}
+
+/// Cache of the ids used in a forward pass.
+#[derive(Debug)]
+pub struct EmbeddingCache {
+    ids: Vec<u32>,
+}
+
+impl Embedding {
+    /// New table with uniform init in [-0.5/dim, 0.5/dim] (word2vec's choice).
+    pub fn new(vocab: usize, dim: usize, rng: &mut Xoshiro256pp) -> Self {
+        Self {
+            table: Param::uniform("embed", vocab, dim, 0.5 / dim as f32, rng),
+        }
+    }
+
+    /// Wrap a pre-trained table (e.g. from skip-gram).
+    pub fn from_table(table: Mat) -> Self {
+        let g = Mat::zeros(table.rows(), table.cols());
+        Self {
+            table: Param { w: table, g, name: "embed".into() },
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.w.rows()
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.table.w.cols()
+    }
+
+    /// Look up a batch of ids: output shape [ids.len(), dim].
+    pub fn forward(&self, ids: &[u32]) -> (Mat, EmbeddingCache) {
+        (self.infer(ids), EmbeddingCache { ids: ids.to_vec() })
+    }
+
+    /// Lookup without cache.
+    pub fn infer(&self, ids: &[u32]) -> Mat {
+        let dim = self.dim();
+        let mut out = Mat::zeros(ids.len(), dim);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!((id as usize) < self.vocab(), "id {id} out of vocabulary");
+            out.row_mut(r).copy_from_slice(self.table.w.row(id as usize));
+        }
+        out
+    }
+
+    /// Scatter-add `dy` rows into the gradient of the looked-up ids.
+    pub fn backward(&mut self, cache: &EmbeddingCache, dy: &Mat) {
+        assert_eq!(dy.rows(), cache.ids.len());
+        assert_eq!(dy.cols(), self.dim());
+        for (r, &id) in cache.ids.iter().enumerate() {
+            let grow = self.table.g.row_mut(id as usize);
+            for (g, d) in grow.iter_mut().zip(dy.row(r)) {
+                *g += d;
+            }
+        }
+    }
+
+    /// Cosine similarity between two ids' vectors.
+    pub fn cosine(&self, a: u32, b: u32) -> f32 {
+        let va = self.table.w.row(a as usize);
+        let vb = self.table.w.row(b as usize);
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Ids most similar to `id` by cosine, excluding itself.
+    pub fn nearest(&self, id: u32, k: usize) -> Vec<(u32, f32)> {
+        let mut scored: Vec<(u32, f32)> = (0..self.vocab() as u32)
+            .filter(|&j| j != id)
+            .map(|j| (j, self.cosine(id, j)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let e = Embedding::new(5, 3, &mut rng);
+        let (out, _) = e.forward(&[2, 2, 4]);
+        assert_eq!(out.shape(), (3, 3));
+        assert_eq!(out.row(0), e.table.w.row(2));
+        assert_eq!(out.row(1), e.table.w.row(2));
+        assert_eq!(out.row(2), e.table.w.row(4));
+    }
+
+    #[test]
+    fn backward_scatter_adds_duplicates() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut e = Embedding::new(4, 2, &mut rng);
+        let (_, cache) = e.forward(&[1, 1, 3]);
+        let dy = Mat::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 5.0, 6.0]);
+        e.backward(&cache, &dy);
+        assert_eq!(e.table.g.row(1), &[11.0, 22.0]);
+        assert_eq!(e.table.g.row(3), &[5.0, 6.0]);
+        assert_eq!(e.table.g.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_of_same_direction_is_one() {
+        let table = Mat::from_vec(3, 2, vec![1.0, 0.0, 2.0, 0.0, 0.0, 1.0]);
+        let e = Embedding::from_table(table);
+        assert!((e.cosine(0, 1) - 1.0).abs() < 1e-6);
+        assert!(e.cosine(0, 2).abs() < 1e-6);
+        let nn = e.nearest(0, 1);
+        assert_eq!(nn[0].0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_vocab_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let e = Embedding::new(2, 2, &mut rng);
+        e.infer(&[5]);
+    }
+}

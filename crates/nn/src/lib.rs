@@ -1,0 +1,50 @@
+//! `desh-nn`: a from-scratch CPU deep-learning substrate.
+//!
+//! The Desh paper prototypes its pipeline with Keras on a TensorFlow
+//! backend. This crate rebuilds exactly the pieces that pipeline needs —
+//! nothing more — in safe, dependency-light Rust:
+//!
+//! * [`mat::Mat`] — row-major f32 matrices with rayon-parallel GEMM kernels.
+//! * [`embedding::Embedding`] — phrase-id lookup tables.
+//! * [`lstm::LstmLayer`] — an LSTM layer with full backpropagation through
+//!   time; [`stacked::StackedLstm`] stacks them under a dense head
+//!   (the paper's 2-hidden-layer configuration, Figure 1b).
+//! * [`loss`] — categorical cross-entropy (phase 1) and MSE (phases 2/3).
+//! * [`optim`] — SGD and RMSprop (Table 5), plus Adam for ablations.
+//! * [`sgns::SkipGram`] — skip-gram embeddings with negative sampling and
+//!   the paper's asymmetric 8-left/3-right context window.
+//! * [`models::TokenLstm`] / [`models::VectorLstm`] — the two trained model
+//!   shapes (next-phrase classifier; (ΔT, phrase) regressor).
+//!
+//! Everything is deterministic given a [`desh_util::Xoshiro256pp`] seed, and
+//! every layer's backward pass is covered by numerical gradient checks in
+//! its unit tests.
+
+pub mod act;
+pub mod dense;
+pub mod dropout;
+pub mod embedding;
+pub mod gru;
+pub mod loss;
+pub mod lstm;
+pub mod mat;
+pub mod models;
+pub mod optim;
+pub mod param;
+pub mod schedule;
+pub mod serialize;
+pub mod sgns;
+pub mod stacked;
+
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gru::GruLayer;
+pub use lstm::{LstmLayer, LstmState};
+pub use mat::Mat;
+pub use models::{TokenLstm, TrainConfig, VectorLstm};
+pub use optim::{Adam, Optimizer, RmsProp, Sgd};
+pub use param::Param;
+pub use schedule::{Constant, Cosine, Schedule, StepDecay, Warmup};
+pub use sgns::{SgnsConfig, SkipGram};
+pub use stacked::StackedLstm;

@@ -1,0 +1,176 @@
+//! Loss functions: categorical cross-entropy (phase 1) and mean squared
+//! error (phases 2/3), per Table 5 of the paper.
+
+use crate::mat::Mat;
+
+/// Row-wise softmax.
+pub fn softmax(logits: &Mat) -> Mat {
+    let mut out = Mat::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let orow = out.row_mut(r);
+        for (o, &x) in orow.iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *o = e;
+            sum += e;
+        }
+        for o in orow.iter_mut() {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax + categorical cross-entropy against integer class targets.
+/// Returns (mean loss, gradient w.r.t. logits). The gradient is the classic
+/// `(softmax - onehot) / batch`.
+pub fn softmax_xent(logits: &Mat, targets: &[u32]) -> (f64, Mat) {
+    assert_eq!(logits.rows(), targets.len());
+    let probs = softmax(logits);
+    let batch = logits.rows();
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        let t = t as usize;
+        assert!(t < logits.cols(), "target class out of range");
+        let p = probs[(r, t)].max(1e-12);
+        loss -= (p as f64).ln();
+        grad[(r, t)] -= 1.0;
+    }
+    grad.scale(1.0 / batch as f32);
+    (loss / batch as f64, grad)
+}
+
+/// Mean squared error between prediction and target matrices.
+/// Returns (mean-per-element loss, gradient w.r.t. prediction).
+pub fn mse(pred: &Mat, target: &Mat) -> (f64, Mat) {
+    assert_eq!(pred.shape(), target.shape());
+    let n = (pred.rows() * pred.cols()) as f64;
+    let mut grad = Mat::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0f64;
+    for i in 0..pred.data().len() {
+        let d = pred.data()[i] - target.data()[i];
+        loss += (d as f64) * (d as f64);
+        grad.data_mut()[i] = 2.0 * d / n as f32;
+    }
+    (loss / n, grad)
+}
+
+/// MSE between two flat vectors (used at inference to score how closely a
+/// predicted sample matches a trained failure chain; the paper thresholds
+/// this at 0.5).
+pub fn mse_vec(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Top-k class indices of a logit/probability row, highest first. Used by
+/// the DeepLog-style baseline ("actual value appears in the top g keys").
+pub fn top_k(row: &[f32], k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..row.len() as u32).collect();
+    idx.sort_by(|&a, &b| row[b as usize].partial_cmp(&row[a as usize]).unwrap());
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, -10.0, 0.0, 10.0]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(r).iter().all(|&x| x > 0.0));
+        }
+        // Monotone in logits.
+        assert!(p[(0, 2)] > p[(0, 1)] && p[(0, 1)] > p[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Mat::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Mat::from_vec(1, 3, vec![1001.0, 1002.0, 1003.0]);
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn xent_perfect_prediction_is_near_zero() {
+        let logits = Mat::from_vec(1, 3, vec![100.0, 0.0, 0.0]);
+        let (loss, _) = softmax_xent(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn xent_uniform_is_log_v() {
+        let logits = Mat::zeros(2, 4);
+        let (loss, _) = softmax_xent(&logits, &[1, 3]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn xent_gradient_check() {
+        let logits = Mat::from_vec(2, 3, vec![0.3, -0.2, 0.9, 1.2, 0.0, -0.7]);
+        let targets = [2u32, 0];
+        let (_, grad) = softmax_xent(&logits, &targets);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (loss_p, _) = softmax_xent(&lp, &targets);
+            let (loss_m, _) = softmax_xent(&lm, &targets);
+            let num = ((loss_p - loss_m) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (num - grad.data()[idx]).abs() < 1e-3,
+                "idx {idx}: {num} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_basics_and_gradient() {
+        let pred = Mat::from_vec(1, 2, vec![1.0, 3.0]);
+        let target = Mat::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - (1.0 + 4.0) / 2.0).abs() < 1e-9);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+        let (zero, _) = mse(&pred, &pred);
+        assert_eq!(zero, 0.0);
+    }
+
+    #[test]
+    fn mse_vec_matches_mat_version() {
+        let a = [0.5f32, 1.5, -2.0];
+        let b = [0.0f32, 1.0, -1.0];
+        let expected = (0.25 + 0.25 + 1.0) / 3.0;
+        assert!((mse_vec(&a, &b) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let row = [0.1f32, 0.7, 0.05, 0.15];
+        assert_eq!(top_k(&row, 2), vec![1, 3]);
+        assert_eq!(top_k(&row, 10), vec![1, 3, 0, 2]);
+    }
+}

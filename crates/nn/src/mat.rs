@@ -1,0 +1,443 @@
+//! Dense row-major f32 matrices with the handful of BLAS-like kernels the
+//! LSTM training loops need.
+//!
+//! The models in this workspace are small (hidden sizes up to a few hundred,
+//! batch sizes up to 64), so a cache-friendly `ikj` GEMM with a rayon split
+//! over output rows outperforms anything fancier at this scale while staying
+//! dependency-free. All kernels are exact (no fused-multiply-add reordering
+//! games), which keeps gradient-check tests tight.
+
+use rayon::prelude::*;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Minimum number of scalar multiply-adds before a GEMM goes parallel.
+/// Below this, rayon's fork/join overhead dominates.
+const PAR_FLOP_THRESHOLD: usize = 1 << 17;
+
+/// Row-major 2-D matrix of f32.
+///
+/// ```
+/// use desh_nn::Mat;
+/// let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let eye = Mat::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+/// assert_eq!(a.matmul(&eye), a);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mat({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Mat {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Self { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Build from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build by calling `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// (rows, cols).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reset all elements to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self = self + other`, elementwise.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self = self + alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Mat) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self = self * alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise product into a new matrix.
+    pub fn hadamard(&self, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape());
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect(),
+        }
+    }
+
+    /// Add a 1-row bias to every row.
+    pub fn add_row_broadcast(&mut self, bias: &Mat) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Column sums as a 1-row matrix (bias gradient).
+    pub fn col_sums(&self) -> Mat {
+        let mut out = Mat::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of squares of all elements.
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum()
+    }
+
+    /// `C = A @ B` where A is `self` [m,k], B is [k,n].
+    pub fn matmul(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.rows, "matmul shape mismatch {:?} x {:?}", self.shape(), b.shape());
+        let (m, k, n) = (self.rows, self.cols, b.cols);
+        let mut out = Mat::zeros(m, n);
+        let work = m * k * n;
+        let body = |r: usize, out_row: &mut [f32]| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        };
+        if work >= PAR_FLOP_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| body(r, row));
+        } else {
+            for (r, row) in out.data.chunks_mut(n).enumerate() {
+                body(r, row);
+            }
+        }
+        out
+    }
+
+    /// `C = Aᵀ @ B` where A is `self` [k,m], B is [k,n]. Used for weight
+    /// gradients (`dW = xᵀ dy`) without materialising the transpose.
+    pub fn t_matmul(&self, b: &Mat) -> Mat {
+        assert_eq!(self.rows, b.rows, "t_matmul shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, b.cols);
+        let mut out = Mat::zeros(m, n);
+        // out[i,j] = sum_k a[k,i] * b[k,j]; accumulate row-by-row of A/B.
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &b.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// `C = A @ Bᵀ` where A is `self` [m,k], B is [n,k]. Used for input
+    /// gradients (`dx = dy Wᵀ`).
+    pub fn matmul_t(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.cols, "matmul_t shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, b.rows);
+        let mut out = Mat::zeros(m, n);
+        let work = m * k * n;
+        let body = |r: usize, out_row: &mut [f32]| {
+            let a_row = &self.data[r * k..(r + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        };
+        if work >= PAR_FLOP_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, row)| body(r, row));
+        } else {
+            for (r, row) in out.data.chunks_mut(n).enumerate() {
+                body(r, row);
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose (rarely needed; gradients use the fused kernels).
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Horizontal slice of columns `[lo, hi)` as a new matrix.
+    pub fn col_slice(&self, lo: usize, hi: usize) -> Mat {
+        assert!(lo <= hi && hi <= self.cols);
+        let w = hi - lo;
+        let mut out = Mat::zeros(self.rows, w);
+        for r in 0..self.rows {
+            out.data[r * w..(r + 1) * w]
+                .copy_from_slice(&self.data[r * self.cols + lo..r * self.cols + hi]);
+        }
+        out
+    }
+
+    /// Stack matrices with identical column counts vertically.
+    pub fn vstack(mats: &[&Mat]) -> Mat {
+        assert!(!mats.is_empty());
+        let cols = mats[0].cols;
+        assert!(mats.iter().all(|m| m.cols == cols));
+        let rows = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            data.extend_from_slice(&m.data);
+        }
+        Mat { rows, cols, data }
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    fn approx_eq(a: &Mat, b: &Mat, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    fn test_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+        let mut r = desh_util::Xoshiro256pp::seed_from_u64(seed);
+        Mat::from_fn(rows, cols, |_, _| r.f32() * 2.0 - 1.0)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (7, 5, 9), (16, 16, 16)] {
+            let a = test_mat(m, k, 1);
+            let b = test_mat(k, n, 2);
+            approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_large_parallel_path() {
+        let a = test_mat(80, 70, 3);
+        let b = test_mat(70, 90, 4);
+        approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = test_mat(6, 4, 5);
+        let b = test_mat(6, 7, 6);
+        approx_eq(&a.t_matmul(&b), &naive_matmul(&a.transpose(), &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = test_mat(5, 8, 7);
+        let b = test_mat(9, 8, 8);
+        approx_eq(&a.matmul_t(&b), &naive_matmul(&a, &b.transpose()), 1e-5);
+        // Also exercise the parallel path.
+        let a = test_mat(64, 64, 9);
+        let b = test_mat(64, 64, 10);
+        approx_eq(&a.matmul_t(&b), &naive_matmul(&a, &b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = test_mat(4, 4, 11);
+        let eye = Mat::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        approx_eq(&a.matmul(&eye), &a, 0.0);
+        approx_eq(&eye.matmul(&a), &a, 0.0);
+    }
+
+    #[test]
+    fn broadcast_and_col_sums() {
+        let mut a = Mat::zeros(3, 2);
+        let bias = Mat::from_vec(1, 2, vec![1.0, -2.0]);
+        a.add_row_broadcast(&bias);
+        assert_eq!(a.row(2), &[1.0, -2.0]);
+        let sums = a.col_sums();
+        assert_eq!(sums.data(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn col_slice_extracts_gates() {
+        let m = Mat::from_fn(2, 8, |r, c| (r * 8 + c) as f32);
+        let s = m.col_slice(2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.row(0), &[2.0, 3.0]);
+        assert_eq!(s.row(1), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Mat::full(2, 3, 1.0);
+        let b = Mat::full(1, 3, 2.0);
+        let v = Mat::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(2), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_scale_hadamard() {
+        let mut a = Mat::full(2, 2, 1.0);
+        let b = Mat::full(2, 2, 3.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[7.0; 4]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[3.5; 4]);
+        let h = a.hadamard(&b);
+        assert_eq!(h.data(), &[10.5; 4]);
+    }
+
+    #[test]
+    fn sq_norm_accumulates_in_f64() {
+        let a = Mat::full(10, 10, 2.0);
+        assert_eq!(a.sq_norm(), 400.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,488 @@
+//! The two model shapes Desh trains.
+//!
+//! * [`TokenLstm`] — phrase-id sequences → next-phrase distribution
+//!   (phase 1; also reused by the DeepLog-style baseline). Embedding →
+//!   stacked LSTM → softmax head, trained with SGD + categorical
+//!   cross-entropy per Table 5.
+//! * [`VectorLstm`] — (ΔT, phrase-id) 2-state vectors → next vector
+//!   (phases 2 and 3), trained with RMSprop + MSE per Table 5.
+//!
+//! Both train on fixed-length history windows (the paper's "history size"),
+//! resetting recurrent state per window — i.e. truncated BPTT over the
+//! window, which is exactly what a Keras stateless LSTM with a fixed
+//! `timesteps` dimension does.
+
+use crate::embedding::Embedding;
+use crate::loss::{mse, softmax, softmax_xent};
+use crate::mat::Mat;
+use crate::optim::Optimizer;
+use crate::param::{clip_global_norm, Param};
+use crate::stacked::StackedLstm;
+use desh_util::Xoshiro256pp;
+
+/// Hyper-parameters for a training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// History window size (paper: 8 in phase 1, 5 in phases 2/3).
+    pub history: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Number of passes over the window set.
+    pub epochs: usize,
+    /// Global gradient-norm clip.
+    pub clip: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { history: 8, batch: 32, epochs: 4, clip: 5.0 }
+    }
+}
+
+/// Per-epoch mean losses returned by a training run.
+pub type EpochLosses = Vec<f64>;
+
+// ---------------------------------------------------------------------------
+// TokenLstm
+// ---------------------------------------------------------------------------
+
+/// Next-phrase language model over encoded phrase ids.
+#[derive(Debug, Clone)]
+pub struct TokenLstm {
+    /// Input embedding table.
+    pub embed: Embedding,
+    /// Stacked LSTM + softmax head (logits over the vocabulary).
+    pub net: StackedLstm,
+}
+
+impl TokenLstm {
+    /// Fresh model with a jointly trained embedding.
+    pub fn new(
+        vocab: usize,
+        embed_dim: usize,
+        hidden: usize,
+        layers: usize,
+        rng: &mut Xoshiro256pp,
+    ) -> Self {
+        Self {
+            embed: Embedding::new(vocab, embed_dim, rng),
+            net: StackedLstm::new(embed_dim, hidden, layers, vocab, rng),
+        }
+    }
+
+    /// Model seeded with pre-trained embeddings (e.g. skip-gram, §3.1 of the
+    /// paper). The table is still fine-tuned during training.
+    pub fn with_embeddings(
+        table: Mat,
+        hidden: usize,
+        layers: usize,
+        rng: &mut Xoshiro256pp,
+    ) -> Self {
+        let vocab = table.rows();
+        let dim = table.cols();
+        Self {
+            embed: Embedding::from_table(table),
+            net: StackedLstm::new(dim, hidden, layers, vocab, rng),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.embed.vocab()
+    }
+
+    /// All parameters in deterministic order (embedding first).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![&mut self.embed.table];
+        ps.extend(self.net.params_mut());
+        ps
+    }
+
+    /// Enumerate (sequence index, end position) of every full history
+    /// window with a target token after it.
+    fn window_index(seqs: &[Vec<u32>], history: usize) -> Vec<(u32, u32)> {
+        let mut idx = Vec::new();
+        for (si, s) in seqs.iter().enumerate() {
+            if s.len() > history {
+                for t in history..s.len() {
+                    idx.push((si as u32, t as u32));
+                }
+            }
+        }
+        idx
+    }
+
+    /// Train with the given optimizer; returns the mean loss per epoch.
+    pub fn train(
+        &mut self,
+        seqs: &[Vec<u32>],
+        cfg: &TrainConfig,
+        opt: &mut dyn Optimizer,
+        rng: &mut Xoshiro256pp,
+    ) -> EpochLosses {
+        let mut index = Self::window_index(seqs, cfg.history);
+        assert!(
+            !index.is_empty(),
+            "no training windows: all sequences shorter than history+1"
+        );
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            rng.shuffle(&mut index);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in index.chunks(cfg.batch) {
+                // Build per-timestep id columns.
+                let mut step_ids: Vec<Vec<u32>> = vec![Vec::with_capacity(chunk.len()); cfg.history];
+                let mut targets = Vec::with_capacity(chunk.len());
+                for &(si, t) in chunk {
+                    let s = &seqs[si as usize];
+                    let t = t as usize;
+                    for (k, ids) in step_ids.iter_mut().enumerate() {
+                        ids.push(s[t - cfg.history + k]);
+                    }
+                    targets.push(s[t]);
+                }
+                // Forward: embed each timestep, run the stack.
+                let mut xs = Vec::with_capacity(cfg.history);
+                let mut ecaches = Vec::with_capacity(cfg.history);
+                for ids in &step_ids {
+                    let (x, c) = self.embed.forward(ids);
+                    xs.push(x);
+                    ecaches.push(c);
+                }
+                let (logits, tape) = self.net.forward(&xs);
+                let (loss, dlogits) = softmax_xent(&logits, &targets);
+                epoch_loss += loss;
+                batches += 1;
+                // Backward.
+                let dxs = self.net.backward(&tape, &dlogits);
+                for (c, dx) in ecaches.iter().zip(&dxs) {
+                    self.embed.backward(c, dx);
+                }
+                clip_global_norm(&mut self.params_mut(), cfg.clip);
+                opt.step(&mut self.params_mut());
+            }
+            losses.push(epoch_loss / batches.max(1) as f64);
+        }
+        losses
+    }
+
+    /// Probability distribution over the next phrase given a context window
+    /// (uses up to the last `history` tokens; shorter contexts work too).
+    pub fn predict_probs(&self, context: &[u32]) -> Vec<f32> {
+        assert!(!context.is_empty());
+        let xs: Vec<Mat> = context.iter().map(|&id| self.embed.infer(&[id])).collect();
+        let logits = self.net.infer(&xs);
+        softmax(&logits).row(0).to_vec()
+    }
+
+    /// Greedy k-step autoregressive prediction ("3-step prediction" in the
+    /// paper): repeatedly predict the next phrase and feed it back, always
+    /// conditioning on the most recent `history`-sized window so inference
+    /// matches the fixed-window regime the model was trained in.
+    pub fn predict_kstep(&self, context: &[u32], k: usize) -> Vec<u32> {
+        let history = context.len();
+        let mut ctx = context.to_vec();
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let window = &ctx[ctx.len() - history..];
+            let probs = self.predict_probs(window);
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            out.push(best);
+            ctx.push(best);
+        }
+        out
+    }
+
+    /// Fraction of evaluation windows whose full k-step greedy prediction
+    /// matches the actual continuation. This is the paper's phase-1
+    /// "accuracy" knob for the history-size / step-count trade-off.
+    pub fn accuracy_kstep(&self, seqs: &[Vec<u32>], history: usize, k: usize) -> f64 {
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for s in seqs {
+            if s.len() < history + k {
+                continue;
+            }
+            for t in history..=(s.len() - k) {
+                let pred = self.predict_kstep(&s[t - history..t], k);
+                if pred[..] == s[t..t + k] {
+                    hit += 1;
+                }
+                total += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VectorLstm
+// ---------------------------------------------------------------------------
+
+/// Next-sample regressor over small dense vectors, e.g. (ΔT, phrase-id).
+#[derive(Debug, Clone)]
+pub struct VectorLstm {
+    /// Stacked LSTM with a linear head of the same width as the input.
+    pub net: StackedLstm,
+    dim: usize,
+}
+
+impl VectorLstm {
+    /// Fresh model for `dim`-wide samples.
+    pub fn new(dim: usize, hidden: usize, layers: usize, rng: &mut Xoshiro256pp) -> Self {
+        Self { net: StackedLstm::new(dim, hidden, layers, dim, rng), dim }
+    }
+
+    /// Sample width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Left-pad a window to `history` samples with zero vectors; failure
+    /// chains can be shorter than the history size.
+    fn window_mats(&self, window: &[&[f32]], history: usize) -> Vec<Mat> {
+        let pad = history.saturating_sub(window.len());
+        let mut xs = Vec::with_capacity(history);
+        for _ in 0..pad {
+            xs.push(Mat::zeros(1, self.dim));
+        }
+        for w in window.iter().skip(window.len().saturating_sub(history)) {
+            xs.push(Mat::from_vec(1, self.dim, w.to_vec()));
+        }
+        xs
+    }
+
+    /// Enumerate (sequence, target position) training windows. Unlike the
+    /// token model we allow short prefixes (zero-padded) because failure
+    /// chains are often shorter than history+1.
+    fn window_index(seqs: &[Vec<Vec<f32>>]) -> Vec<(u32, u32)> {
+        let mut idx = Vec::new();
+        for (si, s) in seqs.iter().enumerate() {
+            for t in 1..s.len() {
+                idx.push((si as u32, t as u32));
+            }
+        }
+        idx
+    }
+
+    /// Train on sequences of samples; returns mean loss per epoch.
+    pub fn train(
+        &mut self,
+        seqs: &[Vec<Vec<f32>>],
+        cfg: &TrainConfig,
+        opt: &mut dyn Optimizer,
+        rng: &mut Xoshiro256pp,
+    ) -> EpochLosses {
+        for s in seqs {
+            for v in s {
+                assert_eq!(v.len(), self.dim, "sample width mismatch");
+            }
+        }
+        let mut index = Self::window_index(seqs);
+        assert!(!index.is_empty(), "no training windows: sequences too short");
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            rng.shuffle(&mut index);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in index.chunks(cfg.batch) {
+                // Assemble batched timesteps with left zero-padding.
+                let b = chunk.len();
+                let mut xs: Vec<Mat> = (0..cfg.history).map(|_| Mat::zeros(b, self.dim)).collect();
+                let mut target = Mat::zeros(b, self.dim);
+                for (r, &(si, t)) in chunk.iter().enumerate() {
+                    let s = &seqs[si as usize];
+                    let t = t as usize;
+                    let lo = t.saturating_sub(cfg.history);
+                    let pad = cfg.history - (t - lo);
+                    for (k, sample) in s[lo..t].iter().enumerate() {
+                        xs[pad + k].row_mut(r).copy_from_slice(sample);
+                    }
+                    target.row_mut(r).copy_from_slice(&s[t]);
+                }
+                let (pred, tape) = self.net.forward(&xs);
+                let (loss, dpred) = mse(&pred, &target);
+                epoch_loss += loss;
+                batches += 1;
+                self.net.backward(&tape, &dpred);
+                clip_global_norm(&mut self.net.params_mut(), cfg.clip);
+                opt.step(&mut self.net.params_mut());
+            }
+            losses.push(epoch_loss / batches.max(1) as f64);
+        }
+        losses
+    }
+
+    /// Predict the next sample from a context window.
+    pub fn predict_next(&self, window: &[&[f32]], history: usize) -> Vec<f32> {
+        assert!(!window.is_empty());
+        let xs = self.window_mats(window, history);
+        self.net.infer(&xs).row(0).to_vec()
+    }
+
+    /// Per-position one-step-ahead MSE along a sequence: element `t` scores
+    /// how well positions `..=t` predicted sample `t+1`. This is the
+    /// quantity the paper thresholds at 0.5 in phase 3.
+    pub fn score_sequence(&self, seq: &[Vec<f32>], history: usize) -> Vec<f64> {
+        let mut scores = Vec::new();
+        for t in 1..seq.len() {
+            let lo = t.saturating_sub(history);
+            let window: Vec<&[f32]> = seq[lo..t].iter().map(|v| v.as_slice()).collect();
+            let pred = self.predict_next(&window, history);
+            scores.push(crate::loss::mse_vec(&pred, &seq[t]));
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{RmsProp, Sgd};
+
+    /// A deterministic cyclic token dataset the model must learn quickly.
+    fn cyclic_seqs(vocab: u32, len: usize, n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|off| (0..len).map(|i| ((i + off) as u32) % vocab).collect())
+            .collect()
+    }
+
+    #[test]
+    fn token_lstm_learns_cyclic_sequence() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let seqs = cyclic_seqs(6, 40, 4);
+        let mut m = TokenLstm::new(6, 8, 16, 2, &mut rng);
+        let cfg = TrainConfig { history: 4, batch: 16, epochs: 30, clip: 5.0 };
+        let mut opt = Sgd::with_momentum(0.3, 0.9);
+        let losses = m.train(&seqs, &cfg, &mut opt, &mut rng);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss did not drop: {losses:?}"
+        );
+        let acc = m.accuracy_kstep(&seqs, 4, 1);
+        assert!(acc > 0.9, "1-step accuracy {acc}");
+    }
+
+    #[test]
+    fn token_lstm_kstep_feedback() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let seqs = cyclic_seqs(5, 50, 3);
+        let mut m = TokenLstm::new(5, 8, 32, 2, &mut rng);
+        let cfg = TrainConfig { history: 4, batch: 16, epochs: 80, clip: 5.0 };
+        let mut opt = Sgd::with_momentum(0.3, 0.9);
+        m.train(&seqs, &cfg, &mut opt, &mut rng);
+        // After 0,1,2,3 the 3-step continuation must be 4,0,1.
+        let pred = m.predict_kstep(&[0, 1, 2, 3], 3);
+        assert_eq!(pred, vec![4, 0, 1]);
+    }
+
+    #[test]
+    fn predict_probs_is_distribution() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let m = TokenLstm::new(7, 4, 8, 1, &mut rng);
+        let p = m.predict_probs(&[1, 2, 3]);
+        assert_eq!(p.len(), 7);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn token_train_rejects_too_short_sequences() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut m = TokenLstm::new(4, 4, 4, 1, &mut rng);
+        let cfg = TrainConfig { history: 8, batch: 4, epochs: 1, clip: 5.0 };
+        let mut opt = Sgd::new(0.1);
+        m.train(&[vec![0, 1, 2]], &cfg, &mut opt, &mut rng);
+    }
+
+    /// Synthetic chain: ΔT counts down linearly while the "phrase" channel
+    /// ramps; the model must regress the next sample.
+    fn countdown_seqs(n: usize, len: usize) -> Vec<Vec<Vec<f32>>> {
+        (0..n)
+            .map(|j| {
+                (0..len)
+                    .map(|i| {
+                        let t = (len - 1 - i) as f32 / len as f32;
+                        let p = (i as f32 + j as f32 * 0.1) / len as f32;
+                        vec![t, p]
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vector_lstm_learns_countdown() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let seqs = countdown_seqs(8, 10);
+        let mut m = VectorLstm::new(2, 16, 2, &mut rng);
+        let cfg = TrainConfig { history: 5, batch: 16, epochs: 60, clip: 5.0 };
+        let mut opt = RmsProp::new(0.005);
+        let losses = m.train(&seqs, &cfg, &mut opt, &mut rng);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.3),
+            "loss did not drop: first {} last {}",
+            losses[0],
+            losses.last().unwrap()
+        );
+        // Scores along a training-like sequence should be small.
+        let scores = m.score_sequence(&seqs[0], 5);
+        let avg: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(avg < 0.05, "avg score {avg}");
+    }
+
+    #[test]
+    fn vector_lstm_flags_dissimilar_sequences() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let seqs = countdown_seqs(8, 10);
+        let mut m = VectorLstm::new(2, 16, 2, &mut rng);
+        let cfg = TrainConfig { history: 5, batch: 16, epochs: 60, clip: 5.0 };
+        let mut opt = RmsProp::new(0.005);
+        m.train(&seqs, &cfg, &mut opt, &mut rng);
+        // A wildly different sequence must score worse than a familiar one.
+        let alien: Vec<Vec<f32>> = (0..10).map(|i| vec![5.0, -3.0 + i as f32]).collect();
+        let familiar_avg: f64 = {
+            let s = m.score_sequence(&seqs[0], 5);
+            s.iter().sum::<f64>() / s.len() as f64
+        };
+        let alien_avg: f64 = {
+            let s = m.score_sequence(&alien, 5);
+            s.iter().sum::<f64>() / s.len() as f64
+        };
+        assert!(
+            alien_avg > familiar_avg * 10.0,
+            "familiar {familiar_avg} vs alien {alien_avg}"
+        );
+    }
+
+    #[test]
+    fn vector_lstm_short_window_padding() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let m = VectorLstm::new(2, 8, 1, &mut rng);
+        let w: Vec<&[f32]> = vec![&[0.5, 0.5]];
+        let out = m.predict_next(&w, 5);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn vector_train_rejects_bad_width() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let mut m = VectorLstm::new(2, 4, 1, &mut rng);
+        let cfg = TrainConfig::default();
+        let mut opt = RmsProp::new(0.01);
+        m.train(&[vec![vec![1.0, 2.0, 3.0]]], &cfg, &mut opt, &mut rng);
+    }
+}

@@ -1,0 +1,252 @@
+//! Optimizers: SGD (phase 1) and RMSprop (phases 2/3), per Table 5.
+//! Adam is included for the ablation benches.
+
+use crate::mat::Mat;
+use crate::param::Param;
+
+/// A first-order optimizer stepping a fixed, ordered parameter set.
+/// State is keyed by position, so the caller must always pass parameters
+/// in the same order (models yield them deterministically).
+pub trait Optimizer {
+    /// Apply one update from the accumulated gradients, then zero them.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Adjust the learning rate (simple decay schedules live in callers).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Mat>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum));
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() && self.momentum > 0.0 {
+            self.velocity = params
+                .iter()
+                .map(|p| Mat::zeros(p.w.rows(), p.w.cols()))
+                .collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale(self.momentum);
+                v.axpy(1.0, &p.g);
+                p.w.axpy(-self.lr, v);
+            } else {
+                let g = p.g.clone();
+                p.w.axpy(-self.lr, &g);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// RMSprop (Tieleman & Hinton): per-weight learning rates from a moving
+/// average of squared gradients. The paper pairs it with the MSE loss in
+/// phases 2 and 3.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    decay: f32,
+    eps: f32,
+    cache: Vec<Mat>,
+}
+
+impl RmsProp {
+    /// Standard configuration (decay 0.9, eps 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self::with_params(lr, 0.9, 1e-8)
+    }
+
+    /// Fully specified.
+    pub fn with_params(lr: f32, decay: f32, eps: f32) -> Self {
+        assert!((0.0..1.0).contains(&decay));
+        Self { lr, decay, eps, cache: Vec::new() }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.cache.is_empty() {
+            self.cache = params
+                .iter()
+                .map(|p| Mat::zeros(p.w.rows(), p.w.cols()))
+                .collect();
+        }
+        assert_eq!(self.cache.len(), params.len(), "parameter set changed size");
+        for (i, p) in params.iter_mut().enumerate() {
+            let cache = &mut self.cache[i];
+            for j in 0..p.w.data().len() {
+                let g = p.g.data()[j];
+                let c = self.decay * cache.data()[j] + (1.0 - self.decay) * g * g;
+                cache.data_mut()[j] = c;
+                p.w.data_mut()[j] -= self.lr * g / (c.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba). Not used by the paper's pipeline, but kept for the
+/// optimizer ablation bench.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Mat>,
+    v: Vec<Mat>,
+}
+
+impl Adam {
+    /// Standard configuration (0.9 / 0.999 / 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Mat::zeros(p.w.rows(), p.w.cols())).collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            for j in 0..p.w.data().len() {
+                let g = p.g.data()[j];
+                let m = self.beta1 * self.m[i].data()[j] + (1.0 - self.beta1) * g;
+                let v = self.beta2 * self.v[i].data()[j] + (1.0 - self.beta2) * g * g;
+                self.m[i].data_mut()[j] = m;
+                self.v[i].data_mut()[j] = v;
+                let mhat = m / b1t;
+                let vhat = v / b2t;
+                p.w.data_mut()[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(w) = (w - 3)^2 with each optimizer; all must converge.
+    fn run(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Param::zeros("w", 1, 1);
+        for _ in 0..steps {
+            let w = p.w.data()[0];
+            p.g.data_mut()[0] = 2.0 * (w - 3.0);
+            opt.step(&mut [&mut p]);
+        }
+        p.w.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = run(&mut Sgd::new(0.1), 200);
+        assert!((w - 3.0).abs() < 1e-3, "w={w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = run(&mut Sgd::with_momentum(0.05, 0.9), 300);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        let w = run(&mut RmsProp::new(0.05), 500);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = run(&mut Adam::new(0.1), 500);
+        assert!((w - 3.0).abs() < 1e-2, "w={w}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = Param::zeros("w", 2, 2);
+        p.g.data_mut().copy_from_slice(&[1.0, 1.0, 1.0, 1.0]);
+        Sgd::new(0.1).step(&mut [&mut p]);
+        assert!(p.g.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn rmsprop_adapts_per_weight() {
+        // Two weights with very different gradient magnitudes should move
+        // by comparable amounts under RMSprop (unlike SGD).
+        let mut p = Param::zeros("w", 1, 2);
+        let mut opt = RmsProp::new(0.01);
+        for _ in 0..10 {
+            p.g.data_mut()[0] = 100.0;
+            p.g.data_mut()[1] = 0.01;
+            opt.step(&mut [&mut p]);
+        }
+        let moved0 = p.w.data()[0].abs();
+        let moved1 = p.w.data()[1].abs();
+        assert!(moved0 > 0.0 && moved1 > 0.0);
+        let ratio = moved0 / moved1;
+        assert!(ratio < 10.0, "RMSprop should normalise magnitudes, ratio {ratio}");
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut s = Sgd::new(0.5);
+        assert_eq!(s.learning_rate(), 0.5);
+        s.set_learning_rate(0.25);
+        assert_eq!(s.learning_rate(), 0.25);
+    }
+}

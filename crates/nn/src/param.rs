@@ -1,0 +1,112 @@
+//! Trainable parameters and weight initialisation.
+
+use crate::mat::Mat;
+use desh_util::Xoshiro256pp;
+
+/// A trainable tensor: the weight matrix plus its accumulated gradient.
+/// Optimizers own any additional per-parameter state (momentum, RMS cache)
+/// keyed by the order in which a model yields its parameters.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current weights.
+    pub w: Mat,
+    /// Accumulated gradient for the current step.
+    pub g: Mat,
+    /// Diagnostic name (e.g. `lstm0.wx`).
+    pub name: String,
+}
+
+impl Param {
+    /// Zero-initialised parameter (used for biases).
+    pub fn zeros(name: &str, rows: usize, cols: usize) -> Self {
+        Self {
+            w: Mat::zeros(rows, cols),
+            g: Mat::zeros(rows, cols),
+            name: name.to_string(),
+        }
+    }
+
+    /// Xavier/Glorot uniform initialisation: U(-a, a) with
+    /// a = sqrt(6 / (fan_in + fan_out)). The standard choice for tanh/sigmoid
+    /// recurrent nets, which is what the paper's stacked LSTM is.
+    pub fn xavier(name: &str, rows: usize, cols: usize, rng: &mut Xoshiro256pp) -> Self {
+        let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let w = Mat::from_fn(rows, cols, |_, _| (rng.f32() * 2.0 - 1.0) * a);
+        Self { g: Mat::zeros(rows, cols), w, name: name.to_string() }
+    }
+
+    /// Uniform initialisation in [-a, a] (used for embedding tables).
+    pub fn uniform(name: &str, rows: usize, cols: usize, a: f32, rng: &mut Xoshiro256pp) -> Self {
+        let w = Mat::from_fn(rows, cols, |_, _| (rng.f32() * 2.0 - 1.0) * a);
+        Self { g: Mat::zeros(rows, cols), w, name: name.to_string() }
+    }
+
+    /// Zero the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.g.clear();
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.w.rows() * self.w.cols()
+    }
+
+    /// True if the parameter holds no weights.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Clip the global gradient norm of a parameter set to `max_norm`.
+/// Returns the pre-clip norm. Standard recipe against exploding gradients
+/// in BPTT.
+pub fn clip_global_norm(params: &mut [&mut Param], max_norm: f64) -> f64 {
+    let total: f64 = params.iter().map(|p| p.g.sq_norm()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = (max_norm / norm) as f32;
+        for p in params.iter_mut() {
+            p.g.scale(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let p = Param::xavier("w", 10, 14, &mut rng);
+        let a = (6.0f64 / 24.0).sqrt() as f32;
+        assert!(p.w.data().iter().all(|x| x.abs() <= a));
+        // Not all identical (i.e. actually random).
+        assert!(p.w.data().iter().any(|&x| x != p.w.data()[0]));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros("b", 2, 2);
+        p.g.data_mut()[0] = 3.0;
+        p.zero_grad();
+        assert!(p.g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn clip_scales_down_only_when_needed() {
+        let mut p = Param::zeros("w", 1, 4);
+        p.g.data_mut().copy_from_slice(&[3.0, 4.0, 0.0, 0.0]); // norm 5
+        let norm = clip_global_norm(&mut [&mut p], 1.0);
+        assert!((norm - 5.0).abs() < 1e-9);
+        let new_norm = p.g.sq_norm().sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-6);
+
+        let mut q = Param::zeros("w", 1, 2);
+        q.g.data_mut().copy_from_slice(&[0.1, 0.1]);
+        let before = q.g.clone();
+        clip_global_norm(&mut [&mut q], 1.0);
+        assert_eq!(q.g, before, "small gradients must pass through unchanged");
+    }
+}

@@ -1,0 +1,129 @@
+//! Learning-rate schedules.
+//!
+//! The training loops expose a flat learning rate; these helpers compute
+//! the rate for an epoch so callers can decay it between epochs, which the
+//! longer phase-2 runs benefit from.
+
+/// A learning-rate schedule: epoch index → learning rate.
+pub trait Schedule {
+    /// Rate to use for `epoch` (0-based).
+    fn rate(&self, epoch: usize) -> f32;
+}
+
+/// Constant rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Constant(pub f32);
+
+impl Schedule for Constant {
+    fn rate(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Multiply by `factor` every `every` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Initial rate.
+    pub base: f32,
+    /// Decay multiplier per step (0 < factor <= 1).
+    pub factor: f32,
+    /// Epochs between decays.
+    pub every: usize,
+}
+
+impl Schedule for StepDecay {
+    fn rate(&self, epoch: usize) -> f32 {
+        assert!(self.every > 0);
+        self.base * self.factor.powi((epoch / self.every) as i32)
+    }
+}
+
+/// Cosine annealing from `base` to `floor` over `total` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct Cosine {
+    /// Initial rate.
+    pub base: f32,
+    /// Final rate.
+    pub floor: f32,
+    /// Total epochs of the run.
+    pub total: usize,
+}
+
+impl Schedule for Cosine {
+    fn rate(&self, epoch: usize) -> f32 {
+        if self.total <= 1 {
+            return self.floor;
+        }
+        let t = (epoch.min(self.total - 1)) as f32 / (self.total - 1) as f32;
+        let cos = (std::f32::consts::PI * t).cos();
+        self.floor + (self.base - self.floor) * 0.5 * (1.0 + cos)
+    }
+}
+
+/// Linear warmup into another schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct Warmup<S> {
+    /// Epochs of linear ramp from ~0 to the inner schedule's rate.
+    pub epochs: usize,
+    /// Schedule after warmup.
+    pub inner: S,
+}
+
+impl<S: Schedule> Schedule for Warmup<S> {
+    fn rate(&self, epoch: usize) -> f32 {
+        if epoch < self.epochs {
+            self.inner.rate(0) * (epoch + 1) as f32 / self.epochs as f32
+        } else {
+            self.inner.rate(epoch - self.epochs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Constant(0.1);
+        assert_eq!(s.rate(0), 0.1);
+        assert_eq!(s.rate(999), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay { base: 0.4, factor: 0.5, every: 10 };
+        assert_eq!(s.rate(0), 0.4);
+        assert_eq!(s.rate(9), 0.4);
+        assert_eq!(s.rate(10), 0.2);
+        assert_eq!(s.rate(25), 0.1);
+    }
+
+    #[test]
+    fn cosine_spans_base_to_floor_monotonically() {
+        let s = Cosine { base: 0.3, floor: 0.01, total: 50 };
+        assert!((s.rate(0) - 0.3).abs() < 1e-6);
+        assert!((s.rate(49) - 0.01).abs() < 1e-6);
+        for e in 1..50 {
+            assert!(s.rate(e) <= s.rate(e - 1) + 1e-7, "not monotone at {e}");
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_defers() {
+        let s = Warmup { epochs: 5, inner: Constant(0.5) };
+        assert!(s.rate(0) < s.rate(4));
+        assert!((s.rate(4) - 0.5).abs() < 1e-6);
+        assert_eq!(s.rate(10), 0.5);
+    }
+
+    #[test]
+    fn schedule_drives_optimizer_rate() {
+        use crate::optim::{Optimizer, Sgd};
+        let sched = StepDecay { base: 0.2, factor: 0.1, every: 1 };
+        let mut opt = Sgd::new(sched.rate(0));
+        assert_eq!(opt.learning_rate(), 0.2);
+        opt.set_learning_rate(sched.rate(1));
+        assert!((opt.learning_rate() - 0.02).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,283 @@
+//! Skip-gram word embeddings with negative sampling (Mikolov et al.), the
+//! "traditional skip-gram model" the paper uses to vectorize encoded
+//! phrases (§3.1).
+//!
+//! The paper's detail we reproduce faithfully: the context window is
+//! **asymmetric** — 8 phrases to the left and 3 to the right of the target
+//! ("window sizes of 8 and 3 are used, respectively, to consider the number
+//! of phrases left and right of a specific target phrase").
+
+use crate::act::sigmoid;
+use crate::mat::Mat;
+use desh_util::Xoshiro256pp;
+
+/// Skip-gram hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// Embedding width.
+    pub dim: usize,
+    /// Context window to the left of the target (paper: 8).
+    pub window_left: usize,
+    /// Context window to the right of the target (paper: 3).
+    pub window_right: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Unigram distribution smoothing exponent for negative sampling
+    /// (word2vec's 0.75).
+    pub power: f64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            window_left: 8,
+            window_right: 3,
+            negatives: 5,
+            lr: 0.05,
+            epochs: 5,
+            power: 0.75,
+        }
+    }
+}
+
+/// Trainer state: input ("target") and output ("context") tables.
+#[derive(Debug, Clone)]
+pub struct SkipGram {
+    vocab: usize,
+    cfg: SgnsConfig,
+    w_in: Mat,
+    w_out: Mat,
+    /// Cumulative unigram^power table for sampling negatives.
+    neg_cdf: Vec<f64>,
+}
+
+impl SkipGram {
+    /// Initialise from the corpus (needed for the unigram table).
+    pub fn new(vocab: usize, seqs: &[Vec<u32>], cfg: SgnsConfig, rng: &mut Xoshiro256pp) -> Self {
+        assert!(vocab > 1, "need at least two phrases to embed");
+        let mut counts = vec![0u64; vocab];
+        for s in seqs {
+            for &id in s {
+                assert!((id as usize) < vocab, "token {id} out of vocab {vocab}");
+                counts[id as usize] += 1;
+            }
+        }
+        let mut neg_cdf = Vec::with_capacity(vocab);
+        let mut acc = 0.0f64;
+        for &c in &counts {
+            // Smooth zero counts slightly so every id is sampleable.
+            acc += ((c as f64) + 0.1).powf(cfg.power);
+            neg_cdf.push(acc);
+        }
+        let bound = 0.5 / cfg.dim as f32;
+        let w_in = Mat::from_fn(vocab, cfg.dim, |_, _| (rng.f32() * 2.0 - 1.0) * bound);
+        let w_out = Mat::zeros(vocab, cfg.dim);
+        Self { vocab, cfg, w_in, w_out, neg_cdf }
+    }
+
+    fn sample_negative(&self, rng: &mut Xoshiro256pp) -> u32 {
+        let total = *self.neg_cdf.last().unwrap();
+        let x = rng.f64() * total;
+        // Binary search the CDF.
+        match self
+            .neg_cdf
+            .binary_search_by(|v| v.partial_cmp(&x).unwrap())
+        {
+            Ok(i) | Err(i) => (i.min(self.vocab - 1)) as u32,
+        }
+    }
+
+    /// One (target, context) SGNS update with k negatives. Returns the
+    /// positive-pair loss contribution.
+    fn update_pair(&mut self, target: u32, context: u32, rng: &mut Xoshiro256pp) -> f64 {
+        let dim = self.cfg.dim;
+        let lr = self.cfg.lr;
+        let mut grad_in = vec![0.0f32; dim];
+        let t = target as usize;
+        let mut loss = 0.0f64;
+
+        // Positive pair + negatives share the same inner loop.
+        let apply = |w_in: &Mat, w_out: &mut Mat, ctx: usize, label: f32| -> (Vec<f32>, f64) {
+            let vi = w_in.row(t);
+            let vo = w_out.row(ctx);
+            let dot: f32 = vi.iter().zip(vo).map(|(a, b)| a * b).sum();
+            let p = sigmoid(dot);
+            let g = (p - label) * lr;
+            let mut gi = vec![0.0f32; dim];
+            let loss = if label > 0.5 {
+                -(p.max(1e-7) as f64).ln()
+            } else {
+                -((1.0 - p).max(1e-7) as f64).ln()
+            };
+            let vo_mut = w_out.row_mut(ctx);
+            for k in 0..dim {
+                gi[k] = g * vo_mut[k];
+                vo_mut[k] -= g * vi[k];
+            }
+            (gi, loss)
+        };
+
+        let (gi, l) = apply(&self.w_in, &mut self.w_out, context as usize, 1.0);
+        for (a, b) in grad_in.iter_mut().zip(&gi) {
+            *a += b;
+        }
+        loss += l;
+        for _ in 0..self.cfg.negatives {
+            let mut neg = self.sample_negative(rng);
+            if neg == context {
+                neg = (neg + 1) % self.vocab as u32;
+            }
+            let (gi, l) = apply(&self.w_in, &mut self.w_out, neg as usize, 0.0);
+            for (a, b) in grad_in.iter_mut().zip(&gi) {
+                *a += b;
+            }
+            loss += l;
+        }
+        let vi = self.w_in.row_mut(t);
+        for k in 0..dim {
+            vi[k] -= grad_in[k];
+        }
+        loss
+    }
+
+    /// Train on the corpus; returns the mean pair loss per epoch.
+    pub fn train(&mut self, seqs: &[Vec<u32>], rng: &mut Xoshiro256pp) -> Vec<f64> {
+        let mut losses = Vec::with_capacity(self.cfg.epochs);
+        for _ in 0..self.cfg.epochs {
+            let mut total = 0.0f64;
+            let mut pairs = 0u64;
+            for s in seqs {
+                for (pos, &target) in s.iter().enumerate() {
+                    let lo = pos.saturating_sub(self.cfg.window_left);
+                    let hi = (pos + self.cfg.window_right + 1).min(s.len());
+                    for (ctx_pos, &ctx_tok) in s.iter().enumerate().take(hi).skip(lo) {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        total += self.update_pair(target, ctx_tok, rng);
+                        pairs += 1;
+                    }
+                }
+            }
+            losses.push(if pairs == 0 { 0.0 } else { total / pairs as f64 });
+        }
+        losses
+    }
+
+    /// The learned input-side table (what downstream models consume).
+    pub fn into_table(self) -> Mat {
+        self.w_in
+    }
+
+    /// Borrow the table without consuming.
+    pub fn table(&self) -> &Mat {
+        &self.w_in
+    }
+
+    /// Cosine similarity of two ids in the learned space.
+    pub fn cosine(&self, a: u32, b: u32) -> f32 {
+        let va = self.w_in.row(a as usize);
+        let vb = self.w_in.row(b as usize);
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Corpus where ids {0,1} always co-occur and {2,3} always co-occur,
+    /// with the groups never mixing: embeddings must reflect that.
+    fn grouped_corpus(n: usize) -> Vec<Vec<u32>> {
+        let mut seqs = Vec::new();
+        for i in 0..n {
+            if i % 2 == 0 {
+                seqs.push(vec![0, 1, 0, 1, 0, 1, 0, 1]);
+            } else {
+                seqs.push(vec![2, 3, 2, 3, 2, 3, 2, 3]);
+            }
+        }
+        seqs
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let seqs = grouped_corpus(20);
+        let cfg = SgnsConfig { dim: 8, epochs: 8, ..Default::default() };
+        let mut sg = SkipGram::new(4, &seqs, cfg, &mut rng);
+        let losses = sg.train(&seqs, &mut rng);
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "SGNS loss did not decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn cooccurring_ids_are_closer() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let seqs = grouped_corpus(40);
+        let cfg = SgnsConfig { dim: 8, epochs: 10, lr: 0.08, ..Default::default() };
+        let mut sg = SkipGram::new(4, &seqs, cfg, &mut rng);
+        sg.train(&seqs, &mut rng);
+        let within = sg.cosine(0, 1);
+        let across = sg.cosine(0, 2);
+        assert!(
+            within > across,
+            "within-group similarity {within} should exceed across-group {across}"
+        );
+    }
+
+    #[test]
+    fn asymmetric_window_counts_pairs() {
+        // With window_left=2, window_right=0 on [a b c], pairs are:
+        // b->a, c->b, c->a (3 pairs); verify via loss normalisation not
+        // crashing and table shape.
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let seqs = vec![vec![0u32, 1, 2]];
+        let cfg = SgnsConfig {
+            dim: 4,
+            window_left: 2,
+            window_right: 0,
+            epochs: 1,
+            ..Default::default()
+        };
+        let mut sg = SkipGram::new(3, &seqs, cfg, &mut rng);
+        let losses = sg.train(&seqs, &mut rng);
+        assert_eq!(losses.len(), 1);
+        assert!(losses[0] > 0.0);
+        assert_eq!(sg.table().shape(), (3, 4));
+    }
+
+    #[test]
+    fn into_table_has_expected_shape() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let seqs = vec![vec![0u32, 1, 2, 3, 4]];
+        let cfg = SgnsConfig { dim: 6, epochs: 1, ..Default::default() };
+        let mut sg = SkipGram::new(5, &seqs, cfg, &mut rng);
+        sg.train(&seqs, &mut rng);
+        let table = sg.into_table();
+        assert_eq!(table.shape(), (5, 6));
+        assert!(table.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_vocab_token_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let seqs = vec![vec![0u32, 9]];
+        SkipGram::new(3, &seqs, SgnsConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,294 @@
+//! Stacked (multi-layer) LSTM with a dense head.
+//!
+//! The paper's Figure 1b: input layer → multiple hidden LSTM layers →
+//! output layer. Two hidden layers is the configuration used throughout
+//! the evaluation ("more than 1 hidden layer strengthens LSTM's efficacy
+//! to remember past phrases").
+
+use crate::dense::{Dense, DenseCache};
+use crate::lstm::{LstmLayer, LstmState, LstmTape};
+use crate::mat::Mat;
+use crate::param::Param;
+use desh_util::Xoshiro256pp;
+
+/// Stacked LSTM: `layers` recurrent layers followed by a linear head that
+/// is applied to the **last** timestep's top hidden state.
+#[derive(Debug, Clone)]
+pub struct StackedLstm {
+    /// Recurrent layers, bottom first.
+    pub layers: Vec<LstmLayer>,
+    /// Output projection from top hidden state.
+    pub head: Dense,
+}
+
+/// Tape for a stacked forward pass.
+#[derive(Debug)]
+pub struct StackedTape {
+    layer_tapes: Vec<LstmTape>,
+    /// Hidden outputs of each layer per step (needed to size zero grads).
+    layer_hs: Vec<Vec<Mat>>,
+    head_cache: DenseCache,
+    seq_len: usize,
+}
+
+impl StackedLstm {
+    /// Build with `n_layers` hidden layers of width `hidden`.
+    pub fn new(
+        input: usize,
+        hidden: usize,
+        n_layers: usize,
+        output: usize,
+        rng: &mut Xoshiro256pp,
+    ) -> Self {
+        assert!(n_layers >= 1);
+        let mut layers = Vec::with_capacity(n_layers);
+        for l in 0..n_layers {
+            let in_dim = if l == 0 { input } else { hidden };
+            layers.push(LstmLayer::new(in_dim, hidden, &format!("lstm{l}"), rng));
+        }
+        Self { layers, head: Dense::new(hidden, output, "head", rng) }
+    }
+
+    /// Input width of the bottom layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output width of the head.
+    pub fn output_dim(&self) -> usize {
+        self.head.output_dim()
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.layers[0].hidden_dim()
+    }
+
+    /// Number of recurrent layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Forward over a window of inputs; produces the head output for the
+    /// final step plus the tape.
+    pub fn forward(&self, xs: &[Mat]) -> (Mat, StackedTape) {
+        assert!(!xs.is_empty());
+        let mut layer_tapes = Vec::with_capacity(self.layers.len());
+        let mut layer_hs: Vec<Vec<Mat>> = Vec::with_capacity(self.layers.len());
+        let mut cur: Vec<Mat> = xs.to_vec();
+        for layer in &self.layers {
+            let (hs, tape) = layer.forward_seq(&cur);
+            layer_tapes.push(tape);
+            cur = hs.clone();
+            layer_hs.push(hs);
+        }
+        let last_h = cur.last().expect("non-empty sequence");
+        let (y, head_cache) = self.head.forward(last_h);
+        (
+            y,
+            StackedTape { layer_tapes, layer_hs, head_cache, seq_len: xs.len() },
+        )
+    }
+
+    /// Inference: head output at the last step, no tape.
+    pub fn infer(&self, xs: &[Mat]) -> Mat {
+        assert!(!xs.is_empty());
+        let mut cur: Vec<Mat> = xs.to_vec();
+        for layer in &self.layers {
+            let (hs, _) = layer.forward_seq(&cur);
+            cur = hs;
+        }
+        self.head.infer(cur.last().unwrap())
+    }
+
+    /// Stateful streaming inference support: run one step, carrying states.
+    pub fn step_infer(&self, x: &Mat, states: &mut [LstmState]) -> Mat {
+        assert_eq!(states.len(), self.layers.len());
+        let mut cur = x.clone();
+        for (layer, st) in self.layers.iter().zip(states.iter_mut()) {
+            layer.step_infer(&cur, st);
+            cur = st.h.clone();
+        }
+        self.head.infer(&cur)
+    }
+
+    /// Fresh zero states for streaming inference.
+    pub fn zero_states(&self, batch: usize) -> Vec<LstmState> {
+        self.layers
+            .iter()
+            .map(|l| LstmState::zeros(batch, l.hidden_dim()))
+            .collect()
+    }
+
+    /// Backward from the head-output gradient `dy` ([batch, output]).
+    /// Accumulates all parameter gradients; returns gradients w.r.t. the
+    /// input sequence.
+    pub fn backward(&mut self, tape: &StackedTape, dy: &Mat) -> Vec<Mat> {
+        // Head backward feeds the last step of the top layer.
+        let dh_last = self.head.backward(&tape.head_cache, dy);
+        let batch = dh_last.rows();
+
+        // Gradient w.r.t. each step's hidden output of the current layer.
+        let mut dhs: Vec<Mat> = (0..tape.seq_len)
+            .map(|t| {
+                if t + 1 == tape.seq_len {
+                    dh_last.clone()
+                } else {
+                    Mat::zeros(batch, self.hidden_dim())
+                }
+            })
+            .collect();
+
+        for (li, layer) in self.layers.iter_mut().enumerate().rev() {
+            let dxs = layer.backward_seq(&tape.layer_tapes[li], &dhs);
+            dhs = dxs;
+        }
+        let _ = &tape.layer_hs; // kept for future per-step losses
+        dhs
+    }
+
+    /// All parameters, bottom layer first, head last.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps: Vec<&mut Param> = Vec::new();
+        for layer in &mut self.layers {
+            ps.extend(layer.params_mut());
+        }
+        ps.extend(self.head.params_mut());
+        ps
+    }
+
+    /// Immutable parameter view (same order as [`Self::params_mut`]).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut ps: Vec<&Param> = Vec::new();
+        for layer in &self.layers {
+            ps.extend(layer.params());
+        }
+        ps.extend(self.head.params());
+        ps
+    }
+
+    /// Zero every accumulated gradient.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_seq(t: usize, batch: usize, dim: usize, rng: &mut Xoshiro256pp) -> Vec<Mat> {
+        (0..t)
+            .map(|_| Mat::from_fn(batch, dim, |_, _| rng.f32() - 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn shapes_and_param_order() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let net = StackedLstm::new(3, 4, 2, 5, &mut rng);
+        assert_eq!(net.depth(), 2);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 5);
+        // 2 layers * 3 params + head 2 params.
+        assert_eq!(net.params().len(), 8);
+        let xs = rand_seq(6, 2, 3, &mut rng);
+        let (y, tape) = net.forward(&xs);
+        assert_eq!(y.shape(), (2, 5));
+        assert_eq!(tape.seq_len, 6);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let net = StackedLstm::new(2, 3, 2, 2, &mut rng);
+        let xs = rand_seq(5, 3, 2, &mut rng);
+        let (y, _) = net.forward(&xs);
+        assert_eq!(net.infer(&xs), y);
+    }
+
+    #[test]
+    fn step_infer_matches_batch_infer() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let net = StackedLstm::new(2, 3, 2, 2, &mut rng);
+        let xs = rand_seq(5, 1, 2, &mut rng);
+        let mut states = net.zero_states(1);
+        let mut last = Mat::zeros(1, 2);
+        for x in &xs {
+            last = net.step_infer(x, &mut states);
+        }
+        let batch = net.infer(&xs);
+        for (a, b) in last.data().iter().zip(batch.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stacked_gradient_check() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut net = StackedLstm::new(2, 3, 2, 2, &mut rng);
+        let xs = rand_seq(3, 2, 2, &mut rng);
+
+        // L = 0.5 ||y||^2 -> dy = y.
+        let loss = |net: &StackedLstm, xs: &[Mat]| -> f64 { net.infer(xs).sq_norm() * 0.5 };
+        let (y, tape) = net.forward(&xs);
+        let dxs = net.backward(&tape, &y);
+
+        let eps = 1e-3f32;
+        // Sample several weights across all parameter tensors.
+        let n_params = net.params().len();
+        for pi in 0..n_params {
+            let len = net.params()[pi].len();
+            for s in 0..3usize {
+                let idx = (s * 17 + pi * 7) % len;
+                let orig = net.params()[pi].w.data()[idx];
+                net.params_mut()[pi].w.data_mut()[idx] = orig + eps;
+                let lp = loss(&net, &xs);
+                net.params_mut()[pi].w.data_mut()[idx] = orig - eps;
+                let lm = loss(&net, &xs);
+                net.params_mut()[pi].w.data_mut()[idx] = orig;
+                let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+                let ana = net.params()[pi].g.data()[idx];
+                assert!(
+                    (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                    "param {pi} idx {idx}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+        // Input gradient check.
+        let mut xs2 = xs.clone();
+        for t in 0..xs2.len() {
+            let orig = xs2[t].data()[0];
+            xs2[t].data_mut()[0] = orig + eps;
+            let lp = loss(&net, &xs2);
+            xs2[t].data_mut()[0] = orig - eps;
+            let lm = loss(&net, &xs2);
+            xs2[t].data_mut()[0] = orig;
+            let num = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            let ana = dxs[t].data()[0];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{t}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_grads_resets_everything() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut net = StackedLstm::new(2, 3, 1, 2, &mut rng);
+        let xs = rand_seq(2, 1, 2, &mut rng);
+        let (y, tape) = net.forward(&xs);
+        net.backward(&tape, &y);
+        assert!(net.params().iter().any(|p| p.g.sq_norm() > 0.0));
+        net.zero_grads();
+        assert!(net.params().iter().all(|p| p.g.sq_norm() == 0.0));
+    }
+}

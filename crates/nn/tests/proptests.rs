@@ -1,0 +1,124 @@
+//! Property-based tests for the neural substrate.
+
+use desh_nn::loss::{mse, mse_vec, softmax, softmax_xent, top_k};
+use desh_nn::{Mat, TokenLstm, VectorLstm};
+use desh_util::Xoshiro256pp;
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    (-100.0f32..100.0).prop_map(|x| x)
+}
+
+proptest! {
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..5,
+        cols in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let logits = Mat::from_fn(rows, cols, |_, _| rng.f32() * 20.0 - 10.0);
+        let p = softmax(&logits);
+        for r in 0..rows {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn xent_loss_is_nonnegative_and_grad_rows_sum_to_zero(
+        rows in 1usize..5,
+        cols in 2usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let logits = Mat::from_fn(rows, cols, |_, _| rng.f32() * 8.0 - 4.0);
+        let targets: Vec<u32> = (0..rows).map(|_| rng.below(cols as u64) as u32).collect();
+        let (loss, grad) = softmax_xent(&logits, &targets);
+        prop_assert!(loss >= 0.0);
+        // Each gradient row sums to ~0 (softmax minus one-hot).
+        for r in 0..rows {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn mse_is_zero_iff_equal(xs in proptest::collection::vec(finite_f32(), 1..32)) {
+        let a = Mat::from_vec(1, xs.len(), xs.clone());
+        let (zero, grad) = mse(&a, &a);
+        prop_assert_eq!(zero, 0.0);
+        prop_assert!(grad.data().iter().all(|&g| g == 0.0));
+        prop_assert_eq!(mse_vec(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn mse_is_symmetric(
+        pairs in proptest::collection::vec((finite_f32(), finite_f32()), 1..16),
+    ) {
+        let xs: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        prop_assert!((mse_vec(&xs, &ys) - mse_vec(&ys, &xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded(
+        row in proptest::collection::vec(finite_f32(), 1..20),
+        k in 1usize..25,
+    ) {
+        let top = top_k(&row, k);
+        prop_assert_eq!(top.len(), k.min(row.len()));
+        for w in top.windows(2) {
+            prop_assert!(row[w[0] as usize] >= row[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn token_lstm_checkpoint_round_trips_any_shape(
+        vocab in 2usize..12,
+        embed in 1usize..8,
+        hidden in 1usize..12,
+        layers in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let m = TokenLstm::new(vocab, embed, hidden, layers, &mut rng);
+        let m2 = TokenLstm::from_bytes(m.to_bytes()).unwrap();
+        let ctx: Vec<u32> = (0..4).map(|i| (i % vocab) as u32).collect();
+        prop_assert_eq!(m.predict_probs(&ctx), m2.predict_probs(&ctx));
+    }
+
+    #[test]
+    fn vector_lstm_checkpoint_round_trips_any_shape(
+        dim in 1usize..8,
+        hidden in 1usize..12,
+        layers in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let m = VectorLstm::new(dim, hidden, layers, &mut rng);
+        let m2 = VectorLstm::from_bytes(m.to_bytes()).unwrap();
+        let sample: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1).collect();
+        let w: Vec<&[f32]> = vec![&sample];
+        prop_assert_eq!(m.predict_next(&w, 5), m2.predict_next(&w, 5));
+    }
+
+    #[test]
+    fn lstm_outputs_are_finite_for_any_reasonable_input(
+        batch in 1usize..4,
+        dim in 1usize..6,
+        t in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let layer = desh_nn::LstmLayer::new(dim, 6, "l", &mut rng);
+        let xs: Vec<Mat> = (0..t)
+            .map(|_| Mat::from_fn(batch, dim, |_, _| rng.f32() * 10.0 - 5.0))
+            .collect();
+        let (hs, _) = layer.forward_seq(&xs);
+        for h in hs {
+            prop_assert!(h.data().iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Compact, versioned binary codec for model checkpoints and datasets.
+//!
+//! We deliberately do not pull in a serialization framework: checkpoints are
+//! flat tensors plus a handful of scalars, so a little-endian tag-free codec
+//! over the `bytes` crate is smaller, faster, and keeps the workspace's
+//! dependency surface tiny. Every top-level artifact starts with a magic and
+//! a format version so stale files fail loudly instead of deserializing into
+//! garbage weights.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Error type for decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended before the value was complete.
+    Truncated { needed: usize, remaining: usize },
+    /// Magic bytes did not match.
+    BadMagic { expected: [u8; 4], found: [u8; 4] },
+    /// Unsupported format version.
+    BadVersion { expected: u32, found: u32 },
+    /// A length prefix was implausibly large (corrupt stream guard).
+    LengthOverflow(u64),
+    /// A UTF-8 string field held invalid bytes.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "truncated stream: needed {needed} bytes, {remaining} remaining")
+            }
+            CodecError::BadMagic { expected, found } => {
+                write!(f, "bad magic: expected {expected:?}, found {found:?}")
+            }
+            CodecError::BadVersion { expected, found } => {
+                write!(f, "unsupported version {found} (expected {expected})")
+            }
+            CodecError::LengthOverflow(n) => write!(f, "length prefix too large: {n}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Hard cap on any single length prefix; prevents a corrupt file from
+/// triggering a multi-gigabyte allocation.
+const MAX_LEN: u64 = 1 << 32;
+
+/// Streaming encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Fresh encoder.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Encoder that starts with a magic + version header.
+    pub fn with_header(magic: [u8; 4], version: u32) -> Self {
+        let mut e = Self::new();
+        e.buf.put_slice(&magic);
+        e.buf.put_u32_le(version);
+        e
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed f32 slice (the tensor workhorse).
+    pub fn put_f32_slice(&mut self, xs: &[f32]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.buf.put_f32_le(x);
+        }
+    }
+
+    /// Length-prefixed u32 slice.
+    pub fn put_u32_slice(&mut self, xs: &[u32]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.buf.put_u32_le(x);
+        }
+    }
+
+    /// Finish and return the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Streaming decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Bytes,
+}
+
+impl Decoder {
+    pub fn new(bytes: Bytes) -> Self {
+        Self { buf: bytes }
+    }
+
+    /// Verify a magic + version header written by [`Encoder::with_header`].
+    pub fn expect_header(&mut self, magic: [u8; 4], version: u32) -> Result<(), CodecError> {
+        let mut found = [0u8; 4];
+        self.take(4)?.copy_to_slice(&mut found);
+        if found != magic {
+            return Err(CodecError::BadMagic { expected: magic, found });
+        }
+        let v = self.u32()?;
+        if v != version {
+            return Err(CodecError::BadVersion { expected: version, found: v });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<Bytes, CodecError> {
+        if self.buf.remaining() < n {
+            return Err(CodecError::Truncated { needed: n, remaining: self.buf.remaining() });
+        }
+        Ok(self.buf.split_to(n))
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?.get_u8())
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(self.take(4)?.get_u32_le())
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(self.take(8)?.get_u64_le())
+    }
+
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(self.take(4)?.get_f32_le())
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(self.take(8)?.get_f64_le())
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn len_prefix(&mut self) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        if n > MAX_LEN {
+            return Err(CodecError::LengthOverflow(n));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        let n = self.len_prefix()?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, CodecError> {
+        let n = self.len_prefix()?;
+        let mut raw = self.take(n.checked_mul(4).ok_or(CodecError::LengthOverflow(n as u64))?)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(raw.get_f32_le());
+        }
+        Ok(out)
+    }
+
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, CodecError> {
+        let n = self.len_prefix()?;
+        let mut raw = self.take(n.checked_mul(4).ok_or(CodecError::LengthOverflow(n as u64))?)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(raw.get_u32_le());
+        }
+        Ok(out)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX);
+        e.put_f32(1.5);
+        e.put_f64(-2.25);
+        e.put_bool(true);
+        e.put_str("lustre error");
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.f32().unwrap(), 1.5);
+        assert_eq!(d.f64().unwrap(), -2.25);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.string().unwrap(), "lustre error");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut e = Encoder::new();
+        e.put_f32_slice(&[0.0, -1.0, f32::MAX, f32::MIN_POSITIVE]);
+        e.put_u32_slice(&[1, 2, 3]);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.f32_vec().unwrap(), vec![0.0, -1.0, f32::MAX, f32::MIN_POSITIVE]);
+        assert_eq!(d.u32_vec().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn header_round_trip_and_mismatch() {
+        let e = Encoder::with_header(*b"DESH", 3);
+        let bytes = e.finish();
+        let mut ok = Decoder::new(bytes.clone());
+        ok.expect_header(*b"DESH", 3).unwrap();
+
+        let mut bad_magic = Decoder::new(bytes.clone());
+        assert!(matches!(
+            bad_magic.expect_header(*b"XXXX", 3),
+            Err(CodecError::BadMagic { .. })
+        ));
+
+        let mut bad_version = Decoder::new(bytes);
+        assert!(matches!(
+            bad_version.expect_header(*b"DESH", 4),
+            Err(CodecError::BadVersion { expected: 4, found: 3 })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut e = Encoder::new();
+        e.put_u64(42);
+        let bytes = e.finish();
+        let mut d = Decoder::new(bytes.slice(0..4));
+        assert!(matches!(d.u64(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_rejected() {
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX); // absurd length prefix
+        let mut d = Decoder::new(e.finish());
+        assert!(matches!(d.f32_vec(), Err(CodecError::LengthOverflow(_))));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.put_u64(2);
+        let mut raw = BytesMut::from(&e.finish()[..]);
+        raw.put_slice(&[0xFF, 0xFE]);
+        let mut d = Decoder::new(raw.freeze());
+        assert_eq!(d.string(), Err(CodecError::BadUtf8));
+    }
+}

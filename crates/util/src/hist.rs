@@ -1,0 +1,143 @@
+//! Fixed-bin histograms for lead-time and score distributions.
+//!
+//! The evaluation harness renders distributions (lead times per class,
+//! episode scores) as coarse text histograms; this keeps that logic out of
+//! the experiment binaries and testable.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus overflow and
+/// underflow counters.
+///
+/// ```
+/// use desh_util::Histogram;
+/// let h = Histogram::of(&[1.0, 2.5, 9.0, 42.0], 0.0, 10.0, 2);
+/// assert_eq!(h.bins(), &[2, 1]);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// New histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "empty range");
+        assert!(bins > 0, "need at least one bin");
+        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Record one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let w = (self.hi - self.lo) / n as f64;
+            let idx = (((x - self.lo) / w) as usize).min(n - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Build from a slice.
+    pub fn of(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        let mut h = Self::new(lo, hi, bins);
+        for &x in xs {
+            h.push(x);
+        }
+        h
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at/above the range top.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[lo, hi)` interval covered by bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Render as text bars, one line per bin, scaled to `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("{lo:>8.1}-{hi:<8.1} |{bar:<width$}| {c}\n"));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("   (underflow: {})\n", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("   (overflow: {})\n", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.999] {
+            h.push(x);
+        }
+        assert_eq!(h.bins(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_are_counted() {
+        let h = Histogram::of(&[-1.0, 0.0, 10.0, 11.0], 0.0, 10.0, 2);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn bin_ranges_tile_exactly() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_range(0), (0.0, 25.0));
+        assert_eq!(h.bin_range(3), (75.0, 100.0));
+    }
+
+    #[test]
+    fn render_has_one_line_per_bin() {
+        let h = Histogram::of(&[1.0, 2.0, 3.0], 0.0, 4.0, 4);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_rejected() {
+        Histogram::new(5.0, 5.0, 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared utilities for the Desh reproduction.
+//!
+//! This crate deliberately has almost no dependencies: it provides the
+//! deterministic random-number generation, the light-weight statistics, the
+//! binary codec used for model checkpoints, and the microsecond timestamp
+//! handling that every other crate in the workspace builds on.
+//!
+//! Determinism matters here: the paper's experiments are rerun by CI-style
+//! harnesses, so every stochastic component (log synthesis, weight init,
+//! negative sampling) is seeded through [`rng::Xoshiro256pp`] rather than an
+//! OS entropy source.
+
+pub mod codec;
+pub mod hist;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use hist::Histogram;
+pub use rng::Xoshiro256pp;
+pub use stats::Summary;
+pub use time::Micros;

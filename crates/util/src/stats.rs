@@ -1,0 +1,220 @@
+//! Small descriptive-statistics helpers used by the evaluation harness.
+//!
+//! The paper reports means and standard deviations of lead times (Figures 6
+//! and 7) and derives precision/recall-style rates from confusion counts
+//! (Table 6). [`Summary`] covers the former; the confusion-matrix metrics
+//! live in `desh-core::metrics` because their definitions are part of the
+//! paper's evaluation protocol.
+
+/// Running summary of a sample: count, mean, variance (Welford), min/max.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build a summary from a slice in one pass.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Add one observation (Welford's online update: numerically stable).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another summary into this one (parallel reduction support).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free input assumed); +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics. `q` in [0, 1]. Sorts a copy; fine for evaluation-sized data.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Median convenience wrapper.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 0.5)
+}
+
+/// Pearson correlation of two equal-length samples.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() > 1);
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = Summary::of(&xs);
+        let mut left = Summary::of(&xs[..37]);
+        let right = Summary::of(&xs[37..]);
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [3.0, 1.0, 4.0];
+        let mut s = Summary::of(&xs);
+        s.merge(&Summary::new());
+        assert_eq!(s, Summary::of(&xs));
+        let mut e = Summary::new();
+        e.merge(&Summary::of(&xs));
+        assert_eq!(e.count(), 3);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert!((percentile(&xs, 0.0) - 10.0).abs() < 1e-12);
+        assert!((percentile(&xs, 1.0) - 40.0).abs() < 1e-12);
+        assert!((median(&xs) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Compare Desh against the DeepLog-style and n-gram baselines on the same
+//! dataset — the capability gap of Table 10/11 made concrete.
+//!
+//! ```text
+//! cargo run --release --example baseline_shootout
+//! ```
+
+use desh::prelude::*;
+
+fn main() {
+    let mut profile = SystemProfile::m3();
+    profile.nodes = 48;
+    profile.failures = 60;
+    let dataset = generate(&profile, 17);
+    let (train, test) = dataset.split_by_time(0.3);
+
+    let desh = Desh::new(DeshConfig::default(), 17);
+    let trained = desh.train(&train);
+    let report = desh.evaluate(&trained, &test);
+    let parsed_test = parse_records_with_vocab(&test.records, trained.parsed_train.vocab.clone());
+
+    let mut rng = Xoshiro256pp::seed_from_u64(17);
+    let deeplog = DeepLog::train(&trained.parsed_train, DeepLogConfig::default(), &mut rng);
+    let dl = deeplog.evaluate(&parsed_test, &test.failures, &desh.cfg.episodes);
+
+    let ngram = NgramModel::train(&trained.parsed_train, NgramConfig::default());
+    let ng = ngram.evaluate(&parsed_test, &test.failures, &desh.cfg.episodes);
+
+    let severity = desh::baselines::SeverityDetector::default();
+    let sv = severity.evaluate(&parsed_test, &test.failures, &desh.cfg.episodes);
+
+    println!("=== node-failure prediction on {} ===\n", profile.name);
+    println!("{}", report.confusion.summary_row("Desh        "));
+    println!("{}", dl.summary_row("DeepLog-style"));
+    println!("{}", ng.summary_row("N-gram      "));
+    println!("{}", sv.summary_row("Severity-tag"));
+    let sev_leads = severity.achievable_lead_secs(&parsed_test, &desh.cfg.episodes);
+    let sev_mean = sev_leads.iter().sum::<f64>() / sev_leads.len().max(1) as f64;
+    println!("  (severity tags could at best warn {sev_mean:.1}s ahead — Observation 6)");
+
+    println!("\ncapabilities beyond detection:");
+    println!(
+        "  Desh          -> lead times (mean {:.1}s) + node location (e.g. {})",
+        report.lead_overall.mean(),
+        report
+            .verdicts
+            .iter()
+            .find(|v| v.flagged)
+            .map(|v| v.node.to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+    println!("  DeepLog-style -> per-entry anomaly verdicts only (no lead time, no location)");
+    println!("  N-gram        -> per-entry anomaly verdicts only (no long-term memory)");
+    println!("  Severity-tag  -> fires on fatal messages, i.e. when the node is already dying");
+}

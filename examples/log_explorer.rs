@@ -1,0 +1,81 @@
+//! Log mining without the model: the §3.1/§4.3 data-science workflow.
+//!
+//! Starts from *raw text lines* (exactly what a production syslog feed
+//! looks like), mines templates, labels them, extracts failure chains,
+//! and runs the unknown-phrase contribution analysis.
+//!
+//! ```text
+//! cargo run --release --example log_explorer
+//! ```
+
+use desh::prelude::*;
+
+fn main() {
+    // Pretend we received a raw log file: render everything to text first.
+    let dataset = generate(&SystemProfile::m4(), 23);
+    let mut lines = dataset.raw_lines();
+    // Real feeds contain garbage; prove the parser tolerates it.
+    lines.insert(100, "##### corrupted line: parity error in transit #####".into());
+
+    let (parsed, bad) = parse_lines(&lines);
+    println!("parsed {} lines ({} rejected as corrupt)", lines.len() - bad.len(), bad.len());
+    println!(
+        "vocabulary: {} templates over {} events on {} nodes",
+        parsed.vocab_size(),
+        parsed.event_count(),
+        parsed.per_node.len()
+    );
+
+    // Label census.
+    let mut census = [0usize; 3];
+    for id in 0..parsed.vocab_size() as u32 {
+        match parsed.label(id) {
+            Label::Safe => census[0] += 1,
+            Label::Unknown => census[1] += 1,
+            Label::Error => census[2] += 1,
+        }
+    }
+    println!(
+        "labels: {} safe, {} unknown, {} error templates",
+        census[0], census[1], census[2]
+    );
+
+    // Failure chains straight from the data (no training needed).
+    let chains = extract_chains(&parsed, &EpisodeConfig::default());
+    println!("\nfailure chains found: {}", chains.len());
+    if let Some(c) = chains.first() {
+        println!("first chain (node {}, lead {:.1}s):", c.node, c.lead_secs());
+        for e in &c.events {
+            println!("  dT={:>7.2}s  {}", e.delta_t, parsed.template(e.phrase));
+        }
+    }
+
+    // Unknown-phrase analysis (Table 8 / Figure 9).
+    println!("\nunknown phrases ranked by contribution to failures:");
+    for c in unknown_contributions(&parsed, &chains, 20).iter().take(10) {
+        println!(
+            "  {:>5.1}%  ({:>4} of {:>4})  {}",
+            c.contribution_pct(),
+            c.in_chain,
+            c.total,
+            c.template
+        );
+    }
+
+    // Word embeddings make semantically related phrases neighbours (§3.1).
+    let seqs: Vec<Vec<u32>> = parsed.node_sequences().into_iter().map(|(_, s)| s).collect();
+    let mut rng = Xoshiro256pp::seed_from_u64(23);
+    let cfg = desh::nn::SgnsConfig { dim: 16, epochs: 2, ..Default::default() };
+    let mut sg = SkipGram::new(parsed.vocab_size(), &seqs, cfg, &mut rng);
+    sg.train(&seqs, &mut rng);
+    if let Some(lustre_id) = (0..parsed.vocab_size() as u32)
+        .find(|&id| parsed.template(id).starts_with("LustreError"))
+    {
+        let table = sg.into_table();
+        let emb = desh::nn::Embedding::from_table(table);
+        println!("\nnearest neighbours of \"LustreError\" in embedding space:");
+        for (id, sim) in emb.nearest(lustre_id, 4) {
+            println!("  {sim:+.3}  {}", parsed.template(id));
+        }
+    }
+}

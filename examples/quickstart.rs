@@ -1,0 +1,56 @@
+//! Quickstart: generate a synthetic Cray log, run the three-phase Desh
+//! pipeline, print the prediction report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use desh::prelude::*;
+
+fn main() {
+    // A small but realistic system: 32 nodes, 12 hours, 40 failures.
+    let mut profile = SystemProfile::m3();
+    profile.nodes = 32;
+    profile.failures = 40;
+    println!("generating dataset for {} ({} nodes)...", profile.name, profile.nodes);
+    let dataset = generate(&profile, 7);
+    println!(
+        "  {} records, {} injected failures over {:.0}h",
+        dataset.records.len(),
+        dataset.failures.len(),
+        dataset.duration.as_secs_f64() / 3600.0
+    );
+
+    println!("training Desh (phases 1+2 on the first 30% of the timeline)...");
+    let desh = Desh::new(DeshConfig::default(), 7);
+    let report = desh.run(&dataset);
+
+    println!("\n=== report for {} ===", report.system);
+    println!("{}", report.confusion.summary_row(&report.system));
+    println!(
+        "phase-1 3-step accuracy: {:.1}%  |  chains trained: {}",
+        report.phase1_accuracy * 100.0,
+        report.chains_trained
+    );
+    println!(
+        "mean lead time: {:.1}s over {} correctly predicted failures",
+        report.lead_overall.mean(),
+        report.lead_overall.count()
+    );
+    println!("\nlead time by failure class:");
+    for (class, s) in &report.lead_by_class {
+        println!("  {:<11} {:.1}s (n={})", class.name(), s.mean(), s.count());
+    }
+
+    // The warnings a deployment would act on.
+    println!("\nsample warnings:");
+    for v in report.verdicts.iter().filter(|v| v.flagged).take(5) {
+        println!(
+            "  node {:<12} expected to fail in {:>6.1}s  (score {:.3}{})",
+            v.node.to_string(),
+            v.predicted_lead_secs.unwrap_or(0.0),
+            v.score,
+            if v.is_failure { ", did fail" } else { ", false alarm" }
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! `desh-cli` — the command-line face of the pipeline.
+//!
+//! ```text
+//! desh-cli generate --profile m1 --seed 7 --out logs.txt [--truth truth.txt]
+//! desh-cli train    --log logs.txt --out model.dshm [--seed 7]
+//! desh-cli predict  --log logs.txt --model model.dshm [--truth truth.txt]
+//! desh-cli analyze  --log logs.txt
+//! ```
+//!
+//! `generate` synthesises a Cray-style log file; `train` runs phases 1+2
+//! and checkpoints the lead-time model (plus vocabulary); `predict`
+//! streams a log through the online detector and prints warnings, scoring
+//! them when ground truth is supplied; `analyze` runs the log mining and
+//! unknown-phrase analysis with no model at all.
+
+use desh::core::{run_phase1, run_phase2, OnlineDetector};
+use desh::prelude::*;
+use desh_util::codec::{Decoder, Encoder};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "train" => cmd_train(&opts),
+        "predict" => cmd_predict(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+desh-cli — LSTM-based node-failure prediction from HPC logs (Desh, HPDC'18)
+
+USAGE:
+  desh-cli generate --profile <m1|m2|m3|m4|tiny> --out <logs.txt>
+                    [--truth <truth.txt>] [--seed <n>]
+  desh-cli train    --log <logs.txt> --out <model.dshm> [--seed <n>] [--fast]
+  desh-cli predict  --log <logs.txt> --model <model.dshm> [--truth <truth.txt>]
+  desh-cli analyze  --log <logs.txt>";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a:?}"));
+        };
+        if key == "fast" {
+            out.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let Some(v) = it.next() else {
+            return Err(format!("flag --{key} needs a value"));
+        };
+        out.insert(key.to_string(), v.clone());
+    }
+    Ok(out)
+}
+
+fn need<'a>(opts: &'a Flags, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
+}
+
+fn seed_of(opts: &Flags) -> u64 {
+    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2018)
+}
+
+fn profile_of(name: &str) -> Result<SystemProfile, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "m1" => Ok(SystemProfile::m1()),
+        "m2" => Ok(SystemProfile::m2()),
+        "m3" => Ok(SystemProfile::m3()),
+        "m4" => Ok(SystemProfile::m4()),
+        "tiny" => Ok(SystemProfile::tiny()),
+        other => Err(format!("unknown profile {other:?}")),
+    }
+}
+
+fn cmd_generate(opts: &Flags) -> Result<(), String> {
+    let profile = profile_of(need(opts, "profile")?)?;
+    let out = PathBuf::from(need(opts, "out")?);
+    let dataset = generate(&profile, seed_of(opts));
+    let n = desh::loggen::io::write_log_file(&out, &dataset).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {n} log lines for {} ({} nodes, {} failures) to {}",
+        profile.name,
+        profile.nodes,
+        dataset.failures.len(),
+        out.display()
+    );
+    if let Some(truth) = opts.get("truth") {
+        desh::loggen::io::write_truth_file(Path::new(truth), &dataset.failures)
+            .map_err(|e| e.to_string())?;
+        println!("wrote ground truth to {truth}");
+    }
+    Ok(())
+}
+
+/// Checkpoint layout: header, vocabulary snapshot, lead-time model
+/// parameters, then the serialized VectorLstm.
+const MODEL_MAGIC: [u8; 4] = *b"DSHC";
+
+fn cmd_train(opts: &Flags) -> Result<(), String> {
+    let log_path = PathBuf::from(need(opts, "log")?);
+    let out = PathBuf::from(need(opts, "out")?);
+    let (records, bad) =
+        desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
+    if records.is_empty() {
+        return Err("log file contains no parseable lines".into());
+    }
+    println!("read {} records ({} corrupt lines skipped)", records.len(), bad.len());
+
+    let cfg = if opts.contains_key("fast") { DeshConfig::fast() } else { DeshConfig::default() };
+    let mut rng = Xoshiro256pp::seed_from_u64(seed_of(opts));
+    let parsed = parse_records(&records);
+    println!("vocabulary: {} templates; running phase 1...", parsed.vocab_size());
+    let p1 = run_phase1(&parsed, &cfg, &mut rng);
+    println!(
+        "phase 1 done: {} failure chains, 3-step accuracy {:.1}%",
+        p1.chains.len(),
+        p1.accuracy_kstep * 100.0
+    );
+    if p1.chains.is_empty() {
+        return Err("no failure chains found in the training log".into());
+    }
+    println!("running phase 2 ({} epochs)...", cfg.phase2.epochs);
+    let model = run_phase2(&p1.chains, parsed.vocab_size(), &cfg.phase2, &mut rng);
+
+    // Checkpoint: vocabulary + model constants + network weights.
+    let mut e = Encoder::with_header(MODEL_MAGIC, 1);
+    let vocab = parsed.vocab.snapshot();
+    e.put_u64(vocab.len() as u64);
+    for t in &vocab {
+        e.put_str(t);
+    }
+    e.put_f32(model.dt_scale);
+    e.put_u64(model.history as u64);
+    let net = model.model.to_bytes();
+    e.put_u64(net.len() as u64);
+    let mut bytes = e.finish().to_vec();
+    bytes.extend_from_slice(&net);
+    std::fs::write(&out, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "checkpointed lead-time model ({} KiB) to {}",
+        bytes.len() / 1024,
+        out.display()
+    );
+    Ok(())
+}
+
+fn load_model(path: &Path) -> Result<(LeadTimeModel, std::sync::Arc<desh::logparse::Vocab>), String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    let mut d = Decoder::new(bytes::Bytes::from(bytes));
+    d.expect_header(MODEL_MAGIC, 1).map_err(|e| e.to_string())?;
+    let n = d.u64().map_err(|e| e.to_string())? as usize;
+    let vocab = desh::logparse::Vocab::new();
+    for _ in 0..n {
+        vocab.intern(&d.string().map_err(|e| e.to_string())?);
+    }
+    let dt_scale = d.f32().map_err(|e| e.to_string())?;
+    let history = d.u64().map_err(|e| e.to_string())? as usize;
+    let net_len = d.u64().map_err(|e| e.to_string())? as usize;
+    let mut net_bytes = vec![0u8; net_len];
+    for b in net_bytes.iter_mut() {
+        *b = d.u8().map_err(|e| e.to_string())?;
+    }
+    let net = VectorLstm::from_bytes(net_bytes.into()).map_err(|e| e.to_string())?;
+    let model = LeadTimeModel {
+        model: net,
+        dt_scale,
+        vocab_size: n,
+        history,
+        losses: Vec::new(),
+    };
+    Ok((model, std::sync::Arc::new(vocab)))
+}
+
+fn cmd_predict(opts: &Flags) -> Result<(), String> {
+    let log_path = PathBuf::from(need(opts, "log")?);
+    let model_path = PathBuf::from(need(opts, "model")?);
+    let (model, vocab) = load_model(&model_path)?;
+    let (records, bad) =
+        desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
+    println!("read {} records ({} corrupt skipped)", records.len(), bad.len());
+
+    let mut detector = OnlineDetector::new(model, vocab, DeshConfig::default());
+    let mut warnings = Vec::new();
+    for r in &records {
+        if let Some(w) = detector.ingest(r) {
+            println!("[{}] {}", w.at.as_clock(), OnlineDetector::format_warning(&w));
+            warnings.push(w);
+        }
+    }
+    println!("\n{} warnings over {} anomaly events", warnings.len(), detector.events_seen());
+
+    if let Some(truth_path) = opts.get("truth") {
+        let truth =
+            desh::loggen::io::read_truth_file(Path::new(truth_path)).map_err(|e| e.to_string())?;
+        let mut caught = 0usize;
+        for f in &truth {
+            if warnings.iter().any(|w| {
+                w.node == f.node && w.at < f.time && f.time.saturating_sub(w.at).as_mins_f64() < 10.0
+            }) {
+                caught += 1;
+            }
+        }
+        println!(
+            "scored against ground truth: {caught}/{} failures warned ahead of time",
+            truth.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(opts: &Flags) -> Result<(), String> {
+    let log_path = PathBuf::from(need(opts, "log")?);
+    let (records, bad) =
+        desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
+    let parsed = parse_records(&records);
+    println!(
+        "{} records ({} corrupt), {} templates, {} nodes",
+        records.len(),
+        bad.len(),
+        parsed.vocab_size(),
+        parsed.per_node.len()
+    );
+    let chains = extract_chains(&parsed, &EpisodeConfig::default());
+    println!("failure chains: {}", chains.len());
+
+    println!("\nbusiest nodes by anomaly count:");
+    for a in desh::logparse::node_activity(&parsed).iter().take(5) {
+        println!("  {:<12} {:>6} events, {:>5} anomalies", a.node.to_string(), a.events, a.anomalies);
+    }
+    let bursts = desh::logparse::find_bursts(&parsed, 4, Micros::from_secs(30));
+    if !bursts.is_empty() {
+        println!("\nmessage bursts (>=4 repeats within 30s):");
+        for b in bursts.iter().take(5) {
+            println!(
+                "  {:<12} x{:<3} {}",
+                b.node.to_string(),
+                b.count,
+                parsed.template(b.phrase)
+            );
+        }
+    }
+    println!("\nunknown phrases by contribution to failures:");
+    for c in unknown_contributions(&parsed, &chains, 10).iter().take(12) {
+        println!(
+            "  {:>5.1}%  ({:>4}/{:<4})  {}",
+            c.contribution_pct(),
+            c.in_chain,
+            c.total,
+            c.template
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Integration tests for the comparison harness: Desh and the baselines
+//! evaluated under one protocol on one dataset.
+
+use desh::prelude::*;
+
+#[test]
+fn desh_produces_lead_times_baselines_do_not() {
+    let mut p = SystemProfile::tiny();
+    p.failures = 24;
+    p.nodes = 16;
+    let dataset = generate(&p, 211);
+    let rows = desh::baselines::measured_rows(&dataset, 211);
+    assert_eq!(rows.len(), 3);
+    let desh_row = &rows[0];
+    assert!(desh_row.solution.starts_with("Desh"));
+    assert!(desh_row.lead_time_secs.is_some(), "Desh must report lead times");
+    assert!(desh_row.location, "Desh must localise the failing node");
+    for r in &rows[1..] {
+        assert!(r.lead_time_secs.is_none(), "{} should not claim lead times", r.solution);
+        assert!(!r.location);
+    }
+}
+
+#[test]
+fn all_measured_detectors_beat_coin_flips_on_recall_or_precision() {
+    let mut p = SystemProfile::tiny();
+    p.failures = 24;
+    p.nodes = 16;
+    let dataset = generate(&p, 212);
+    for r in desh::baselines::measured_rows(&dataset, 212) {
+        let recall = r.recall.unwrap_or(0.0);
+        let precision = r.precision.unwrap_or(0.0);
+        assert!(
+            recall > 0.5 || precision > 0.5,
+            "{}: recall {recall:.2} precision {precision:.2}",
+            r.solution
+        );
+    }
+}
+
+#[test]
+fn capability_matrix_is_consistent_with_measured_rows() {
+    let matrix = desh::baselines::capability_matrix();
+    let lead = matrix.iter().find(|(f, _, _)| *f == "Lead Time").unwrap();
+    let node_failures = matrix.iter().find(|(f, _, _)| *f == "Node Failures").unwrap();
+    assert!(lead.1 && node_failures.1);
+    assert!(!lead.2 && !node_failures.2);
+}

@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) on the workspace's core data structures
+//! and invariants.
+
+use desh::prelude::*;
+use desh::util::codec::{Decoder, Encoder};
+use proptest::prelude::*;
+
+proptest! {
+    // ---- codec ------------------------------------------------------------
+
+    #[test]
+    fn codec_round_trips_arbitrary_payloads(
+        a in any::<u64>(),
+        b in any::<f32>().prop_filter("finite", |x| x.is_finite()),
+        s in ".{0,64}",
+        xs in proptest::collection::vec(any::<f32>().prop_filter("finite", |x| x.is_finite()), 0..64),
+        us in proptest::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let mut e = Encoder::new();
+        e.put_u64(a);
+        e.put_f32(b);
+        e.put_str(&s);
+        e.put_f32_slice(&xs);
+        e.put_u32_slice(&us);
+        let mut d = Decoder::new(e.finish());
+        prop_assert_eq!(d.u64().unwrap(), a);
+        prop_assert_eq!(d.f32().unwrap(), b);
+        prop_assert_eq!(d.string().unwrap(), s);
+        prop_assert_eq!(d.f32_vec().unwrap(), xs);
+        prop_assert_eq!(d.u32_vec().unwrap(), us);
+        prop_assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn codec_never_panics_on_truncation(
+        xs in proptest::collection::vec(any::<f32>(), 1..32),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut e = Encoder::new();
+        e.put_f32_slice(&xs);
+        let bytes = e.finish();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let mut d = Decoder::new(bytes.slice(0..cut));
+        // Either decodes fully or errors; never panics.
+        let _ = d.f32_vec();
+    }
+
+    // ---- time -------------------------------------------------------------
+
+    #[test]
+    fn clock_round_trip_within_a_day(us in 0u64..86_400_000_000u64) {
+        let t = Micros(us);
+        prop_assert_eq!(Micros::parse_clock(&t.as_clock()).unwrap(), t);
+    }
+
+    // ---- node ids ----------------------------------------------------------
+
+    #[test]
+    fn node_id_round_trips(idx in 0usize..49_152) {
+        let id = NodeId::from_index(idx);
+        let parsed: NodeId = id.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, id);
+        prop_assert_eq!(id.to_index(), idx);
+    }
+
+    // ---- template mining -----------------------------------------------------
+
+    #[test]
+    fn template_extraction_is_idempotent(s in "[ -~]{0,120}") {
+        let once = extract_template(&s);
+        let twice = extract_template(&once);
+        prop_assert_eq!(&once, &twice, "input was {:?}", s);
+    }
+
+    #[test]
+    fn template_never_contains_long_hex(s in "[ -~]{0,120}") {
+        let t = extract_template(&s);
+        for tok in t.split_whitespace() {
+            let core = tok.trim_matches(|c: char| ",.;:()[]<>".contains(c));
+            let all_hex = core.len() >= 12 && core.bytes().all(|b| b.is_ascii_hexdigit());
+            prop_assert!(!all_hex, "leaked hex token {:?} in template {:?}", tok, t);
+        }
+    }
+
+    // ---- statistics ---------------------------------------------------------
+
+    #[test]
+    fn summary_merge_equals_single_pass(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let whole = Summary::of(&xs);
+        let mut left = Summary::of(&xs[..split]);
+        left.merge(&Summary::of(&xs[split..]));
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-4 * (1.0 + whole.variance()));
+    }
+
+    // ---- metrics -------------------------------------------------------------
+
+    #[test]
+    fn confusion_metrics_stay_in_unit_range(
+        tp in 0u64..1000, fp in 0u64..1000, tn in 0u64..1000, fnn in 0u64..1000,
+    ) {
+        let c = Confusion { tp, fp, tn, fnn };
+        for v in [c.recall(), c.precision(), c.accuracy(), c.f1(), c.fp_rate(), c.fn_rate()] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range for {c:?}");
+        }
+        // F1 is bounded by both recall and precision maxima.
+        prop_assert!(c.f1() <= c.recall().max(c.precision()) + 1e-12);
+        // FN rate complements recall.
+        if tp + fnn > 0 {
+            prop_assert!((c.fn_rate() - (1.0 - c.recall())).abs() < 1e-12);
+        }
+    }
+
+    // ---- rng -----------------------------------------------------------------
+
+    #[test]
+    fn rng_below_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_weighted_picks_only_positive_indices(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(0.0f64..10.0, 1..8),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..50 {
+            let idx = rng.weighted(&weights);
+            prop_assert!(idx < weights.len());
+        }
+    }
+
+    // ---- matrices --------------------------------------------------------------
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mk = |r: usize, c: usize, rng: &mut Xoshiro256pp| {
+            Mat::from_fn(r, c, |_, _| rng.f32() - 0.5)
+        };
+        let a = mk(m, k, &mut rng);
+        let b = mk(k, n, &mut rng);
+        let c = mk(k, n, &mut rng);
+        // A(B + C) == AB + AC
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    // ---- generator invariants ---------------------------------------------------
+
+    #[test]
+    fn generated_datasets_are_well_formed(seed in any::<u64>()) {
+        let d = generate(&SystemProfile::tiny(), seed);
+        // Sorted by time.
+        for w in d.records.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        // Every failure has a terminal record at its node/time.
+        for f in &d.failures {
+            prop_assert!(d.records.iter().any(|r| r.node == f.node && r.time == f.time));
+        }
+        // Raw lines parse back.
+        for r in d.records.iter().take(50) {
+            let parsed: LogRecord = r.to_raw_line().parse().unwrap();
+            prop_assert_eq!(parsed.node, r.node);
+        }
+    }
+}
