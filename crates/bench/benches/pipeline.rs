@@ -1,11 +1,17 @@
 //! Pipeline-stage benches: template extraction throughput, phase-2
 //! training epochs, and phase-3 episode scoring — the operations that
-//! bound how much log volume a deployment can keep up with.
+//! bound how much log volume a deployment can keep up with — plus the
+//! telemetry-overhead pair proving that instrumentation with a disabled
+//! handle costs <2% and stays cheap even when enabled.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use desh_core::{chain_to_vectors, extract_chains, extract_episodes, run_phase2, DeshConfig};
+use desh_core::{
+    chain_to_vectors, extract_chains, extract_episodes, run_phase2, run_phase3,
+    run_phase3_telemetry, DeshConfig,
+};
 use desh_loggen::{generate, SystemProfile};
 use desh_logparse::{extract_template, parse_records};
+use desh_obs::Telemetry;
 use desh_util::Xoshiro256pp;
 use std::hint::black_box;
 
@@ -90,11 +96,46 @@ fn bench_chain_vectorization(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead: the same phase-3 scoring pass run through the
+/// instrumented entry points with (a) the disabled no-op handle (the
+/// default everywhere) and (b) a live registry recording spans, counters
+/// and per-episode latency histograms. (a) must stay within 2% of the
+/// pre-instrumentation `score_all_episodes` baseline above; (b) bounds
+/// the cost of switching telemetry on.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let d = generate(&SystemProfile::tiny(), 2018);
+    let cfg = DeshConfig::fast();
+    let parsed = parse_records(&d.records);
+    let chains = extract_chains(&parsed, &cfg.episodes);
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let mut p2 = cfg.phase2.clone();
+    p2.epochs = 10;
+    let model = run_phase2(&chains, parsed.vocab_size(), &p2, &mut rng);
+    let mut group = c.benchmark_group("telemetry");
+    group.bench_function("phase3_telemetry_disabled", |b| {
+        b.iter(|| black_box(run_phase3(&model, &parsed, &d.failures, &cfg)))
+    });
+    let telemetry = Telemetry::enabled();
+    group.bench_function("phase3_telemetry_enabled", |b| {
+        b.iter(|| {
+            black_box(run_phase3_telemetry(
+                &model,
+                &parsed,
+                &d.failures,
+                &cfg,
+                &telemetry,
+            ))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_template_extraction,
     bench_phase2_epoch,
     bench_phase3_scoring,
-    bench_chain_vectorization
+    bench_chain_vectorization,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -19,6 +19,7 @@ pub mod episode;
 pub mod explain;
 pub mod leadtime;
 pub mod metrics;
+pub mod observe;
 pub mod online;
 pub mod phase1;
 pub mod phase2;
@@ -37,9 +38,10 @@ pub use explain::{dtw_distance, explain_episode, Explanation};
 pub use leadtime::{lead_by_class, lead_overall, observation4, recall_by_class, sensitivity_sweep, SweepPoint};
 pub use metrics::Confusion;
 pub use online::{OnlineDetector, Warning};
-pub use phase1::{run_phase1, Phase1Output};
-pub use phase2::{chain_to_vectors, run_phase2, LeadTimeModel};
-pub use phase3::{maintenance_windows, run_phase3, Phase3Output, Verdict};
+pub use observe::EpochTelemetry;
+pub use phase1::{run_phase1, run_phase1_telemetry, Phase1Output};
+pub use phase2::{chain_to_vectors, run_phase2, run_phase2_telemetry, LeadTimeModel};
+pub use phase3::{maintenance_windows, run_phase3, run_phase3_telemetry, Phase3Output, Verdict};
 pub use pipeline::{Desh, DeshReport, TrainedDesh};
 pub use report::{markdown_row, render};
 pub use tuning::{calibrate, Calibration, OperatingPoint};

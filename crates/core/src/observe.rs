@@ -1,0 +1,65 @@
+//! Bridge from `desh-nn`'s training-observer hook to `desh-obs` metrics.
+//!
+//! `desh-nn` stays telemetry-free: it defines [`TrainObserver`] and knows
+//! nothing about registries. This adapter closes the gap — `desh-core`
+//! hands it to `train_observed` and per-epoch loss/wall-time flow into the
+//! shared registry under the caller's metric prefix.
+
+use desh_nn::TrainObserver;
+use desh_obs::Telemetry;
+use std::time::Duration;
+
+/// Forwards per-epoch training progress into a telemetry registry:
+/// `<prefix>.epochs` (counter), `<prefix>.epoch_loss` (gauge, last epoch's
+/// mean loss) and `<prefix>.epoch_time_us` (latency histogram).
+pub struct EpochTelemetry<'a> {
+    telemetry: &'a Telemetry,
+    prefix: &'a str,
+}
+
+impl<'a> EpochTelemetry<'a> {
+    pub fn new(telemetry: &'a Telemetry, prefix: &'a str) -> Self {
+        Self { telemetry, prefix }
+    }
+}
+
+impl TrainObserver for EpochTelemetry<'_> {
+    fn on_epoch(&mut self, _epoch: usize, mean_loss: f64, elapsed: Duration) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.count(&format!("{}.epochs", self.prefix), 1);
+        self.telemetry.gauge_set(&format!("{}.epoch_loss", self.prefix), mean_loss);
+        self.telemetry.observe_us(
+            &format!("{}.epoch_time_us", self.prefix),
+            elapsed.as_micros().min(u64::MAX as u128) as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_flow_into_registry() {
+        let t = Telemetry::enabled();
+        let mut obs = EpochTelemetry::new(&t, "phase1");
+        obs.on_epoch(0, 2.0, Duration::from_micros(500));
+        obs.on_epoch(1, 1.0, Duration::from_micros(700));
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counter("phase1.epochs"), Some(2));
+        assert_eq!(snap.gauge("phase1.epoch_loss"), Some(1.0), "gauge keeps last epoch");
+        let h = snap.histogram("phase1.epoch_time_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5) >= 400.0);
+    }
+
+    #[test]
+    fn disabled_telemetry_stays_empty() {
+        let t = Telemetry::disabled();
+        let mut obs = EpochTelemetry::new(&t, "phase2");
+        obs.on_epoch(0, 1.0, Duration::from_micros(10));
+        assert!(t.snapshot().is_none());
+    }
+}

@@ -18,9 +18,11 @@ use crate::config::DeshConfig;
 use crate::phase2::LeadTimeModel;
 use desh_loggen::{FailureClass, Label, LogRecord, NodeId};
 use desh_logparse::{extract_template, is_failure_terminal, label_template, Vocab};
+use desh_obs::{Counter, Gauge, LatencyHistogram, Telemetry};
 use desh_util::Micros;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A proactive warning for one node.
 #[derive(Debug, Clone)]
@@ -47,6 +49,21 @@ struct NodeState {
     warned: bool,
 }
 
+/// Pre-resolved metric handles for the per-event hot path: every update
+/// below is a lock-free atomic op, no name lookup, no allocation.
+#[derive(Debug)]
+struct OnlineMetrics {
+    /// `online.events` — non-Safe events ingested.
+    events: Arc<Counter>,
+    /// `online.warnings` — warnings emitted.
+    warnings: Arc<Counter>,
+    /// `online.score_latency_us` — wall time of one buffer scoring pass
+    ///   (the paper's Fig 10 per-event cost, ≈0.65 ms on their hardware).
+    score_latency: Arc<LatencyHistogram>,
+    /// `online.buffered_events` — events currently buffered across nodes.
+    buffered: Arc<Gauge>,
+}
+
 /// Streaming detector wrapping a trained [`LeadTimeModel`].
 #[derive(Debug)]
 pub struct OnlineDetector {
@@ -56,12 +73,37 @@ pub struct OnlineDetector {
     nodes: HashMap<NodeId, NodeState>,
     warnings_emitted: u64,
     events_seen: u64,
+    /// Running total of buffered events (kept incrementally so the gauge
+    /// update stays O(1) per event).
+    buffered_total: u64,
+    metrics: Option<OnlineMetrics>,
 }
 
 impl OnlineDetector {
     /// Build from a trained model and the training vocabulary (phrase ids
-    /// must match what the model was trained on).
+    /// must match what the model was trained on). Telemetry is disabled;
+    /// use [`OnlineDetector::with_telemetry`] to record metrics.
     pub fn new(model: LeadTimeModel, vocab: Arc<Vocab>, cfg: DeshConfig) -> Self {
+        Self::with_telemetry(model, vocab, cfg, &Telemetry::disabled())
+    }
+
+    /// [`OnlineDetector::new`] recording into a telemetry registry:
+    /// `online.events` / `online.warnings` counters, the
+    /// `online.score_latency_us` per-event scoring-latency histogram, and
+    /// the `online.buffered_events` occupancy gauge. Handles are resolved
+    /// once here so `ingest` never touches the registry lock.
+    pub fn with_telemetry(
+        model: LeadTimeModel,
+        vocab: Arc<Vocab>,
+        cfg: DeshConfig,
+        telemetry: &Telemetry,
+    ) -> Self {
+        let metrics = telemetry.registry().map(|r| OnlineMetrics {
+            events: r.counter("online.events"),
+            warnings: r.counter("online.warnings"),
+            score_latency: r.histogram("online.score_latency_us"),
+            buffered: r.gauge("online.buffered_events"),
+        });
         Self {
             model,
             cfg,
@@ -69,6 +111,8 @@ impl OnlineDetector {
             nodes: HashMap::new(),
             warnings_emitted: 0,
             events_seen: 0,
+            buffered_total: 0,
+            metrics,
         }
     }
 
@@ -104,53 +148,89 @@ impl OnlineDetector {
         let gap = Micros::from_secs_f64(self.cfg.episodes.session_gap_secs);
         if let Some(&(last, _)) = state.events.last() {
             if record.time.saturating_sub(last) > gap {
+                self.buffered_total -= state.events.len() as u64;
                 state.events.clear();
                 state.warned = false;
             }
         }
         state.events.push((record.time, phrase));
         self.events_seen += 1;
+        self.buffered_total += 1;
+        if let Some(m) = &self.metrics {
+            m.events.inc();
+            m.buffered.set(self.buffered_total as f64);
+        }
 
         // A terminal message ends the episode — too late to warn.
         if is_failure_terminal(&template) {
+            self.buffered_total -= state.events.len() as u64;
             state.events.clear();
             state.warned = false;
+            if let Some(m) = &self.metrics {
+                m.buffered.set(self.buffered_total as f64);
+            }
             return None;
         }
         if state.warned || state.events.len() < self.cfg.phase3.min_evidence + 1 {
             return None;
         }
 
-        // Score the buffered episode prefix: ΔTs relative to the newest
-        // event (what the batch pipeline does with completed episodes).
+        // From here on the event pays for a model evaluation — this is the
+        // per-event cost the paper's Fig 10 reports (≈0.65 ms).
+        let t0 = self.metrics.as_ref().map(|_| Instant::now());
+        let warning = Self::score_buffer(&self.model, &self.cfg, &self.vocab, state, record);
+        if let Some(m) = &self.metrics {
+            m.score_latency
+                .record(t0.unwrap().elapsed().as_micros().min(u64::MAX as u128) as u64);
+            if warning.is_some() {
+                m.warnings.inc();
+            }
+        }
+        if warning.is_some() {
+            self.warnings_emitted += 1;
+        }
+        warning
+    }
+
+    /// Score one node's buffered episode prefix and build the warning if
+    /// the model recognises a failure chain. Takes fields rather than
+    /// `&self` because the caller holds a mutable borrow of the node map.
+    fn score_buffer(
+        model: &LeadTimeModel,
+        cfg: &DeshConfig,
+        vocab: &Vocab,
+        state: &mut NodeState,
+        record: &LogRecord,
+    ) -> Option<Warning> {
+        // ΔTs relative to the newest event (what the batch pipeline does
+        // with completed episodes).
         let newest = state.events.last().unwrap().0;
         let seq: Vec<Vec<f32>> = state
             .events
             .iter()
-            .map(|&(t, p)| self.model.vectorize(newest.saturating_sub(t).as_secs_f64(), p))
+            .map(|&(t, p)| model.vectorize(newest.saturating_sub(t).as_secs_f64(), p))
             .collect();
-        let raw = self.model.model.score_sequence(&seq, self.model.history);
-        if raw.len() < self.cfg.phase3.min_evidence {
+        let raw = model.model.score_sequence(&seq, model.history);
+        if raw.len() < cfg.phase3.min_evidence {
             return None;
         }
-        let unit = (self.model.vocab_size + 1) as f64 / 2.0 * self.cfg.phase3.score_scale;
+        let unit = (model.vocab_size + 1) as f64 / 2.0 * cfg.phase3.score_scale;
         let score = raw.iter().map(|s| s * unit).sum::<f64>() / raw.len() as f64;
-        if score > self.cfg.phase3.mse_threshold {
+        if score > cfg.phase3.mse_threshold {
             return None;
         }
 
         // Chain recognised: the model's predicted *next* sample carries the
         // expected remaining ΔT on channel 0.
         let window: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
-        let next = self.model.model.predict_next(&window, self.model.history);
-        let predicted_lead_secs = self.model.denormalize_dt(next[0]);
+        let next = model.model.predict_next(&window, model.history);
+        let predicted_lead_secs = model.denormalize_dt(next[0]);
 
         state.warned = true;
-        self.warnings_emitted += 1;
         let evidence: Vec<String> = state
             .events
             .iter()
-            .map(|&(_, p)| self.vocab.text(p).unwrap_or_default())
+            .map(|&(_, p)| vocab.text(p).unwrap_or_default())
             .collect();
         let class = classify_templates(evidence.iter().cloned());
         Some(Warning {
@@ -260,6 +340,39 @@ mod tests {
         let line = test.records[0].to_raw_line();
         det.ingest_line(&line).expect("generator lines parse");
         assert!(det.ingest_line("not a log line").is_err());
+    }
+
+    #[test]
+    fn telemetry_captures_scoring_latency_and_occupancy() {
+        let mut p = SystemProfile::tiny();
+        p.failures = 30;
+        p.nodes = 24;
+        let d = generate(&p, 306);
+        let (train, test) = d.split_by_time(0.3);
+        let desh = Desh::new(DeshConfig::fast(), 306);
+        let trained = desh.train(&train);
+        let t = Telemetry::enabled();
+        let mut det = OnlineDetector::with_telemetry(
+            trained.lead_model.clone(),
+            trained.parsed_train.vocab.clone(),
+            desh.cfg.clone(),
+            &t,
+        );
+        for r in &test.records {
+            det.ingest(r);
+        }
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counter("online.events"), Some(det.events_seen()));
+        assert_eq!(snap.counter("online.warnings"), Some(det.warnings_emitted()));
+        assert!(det.warnings_emitted() > 0);
+        let lat = snap.histogram("online.score_latency_us").unwrap();
+        assert!(lat.count() > 0, "no scoring passes recorded");
+        assert!(lat.quantile(0.99) > 0.0);
+        let occ = snap.gauge("online.buffered_events").unwrap();
+        assert!(occ >= 0.0);
+        // The incremental occupancy total matches a direct recount.
+        let direct: u64 = det.nodes.values().map(|s| s.events.len() as u64).sum();
+        assert_eq!(det.buffered_total, direct);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 
 use crate::chain::{extract_chains, FailureChain};
 use crate::config::{DeshConfig, Phase1Config};
-use desh_nn::{Mat, Optimizer, Sgd, SgnsConfig, SkipGram, TokenLstm, TrainConfig};
+use crate::observe::EpochTelemetry;
 use desh_logparse::ParsedLog;
+use desh_nn::{Mat, Optimizer, Sgd, SgnsConfig, SkipGram, TokenLstm, TrainConfig};
+use desh_obs::Telemetry;
 use desh_util::Xoshiro256pp;
 
 /// Everything phase 1 produces.
@@ -43,6 +45,19 @@ pub fn train_embeddings(
 
 /// Run phase 1 on a parsed training log.
 pub fn run_phase1(parsed: &ParsedLog, cfg: &DeshConfig, rng: &mut Xoshiro256pp) -> Phase1Output {
+    run_phase1_telemetry(parsed, cfg, rng, &Telemetry::disabled())
+}
+
+/// [`run_phase1`] reporting into a telemetry registry: the `phase1` span,
+/// per-epoch loss/time via [`EpochTelemetry`], `phase1.sequences` and
+/// `phase1.chains` counters, and the `phase1.accuracy_kstep` gauge.
+pub fn run_phase1_telemetry(
+    parsed: &ParsedLog,
+    cfg: &DeshConfig,
+    rng: &mut Xoshiro256pp,
+    telemetry: &Telemetry,
+) -> Phase1Output {
+    let _span = telemetry.span("phase1");
     let p1: &Phase1Config = &cfg.phase1;
     let vocab = parsed.vocab_size().max(2);
     let seqs: Vec<Vec<u32>> = parsed
@@ -52,9 +67,10 @@ pub fn run_phase1(parsed: &ParsedLog, cfg: &DeshConfig, rng: &mut Xoshiro256pp) 
         .filter(|s| s.len() > p1.history)
         .collect();
     assert!(!seqs.is_empty(), "no node sequence longer than the history size");
+    telemetry.count("phase1.sequences", seqs.len() as u64);
 
     let mut model = if p1.use_sgns {
-        let table = train_embeddings(&seqs, vocab, &p1.sgns, rng);
+        let table = telemetry.time("sgns", || train_embeddings(&seqs, vocab, &p1.sgns, rng));
         TokenLstm::with_embeddings(table, p1.hidden, p1.layers, rng)
     } else {
         TokenLstm::new(vocab, p1.embed_dim, p1.hidden, p1.layers, rng)
@@ -67,14 +83,23 @@ pub fn run_phase1(parsed: &ParsedLog, cfg: &DeshConfig, rng: &mut Xoshiro256pp) 
         clip: 5.0,
     };
     let mut opt = Sgd::with_momentum(p1.lr, 0.9);
-    let losses = model.train(&seqs, &tcfg, &mut opt as &mut dyn Optimizer, rng);
+    let mut observer = EpochTelemetry::new(telemetry, "phase1");
+    let losses = model.train_observed(
+        &seqs,
+        &tcfg,
+        &mut opt as &mut dyn Optimizer,
+        rng,
+        &mut observer,
+    );
 
     // Evaluate k-step accuracy on a bounded sample of sequences to keep
     // phase 1 cheap (it is an offline training phase).
     let sample: Vec<Vec<u32>> = seqs.iter().take(16).cloned().collect();
     let accuracy_kstep = model.accuracy_kstep(&sample, p1.history, p1.steps);
+    telemetry.gauge_set("phase1.accuracy_kstep", accuracy_kstep);
 
     let chains = extract_chains(parsed, &cfg.episodes);
+    telemetry.count("phase1.chains", chains.len() as u64);
     Phase1Output { model, chains, losses, accuracy_kstep }
 }
 

@@ -20,7 +20,9 @@
 
 use crate::chain::FailureChain;
 use crate::config::Phase2Config;
+use crate::observe::EpochTelemetry;
 use desh_nn::{Optimizer, RmsProp, TrainConfig, VectorLstm};
+use desh_obs::Telemetry;
 use desh_util::Xoshiro256pp;
 
 /// The trained lead-time model plus the encoding constants that must
@@ -87,8 +89,23 @@ pub fn run_phase2(
     cfg: &Phase2Config,
     rng: &mut Xoshiro256pp,
 ) -> LeadTimeModel {
+    run_phase2_telemetry(chains, vocab_size, cfg, rng, &Telemetry::disabled())
+}
+
+/// [`run_phase2`] reporting into a telemetry registry: the `phase2` span,
+/// per-epoch loss/time via [`EpochTelemetry`], and the `phase2.chains`
+/// input counter.
+pub fn run_phase2_telemetry(
+    chains: &[FailureChain],
+    vocab_size: usize,
+    cfg: &Phase2Config,
+    rng: &mut Xoshiro256pp,
+    telemetry: &Telemetry,
+) -> LeadTimeModel {
+    let _span = telemetry.span("phase2");
     assert!(!chains.is_empty(), "phase 2 requires at least one failure chain");
     assert!(vocab_size > 0);
+    telemetry.count("phase2.chains", chains.len() as u64);
     let seqs: Vec<Vec<Vec<f32>>> = chains
         .iter()
         .map(|c| chain_to_vectors(c, cfg.dt_scale, vocab_size))
@@ -101,7 +118,14 @@ pub fn run_phase2(
         clip: 5.0,
     };
     let mut opt = RmsProp::new(cfg.lr);
-    let losses = model.train(&seqs, &tcfg, &mut opt as &mut dyn Optimizer, rng);
+    let mut observer = EpochTelemetry::new(telemetry, "phase2");
+    let losses = model.train_observed(
+        &seqs,
+        &tcfg,
+        &mut opt as &mut dyn Optimizer,
+        rng,
+        &mut observer,
+    );
     LeadTimeModel {
         model,
         dt_scale: cfg.dt_scale,

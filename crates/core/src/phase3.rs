@@ -15,8 +15,10 @@ use crate::metrics::Confusion;
 use crate::phase2::LeadTimeModel;
 use desh_loggen::{FailureClass, GroundTruthFailure, NodeId};
 use desh_logparse::ParsedLog;
+use desh_obs::Telemetry;
 use desh_util::Micros;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Outcome for one test episode.
 #[derive(Debug, Clone)]
@@ -147,8 +149,26 @@ pub fn run_phase3(
     truth: &[GroundTruthFailure],
     cfg: &DeshConfig,
 ) -> Phase3Output {
+    run_phase3_telemetry(model, parsed, truth, cfg, &Telemetry::disabled())
+}
+
+/// [`run_phase3`] reporting into a telemetry registry: the `phase3` span,
+/// `phase3.episodes` / `phase3.flagged` / `phase3.excluded_maintenance`
+/// counters, and the per-episode `phase3.episode_score_us` latency
+/// histogram (recorded from the rayon workers through a pre-resolved
+/// lock-free handle).
+pub fn run_phase3_telemetry(
+    model: &LeadTimeModel,
+    parsed: &ParsedLog,
+    truth: &[GroundTruthFailure],
+    cfg: &DeshConfig,
+    telemetry: &Telemetry,
+) -> Phase3Output {
+    let _span = telemetry.span("phase3");
     let windows = maintenance_windows(parsed, 8);
-    let episodes: Vec<Episode> = extract_episodes(parsed, &cfg.episodes)
+    let all = extract_episodes(parsed, &cfg.episodes);
+    let before = all.len();
+    let episodes: Vec<Episode> = all
         .into_iter()
         .filter(|ep| {
             !windows
@@ -156,11 +176,18 @@ pub fn run_phase3(
                 .any(|(lo, hi)| ep.end() >= *lo && ep.start() <= *hi)
         })
         .collect();
+    telemetry.count("phase3.episodes", episodes.len() as u64);
+    telemetry.count("phase3.excluded_maintenance", (before - episodes.len()) as u64);
 
+    let score_hist = telemetry.histogram_handle("phase3.episode_score_us");
     let verdicts: Vec<Verdict> = episodes
         .par_iter()
         .map(|ep| {
+            let t0 = score_hist.as_ref().map(|_| Instant::now());
             let (flagged, score, predicted_lead_secs) = score_episode(model, ep, cfg);
+            if let (Some(h), Some(t0)) = (&score_hist, t0) {
+                h.record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            }
             let class = match_truth(ep, truth);
             Verdict {
                 node: ep.node,
@@ -179,6 +206,7 @@ pub fn run_phase3(
     for v in &verdicts {
         confusion.record(v.flagged, v.is_failure);
     }
+    telemetry.count("phase3.flagged", verdicts.iter().filter(|v| v.flagged).count() as u64);
     Phase3Output { verdicts, confusion }
 }
 

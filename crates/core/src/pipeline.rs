@@ -5,13 +5,15 @@ use crate::chain::FailureChain;
 use crate::config::DeshConfig;
 use crate::leadtime::{lead_by_class, lead_overall, observation4, recall_by_class};
 use crate::metrics::Confusion;
-use crate::phase1::{run_phase1, Phase1Output};
-use crate::phase2::{run_phase2, LeadTimeModel};
-use crate::phase3::{run_phase3, Verdict};
+use crate::phase1::{run_phase1_telemetry, Phase1Output};
+use crate::phase2::{run_phase2_telemetry, LeadTimeModel};
+use crate::phase3::{run_phase3_telemetry, Verdict};
 use desh_loggen::{Dataset, FailureClass};
-use desh_logparse::{parse_records, parse_records_with_vocab, ParsedLog};
+use desh_logparse::{parse_records_telemetry, ParsedLog};
+use desh_obs::Telemetry;
 use desh_util::{Summary, Xoshiro256pp};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Full report from one Desh run on one system's dataset.
 #[derive(Debug)]
@@ -43,6 +45,8 @@ pub struct Desh {
     pub cfg: DeshConfig,
     /// Seed for every stochastic component.
     pub seed: u64,
+    /// Telemetry sink for phase spans and metrics (disabled by default).
+    pub telemetry: Telemetry,
 }
 
 /// Intermediate artifacts kept for inspection and reuse (benches, examples).
@@ -57,25 +61,38 @@ pub struct TrainedDesh {
 }
 
 impl Desh {
-    /// New pipeline with the given configuration and seed.
+    /// New pipeline with the given configuration and seed. Telemetry is
+    /// disabled; opt in with [`Desh::with_telemetry`].
     pub fn new(cfg: DeshConfig, seed: u64) -> Self {
-        Self { cfg, seed }
+        Self { cfg, seed, telemetry: Telemetry::disabled() }
+    }
+
+    /// Attach a telemetry handle; phases record spans and metrics into it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Train phases 1 and 2 on a training dataset.
     pub fn train(&self, train: &Dataset) -> TrainedDesh {
+        let _span = self.telemetry.span("train");
         let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
-        let parsed_train = parse_records(&train.records);
-        let phase1 = run_phase1(&parsed_train, &self.cfg, &mut rng);
+        let parsed_train = parse_records_telemetry(
+            &train.records,
+            Arc::new(desh_logparse::Vocab::new()),
+            &self.telemetry,
+        );
+        let phase1 = run_phase1_telemetry(&parsed_train, &self.cfg, &mut rng, &self.telemetry);
         assert!(
             !phase1.chains.is_empty(),
             "no failure chains in the training split; enlarge the dataset"
         );
-        let lead_model = run_phase2(
+        let lead_model = run_phase2_telemetry(
             &phase1.chains,
             parsed_train.vocab_size(),
             &self.cfg.phase2,
             &mut rng,
+            &self.telemetry,
         );
         TrainedDesh { phase1, lead_model, parsed_train }
     }
@@ -84,9 +101,19 @@ impl Desh {
     /// parsed against the *training* vocabulary so phrase ids stay stable
     /// between phases (new templates extend the vocabulary at fresh ids).
     pub fn evaluate(&self, trained: &TrainedDesh, test: &Dataset) -> DeshReport {
-        let parsed_test =
-            parse_records_with_vocab(&test.records, trained.parsed_train.vocab.clone());
-        let out = run_phase3(&trained.lead_model, &parsed_test, &test.failures, &self.cfg);
+        let _span = self.telemetry.span("evaluate");
+        let parsed_test = parse_records_telemetry(
+            &test.records,
+            trained.parsed_train.vocab.clone(),
+            &self.telemetry,
+        );
+        let out = run_phase3_telemetry(
+            &trained.lead_model,
+            &parsed_test,
+            &test.failures,
+            &self.cfg,
+            &self.telemetry,
+        );
         DeshReport {
             system: test.system.clone(),
             phase1_accuracy: trained.phase1.accuracy_kstep,
@@ -136,6 +163,50 @@ mod tests {
             report.confusion.recall() > 0.5,
             "{}",
             report.confusion.summary_row(&report.system)
+        );
+    }
+
+    #[test]
+    fn telemetry_records_phase_spans_and_counters() {
+        let mut p = SystemProfile::tiny();
+        p.failures = 30;
+        p.nodes = 24;
+        let d = generate(&p, 113);
+        let desh = Desh::new(DeshConfig::fast(), 113).with_telemetry(Telemetry::enabled());
+        let report = desh.run(&d);
+        assert!(report.confusion.total() > 0);
+        let snap = desh.telemetry.snapshot().unwrap();
+        // Every phase recorded a nested span under train/evaluate.
+        for span in [
+            "span.train_us",
+            "span.train.parse_us",
+            "span.train.phase1_us",
+            "span.train.phase2_us",
+            "span.evaluate_us",
+            "span.evaluate.parse_us",
+            "span.evaluate.phase3_us",
+        ] {
+            let h = snap.histogram(span).unwrap_or_else(|| panic!("missing {span}"));
+            assert_eq!(h.count(), 1, "{span}");
+        }
+        // Phase counters reflect the report.
+        assert_eq!(snap.counter("phase1.chains"), Some(report.chains_trained as u64));
+        assert_eq!(snap.counter("phase2.chains"), Some(report.chains_trained as u64));
+        assert_eq!(
+            snap.counter("phase3.episodes"),
+            Some(report.verdicts.len() as u64)
+        );
+        assert_eq!(
+            snap.counter("phase3.flagged"),
+            Some(report.verdicts.iter().filter(|v| v.flagged).count() as u64)
+        );
+        // Training epochs flowed through the observer hook.
+        assert!(snap.counter("phase1.epochs").unwrap() > 0);
+        assert!(snap.histogram("phase2.epoch_time_us").unwrap().count() > 0);
+        // Per-episode scoring latency was captured from the rayon workers.
+        assert_eq!(
+            snap.histogram("phase3.episode_score_us").unwrap().count(),
+            report.verdicts.len() as u64
         );
     }
 

@@ -10,6 +10,7 @@ use crate::label::label_template;
 use crate::template::extract_template;
 use crate::vocab::Vocab;
 use desh_loggen::{Label, LogRecord, NodeId};
+use desh_obs::Telemetry;
 use desh_util::Micros;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
@@ -80,6 +81,22 @@ pub fn parse_records(records: &[LogRecord]) -> ParsedLog {
 /// must ingest test data: phrase ids learned during training stay stable,
 /// and genuinely new templates extend the vocabulary at fresh ids.
 pub fn parse_records_with_vocab(records: &[LogRecord], vocab: Arc<Vocab>) -> ParsedLog {
+    parse_records_telemetry(records, vocab, &Telemetry::disabled())
+}
+
+/// [`parse_records_with_vocab`] reporting into a telemetry registry:
+/// `logparse.records` (events parsed), `logparse.templates_new` (templates
+/// the vocabulary did not know before this call), the `logparse.templates`
+/// gauge (vocabulary size after), and `logparse.unknown_rate` (fraction of
+/// parsed events whose phrase labels Unknown — the paper's untyped middle
+/// class between Safe and Error). Wall time lands in the `parse` span.
+pub fn parse_records_telemetry(
+    records: &[LogRecord],
+    vocab: Arc<Vocab>,
+    telemetry: &Telemetry,
+) -> ParsedLog {
+    let _span = telemetry.span("parse");
+    let vocab_before = vocab.len();
     let parsed: Vec<(NodeId, Event)> = records
         .par_iter()
         .map(|r| {
@@ -96,11 +113,29 @@ pub fn parse_records_with_vocab(records: &[LogRecord], vocab: Arc<Vocab>) -> Par
     for evs in per_node.values_mut() {
         evs.sort_by_key(|e| e.time);
     }
-    let labels = vocab
+    let labels: Vec<Label> = vocab
         .snapshot()
         .iter()
         .map(|t| label_template(t))
         .collect();
+    if telemetry.is_enabled() {
+        telemetry.count("logparse.records", records.len() as u64);
+        telemetry.count(
+            "logparse.templates_new",
+            vocab.len().saturating_sub(vocab_before) as u64,
+        );
+        telemetry.gauge_set("logparse.templates", vocab.len() as f64);
+        let unknown: u64 = per_node
+            .values()
+            .flatten()
+            .filter(|e| labels.get(e.phrase as usize) == Some(&Label::Unknown))
+            .count() as u64;
+        let total: u64 = per_node.values().map(|v| v.len() as u64).sum();
+        telemetry.gauge_set(
+            "logparse.unknown_rate",
+            if total == 0 { 0.0 } else { unknown as f64 / total as f64 },
+        );
+    }
     ParsedLog { vocab, labels, per_node }
 }
 
@@ -192,6 +227,25 @@ mod tests {
             assert_eq!(second.vocab.get(t), Some(id as u32));
         }
         assert!(second.vocab.len() >= first.vocab.len());
+    }
+
+    #[test]
+    fn telemetry_parse_reports_counts() {
+        let d = generate(&SystemProfile::tiny(), 8);
+        let t = Telemetry::enabled();
+        let parsed = parse_records_telemetry(&d.records, Arc::new(Vocab::new()), &t);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counter("logparse.records"), Some(d.records.len() as u64));
+        assert_eq!(
+            snap.counter("logparse.templates_new"),
+            Some(parsed.vocab_size() as u64),
+            "fresh vocab: every template is new"
+        );
+        assert_eq!(snap.gauge("logparse.templates"), Some(parsed.vocab_size() as f64));
+        let rate = snap.gauge("logparse.unknown_rate").unwrap();
+        assert!((0.0..=1.0).contains(&rate), "unknown rate {rate}");
+        // Parse wall time was recorded under the span histogram.
+        assert_eq!(snap.histogram("span.parse_us").unwrap().count(), 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod loss;
 pub mod lstm;
 pub mod mat;
 pub mod models;
+pub mod observe;
 pub mod optim;
 pub mod param;
 pub mod schedule;
@@ -43,6 +44,7 @@ pub use gru::GruLayer;
 pub use lstm::{LstmLayer, LstmState};
 pub use mat::Mat;
 pub use models::{TokenLstm, TrainConfig, VectorLstm};
+pub use observe::{NoopObserver, RecordingObserver, TrainObserver};
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};
 pub use param::Param;
 pub use schedule::{Constant, Cosine, Schedule, StepDecay, Warmup};

@@ -15,10 +15,12 @@
 use crate::embedding::Embedding;
 use crate::loss::{mse, softmax, softmax_xent};
 use crate::mat::Mat;
+use crate::observe::{NoopObserver, TrainObserver};
 use crate::optim::Optimizer;
 use crate::param::{clip_global_norm, Param};
 use crate::stacked::StackedLstm;
 use desh_util::Xoshiro256pp;
+use std::time::Instant;
 
 /// Hyper-parameters for a training run.
 #[derive(Debug, Clone)]
@@ -120,13 +122,26 @@ impl TokenLstm {
         opt: &mut dyn Optimizer,
         rng: &mut Xoshiro256pp,
     ) -> EpochLosses {
+        self.train_observed(seqs, cfg, opt, rng, &mut NoopObserver)
+    }
+
+    /// [`TokenLstm::train`] with a per-epoch [`TrainObserver`] callback.
+    pub fn train_observed(
+        &mut self,
+        seqs: &[Vec<u32>],
+        cfg: &TrainConfig,
+        opt: &mut dyn Optimizer,
+        rng: &mut Xoshiro256pp,
+        observer: &mut dyn TrainObserver,
+    ) -> EpochLosses {
         let mut index = Self::window_index(seqs, cfg.history);
         assert!(
             !index.is_empty(),
             "no training windows: all sequences shorter than history+1"
         );
         let mut losses = Vec::with_capacity(cfg.epochs);
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let epoch_start = Instant::now();
             rng.shuffle(&mut index);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -162,7 +177,9 @@ impl TokenLstm {
                 clip_global_norm(&mut self.params_mut(), cfg.clip);
                 opt.step(&mut self.params_mut());
             }
-            losses.push(epoch_loss / batches.max(1) as f64);
+            let mean = epoch_loss / batches.max(1) as f64;
+            observer.on_epoch(epoch, mean, epoch_start.elapsed());
+            losses.push(mean);
         }
         losses
     }
@@ -283,6 +300,18 @@ impl VectorLstm {
         opt: &mut dyn Optimizer,
         rng: &mut Xoshiro256pp,
     ) -> EpochLosses {
+        self.train_observed(seqs, cfg, opt, rng, &mut NoopObserver)
+    }
+
+    /// [`VectorLstm::train`] with a per-epoch [`TrainObserver`] callback.
+    pub fn train_observed(
+        &mut self,
+        seqs: &[Vec<Vec<f32>>],
+        cfg: &TrainConfig,
+        opt: &mut dyn Optimizer,
+        rng: &mut Xoshiro256pp,
+        observer: &mut dyn TrainObserver,
+    ) -> EpochLosses {
         for s in seqs {
             for v in s {
                 assert_eq!(v.len(), self.dim, "sample width mismatch");
@@ -291,7 +320,8 @@ impl VectorLstm {
         let mut index = Self::window_index(seqs);
         assert!(!index.is_empty(), "no training windows: sequences too short");
         let mut losses = Vec::with_capacity(cfg.epochs);
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
+            let epoch_start = Instant::now();
             rng.shuffle(&mut index);
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
@@ -318,7 +348,9 @@ impl VectorLstm {
                 clip_global_norm(&mut self.net.params_mut(), cfg.clip);
                 opt.step(&mut self.net.params_mut());
             }
-            losses.push(epoch_loss / batches.max(1) as f64);
+            let mean = epoch_loss / batches.max(1) as f64;
+            observer.on_epoch(epoch, mean, epoch_start.elapsed());
+            losses.push(mean);
         }
         losses
     }
@@ -394,6 +426,38 @@ mod tests {
         assert_eq!(p.len(), 7);
         let s: f32 = p.iter().sum();
         assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn train_observed_reports_every_epoch() {
+        use crate::observe::RecordingObserver;
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let seqs = cyclic_seqs(5, 20, 2);
+        let mut m = TokenLstm::new(5, 4, 8, 1, &mut rng);
+        let cfg = TrainConfig { history: 4, batch: 8, epochs: 3, clip: 5.0 };
+        let mut opt = Sgd::new(0.1);
+        let mut obs = RecordingObserver::default();
+        let losses = m.train_observed(&seqs, &cfg, &mut opt, &mut rng, &mut obs);
+        assert_eq!(obs.epochs.len(), 3);
+        let observed: Vec<f64> = obs.epochs.iter().map(|(l, _)| *l).collect();
+        assert_eq!(observed, losses);
+    }
+
+    #[test]
+    fn closure_observer_sees_vector_epochs() {
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        let seqs = countdown_seqs(2, 8);
+        let mut m = VectorLstm::new(2, 4, 1, &mut rng);
+        let cfg = TrainConfig { history: 5, batch: 8, epochs: 2, clip: 5.0 };
+        let mut opt = RmsProp::new(0.01);
+        let mut seen = Vec::new();
+        let mut hook = |epoch: usize, loss: f64, _d: std::time::Duration| {
+            seen.push((epoch, loss));
+        };
+        m.train_observed(&seqs, &cfg, &mut opt, &mut rng, &mut hook);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[1].0, 1);
     }
 
     #[test]

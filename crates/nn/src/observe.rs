@@ -1,0 +1,45 @@
+//! Training observation hook.
+//!
+//! `desh-nn` deliberately has no telemetry dependency — it is the numeric
+//! substrate. Callers that want per-epoch progress (loss curves, epoch
+//! wall time) implement [`TrainObserver`] and pass it to
+//! `TokenLstm::train_observed` / `VectorLstm::train_observed`; `desh-core`
+//! provides an adapter that forwards into a `desh-obs` registry. The plain
+//! `train` methods use [`NoopObserver`] and cost nothing extra.
+
+use std::time::Duration;
+
+/// Receives one callback per completed training epoch.
+pub trait TrainObserver {
+    /// `epoch` is zero-based; `mean_loss` is the epoch's mean batch loss;
+    /// `elapsed` is the epoch's wall time.
+    fn on_epoch(&mut self, epoch: usize, mean_loss: f64, elapsed: Duration);
+}
+
+/// Observer that ignores everything (the default for `train`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl TrainObserver for NoopObserver {
+    fn on_epoch(&mut self, _epoch: usize, _mean_loss: f64, _elapsed: Duration) {}
+}
+
+/// Observer that retains `(mean_loss, elapsed)` per epoch — handy in
+/// tests and small tools that want the curve without a metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    /// One `(mean_loss, elapsed)` entry per epoch, in order.
+    pub epochs: Vec<(f64, Duration)>,
+}
+
+impl TrainObserver for RecordingObserver {
+    fn on_epoch(&mut self, _epoch: usize, mean_loss: f64, elapsed: Duration) {
+        self.epochs.push((mean_loss, elapsed));
+    }
+}
+
+impl<F: FnMut(usize, f64, Duration)> TrainObserver for F {
+    fn on_epoch(&mut self, epoch: usize, mean_loss: f64, elapsed: Duration) {
+        self(epoch, mean_loss, elapsed)
+    }
+}

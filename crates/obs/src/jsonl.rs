@@ -1,0 +1,250 @@
+//! JSONL sink: one self-describing JSON object per line, hand-rolled so
+//! the crate stays dependency-free.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::snapshot::Snapshot;
+
+/// A JSON scalar for [`JsonlSink::event`] fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Str(String),
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        Self::Str(s.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        Self::Str(s)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null"); // JSON has no NaN/Inf
+    }
+}
+
+fn push_value(out: &mut String, v: &JsonValue) {
+    match v {
+        JsonValue::Str(s) => push_escaped(out, s),
+        JsonValue::U64(n) => out.push_str(&format!("{n}")),
+        JsonValue::F64(f) => push_f64(out, *f),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Append-only writer of JSON lines.
+///
+/// Two line shapes are emitted: `{"type":"event","kind":...,...fields}`
+/// from [`JsonlSink::event`] and `{"type":"snapshot","label":...,
+/// "counters":{...},"gauges":{...},"histograms":{...}}` from
+/// [`JsonlSink::snapshot`]. Histogram entries carry count/sum/mean/min/max
+/// and p50/p90/p99 in microseconds.
+pub struct JsonlSink {
+    w: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    /// Create (truncate) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self {
+            w: Box::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Wrap any writer (used by tests).
+    pub fn from_writer(w: impl Write + Send + 'static) -> Self {
+        Self { w: Box::new(w) }
+    }
+
+    /// Write one event line: `{"type":"event","kind":<kind>,...fields}`.
+    pub fn event(&mut self, kind: &str, fields: &[(&str, JsonValue)]) -> io::Result<()> {
+        let mut line = String::from("{\"type\":\"event\",\"kind\":");
+        push_escaped(&mut line, kind);
+        for (k, v) in fields {
+            line.push(',');
+            push_escaped(&mut line, k);
+            line.push(':');
+            push_value(&mut line, v);
+        }
+        line.push_str("}\n");
+        self.w.write_all(line.as_bytes())
+    }
+
+    /// Write one snapshot line containing every metric in `snap`.
+    pub fn snapshot(&mut self, label: &str, snap: &Snapshot) -> io::Result<()> {
+        let mut line = String::from("{\"type\":\"snapshot\",\"label\":");
+        push_escaped(&mut line, label);
+
+        line.push_str(",\"counters\":{");
+        for (i, (k, v)) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_escaped(&mut line, k);
+            line.push_str(&format!(":{v}"));
+        }
+        line.push_str("},\"gauges\":{");
+        for (i, (k, v)) in snap.gauges.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_escaped(&mut line, k);
+            line.push(':');
+            push_f64(&mut line, *v);
+        }
+        line.push_str("},\"histograms\":{");
+        for (i, (k, h)) in snap.hists.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_escaped(&mut line, k);
+            line.push_str(&format!(
+                ":{{\"count\":{},\"sum_us\":{},\"mean_us\":",
+                h.count(),
+                h.sum()
+            ));
+            push_f64(&mut line, h.mean());
+            line.push_str(&format!(",\"min_us\":{},\"max_us\":{}", h.min(), h.max()));
+            for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                line.push_str(&format!(",\"{tag}_us\":"));
+                push_f64(&mut line, h.quantile(q));
+            }
+            line.push('}');
+        }
+        line.push_str("}}\n");
+        self.w.write_all(line.as_bytes())
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn event_lines_are_well_formed() {
+        let buf = Shared::default();
+        let mut sink = JsonlSink::from_writer(buf.clone());
+        sink.event(
+            "warning",
+            &[
+                ("node", "nid0\"7\n".into()),
+                ("lead_s", 42.5.into()),
+                ("count", JsonValue::U64(3)),
+                ("flagged", true.into()),
+            ],
+        )
+        .unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            line,
+            "{\"type\":\"event\",\"kind\":\"warning\",\"node\":\"nid0\\\"7\\n\",\
+             \"lead_s\":42.5,\"count\":3,\"flagged\":true}\n"
+        );
+    }
+
+    #[test]
+    fn snapshot_line_carries_quantiles() {
+        let t = Telemetry::enabled();
+        t.count("events", 10);
+        t.gauge_set("occ", 0.25);
+        for v in [100u64, 200, 300] {
+            t.observe_us("lat_us", v);
+        }
+        let buf = Shared::default();
+        let mut sink = JsonlSink::from_writer(buf.clone());
+        sink.snapshot("final", &t.snapshot().unwrap()).unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        assert!(line.starts_with("{\"type\":\"snapshot\",\"label\":\"final\""));
+        assert!(line.contains("\"events\":10"));
+        assert!(line.contains("\"occ\":0.25"));
+        assert!(line.contains("\"lat_us\":{\"count\":3,\"sum_us\":600"));
+        assert!(line.contains("\"p50_us\":"));
+        assert!(line.contains("\"p99_us\":"));
+        assert!(line.ends_with("}\n"));
+        // Balanced braces — cheap structural sanity without a JSON parser.
+        let open = line.matches('{').count();
+        let close = line.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let buf = Shared::default();
+        let mut sink = JsonlSink::from_writer(buf.clone());
+        sink.event("e", &[("x", f64::NAN.into()), ("y", f64::INFINITY.into())])
+            .unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        assert!(line.contains("\"x\":null"));
+        assert!(line.contains("\"y\":null"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Telemetry for the Desh pipeline.
+//!
+//! The paper's operational claims — per-event scoring in ~0.65 ms (Fig 10),
+//! phase-level training cost, template-miss rates during parsing — are all
+//! *measurements*, so reproducing them honestly needs a measurement layer
+//! rather than ad-hoc `Instant::now()` calls scattered through binaries.
+//!
+//! This crate provides that layer with no external dependencies:
+//!
+//! - [`Registry`]: a thread-safe, name-keyed registry of [`Counter`]s,
+//!   [`Gauge`]s, and log-scale [`LatencyHistogram`]s. All metric types are
+//!   lock-free atomics once resolved; resolution (`registry.histogram("x")`)
+//!   takes a lock and allocates, so hot paths resolve once and hold the
+//!   `Arc` handle.
+//! - [`Telemetry`]: the handle threaded through the pipeline. It is a
+//!   cheap-clone `Option<Arc<Registry>>`; the disabled default makes every
+//!   operation a no-op without branching deep into callee code, so
+//!   instrumented library code costs nothing when nobody is listening.
+//! - [`Span`] / [`Telemetry::span`]: scope-based wall-time measurement with
+//!   thread-local nesting, recording into `span.<dotted.path>_us`
+//!   histograms.
+//! - Sinks: [`JsonlSink`] appends machine-readable event/snapshot lines,
+//!   [`render_prometheus`] emits Prometheus text exposition, and
+//!   [`render_summary`] prints a human-readable table (reusing
+//!   [`desh_util::Histogram`] for distribution bars).
+//!
+//! Metric names are dotted lowercase (`online.score_latency_us`); the
+//! Prometheus renderer maps dots to underscores.
+
+mod jsonl;
+mod metrics;
+mod prom;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use jsonl::{JsonValue, JsonlSink};
+pub use metrics::{Counter, Gauge, LatencyHistogram, LatencySnapshot};
+pub use prom::{render_prometheus, render_summary};
+pub use registry::{Registry, Telemetry};
+pub use snapshot::Snapshot;
+pub use span::Span;

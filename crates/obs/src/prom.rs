@@ -1,0 +1,145 @@
+//! Text renderers: Prometheus exposition format and a human summary table.
+
+use crate::snapshot::Snapshot;
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges map directly; latency histograms are exported as
+/// summaries (`{quantile="..."}` series plus `_sum` and `_count`), which
+/// is the conventional shape for client-side quantiles. Dots in metric
+/// names become underscores, and every metric is prefixed `desh_`.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = format!("desh_{}", prom_name(name));
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = format!("desh_{}", prom_name(name));
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.hists {
+        let n = format!("desh_{}", prom_name(name));
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            out.push_str(&format!("{n}{{quantile=\"{tag}\"}} {}\n", h.quantile(q)));
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
+    }
+    out
+}
+
+/// Render a snapshot as a human-readable table: counters, gauges, then
+/// one line per histogram with count/mean/p50/p90/p99/max, followed by a
+/// linear-bin distribution sketch (via [`desh_util::Histogram`]) for any
+/// histogram with enough mass to be worth drawing.
+pub fn render_summary(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<42} {v}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<42} {v:.3}\n"));
+        }
+    }
+    if !snap.hists.is_empty() {
+        out.push_str("histograms (us):\n");
+        out.push_str(&format!(
+            "  {:<42} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "name", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for (name, h) in &snap.hists {
+            out.push_str(&format!(
+                "  {:<42} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9}\n",
+                name,
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.max(),
+            ));
+        }
+        for (name, h) in &snap.hists {
+            if h.count() >= 32 {
+                let hi = (h.quantile(0.99) * 1.25).max(1.0);
+                out.push_str(&format!("  {name} distribution:\n"));
+                let lin = h.to_linear(0.0, hi, 8).render(32);
+                for line in lin.lines() {
+                    out.push_str(&format!("    {line}\n"));
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample() -> Snapshot {
+        let t = Telemetry::enabled();
+        t.count("logparse.records", 128);
+        t.gauge_set("online.buffer_occupancy", 0.75);
+        for v in 0..64u64 {
+            t.observe_us("online.score_latency_us", 100 + v);
+        }
+        t.snapshot().unwrap()
+    }
+
+    #[test]
+    fn prometheus_output_has_expected_shape() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("# TYPE desh_logparse_records counter\n"));
+        assert!(text.contains("desh_logparse_records 128\n"));
+        assert!(text.contains("# TYPE desh_online_buffer_occupancy gauge\n"));
+        assert!(text.contains("desh_online_buffer_occupancy 0.75\n"));
+        assert!(text.contains("# TYPE desh_online_score_latency_us summary\n"));
+        assert!(text.contains("desh_online_score_latency_us{quantile=\"0.5\"} "));
+        assert!(text.contains("desh_online_score_latency_us{quantile=\"0.99\"} "));
+        assert!(text.contains("desh_online_score_latency_us_count 64\n"));
+        assert!(text.contains("desh_online_score_latency_us_sum "));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+            assert!(parts.next().is_some(), "no name in line: {line}");
+        }
+    }
+
+    #[test]
+    fn summary_lists_every_metric_and_draws_distribution() {
+        let text = render_summary(&sample());
+        assert!(text.contains("logparse.records"));
+        assert!(text.contains("online.buffer_occupancy"));
+        assert!(text.contains("online.score_latency_us"));
+        assert!(text.contains("distribution:"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let t = Telemetry::enabled();
+        assert_eq!(
+            render_summary(&t.snapshot().unwrap()),
+            "(no metrics recorded)\n"
+        );
+        assert_eq!(render_prometheus(&t.snapshot().unwrap()), "");
+    }
+}

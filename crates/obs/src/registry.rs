@@ -1,0 +1,282 @@
+//! Name-keyed metric registry and the `Telemetry` handle threaded through
+//! the pipeline.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::metrics::{Counter, Gauge, LatencyHistogram};
+use crate::snapshot::Snapshot;
+use crate::span::Span;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    hists: BTreeMap<String, Arc<LatencyHistogram>>,
+}
+
+/// Thread-safe registry of named metrics.
+///
+/// `counter`/`gauge`/`histogram` get-or-create and hand back an `Arc`
+/// handle; updates through the handle are lock-free. The registry lock is
+/// only held during resolution and snapshotting, so hot paths should
+/// resolve once up front and keep the handle.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+macro_rules! get_or_create {
+    ($self:ident, $map:ident, $name:ident, $ty:ty) => {{
+        if let Some(m) = $self.inner.read().unwrap().$map.get($name) {
+            return Arc::clone(m);
+        }
+        let mut w = $self.inner.write().unwrap();
+        Arc::clone(
+            w.$map
+                .entry($name.to_string())
+                .or_insert_with(|| Arc::new(<$ty>::new())),
+        )
+    }};
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create!(self, counters, name, Counter)
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create!(self, gauges, name, Gauge)
+    }
+
+    /// Get or create the latency histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        get_or_create!(self, hists, name, LatencyHistogram)
+    }
+
+    /// Point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let r = self.inner.read().unwrap();
+        Snapshot {
+            counters: r
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: r.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            hists: r
+                .hists
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The handle instrumented code accepts: either a live [`Registry`] or a
+/// no-op.
+///
+/// Cloning is an `Option<Arc>` copy. The disabled default means library
+/// code can be instrumented unconditionally — `Telemetry::disabled()`
+/// turns every call below into an early-return that neither locks nor
+/// allocates.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    reg: Option<Arc<Registry>>,
+}
+
+impl Telemetry {
+    /// A handle that records nothing. This is `Default`.
+    pub fn disabled() -> Self {
+        Self { reg: None }
+    }
+
+    /// A handle backed by a fresh registry.
+    pub fn enabled() -> Self {
+        Self {
+            reg: Some(Arc::new(Registry::new())),
+        }
+    }
+
+    /// A handle sharing an existing registry.
+    pub fn with_registry(reg: Arc<Registry>) -> Self {
+        Self { reg: Some(reg) }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.reg.is_some()
+    }
+
+    /// The backing registry, if enabled.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.reg.as_ref()
+    }
+
+    /// Add `n` to the counter `name`. Resolves by name — fine for
+    /// per-batch or per-phase counts, not for per-event hot loops.
+    pub fn count(&self, name: &str, n: u64) {
+        if let Some(r) = &self.reg {
+            r.counter(name).add(n);
+        }
+    }
+
+    /// Set the gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(r) = &self.reg {
+            r.gauge(name).set(v);
+        }
+    }
+
+    /// Record `us` microseconds into the histogram `name`.
+    pub fn observe_us(&self, name: &str, us: u64) {
+        if let Some(r) = &self.reg {
+            r.histogram(name).record(us);
+        }
+    }
+
+    /// Start a timing span named `name`; the elapsed wall time lands in
+    /// the histogram `span.<parent.path.name>_us` when the guard drops.
+    /// Nesting is tracked per thread.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.reg {
+            Some(r) => Span::start(Arc::clone(r), name),
+            None => Span::noop(),
+        }
+    }
+
+    /// Time a closure under [`Telemetry::span`].
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Resolve a histogram handle for hot-path use, or `None` when
+    /// disabled. Callers hold the `Arc` and `record()` lock-free.
+    pub fn histogram_handle(&self, name: &str) -> Option<Arc<LatencyHistogram>> {
+        self.reg.as_ref().map(|r| r.histogram(name))
+    }
+
+    /// Resolve a counter handle for hot-path use.
+    pub fn counter_handle(&self, name: &str) -> Option<Arc<Counter>> {
+        self.reg.as_ref().map(|r| r.counter(name))
+    }
+
+    /// Resolve a gauge handle for hot-path use.
+    pub fn gauge_handle(&self, name: &str) -> Option<Arc<Gauge>> {
+        self.reg.as_ref().map(|r| r.gauge(name))
+    }
+
+    /// Snapshot the registry, if enabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.reg.as_ref().map(|r| r.snapshot())
+    }
+}
+
+/// Measure a closure's wall time in microseconds (no registry involved).
+pub(crate) fn elapsed_us(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn get_or_create_returns_same_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn concurrent_counts_are_not_lost() {
+        let reg = Arc::new(Registry::new());
+        let threads = 8;
+        let per = 10_000;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    let c = reg.counter("hits");
+                    let h = reg.histogram("lat_us");
+                    for i in 0..per {
+                        c.inc();
+                        h.record(i as u64 % 512);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("hits").get(), (threads * per) as u64);
+        assert_eq!(
+            reg.histogram("lat_us").snapshot().count(),
+            (threads * per) as u64
+        );
+    }
+
+    #[test]
+    fn concurrent_resolution_of_same_name_is_one_metric() {
+        let reg = Arc::new(Registry::new());
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || reg.counter("same").inc());
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0], ("same".to_string(), 8));
+    }
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let t = Telemetry::disabled();
+        t.count("a", 1);
+        t.gauge_set("b", 1.0);
+        t.observe_us("c", 1);
+        let out = t.time("d", || 42);
+        assert_eq!(out, 42);
+        assert!(t.snapshot().is_none());
+        assert!(t.histogram_handle("c").is_none());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_telemetry_records() {
+        let t = Telemetry::enabled();
+        t.count("records", 3);
+        t.gauge_set("occupancy", 0.5);
+        t.observe_us("lat_us", 650);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counters, vec![("records".into(), 3)]);
+        assert_eq!(snap.gauges, vec![("occupancy".into(), 0.5)]);
+        assert_eq!(snap.hists.len(), 1);
+        assert_eq!(snap.hists[0].1.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let t = Telemetry::enabled();
+        t.count("z", 1);
+        t.count("a", 1);
+        t.count("m", 1);
+        let names: Vec<_> = t
+            .snapshot()
+            .unwrap()
+            .counters
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Point-in-time copies of a registry's metrics.
+
+use crate::metrics::LatencySnapshot;
+
+/// Everything a [`crate::Registry`] held at one instant, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub hists: Vec<(String, LatencySnapshot)>,
+}
+
+impl Snapshot {
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&LatencySnapshot> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn lookups_find_metrics_by_name() {
+        let t = Telemetry::enabled();
+        t.count("c", 2);
+        t.gauge_set("g", 1.5);
+        t.observe_us("h", 10);
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.counter("c"), Some(2));
+        assert_eq!(s.gauge("g"), Some(1.5));
+        assert_eq!(s.histogram("h").unwrap().count(), 1);
+        assert_eq!(s.counter("missing"), None);
+        assert!(!s.is_empty());
+    }
+}

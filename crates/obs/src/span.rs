@@ -1,0 +1,170 @@
+//! Scope-based wall-time spans with per-thread nesting.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::{elapsed_us, Registry};
+
+thread_local! {
+    /// Stack of active span names on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timing guard returned by [`crate::Telemetry::span`].
+///
+/// On drop, records the elapsed wall time (µs) into the histogram
+/// `span.<path>_us`, where `<path>` is the dot-joined chain of enclosing
+/// span names on the current thread — `span.train.phase1_us` for a
+/// `phase1` span opened inside a `train` span. Spans moved across threads
+/// record under the path captured at creation.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    reg: Arc<Registry>,
+    path: String,
+    start: Instant,
+    /// Depth of the thread-local stack when this span was pushed, used to
+    /// detect (and tolerate) out-of-order drops.
+    depth: usize,
+}
+
+impl Span {
+    pub(crate) fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    pub(crate) fn start(reg: Arc<Registry>, name: &str) -> Self {
+        let (path, depth) = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = if stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}.{}", stack.join("."), name)
+            };
+            stack.push(name.to_string());
+            (path, stack.len())
+        });
+        Self {
+            inner: Some(SpanInner {
+                reg,
+                path,
+                start: Instant::now(),
+                depth,
+            }),
+        }
+    }
+
+    /// The dotted path this span records under (without the `span.` /
+    /// `_us` affixes), or `None` for a disabled span.
+    pub fn path(&self) -> Option<&str> {
+        self.inner.as_ref().map(|i| i.path.as_str())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let us = elapsed_us(inner.start);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Only unwind frames this span owns; a span dropped on another
+            // thread (or out of order) must not pop someone else's frame.
+            if stack.len() >= inner.depth {
+                stack.truncate(inner.depth - 1);
+            }
+        });
+        inner
+            .reg
+            .histogram(&format!("span.{}_us", inner.path))
+            .record(us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn nested_spans_record_dotted_paths() {
+        let t = Telemetry::enabled();
+        {
+            let outer = t.span("train");
+            assert_eq!(outer.path(), Some("train"));
+            {
+                let inner = t.span("phase1");
+                assert_eq!(inner.path(), Some("train.phase1"));
+            }
+            {
+                let inner = t.span("phase2");
+                assert_eq!(inner.path(), Some("train.phase2"));
+            }
+        }
+        let names: Vec<String> = t
+            .snapshot()
+            .unwrap()
+            .hists
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "span.train.phase1_us",
+                "span.train.phase2_us",
+                "span.train_us"
+            ]
+        );
+    }
+
+    #[test]
+    fn sibling_after_nested_is_not_nested() {
+        let t = Telemetry::enabled();
+        {
+            let _a = t.span("a");
+            {
+                let _b = t.span("b");
+            }
+            let c = t.span("c");
+            assert_eq!(c.path(), Some("a.c"));
+        }
+        let top = t.span("top");
+        assert_eq!(top.path(), Some("top"));
+    }
+
+    #[test]
+    fn disabled_span_is_pathless_and_quiet() {
+        let t = Telemetry::disabled();
+        let s = t.span("x");
+        assert_eq!(s.path(), None);
+        drop(s);
+        // And it must not pollute the thread-local stack for later spans.
+        let live = Telemetry::enabled();
+        assert_eq!(live.span("y").path(), Some("y"));
+    }
+
+    #[test]
+    fn time_records_closure_duration() {
+        let t = Telemetry::enabled();
+        let v = t.time("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7
+        });
+        assert_eq!(v, 7);
+        let snap = t.snapshot().unwrap();
+        let (name, h) = &snap.hists[0];
+        assert_eq!(name, "span.work_us");
+        assert_eq!(h.count(), 1);
+        assert!(
+            h.quantile(0.5) >= 1000.0,
+            "slept 2ms, recorded {}",
+            h.quantile(0.5)
+        );
+    }
+}

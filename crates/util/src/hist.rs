@@ -7,11 +7,31 @@
 /// A histogram over `[lo, hi)` with equal-width bins plus overflow and
 /// underflow counters.
 ///
+/// Observations below `lo` land in the underflow counter, observations at
+/// or above `hi` in the overflow counter — neither is silently dropped:
+///
 /// ```
 /// use desh_util::Histogram;
-/// let h = Histogram::of(&[1.0, 2.5, 9.0, 42.0], 0.0, 10.0, 2);
+/// let h = Histogram::of(&[-3.0, 1.0, 2.5, 9.0, 42.0], 0.0, 10.0, 2);
 /// assert_eq!(h.bins(), &[2, 1]);
-/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.underflow(), 1); // -3.0 is below the range
+/// assert_eq!(h.overflow(), 1);  // 42.0 is at/above the range top
+/// assert_eq!(h.count(), 5);     // under/overflow still count
+/// ```
+///
+/// Histograms over the same range merge, and quantiles are estimated by
+/// linear interpolation within bins (underflow clamps to `lo`, overflow
+/// to `hi`):
+///
+/// ```
+/// use desh_util::Histogram;
+/// let mut a = Histogram::of(&[1.0, 2.0], 0.0, 10.0, 10);
+/// let b = Histogram::of(&[8.0, 99.0], 0.0, 10.0, 10);
+/// a.merge(&b);
+/// assert_eq!(a.count(), 4);
+/// assert_eq!(a.overflow(), 1);
+/// assert!(a.quantile(0.0) >= 1.0 && a.quantile(0.0) < 2.0);
+/// assert_eq!(a.quantile(1.0), 10.0); // overflow clamps to the range top
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -71,6 +91,71 @@ impl Histogram {
     /// Observations at/above the range top.
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Record `n` observations of the same value at once.
+    pub fn push_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if x < self.lo {
+            self.underflow += n;
+        } else if x >= self.hi {
+            self.overflow += n;
+        } else {
+            let len = self.bins.len();
+            let w = (self.hi - self.lo) / len as f64;
+            let idx = (((x - self.lo) / w) as usize).min(len - 1);
+            self.bins[idx] += n;
+        }
+    }
+
+    /// Merge another histogram's counts into this one.
+    ///
+    /// Panics if the ranges or bin counts differ — merging histograms with
+    /// different geometry would silently misattribute observations.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            (self.lo, self.hi, self.bins.len()),
+            (other.lo, other.hi, other.bins.len()),
+            "cannot merge histograms with different geometry"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the containing bin.
+    ///
+    /// Underflow observations are treated as sitting at `lo`, overflow
+    /// observations at `hi`. Returns `lo` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let total = self.count();
+        if total == 0 {
+            return self.lo;
+        }
+        // Rank of the target observation, 1-based; q = 0 → first, q = 1 → last.
+        let rank = (q * (total as f64 - 1.0)).floor() as u64 + 1;
+        if rank <= self.underflow {
+            return self.lo;
+        }
+        let mut seen = self.underflow;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c > 0 && rank <= seen + c {
+                let (blo, bhi) = self.bin_range(i);
+                // Midpoint interpolation: the k-th of c observations in a
+                // bin sits at fraction (k - 0.5) / c, so a lone
+                // observation reads as the bin centre, not its top edge.
+                let frac = ((rank - seen) as f64 - 0.5) / c as f64;
+                return blo + (bhi - blo) * frac;
+            }
+            seen += c;
+        }
+        self.hi
     }
 
     /// The `[lo, hi)` interval covered by bin `i`.
@@ -139,5 +224,60 @@ mod tests {
     #[should_panic]
     fn empty_range_rejected() {
         Histogram::new(5.0, 5.0, 3);
+    }
+
+    #[test]
+    fn push_n_matches_repeated_push() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.push_n(3.0, 4);
+        a.push_n(-1.0, 2);
+        a.push_n(11.0, 1);
+        a.push_n(5.0, 0);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        for _ in 0..4 {
+            b.push(3.0);
+        }
+        b.push(-1.0);
+        b.push(-1.0);
+        b.push(11.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::of(&[1.0, 2.0, -5.0], 0.0, 10.0, 5);
+        let b = Histogram::of(&[2.0, 9.0, 50.0], 0.0, 10.0, 5);
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.bins(), &[1, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        a.merge(&Histogram::new(0.0, 10.0, 4));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let h = Histogram::of(&xs, 0.0, 10.0, 100);
+        let med = h.quantile(0.5);
+        assert!((med - 5.0).abs() < 0.2, "median {med}");
+        assert!(h.quantile(0.0) < 0.2);
+        assert!(h.quantile(1.0) > 9.8);
+    }
+
+    #[test]
+    fn quantile_handles_edge_cases() {
+        let empty = Histogram::new(0.0, 10.0, 4);
+        assert_eq!(empty.quantile(0.5), 0.0);
+        let under = Histogram::of(&[-1.0, -2.0], 0.0, 10.0, 4);
+        assert_eq!(under.quantile(0.5), 0.0);
+        let over = Histogram::of(&[20.0, 30.0], 0.0, 10.0, 4);
+        assert_eq!(over.quantile(0.5), 10.0);
     }
 }

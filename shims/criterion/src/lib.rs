@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, throughput annotation and
+//! `Bencher::iter` — with a simple adaptive wall-clock harness instead of
+//! criterion's statistical machinery: a short calibration pass sizes the
+//! iteration count to a ~300 ms measurement window, then mean/min per-iter
+//! times (and derived throughput) are printed per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one benchmark's measurement phase.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+
+/// Top-level harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name}");
+        BenchmarkGroup { _c: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Bench outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, None, f);
+        self
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the units-per-iteration used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive harness ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive harness ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, name: impl Into<BenchName>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into().0);
+        run_bench(&label, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_bench(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is incremental, so this is cosmetic).
+    pub fn finish(&mut self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+pub struct BenchName(String);
+
+impl From<&str> for BenchName {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchName {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchName {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.label)
+    }
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` over this bencher's iteration budget.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    // Calibration: one iteration to size the measurement loop.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_MEASURE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    // Measurement: three batches; report mean of batch means and best batch.
+    let mut means = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        means.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let best = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut line = format!(
+        "{label:<48} mean {:>10}  best {:>10}  ({iters} iters x3)",
+        human_time(Duration::from_secs_f64(mean)),
+        human_time(Duration::from_secs_f64(best)),
+    );
+    if let Some(t) = throughput {
+        let (units, what) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        line.push_str(&format!("  {:.3e} {what}", units / mean));
+    }
+    println!("{line}");
+}
+
+/// Bundle bench functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the two parallel-slice operations this workspace actually
+//! uses — `slice.par_iter().map(f).collect()` and
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)` — implemented with
+//! `std::thread::scope` fork/join over contiguous shards instead of a
+//! work-stealing pool. Order is preserved: `collect` returns results in
+//! input order, exactly like rayon's indexed parallel iterators.
+//!
+//! This is not a general-purpose rayon replacement: combinators are eager
+//! and the API surface is only what the workspace needs.
+
+/// Number of worker threads: the machine's parallelism, capped so tiny
+/// inputs do not pay fork/join overhead for empty shards.
+fn threads_for(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(items).max(1)
+}
+
+/// Everything call sites import, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// `par_iter` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over the slice's elements.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator; combinators are eager.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// Result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map across worker threads and gather results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParallel<R>,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return C::from_ordered(Vec::new());
+        }
+        let workers = threads_for(n);
+        if workers == 1 {
+            return C::from_ordered(self.items.iter().map(&self.f).collect());
+        }
+        let shard = n.div_ceil(workers);
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(shard)
+                .map(|chunk| s.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        C::from_ordered(out)
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallel<R> {
+    /// Build from results already in input order.
+    fn from_ordered(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Mutable chunk iterator; call [`ParChunksMut::enumerate`] to attach indices.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { slice: self.slice, size: self.size }
+    }
+}
+
+/// Indexed mutable chunk iterator; terminal operation is `for_each`.
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Apply `f` to every (index, chunk) pair across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.size).enumerate().collect();
+        let n = chunks.len();
+        if n == 0 {
+            return;
+        }
+        let workers = threads_for(n);
+        if workers == 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        // Deal chunks into per-worker piles (round-robin keeps shard work
+        // balanced when chunk cost varies with index).
+        let mut piles: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in chunks.into_iter().enumerate() {
+            piles[i % workers].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for pile in piles {
+                s.spawn(move || {
+                    for item in pile {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), xs.len());
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u8];
+        let out: Vec<u8> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u32; 1000];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += i as u32 + 1;
+            }
+        });
+        // Every element got exactly its chunk's index + 1.
+        for (j, &x) in data.iter().enumerate() {
+            assert_eq!(x, (j / 7) as u32 + 1);
+        }
+    }
+}

@@ -13,12 +13,14 @@
 //! them when ground truth is supplied; `analyze` runs the log mining and
 //! unknown-phrase analysis with no model at all.
 
-use desh::core::{run_phase1, run_phase2, OnlineDetector};
+use desh::core::{run_phase1_telemetry, run_phase2_telemetry, OnlineDetector};
+use desh::obs::JsonValue;
 use desh::prelude::*;
 use desh_util::codec::{Decoder, Encoder};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,8 +62,13 @@ USAGE:
   desh-cli generate --profile <m1|m2|m3|m4|tiny> --out <logs.txt>
                     [--truth <truth.txt>] [--seed <n>]
   desh-cli train    --log <logs.txt> --out <model.dshm> [--seed <n>] [--fast]
+                    [--telemetry <out.jsonl>]
   desh-cli predict  --log <logs.txt> --model <model.dshm> [--truth <truth.txt>]
-  desh-cli analyze  --log <logs.txt>";
+                    [--telemetry <out.jsonl>]
+  desh-cli analyze  --log <logs.txt>
+
+  --telemetry writes metric snapshots (counters, gauges, latency-histogram
+  quantiles, span timings) as JSON lines and prints a stats block on exit.";
 
 type Flags = HashMap<String, String>;
 
@@ -92,6 +99,33 @@ fn need<'a>(opts: &'a Flags, key: &str) -> Result<&'a str, String> {
 
 fn seed_of(opts: &Flags) -> u64 {
     opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2018)
+}
+
+/// Telemetry handle plus JSONL sink when `--telemetry <path>` was given.
+fn telemetry_of(opts: &Flags) -> Result<(Telemetry, Option<JsonlSink>), String> {
+    match opts.get("telemetry") {
+        Some(path) => {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| format!("cannot create telemetry file {path}: {e}"))?;
+            Ok((Telemetry::enabled(), Some(sink)))
+        }
+        None => Ok((Telemetry::disabled(), None)),
+    }
+}
+
+/// Final snapshot → JSONL line + human stats block on stdout.
+fn finish_telemetry(
+    telemetry: &Telemetry,
+    sink: Option<&mut JsonlSink>,
+    label: &str,
+) -> Result<(), String> {
+    let Some(snap) = telemetry.snapshot() else { return Ok(()) };
+    if let Some(sink) = sink {
+        sink.snapshot(label, &snap).map_err(|e| e.to_string())?;
+        sink.flush().map_err(|e| e.to_string())?;
+    }
+    println!("\nstats:\n{}", render_summary(&snap));
+    Ok(())
 }
 
 fn profile_of(name: &str) -> Result<SystemProfile, String> {
@@ -140,10 +174,16 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
     println!("read {} records ({} corrupt lines skipped)", records.len(), bad.len());
 
     let cfg = if opts.contains_key("fast") { DeshConfig::fast() } else { DeshConfig::default() };
+    let (telemetry, mut sink) = telemetry_of(opts)?;
     let mut rng = Xoshiro256pp::seed_from_u64(seed_of(opts));
-    let parsed = parse_records(&records);
+    let train_span = telemetry.span("train");
+    let parsed = desh::logparse::parse_records_telemetry(
+        &records,
+        Arc::new(desh::logparse::Vocab::new()),
+        &telemetry,
+    );
     println!("vocabulary: {} templates; running phase 1...", parsed.vocab_size());
-    let p1 = run_phase1(&parsed, &cfg, &mut rng);
+    let p1 = run_phase1_telemetry(&parsed, &cfg, &mut rng, &telemetry);
     println!(
         "phase 1 done: {} failure chains, 3-step accuracy {:.1}%",
         p1.chains.len(),
@@ -153,7 +193,9 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
         return Err("no failure chains found in the training log".into());
     }
     println!("running phase 2 ({} epochs)...", cfg.phase2.epochs);
-    let model = run_phase2(&p1.chains, parsed.vocab_size(), &cfg.phase2, &mut rng);
+    let model =
+        run_phase2_telemetry(&p1.chains, parsed.vocab_size(), &cfg.phase2, &mut rng, &telemetry);
+    drop(train_span);
 
     // Checkpoint: vocabulary + model constants + network weights.
     let mut e = Encoder::with_header(MODEL_MAGIC, 1);
@@ -174,6 +216,7 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
         bytes.len() / 1024,
         out.display()
     );
+    finish_telemetry(&telemetry, sink.as_mut(), "train")?;
     Ok(())
 }
 
@@ -204,22 +247,48 @@ fn load_model(path: &Path) -> Result<(LeadTimeModel, std::sync::Arc<desh::logpar
     Ok((model, std::sync::Arc::new(vocab)))
 }
 
+/// Records between periodic telemetry snapshots in `predict`.
+const SNAPSHOT_EVERY: usize = 25_000;
+
 fn cmd_predict(opts: &Flags) -> Result<(), String> {
     let log_path = PathBuf::from(need(opts, "log")?);
     let model_path = PathBuf::from(need(opts, "model")?);
-    let (model, vocab) = load_model(&model_path)?;
+    let (telemetry, mut sink) = telemetry_of(opts)?;
+    let (model, vocab) = telemetry.time("load_model", || load_model(&model_path))?;
     let (records, bad) =
         desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
     println!("read {} records ({} corrupt skipped)", records.len(), bad.len());
 
-    let mut detector = OnlineDetector::new(model, vocab, DeshConfig::default());
+    let mut detector =
+        OnlineDetector::with_telemetry(model, vocab, DeshConfig::default(), &telemetry);
     let mut warnings = Vec::new();
-    for r in &records {
+    let stream_span = telemetry.span("stream");
+    for (i, r) in records.iter().enumerate() {
         if let Some(w) = detector.ingest(r) {
             println!("[{}] {}", w.at.as_clock(), OnlineDetector::format_warning(&w));
+            if let Some(sink) = sink.as_mut() {
+                sink.event(
+                    "warning",
+                    &[
+                        ("node", w.node.to_string().into()),
+                        ("at_us", JsonValue::U64(w.at.0)),
+                        ("predicted_lead_secs", w.predicted_lead_secs.into()),
+                        ("score", w.score.into()),
+                        ("class", w.class.name().into()),
+                    ],
+                )
+                .map_err(|e| e.to_string())?;
+            }
             warnings.push(w);
         }
+        if (i + 1) % SNAPSHOT_EVERY == 0 {
+            if let (Some(sink), Some(snap)) = (sink.as_mut(), telemetry.snapshot()) {
+                sink.snapshot(&format!("progress@{}", i + 1), &snap)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
     }
+    drop(stream_span);
     println!("\n{} warnings over {} anomaly events", warnings.len(), detector.events_seen());
 
     if let Some(truth_path) = opts.get("truth") {
@@ -238,6 +307,7 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
             truth.len()
         );
     }
+    finish_telemetry(&telemetry, sink.as_mut(), "final")?;
     Ok(())
 }
 

@@ -39,6 +39,7 @@ pub use desh_core as core;
 pub use desh_loggen as loggen;
 pub use desh_logparse as logparse;
 pub use desh_nn as nn;
+pub use desh_obs as obs;
 pub use desh_util as util;
 
 /// The names most programs need.
@@ -57,5 +58,6 @@ pub mod prelude {
         parse_records_with_vocab, ParsedLog,
     };
     pub use desh_nn::{Mat, Optimizer, RmsProp, Sgd, SkipGram, TokenLstm, VectorLstm};
+    pub use desh_obs::{render_prometheus, render_summary, JsonlSink, Registry, Telemetry};
     pub use desh_util::{Micros, Summary, Xoshiro256pp};
 }
