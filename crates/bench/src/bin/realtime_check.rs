@@ -8,9 +8,17 @@
 //! `online.score_latency_us` histogram — the quantity Fig 10 of the paper
 //! reports as ≈0.65 ms per event on their hardware. The headroom factor
 //! says how many times larger a system one detector instance could watch.
+//!
+//! Flags:
+//! * `--smoke` — tiny profile + fast config, for CI latency gating.
+//! * `--max-p99-us <N>` — exit non-zero when the p99 scoring latency
+//!   exceeds `N` microseconds (a perf-regression tripwire).
+//! * `--json <path>` — write the measurements as machine-readable JSON
+//!   (defaults to `results/BENCH_fig10.json` in full runs; off in smoke
+//!   runs unless given explicitly).
 
 use desh_bench::{experiment_config, EXPERIMENT_SEED};
-use desh_core::{Desh, OnlineDetector};
+use desh_core::{Desh, DeshConfig, OnlineDetector};
 use desh_loggen::{generate, SystemProfile};
 use desh_obs::Telemetry;
 use std::time::Instant;
@@ -18,11 +26,48 @@ use std::time::Instant;
 /// Fig 10's per-event scoring cost on the paper's hardware, microseconds.
 const PAPER_SCORE_US: f64 = 650.0;
 
+/// Pre-optimization per-event scoring latency on this machine (M1 profile,
+/// seed 2018), measured before the packed-GEMM/scratch-reuse/incremental
+/// scoring rework. Kept in the JSON so the perf trajectory is tracked
+/// across PRs. (p50, p95, p99) in microseconds.
+const BASELINE_SCORE_US: (f64, f64, f64) = (126.4, 248.0, 369.5);
+
+struct Args {
+    smoke: bool,
+    max_p99_us: Option<f64>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { smoke: false, max_p99_us: None, json: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--max-p99-us" => {
+                let v = it.next().expect("--max-p99-us needs a value");
+                args.max_p99_us = Some(v.parse().expect("--max-p99-us must be a number"));
+            }
+            "--json" => args.json = Some(it.next().expect("--json needs a path")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if args.json.is_none() && !args.smoke {
+        args.json = Some("results/BENCH_fig10.json".to_string());
+    }
+    args
+}
+
 fn main() {
-    let profile = SystemProfile::m1();
+    let args = parse_args();
+    let (profile, cfg) = if args.smoke {
+        (SystemProfile::tiny(), DeshConfig::fast())
+    } else {
+        (SystemProfile::m1(), experiment_config())
+    };
     let dataset = generate(&profile, EXPERIMENT_SEED);
     let (train, test) = dataset.split_by_time(0.3);
-    let desh = Desh::new(experiment_config(), EXPERIMENT_SEED);
+    let desh = Desh::new(cfg, EXPERIMENT_SEED);
     println!("training...");
     let trained = desh.train(&train);
 
@@ -49,6 +94,7 @@ fn main() {
     let span_secs = test.duration.as_secs_f64() * 0.7;
     let arrival = events / span_secs;
     let paper_scale_arrival = arrival * profile.paper_scale as f64 / profile.nodes as f64;
+    let headroom = throughput / paper_scale_arrival;
 
     println!("\nReal-time feasibility (system {})", profile.name);
     println!("  events processed      : {events:.0} in {elapsed:.2}s  ({warnings} warnings)");
@@ -58,18 +104,17 @@ fn main() {
         "  paper-scale arrival   : {paper_scale_arrival:.1} events/s ({} nodes)",
         profile.paper_scale
     );
-    println!(
-        "  headroom vs paper-scale system: {:.0}x",
-        throughput / paper_scale_arrival
-    );
+    println!("  headroom vs paper-scale system: {headroom:.0}x");
 
     let snap = telemetry.snapshot().expect("telemetry enabled");
     let lat = snap
         .histogram("online.score_latency_us")
         .expect("detector recorded scoring latencies");
-    println!("\nPer-event scoring latency ({} scoring passes)", lat.count());
-    for (tag, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
-        let us = lat.quantile(q);
+    println!("\nPer-event scoring latency ({} scored events)", lat.count());
+    let mut quantiles = [0.0f64; 3];
+    for (i, (tag, q)) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)].iter().enumerate() {
+        let us = lat.quantile(*q);
+        quantiles[i] = us;
         println!(
             "  {tag:<4}: {us:>8.1} us   ({:.2}x the paper's {PAPER_SCORE_US:.0} us)",
             us / PAPER_SCORE_US
@@ -77,4 +122,57 @@ fn main() {
     }
     println!("  max : {:>8} us", lat.max());
     println!("\nThe paper's requirement is satisfied when headroom > 1.");
+
+    if let Some(path) = &args.json {
+        let body = format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"fig10_realtime_check\",\n",
+                "  \"profile\": \"{}\",\n",
+                "  \"smoke\": {},\n",
+                "  \"events\": {},\n",
+                "  \"elapsed_s\": {:.4},\n",
+                "  \"throughput_events_per_s\": {:.1},\n",
+                "  \"warnings\": {},\n",
+                "  \"scored_events\": {},\n",
+                "  \"score_latency_us\": {{\"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1}, \"max\": {}}},\n",
+                "  \"baseline_score_latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n",
+                "  \"speedup_p50_vs_baseline\": {:.1},\n",
+                "  \"paper_score_us\": {},\n",
+                "  \"headroom_vs_paper_scale\": {:.1}\n",
+                "}}\n"
+            ),
+            profile.name,
+            args.smoke,
+            events as u64,
+            elapsed,
+            throughput,
+            warnings,
+            lat.count(),
+            quantiles[0],
+            quantiles[1],
+            quantiles[2],
+            lat.max(),
+            BASELINE_SCORE_US.0,
+            BASELINE_SCORE_US.1,
+            BASELINE_SCORE_US.2,
+            BASELINE_SCORE_US.0 / quantiles[0].max(0.1),
+            PAPER_SCORE_US,
+            headroom,
+        );
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, body).expect("write bench json");
+        println!("wrote {path}");
+    }
+
+    if let Some(ceiling) = args.max_p99_us {
+        let p99 = quantiles[2];
+        if p99 > ceiling {
+            eprintln!("FAIL: p99 scoring latency {p99:.1} us exceeds ceiling {ceiling:.1} us");
+            std::process::exit(1);
+        }
+        println!("p99 {p99:.1} us within ceiling {ceiling:.1} us");
+    }
 }

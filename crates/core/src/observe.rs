@@ -7,6 +7,7 @@
 
 use desh_nn::TrainObserver;
 use desh_obs::Telemetry;
+use desh_util::duration_us;
 use std::time::Duration;
 
 /// Forwards per-epoch training progress into a telemetry registry:
@@ -32,7 +33,7 @@ impl TrainObserver for EpochTelemetry<'_> {
         self.telemetry.gauge_set(&format!("{}.epoch_loss", self.prefix), mean_loss);
         self.telemetry.observe_us(
             &format!("{}.epoch_time_us", self.prefix),
-            elapsed.as_micros().min(u64::MAX as u128) as u64,
+            duration_us(elapsed),
         );
     }
 }

@@ -4,22 +4,32 @@
 //!
 //! [`OnlineDetector`] consumes raw log records *as they arrive*, keeps a
 //! small per-node buffer of recent anomaly-relevant events, and scores the
-//! buffer against the trained lead-time model after every event. When the
-//! model recognises a failure chain in progress, it emits a [`Warning`]
-//! carrying the predicted remaining lead time (the model's own predicted
-//! next-ΔT — this is the "in 2.5 minutes, node X is expected to fail"
-//! output of §4.5) and the inferred failure class.
+//! stream against the trained lead-time model incrementally: each node
+//! carries the model's recurrent state (a [`LeadStream`]) across events,
+//! so an arriving event costs exactly **one cell step per layer** — O(1),
+//! DeepLog-style — instead of re-running the model over the whole buffer.
+//! Events are gap-encoded (ΔT = seconds since the node's previous event),
+//! which is append-only and therefore compatible with carried state; the
+//! running mean of one-step prediction errors is the decision score. A
+//! full re-scoring pass over the buffer happens only when the carried
+//! state is missing (episode just started after a session gap, terminal,
+//! or warning).
+//!
+//! When the model recognises a failure chain in progress, it emits a
+//! [`Warning`] carrying the predicted remaining lead time (the model's own
+//! predicted next-ΔT — this is the "in 2.5 minutes, node X is expected to
+//! fail" output of §4.5) and the inferred failure class.
 //!
 //! One warning is emitted per episode: after warning, a node stays quiet
 //! until its buffer resets (session gap elapses or a terminal arrives).
 
 use crate::classes::classify_templates;
 use crate::config::DeshConfig;
-use crate::phase2::LeadTimeModel;
+use crate::phase2::{LeadStream, LeadTimeModel};
 use desh_loggen::{FailureClass, Label, LogRecord, NodeId};
 use desh_logparse::{extract_template, is_failure_terminal, label_template, Vocab};
 use desh_obs::{Counter, Gauge, LatencyHistogram, Telemetry};
-use desh_util::Micros;
+use desh_util::{duration_us, Micros};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,6 +57,10 @@ struct NodeState {
     events: Vec<(Micros, u32)>,
     /// A warning was already raised for the current episode.
     warned: bool,
+    /// Carried model state for the current episode. `None` after any
+    /// buffer reset (session gap, terminal, warning); rebuilt from the
+    /// buffer on the next event — the full re-scoring fallback.
+    stream: Option<LeadStream>,
 }
 
 /// Pre-resolved metric handles for the per-event hot path: every update
@@ -151,6 +165,7 @@ impl OnlineDetector {
                 self.buffered_total -= state.events.len() as u64;
                 state.events.clear();
                 state.warned = false;
+                state.stream = None;
             }
         }
         state.events.push((record.time, phrase));
@@ -166,67 +181,88 @@ impl OnlineDetector {
             self.buffered_total -= state.events.len() as u64;
             state.events.clear();
             state.warned = false;
+            state.stream = None;
             if let Some(m) = &self.metrics {
                 m.buffered.set(self.buffered_total as f64);
             }
             return None;
         }
-        if state.warned || state.events.len() < self.cfg.phase3.min_evidence + 1 {
+        // Already warned for this episode: stay quiet until a reset. The
+        // carried state was dropped at warning time, so nothing to advance.
+        if state.warned {
             return None;
         }
 
-        // From here on the event pays for a model evaluation — this is the
-        // per-event cost the paper's Fig 10 reports (≈0.65 ms).
+        // From here on the event pays for model work — this is the
+        // per-event cost the paper's Fig 10 reports (≈0.65 ms there).
+        // The hot path advances the carried state by ONE cell step; the
+        // full replay below only runs when an episode just (re)started.
         let t0 = self.metrics.as_ref().map(|_| Instant::now());
-        let warning = Self::score_buffer(&self.model, &self.cfg, &self.vocab, state, record);
+        match &mut state.stream {
+            Some(ls) => {
+                self.model.stream_push(ls, record.time, phrase);
+            }
+            None => {
+                let mut ls = self.model.begin_stream();
+                for &(t, p) in &state.events {
+                    self.model.stream_push(&mut ls, t, p);
+                }
+                state.stream = Some(ls);
+            }
+        }
+        let warning = Self::evaluate(&self.model, &self.cfg, &self.vocab, state, record);
         if let Some(m) = &self.metrics {
-            m.score_latency
-                .record(t0.unwrap().elapsed().as_micros().min(u64::MAX as u128) as u64);
+            m.score_latency.record(duration_us(t0.unwrap().elapsed()));
             if warning.is_some() {
                 m.warnings.inc();
             }
         }
         if warning.is_some() {
+            state.warned = true;
+            // The episode is done from a scoring perspective; free the
+            // carried state (it is rebuilt if the node episodes again).
+            state.stream = None;
             self.warnings_emitted += 1;
         }
         warning
     }
 
-    /// Score one node's buffered episode prefix and build the warning if
-    /// the model recognises a failure chain. Takes fields rather than
-    /// `&self` because the caller holds a mutable borrow of the node map.
-    fn score_buffer(
+    /// Decide whether the node's running score crosses the warning
+    /// threshold, and build the [`Warning`] if so. Reads the carried
+    /// stream's aggregate — O(vocab) only, no model evaluation. Takes
+    /// fields rather than `&self` because the caller holds a mutable
+    /// borrow of the node map.
+    fn evaluate(
         model: &LeadTimeModel,
         cfg: &DeshConfig,
         vocab: &Vocab,
-        state: &mut NodeState,
+        state: &NodeState,
         record: &LogRecord,
     ) -> Option<Warning> {
-        // ΔTs relative to the newest event (what the batch pipeline does
-        // with completed episodes).
+        let ls = state.stream.as_ref()?;
+        if ls.transitions() < cfg.phase3.min_evidence {
+            return None;
+        }
+        let unit = (model.vocab_size + 1) as f64 / 2.0 * cfg.phase3.score_scale;
+        let score = model.stream_mean(ls)? * unit;
+        if score > cfg.phase3.mse_threshold {
+            return None;
+        }
+
+        // Chain recognised. Only now pay for the full-buffer work: the
+        // countdown-encoded window (the batch pipeline's ΔT form) feeds
+        // `predict_next`, whose channel 0 carries the expected remaining
+        // ΔT, and the evidence strings are materialised for the report.
         let newest = state.events.last().unwrap().0;
         let seq: Vec<Vec<f32>> = state
             .events
             .iter()
             .map(|&(t, p)| model.vectorize(newest.saturating_sub(t).as_secs_f64(), p))
             .collect();
-        let raw = model.model.score_sequence(&seq, model.history);
-        if raw.len() < cfg.phase3.min_evidence {
-            return None;
-        }
-        let unit = (model.vocab_size + 1) as f64 / 2.0 * cfg.phase3.score_scale;
-        let score = raw.iter().map(|s| s * unit).sum::<f64>() / raw.len() as f64;
-        if score > cfg.phase3.mse_threshold {
-            return None;
-        }
-
-        // Chain recognised: the model's predicted *next* sample carries the
-        // expected remaining ΔT on channel 0.
         let window: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
         let next = model.model.predict_next(&window, model.history);
         let predicted_lead_secs = model.denormalize_dt(next[0]);
 
-        state.warned = true;
         let evidence: Vec<String> = state
             .events
             .iter()
@@ -373,6 +409,38 @@ mod tests {
         // The incremental occupancy total matches a direct recount.
         let direct: u64 = det.nodes.values().map(|s| s.events.len() as u64).sum();
         assert_eq!(det.buffered_total, direct);
+    }
+
+    #[test]
+    fn incremental_scores_match_batch_replay() {
+        // Replay the same records through the detector and, after each
+        // scored event, recompute the node's score from scratch over its
+        // whole buffer. The carried-state aggregate must agree with the
+        // O(n²) batch recomputation to float tolerance.
+        let (mut det, test) = trained_detector(307);
+        let mut checked = 0usize;
+        for r in &test.records {
+            det.ingest(r);
+            let Some(state) = det.nodes.get(&r.node) else { continue };
+            let Some(ls) = &state.stream else { continue };
+            if ls.transitions() == 0 {
+                continue;
+            }
+            let incremental = det.model.stream_mean(ls).unwrap();
+            let batch = det.model.score_events_batch(&state.events);
+            assert_eq!(batch.len(), ls.transitions(), "transition count drifted");
+            let batch_mean = batch.iter().sum::<f64>() / batch.len() as f64;
+            assert!(
+                (incremental - batch_mean).abs() < 1e-5,
+                "incremental {incremental} vs batch {batch_mean} after {} events",
+                state.events.len()
+            );
+            checked += 1;
+            if checked >= 500 {
+                break;
+            }
+        }
+        assert!(checked >= 50, "replay only compared {checked} states");
     }
 
     #[test]

@@ -21,9 +21,9 @@
 use crate::chain::FailureChain;
 use crate::config::Phase2Config;
 use crate::observe::EpochTelemetry;
-use desh_nn::{Optimizer, RmsProp, TrainConfig, VectorLstm};
+use desh_nn::{Optimizer, RmsProp, TrainConfig, VectorLstm, VectorStream};
 use desh_obs::Telemetry;
-use desh_util::Xoshiro256pp;
+use desh_util::{Micros, Xoshiro256pp};
 
 /// The trained lead-time model plus the encoding constants that must
 /// travel with it to inference.
@@ -61,6 +61,81 @@ impl LeadTimeModel {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .map(|(i, _)| i as u32)
             .unwrap_or(0)
+    }
+
+    /// Begin an incremental scoring stream for one node's event buffer.
+    pub fn begin_stream(&self) -> LeadStream {
+        LeadStream {
+            stream: self.model.begin_stream(),
+            last_time: None,
+            sum: 0.0,
+            transitions: 0,
+        }
+    }
+
+    /// Feed one `(timestamp, phrase)` event into a stream. Events are
+    /// gap-encoded (ΔT = seconds since the previous event in the stream;
+    /// zero for the first), advanced through the model by exactly one
+    /// cell step per layer, and folded into the running one-step-MSE
+    /// aggregate. Returns the raw (unscaled) MSE this event contributed,
+    /// `None` for the first event of a stream.
+    pub fn stream_push(&self, ls: &mut LeadStream, time: Micros, phrase: u32) -> Option<f64> {
+        let gap_secs = match ls.last_time {
+            Some(prev) => time.saturating_sub(prev).as_secs_f64(),
+            None => 0.0,
+        };
+        ls.last_time = Some(time);
+        let v = self.vectorize(gap_secs, phrase);
+        let score = self.model.stream_push(&mut ls.stream, &v);
+        if let Some(s) = score {
+            ls.sum += s;
+            ls.transitions += 1;
+        }
+        score
+    }
+
+    /// Mean raw one-step MSE accumulated by a stream, or `None` before
+    /// the first scored transition.
+    pub fn stream_mean(&self, ls: &LeadStream) -> Option<f64> {
+        (ls.transitions > 0).then(|| ls.sum / ls.transitions as f64)
+    }
+
+    /// Batch reference for the incremental stream: gap-encode the whole
+    /// buffer and re-run the model from zero state over every prefix.
+    /// O(n²) in the buffer length — this is what [`Self::stream_push`]
+    /// replaces on the hot path, kept as the replay oracle for tests and
+    /// the full re-scoring fallback.
+    pub fn score_events_batch(&self, events: &[(Micros, u32)]) -> Vec<f64> {
+        let mut seq = Vec::with_capacity(events.len());
+        let mut prev: Option<Micros> = None;
+        for &(t, p) in events {
+            let gap = match prev {
+                Some(q) => t.saturating_sub(q).as_secs_f64(),
+                None => 0.0,
+            };
+            prev = Some(t);
+            seq.push(self.vectorize(gap, p));
+        }
+        self.model.score_stream_batch(&seq)
+    }
+}
+
+/// Carried scoring state for one node's event stream: the model's
+/// recurrent state, the previous event time (for gap encoding), and the
+/// running sum/count of one-step MSEs. Owning one of these is what makes
+/// the online detector O(1) per event.
+#[derive(Debug, Clone)]
+pub struct LeadStream {
+    stream: VectorStream,
+    last_time: Option<Micros>,
+    sum: f64,
+    transitions: usize,
+}
+
+impl LeadStream {
+    /// Number of scored transitions (events beyond the first).
+    pub fn transitions(&self) -> usize {
+        self.transitions
     }
 }
 

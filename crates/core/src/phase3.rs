@@ -15,8 +15,9 @@ use crate::metrics::Confusion;
 use crate::phase2::LeadTimeModel;
 use desh_loggen::{FailureClass, GroundTruthFailure, NodeId};
 use desh_logparse::ParsedLog;
+use desh_nn::ScoreWorkspace;
 use desh_obs::Telemetry;
-use desh_util::Micros;
+use desh_util::{duration_us, Micros};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -89,10 +90,13 @@ pub fn maintenance_windows(parsed: &ParsedLog, min_nodes: usize) -> Vec<(Micros,
 }
 
 /// Score one episode: returns (flagged, decision score, predicted lead).
+/// `sw` is a reusable scratch workspace (one per rayon task) so the
+/// windowed scorer never allocates per position.
 fn score_episode(
     model: &LeadTimeModel,
     episode: &Episode,
     cfg: &DeshConfig,
+    sw: &mut ScoreWorkspace,
 ) -> (bool, f64, Option<f64>) {
     let end = episode.end();
     // Cumulative ΔTs to the episode's final event (Table 4 construction).
@@ -101,7 +105,7 @@ fn score_episode(
         .iter()
         .map(|e| model.vectorize(end.saturating_sub(e.time).as_secs_f64(), e.phrase))
         .collect();
-    let raw = model.model.score_sequence(&seq, model.history);
+    let raw = model.model.score_sequence_ws(&seq, model.history, sw);
     // Normalise so one full phrase mismatch scores ~1.0 regardless of
     // vocabulary size, then apply the configured multiplier.
     let unit = (model.vocab_size + 1) as f64 / 2.0 * cfg.phase3.score_scale;
@@ -184,9 +188,10 @@ pub fn run_phase3_telemetry(
         .par_iter()
         .map(|ep| {
             let t0 = score_hist.as_ref().map(|_| Instant::now());
-            let (flagged, score, predicted_lead_secs) = score_episode(model, ep, cfg);
+            let mut sw = model.model.workspace();
+            let (flagged, score, predicted_lead_secs) = score_episode(model, ep, cfg, &mut sw);
             if let (Some(h), Some(t0)) = (&score_hist, t0) {
-                h.record(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                h.record(duration_us(t0.elapsed()));
             }
             let class = match_truth(ep, truth);
             Verdict {

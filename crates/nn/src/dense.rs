@@ -54,6 +54,13 @@ impl Dense {
         y
     }
 
+    /// Inference into a caller-held output buffer (no allocation once the
+    /// buffer has the right shape).
+    pub fn infer_into(&self, x: &Mat, y: &mut Mat) {
+        x.matmul_into(&self.w.w, y);
+        y.add_row_broadcast(&self.b.w);
+    }
+
     /// Backward pass: accumulates into `w.g` / `b.g`, returns `dx`.
     pub fn backward(&mut self, cache: &DenseCache, dy: &Mat) -> Mat {
         self.w.g.add_assign(&cache.x.t_matmul(dy));
@@ -107,7 +114,10 @@ mod tests {
             d.w.w.data_mut()[idx] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = d.w.g.data()[idx];
-            assert!((num - ana).abs() < 2e-2, "dW[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "dW[{idx}]: num {num} vs ana {ana}"
+            );
         }
         // Check dx numerically.
         let mut x2 = x.clone();
@@ -120,7 +130,10 @@ mod tests {
             x2.data_mut()[idx] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = dx.data()[idx];
-            assert!((num - ana).abs() < 2e-2, "dx[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "dx[{idx}]: num {num} vs ana {ana}"
+            );
         }
     }
 

@@ -34,7 +34,11 @@ impl Embedding {
     pub fn from_table(table: Mat) -> Self {
         let g = Mat::zeros(table.rows(), table.cols());
         Self {
-            table: Param { w: table, g, name: "embed".into() },
+            table: Param {
+                w: table,
+                g,
+                name: "embed".into(),
+            },
         }
     }
 
@@ -59,7 +63,8 @@ impl Embedding {
         let mut out = Mat::zeros(ids.len(), dim);
         for (r, &id) in ids.iter().enumerate() {
             assert!((id as usize) < self.vocab(), "id {id} out of vocabulary");
-            out.row_mut(r).copy_from_slice(self.table.w.row(id as usize));
+            out.row_mut(r)
+                .copy_from_slice(self.table.w.row(id as usize));
         }
         out
     }

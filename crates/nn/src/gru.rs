@@ -50,6 +50,25 @@ pub struct GruTape {
     steps: Vec<StepCache>,
 }
 
+/// Reusable scratch for one GRU layer: fused `[B, 3H]` pre-activations
+/// for the input and recurrent halves, plus the candidate's `r ⊙ h` input
+/// and its `[B, H]` product with the n-columns of `Wh`. Holding one across
+/// timesteps makes `step_into` allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct GruScratch {
+    pre: Mat,
+    hw: Mat,
+    rh: Mat,
+    rh_n: Mat,
+}
+
+impl GruScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl GruLayer {
     /// New layer with Xavier weights.
     pub fn new(input: usize, hidden: usize, name: &str, rng: &mut Xoshiro256pp) -> Self {
@@ -72,62 +91,137 @@ impl GruLayer {
         self.input
     }
 
-    /// One step of gate math. Returns (r, z, n, rh, h_new).
-    fn gates(&self, x: &Mat, h_prev: &Mat) -> (Mat, Mat, Mat, Mat, Mat) {
+    /// Shared pre-activation GEMMs into the scratch:
+    /// `pre = x @ Wx + b` and `hw = h_prev @ Wh`.
+    fn preactivations(&self, x: &Mat, h_prev: &Mat, ws: &mut GruScratch) {
+        debug_assert_eq!(x.cols(), self.input);
+        debug_assert_eq!(h_prev.cols(), self.hidden);
+        x.matmul_into(&self.wx.w, &mut ws.pre);
+        ws.pre.add_row_broadcast(&self.b.w);
+        h_prev.matmul_into(&self.wh.w, &mut ws.hw);
+    }
+
+    /// One step of gate math for the training path. Returns
+    /// (r, z, n, rh, h_new); everything transient lives in `ws`.
+    fn gates_with(&self, x: &Mat, h_prev: &Mat, ws: &mut GruScratch) -> (Mat, Mat, Mat, Mat, Mat) {
         let batch = x.rows();
         let hsz = self.hidden;
-        // Pre-activations of r and z use x and h directly.
-        let mut pre = x.matmul(&self.wx.w);
-        pre.add_row_broadcast(&self.b.w);
-        let hw = h_prev.matmul(&self.wh.w);
+        self.preactivations(x, h_prev, ws);
 
         let mut r = Mat::zeros(batch, hsz);
         let mut z = Mat::zeros(batch, hsz);
+        let mut rh = Mat::zeros(batch, hsz);
         for row in 0..batch {
+            let pr = ws.pre.row(row);
+            let hw = ws.hw.row(row);
+            let hp = h_prev.row(row);
             for k in 0..hsz {
-                r.row_mut(row)[k] = sigmoid(pre[(row, k)] + hw[(row, k)]);
-                z.row_mut(row)[k] = sigmoid(pre[(row, hsz + k)] + hw[(row, hsz + k)]);
+                let rv = sigmoid(pr[k] + hw[k]);
+                r.row_mut(row)[k] = rv;
+                z.row_mut(row)[k] = sigmoid(pr[hsz + k] + hw[hsz + k]);
+                rh.row_mut(row)[k] = rv * hp[k];
             }
         }
-        // Candidate uses (r ⊙ h_prev) through the n-columns of Wh.
-        let rh = r.hadamard(h_prev);
-        let whn = self.wh.w.col_slice(2 * hsz, 3 * hsz);
-        let rh_n = rh.matmul(&whn);
+        // Candidate uses (r ⊙ h_prev) through the n-columns of Wh, read in
+        // place rather than materialising the column slice.
+        rh.matmul_cols_into(&self.wh.w, 2 * hsz, 3 * hsz, &mut ws.rh_n);
         let mut n = Mat::zeros(batch, hsz);
         let mut h = Mat::zeros(batch, hsz);
         for row in 0..batch {
+            let pr = ws.pre.row(row);
+            let rhn = ws.rh_n.row(row);
+            let hp = h_prev.row(row);
             for k in 0..hsz {
-                let pre_n = pre[(row, 2 * hsz + k)] + rh_n[(row, k)];
-                let nv = pre_n.tanh();
+                let nv = (pr[2 * hsz + k] + rhn[k]).tanh();
                 n.row_mut(row)[k] = nv;
                 let zv = z[(row, k)];
-                h.row_mut(row)[k] = (1.0 - zv) * nv + zv * h_prev[(row, k)];
+                h.row_mut(row)[k] = (1.0 - zv) * nv + zv * hp[k];
             }
         }
         (r, z, n, rh, h)
     }
 
-    /// Forward over a sequence from zero state; returns hidden outputs and
-    /// the tape.
-    pub fn forward_seq(&self, xs: &[Mat]) -> (Vec<Mat>, GruTape) {
+    /// One timestep without recording a tape, updating `h` in place.
+    /// Allocation-free once the scratch buffers are warm: the reset gate
+    /// only ever exists fused into `r ⊙ h`, and the update gate is
+    /// recomputed from the (still intact) pre-activations at combine time.
+    pub fn step_into(&self, x: &Mat, h: &mut Mat, ws: &mut GruScratch) {
+        let batch = x.rows();
+        let hsz = self.hidden;
+        self.preactivations(x, h, ws);
+        if ws.rh.shape() != (batch, hsz) {
+            ws.rh.reset(batch, hsz);
+        }
+        for row in 0..batch {
+            let pr = ws.pre.row(row);
+            let hw = ws.hw.row(row);
+            let hp = h.row(row);
+            let rh = ws.rh.row_mut(row);
+            for k in 0..hsz {
+                rh[k] = sigmoid(pr[k] + hw[k]) * hp[k];
+            }
+        }
+        ws.rh
+            .matmul_cols_into(&self.wh.w, 2 * hsz, 3 * hsz, &mut ws.rh_n);
+        for row in 0..batch {
+            let pr = ws.pre.row(row);
+            let hw = ws.hw.row(row);
+            let rhn = ws.rh_n.row(row);
+            let hrow = h.row_mut(row);
+            for k in 0..hsz {
+                let zv = sigmoid(pr[hsz + k] + hw[hsz + k]);
+                let nv = (pr[2 * hsz + k] + rhn[k]).tanh();
+                hrow[k] = (1.0 - zv) * nv + zv * hrow[k];
+            }
+        }
+    }
+
+    /// One timestep with a throwaway scratch (convenience).
+    pub fn step_infer(&self, x: &Mat, h: &mut Mat) {
+        let mut ws = GruScratch::new();
+        self.step_into(x, h, &mut ws);
+    }
+
+    /// Forward over a sequence from zero state, reusing a caller-held
+    /// scratch; returns hidden outputs and the tape.
+    pub fn forward_seq_ws(&self, xs: &[Mat], ws: &mut GruScratch) -> (Vec<Mat>, GruTape) {
         assert!(!xs.is_empty());
         let batch = xs[0].rows();
         let mut h = Mat::zeros(batch, self.hidden);
         let mut hs = Vec::with_capacity(xs.len());
         let mut steps = Vec::with_capacity(xs.len());
         for x in xs {
-            let (r, z, n, rh, h_new) = self.gates(x, &h);
-            steps.push(StepCache { x: x.clone(), h_prev: h.clone(), r, z, n, rh });
+            let (r, z, n, rh, h_new) = self.gates_with(x, &h, ws);
+            steps.push(StepCache {
+                x: x.clone(),
+                h_prev: h.clone(),
+                r,
+                z,
+                n,
+                rh,
+            });
             h = h_new.clone();
             hs.push(h_new);
         }
         (hs, GruTape { steps })
     }
 
-    /// Inference: final hidden output only.
+    /// Forward over a sequence with a throwaway scratch.
+    pub fn forward_seq(&self, xs: &[Mat]) -> (Vec<Mat>, GruTape) {
+        let mut ws = GruScratch::new();
+        self.forward_seq_ws(xs, &mut ws)
+    }
+
+    /// Inference: final hidden output only, via the streaming step (no
+    /// tape allocation at all).
     pub fn infer_seq(&self, xs: &[Mat]) -> Mat {
-        let (hs, _) = self.forward_seq(xs);
-        hs.into_iter().next_back().expect("non-empty sequence")
+        assert!(!xs.is_empty());
+        let mut h = Mat::zeros(xs[0].rows(), self.hidden);
+        let mut ws = GruScratch::new();
+        for x in xs {
+            self.step_into(x, &mut h, &mut ws);
+        }
+        h
     }
 
     /// BPTT. `dhs[t]` is the gradient w.r.t. step-`t` hidden output.
@@ -323,7 +417,9 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(4);
         let mut layer = GruLayer::new(1, 8, "g", &mut rng);
         let mut head = crate::dense::Dense::new(8, 1, "h", &mut rng);
-        let seq: Vec<f32> = (0..20).map(|i| if i % 2 == 0 { 0.9 } else { -0.9 }).collect();
+        let seq: Vec<f32> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.9 } else { -0.9 })
+            .collect();
         let mut last_loss = f64::MAX;
         for _ in 0..300 {
             let xs: Vec<Mat> = seq[..seq.len() - 1]

@@ -40,13 +40,13 @@ pub mod stacked;
 pub use dense::Dense;
 pub use dropout::Dropout;
 pub use embedding::Embedding;
-pub use gru::GruLayer;
-pub use lstm::{LstmLayer, LstmState};
+pub use gru::{GruLayer, GruScratch};
+pub use lstm::{LstmLayer, LstmScratch, LstmState};
 pub use mat::Mat;
-pub use models::{TokenLstm, TrainConfig, VectorLstm};
+pub use models::{ScoreWorkspace, TokenLstm, TrainConfig, VectorLstm, VectorStream};
 pub use observe::{NoopObserver, RecordingObserver, TrainObserver};
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};
 pub use param::Param;
 pub use schedule::{Constant, Cosine, Schedule, StepDecay, Warmup};
 pub use sgns::{SgnsConfig, SkipGram};
-pub use stacked::StackedLstm;
+pub use stacked::{StackedLstm, StackedScratch};

@@ -68,7 +68,33 @@ pub struct LstmState {
 impl LstmState {
     /// Zero state for a batch.
     pub fn zeros(batch: usize, hidden: usize) -> Self {
-        Self { h: Mat::zeros(batch, hidden), c: Mat::zeros(batch, hidden) }
+        Self {
+            h: Mat::zeros(batch, hidden),
+            c: Mat::zeros(batch, hidden),
+        }
+    }
+
+    /// Reset to zeros in place, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.h.clear();
+        self.c.clear();
+    }
+}
+
+/// Reusable scratch for one LSTM layer: the fused `[B, 4H]` gate
+/// pre-activation buffer. Holding one of these across timesteps removes
+/// every per-step allocation from the inference path; the training path
+/// reuses it for the pre-activations and only allocates the tape mats that
+/// BPTT genuinely has to keep.
+#[derive(Debug, Clone, Default)]
+pub struct LstmScratch {
+    pre: Mat,
+}
+
+impl LstmScratch {
+    /// Empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -98,66 +124,103 @@ impl LstmLayer {
         self.input
     }
 
-    /// One timestep without recording a tape (inference).
-    pub fn step_infer(&self, x: &Mat, state: &mut LstmState) {
-        let (i, f, g, o, c, h) = self.gates(x, &state.h, &state.c);
-        let _ = (i, f, g, o);
-        state.c = c;
-        state.h = h;
+    /// Fused gate pre-activations into the scratch buffer:
+    /// `pre = x @ Wx + h_prev @ Wh + b`, all in place. Both the tape-
+    /// recording forward pass and the zero-allocation inference step go
+    /// through this single routine, so their outputs are bit-identical.
+    fn preactivations(&self, x: &Mat, h_prev: &Mat, ws: &mut LstmScratch) {
+        debug_assert_eq!(x.cols(), self.input);
+        debug_assert_eq!(h_prev.cols(), self.hidden);
+        x.matmul_into(&self.wx.w, &mut ws.pre);
+        h_prev.matmul_acc(&self.wh.w, &mut ws.pre);
+        ws.pre.add_row_broadcast(&self.b.w);
     }
 
-    /// Shared gate math. Returns (i, f, g, o, c_new, h_new).
-    #[allow(clippy::type_complexity)]
-    fn gates(&self, x: &Mat, h_prev: &Mat, c_prev: &Mat) -> (Mat, Mat, Mat, Mat, Mat, Mat) {
+    /// One timestep without recording a tape (inference). Allocation-free
+    /// apart from lazily sizing the scratch on first use: the gate
+    /// nonlinearities and the cell update are applied directly to the
+    /// state matrices.
+    pub fn step_into(&self, x: &Mat, state: &mut LstmState, ws: &mut LstmScratch) {
         let batch = x.rows();
         let hsz = self.hidden;
-        debug_assert_eq!(x.cols(), self.input);
-        debug_assert_eq!(h_prev.cols(), hsz);
+        self.preactivations(x, &state.h, ws);
+        for r in 0..batch {
+            let row = ws.pre.row(r);
+            let crow = state.c.row_mut(r);
+            let hrow = state.h.row_mut(r);
+            for k in 0..hsz {
+                let i = sigmoid(row[k]);
+                let f = sigmoid(row[hsz + k]);
+                let g = row[2 * hsz + k].tanh();
+                let o = sigmoid(row[3 * hsz + k]);
+                let c = f * crow[k] + i * g;
+                crow[k] = c;
+                hrow[k] = o * c.tanh();
+            }
+        }
+    }
 
-        let mut pre = x.matmul(&self.wx.w);
-        pre.add_assign(&h_prev.matmul(&self.wh.w));
-        pre.add_row_broadcast(&self.b.w);
+    /// One timestep without a caller-provided scratch (convenience; pays
+    /// one buffer allocation). Hot loops should hold an [`LstmScratch`]
+    /// and call [`LstmLayer::step_into`].
+    pub fn step_infer(&self, x: &Mat, state: &mut LstmState) {
+        let mut ws = LstmScratch::new();
+        self.step_into(x, state, &mut ws);
+    }
+
+    /// Shared gate math for the training path. Returns
+    /// (i, f, g, o, c_new, h_new); pre-activations go through `ws`.
+    #[allow(clippy::type_complexity)]
+    fn gates_with(
+        &self,
+        x: &Mat,
+        h_prev: &Mat,
+        c_prev: &Mat,
+        ws: &mut LstmScratch,
+    ) -> (Mat, Mat, Mat, Mat, Mat, Mat) {
+        let batch = x.rows();
+        let hsz = self.hidden;
+        self.preactivations(x, h_prev, ws);
 
         let mut i = Mat::zeros(batch, hsz);
         let mut f = Mat::zeros(batch, hsz);
         let mut g = Mat::zeros(batch, hsz);
         let mut o = Mat::zeros(batch, hsz);
-        for r in 0..batch {
-            let row = pre.row(r);
-            let (ir, fr, gr, or) = (
-                &row[0..hsz],
-                &row[hsz..2 * hsz],
-                &row[2 * hsz..3 * hsz],
-                &row[3 * hsz..4 * hsz],
-            );
-            for k in 0..hsz {
-                i.row_mut(r)[k] = sigmoid(ir[k]);
-                f.row_mut(r)[k] = sigmoid(fr[k]);
-                g.row_mut(r)[k] = gr[k].tanh();
-                o.row_mut(r)[k] = sigmoid(or[k]);
-            }
-        }
-        let mut c = f.hadamard(c_prev);
-        c.add_assign(&i.hadamard(&g));
+        let mut c = Mat::zeros(batch, hsz);
         let mut h = Mat::zeros(batch, hsz);
         for r in 0..batch {
+            let row = ws.pre.row(r);
+            let cp = c_prev.row(r);
             for k in 0..hsz {
-                h.row_mut(r)[k] = o.row(r)[k] * c.row(r)[k].tanh();
+                // Identical scalar expressions to `step_into`, so the
+                // tape path and the scratch path agree bitwise.
+                let iv = sigmoid(row[k]);
+                let fv = sigmoid(row[hsz + k]);
+                let gv = row[2 * hsz + k].tanh();
+                let ov = sigmoid(row[3 * hsz + k]);
+                let cv = fv * cp[k] + iv * gv;
+                i.row_mut(r)[k] = iv;
+                f.row_mut(r)[k] = fv;
+                g.row_mut(r)[k] = gv;
+                o.row_mut(r)[k] = ov;
+                c.row_mut(r)[k] = cv;
+                h.row_mut(r)[k] = ov * cv.tanh();
             }
         }
         (i, f, g, o, c, h)
     }
 
-    /// Forward over a full sequence starting from a zero state.
+    /// Forward over a full sequence starting from a zero state, reusing a
+    /// caller-held scratch for the gate pre-activations.
     /// Returns the per-step hidden outputs and the tape for backprop.
-    pub fn forward_seq(&self, xs: &[Mat]) -> (Vec<Mat>, LstmTape) {
+    pub fn forward_seq_ws(&self, xs: &[Mat], ws: &mut LstmScratch) -> (Vec<Mat>, LstmTape) {
         assert!(!xs.is_empty());
         let batch = xs[0].rows();
         let mut state = LstmState::zeros(batch, self.hidden);
         let mut hs = Vec::with_capacity(xs.len());
         let mut steps = Vec::with_capacity(xs.len());
         for x in xs {
-            let (i, f, g, o, c, h) = self.gates(x, &state.h, &state.c);
+            let (i, f, g, o, c, h) = self.gates_with(x, &state.h, &state.c, ws);
             steps.push(StepCache {
                 x: x.clone(),
                 h_prev: state.h.clone(),
@@ -175,12 +238,19 @@ impl LstmLayer {
         (hs, LstmTape { steps })
     }
 
+    /// Forward over a full sequence with a throwaway scratch.
+    pub fn forward_seq(&self, xs: &[Mat]) -> (Vec<Mat>, LstmTape) {
+        let mut ws = LstmScratch::new();
+        self.forward_seq_ws(xs, &mut ws)
+    }
+
     /// Inference over a sequence: only the final hidden output.
     pub fn infer_seq(&self, xs: &[Mat]) -> Mat {
         assert!(!xs.is_empty());
         let mut state = LstmState::zeros(xs[0].rows(), self.hidden);
+        let mut ws = LstmScratch::new();
         for x in xs {
-            self.step_infer(x, &mut state);
+            self.step_into(x, &mut state, &mut ws);
         }
         state.h
     }

@@ -1,11 +1,23 @@
 //! Dense row-major f32 matrices with the handful of BLAS-like kernels the
-//! LSTM training loops need.
+//! LSTM training and inference loops need.
 //!
-//! The models in this workspace are small (hidden sizes up to a few hundred,
-//! batch sizes up to 64), so a cache-friendly `ikj` GEMM with a rayon split
-//! over output rows outperforms anything fancier at this scale while staying
-//! dependency-free. All kernels are exact (no fused-multiply-add reordering
-//! games), which keeps gradient-check tests tight.
+//! The GEMM is a cache-blocked, panel-packed kernel: B is packed into
+//! 8-column strips and A into 2-row panels per k-block, and a 2x8
+//! register-tiled micro-kernel does the multiply-adds in a shape the
+//! compiler auto-vectorizes. Three cheaper paths short-circuit the packed
+//! kernel where it would lose:
+//!
+//! * a **GEMV** path for `[1,k] @ [k,n]` — the shape every batch=1 online
+//!   scoring step hits — with a zero-skipping variant for the one-hot
+//!   (ΔT, phrase) input rows of phases 2/3;
+//! * a **sparse-row axpy** path when A is mostly zeros (one-hot training
+//!   batches), which does `nnz` row updates instead of `m*k`;
+//! * the plain `ikj` loop for matrices too small to amortise packing.
+//!
+//! Output-row parallelism via rayon kicks in above [`PAR_FLOP_THRESHOLD`]
+//! exactly as before. All kernels are exact per scalar operation (no FMA
+//! reordering games); only summation order differs between paths, which
+//! keeps gradient-check tests tight.
 
 use rayon::prelude::*;
 use std::fmt;
@@ -15,6 +27,289 @@ use std::ops::{Index, IndexMut};
 /// Below this, rayon's fork/join overhead dominates.
 const PAR_FLOP_THRESHOLD: usize = 1 << 17;
 
+/// Below this many multiply-adds the straightforward unpacked loop beats
+/// the packed kernel (packing overhead dominates; measured crossover is
+/// around the 64³ shape on the baseline x86-64 target).
+const PACK_FLOP_THRESHOLD: usize = 1 << 19;
+
+/// Micro-tile rows (register-blocked rows of A per kernel call). Kept at 2
+/// deliberately: the 2x8 f32 accumulator needs only 4 SSE registers, so
+/// the whole tile stays register-resident on the baseline x86-64 target —
+/// a 4x8 tile measurably spills and runs ~2x slower.
+const MR: usize = 2;
+
+/// Micro-tile columns; 8-wide so the inner loop maps onto full-width SIMD.
+const NR: usize = 8;
+
+/// k-dimension cache block: an `MR x KC` A-panel plus an `NR x KC` B-panel
+/// stay L1-resident while the micro-kernel streams over them.
+const KC: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Free-function kernels (operate on raw slices so `Mat` borrows stay simple)
+// ---------------------------------------------------------------------------
+
+/// `out[0..n] += a (row vector, len k) @ B[:, lo..lo+n]` where `b` has row
+/// stride `bcols`. Dedicated batch=1 path: no packing, no tiling.
+fn gemv_acc(a: &[f32], b: &[f32], bcols: usize, lo: usize, n: usize, out: &mut [f32]) {
+    let k = a.len();
+    debug_assert!(out.len() >= n);
+    let out = &mut out[..n];
+    // One-hot-ish rows (the vectorized (ΔT, phrase) inputs of phases 2/3
+    // have ~2 non-zeros) pay for a quick scan: the zero-skipping axpy form
+    // then does `nnz` row updates instead of `k`.
+    let nnz = a.iter().filter(|&&x| x != 0.0).count();
+    if nnz * 4 <= k {
+        for (kk, &av) in a.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * bcols + lo..kk * bcols + lo + n];
+            for (o, &bv) in out.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+        return;
+    }
+    // Dense row: 4-way k unrolling keeps four B rows streaming per pass
+    // over `out`, quartering the number of read-modify-write sweeps.
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (a[kk], a[kk + 1], a[kk + 2], a[kk + 3]);
+        let r0 = &b[kk * bcols + lo..kk * bcols + lo + n];
+        let r1 = &b[(kk + 1) * bcols + lo..(kk + 1) * bcols + lo + n];
+        let r2 = &b[(kk + 2) * bcols + lo..(kk + 2) * bcols + lo + n];
+        let r3 = &b[(kk + 3) * bcols + lo..(kk + 3) * bcols + lo + n];
+        for j in 0..n {
+            out[j] += a0 * r0[j] + a1 * r1[j] + a2 * r2[j] + a3 * r3[j];
+        }
+        kk += 4;
+    }
+    for kk in kk..k {
+        let av = a[kk];
+        let brow = &b[kk * bcols + lo..kk * bcols + lo + n];
+        for (o, &bv) in out.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Unrolled dot product with 8 partial accumulators (used by the `A @ Bᵀ`
+/// kernel, where both operands are contiguous rows).
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let av = &a[c * 8..c * 8 + 8];
+        let bv = &b[c * 8..c * 8 + 8];
+        for j in 0..8 {
+            acc[j] += av[j] * bv[j];
+        }
+    }
+    let mut s = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+    for i in chunks * 8..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Pack one `kb x n` slab of B (columns `lo..lo+n`, rows `k0..k0+kb`) into
+/// NR-wide strips: strip `s` holds rows k-contiguously as
+/// `packed[s*KC*NR + kk*NR + j]`, tail strips zero-padded to NR.
+fn pack_b(b: &[f32], bcols: usize, lo: usize, n: usize, k0: usize, kb: usize, packed: &mut [f32]) {
+    let nstrips = n.div_ceil(NR);
+    for s in 0..nstrips {
+        let j0 = s * NR;
+        let nb = NR.min(n - j0);
+        let dst_base = s * KC * NR;
+        for kk in 0..kb {
+            let src = (k0 + kk) * bcols + lo + j0;
+            let dst = dst_base + kk * NR;
+            packed[dst..dst + nb].copy_from_slice(&b[src..src + nb]);
+            for j in nb..NR {
+                packed[dst + j] = 0.0;
+            }
+        }
+    }
+}
+
+/// Pack an `mb x kb` block of A (rows `i0..i0+mb`, cols `k0..k0+kb`) into
+/// an MR-row panel: `packed[kk*MR + r]`, tail rows zero-padded.
+fn pack_a(a: &[f32], k: usize, i0: usize, mb: usize, k0: usize, kb: usize, packed: &mut [f32]) {
+    for kk in 0..kb {
+        for r in 0..MR {
+            packed[kk * MR + r] = if r < mb {
+                a[(i0 + r) * k + k0 + kk]
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// The register-tiled micro-kernel: `rows[0..mb][j0..j0+nb] += pa @ pb`
+/// where `pa` is an MR-row packed A panel and `pb` an NR-col packed B
+/// strip, both `kb` deep. The MRxNR accumulator lives in registers; padded
+/// lanes compute on zeros and are simply not written back.
+#[inline]
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn microkernel(
+    pa: &[f32],
+    pb: &[f32],
+    kb: usize,
+    rows: &mut [f32],
+    ldc: usize,
+    j0: usize,
+    mb: usize,
+    nb: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..kb {
+        let av = &pa[kk * MR..kk * MR + MR];
+        let bv = &pb[kk * NR..kk * NR + NR];
+        for r in 0..MR {
+            let ar = av[r];
+            for j in 0..NR {
+                acc[r][j] += ar * bv[j];
+            }
+        }
+    }
+    for r in 0..mb {
+        let orow = &mut rows[r * ldc + j0..r * ldc + j0 + nb];
+        for (o, v) in orow.iter_mut().zip(acc[r].iter()) {
+            *o += v;
+        }
+    }
+}
+
+/// Sparse/small fallback: zero-skipping `ikj` accumulation of
+/// `out += A[m,k] @ B[:, lo..lo+n]`, optionally row-parallel.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn gemm_axpy_acc(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    bcols: usize,
+    lo: usize,
+    n: usize,
+    out: &mut [f32],
+    par: bool,
+) {
+    let body = |i: usize, orow: &mut [f32]| {
+        let arow = &a[i * k..(i + 1) * k];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * bcols + lo..kk * bcols + lo + n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    };
+    if par {
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| body(i, row));
+    } else {
+        for (i, row) in out.chunks_mut(n).enumerate() {
+            body(i, row);
+        }
+    }
+}
+
+/// Cache-blocked panel-packed GEMM:
+/// `out[m,n] += A[m,k] @ B[:, lo..lo+n]`, row-parallel when `par`.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn gemm_packed_acc(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    bcols: usize,
+    lo: usize,
+    n: usize,
+    out: &mut [f32],
+    par: bool,
+) {
+    let nstrips = n.div_ceil(NR);
+    let mut packed_b = vec![0.0f32; KC * nstrips * NR];
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        pack_b(b, bcols, lo, n, k0, kb, &mut packed_b);
+        let pb = &packed_b[..];
+        // Each task owns an MR-row group of `out`; the A panel is packed
+        // on-stack per task so worker threads never share mutable state.
+        let body = |rb: usize, rows: &mut [f32]| {
+            let i0 = rb * MR;
+            let mb = rows.len() / n;
+            let mut pa = [0.0f32; MR * KC];
+            pack_a(a, k, i0, mb, k0, kb, &mut pa);
+            for s in 0..nstrips {
+                let j0 = s * NR;
+                let nb = NR.min(n - j0);
+                microkernel(&pa, &pb[s * KC * NR..], kb, rows, n, j0, mb, nb);
+            }
+        };
+        if par {
+            out.par_chunks_mut(MR * n)
+                .enumerate()
+                .for_each(|(rb, rows)| body(rb, rows));
+        } else {
+            for (rb, rows) in out.chunks_mut(MR * n).enumerate() {
+                body(rb, rows);
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// Dispatching entry point: `out[m,n] += A[m,k] @ B[:, lo..lo+n]`.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
+fn gemm_acc(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    bcols: usize,
+    lo: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m == 1 {
+        return gemv_acc(a, b, bcols, lo, n, out);
+    }
+    if n == 1 {
+        // k×1 GEMV: one (strided) dot product per output row.
+        for (i, o) in out.iter_mut().enumerate() {
+            let arow = &a[i * k..(i + 1) * k];
+            let mut acc = 0.0f32;
+            for (kk, &av) in arow.iter().enumerate() {
+                acc += av * b[kk * bcols + lo];
+            }
+            *o += acc;
+        }
+        return;
+    }
+    let work = m * k * n;
+    let par = work >= PAR_FLOP_THRESHOLD;
+    if work < PACK_FLOP_THRESHOLD {
+        return gemm_axpy_acc(a, k, b, bcols, lo, n, out, false);
+    }
+    // One-hot training batches (phase-2/3 vectorized inputs) are ~2
+    // non-zeros per row; the O(mk) scan is negligible next to the GEMM.
+    let nnz = a.iter().filter(|&&x| x != 0.0).count();
+    if nnz * 8 <= m * k {
+        return gemm_axpy_acc(a, k, b, bcols, lo, n, out, par);
+    }
+    gemm_packed_acc(a, k, b, bcols, lo, n, out, par)
+}
+
 /// Row-major 2-D matrix of f32.
 ///
 /// ```
@@ -23,7 +318,7 @@ const PAR_FLOP_THRESHOLD: usize = 1 << 17;
 /// let eye = Mat::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
 /// assert_eq!(a.matmul(&eye), a);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone, PartialEq, Default)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -43,12 +338,20 @@ impl fmt::Debug for Mat {
 impl Mat {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Build from a flat row-major vector.
@@ -108,6 +411,17 @@ impl Mat {
         self.data.iter_mut().for_each(|x| *x = 0.0);
     }
 
+    /// Reshape in place to `(rows, cols)`, reusing the allocation and
+    /// zeroing the contents. Grows the backing vector only when the new
+    /// shape needs more elements than ever seen before.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// `self = self + other`, elementwise.
     pub fn add_assign(&mut self, other: &Mat) {
         assert_eq!(self.shape(), other.shape());
@@ -144,7 +458,12 @@ impl Mat {
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
         }
     }
 
@@ -178,37 +497,93 @@ impl Mat {
 
     /// `C = A @ B` where A is `self` [m,k], B is [k,n].
     pub fn matmul(&self, b: &Mat) -> Mat {
-        assert_eq!(self.cols, b.rows, "matmul shape mismatch {:?} x {:?}", self.shape(), b.shape());
-        let (m, k, n) = (self.rows, self.cols, b.cols);
-        let mut out = Mat::zeros(m, n);
-        let work = m * k * n;
-        let body = |r: usize, out_row: &mut [f32]| {
-            let a_row = &self.data[r * k..(r + 1) * k];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &b.data[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += a * bv;
-                }
-            }
-        };
-        if work >= PAR_FLOP_THRESHOLD {
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, row)| body(r, row));
-        } else {
-            for (r, row) in out.data.chunks_mut(n).enumerate() {
-                body(r, row);
-            }
-        }
+        assert_eq!(
+            self.cols,
+            b.rows,
+            "matmul shape mismatch {:?} x {:?}",
+            self.shape(),
+            b.shape()
+        );
+        let mut out = Mat::zeros(self.rows, b.cols);
+        gemm_acc(
+            &self.data,
+            self.rows,
+            self.cols,
+            &b.data,
+            b.cols,
+            0,
+            b.cols,
+            &mut out.data,
+        );
         out
     }
 
+    /// `out = A @ B`, overwriting `out` in place (shape-checked; resized
+    /// only when the shape changes). The zero-allocation inference paths
+    /// use this to keep gate pre-activations in reusable scratch buffers.
+    pub fn matmul_into(&self, b: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, b.rows, "matmul_into shape mismatch");
+        if out.shape() != (self.rows, b.cols) {
+            out.reset(self.rows, b.cols);
+        } else {
+            out.clear();
+        }
+        gemm_acc(
+            &self.data,
+            self.rows,
+            self.cols,
+            &b.data,
+            b.cols,
+            0,
+            b.cols,
+            &mut out.data,
+        );
+    }
+
+    /// `out += A @ B`, accumulating in place.
+    pub fn matmul_acc(&self, b: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, b.rows, "matmul_acc shape mismatch");
+        assert_eq!(out.shape(), (self.rows, b.cols), "matmul_acc output shape");
+        gemm_acc(
+            &self.data,
+            self.rows,
+            self.cols,
+            &b.data,
+            b.cols,
+            0,
+            b.cols,
+            &mut out.data,
+        );
+    }
+
+    /// `out = A @ B[:, lo..hi]` without materialising the column slice
+    /// (the GRU candidate gate multiplies by one third of its fused weight
+    /// matrix every step).
+    pub fn matmul_cols_into(&self, b: &Mat, lo: usize, hi: usize, out: &mut Mat) {
+        assert_eq!(self.cols, b.rows, "matmul_cols shape mismatch");
+        assert!(lo <= hi && hi <= b.cols, "column range out of bounds");
+        let n = hi - lo;
+        if out.shape() != (self.rows, n) {
+            out.reset(self.rows, n);
+        } else {
+            out.clear();
+        }
+        gemm_acc(
+            &self.data,
+            self.rows,
+            self.cols,
+            &b.data,
+            b.cols,
+            lo,
+            n,
+            &mut out.data,
+        );
+    }
+
     /// `C = Aᵀ @ B` where A is `self` [k,m], B is [k,n]. Used for weight
-    /// gradients (`dW = xᵀ dy`) without materialising the transpose.
+    /// gradients (`dW = xᵀ dy`) without materialising the transpose. The
+    /// zero-skipping axpy form is kept deliberately: one-hot activation
+    /// columns make this effectively sparse during training.
     pub fn t_matmul(&self, b: &Mat) -> Mat {
         assert_eq!(self.rows, b.rows, "t_matmul shape mismatch");
         let (k, m, n) = (self.rows, self.cols, b.cols);
@@ -231,7 +606,8 @@ impl Mat {
     }
 
     /// `C = A @ Bᵀ` where A is `self` [m,k], B is [n,k]. Used for input
-    /// gradients (`dx = dy Wᵀ`).
+    /// gradients (`dx = dy Wᵀ`). Both operands are walked along contiguous
+    /// rows, so this is a pure dot-product kernel.
     pub fn matmul_t(&self, b: &Mat) -> Mat {
         assert_eq!(self.cols, b.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, b.rows);
@@ -241,11 +617,7 @@ impl Mat {
             let a_row = &self.data[r * k..(r + 1) * k];
             for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = &b.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row) {
-                    acc += av * bv;
-                }
-                *o = acc;
+                *o = dot_unrolled(a_row, b_row);
             }
         };
         if work >= PAR_FLOP_THRESHOLD {
@@ -355,10 +727,80 @@ mod tests {
     }
 
     #[test]
+    fn matmul_packed_path_matches_naive() {
+        // Big enough for packing, small enough to stay serial; includes
+        // non-multiple-of-tile edges in every dimension.
+        for (m, k, n) in [(33, 20, 29), (5, 300, 17), (40, 40, 40)] {
+            let a = test_mat(m, k, 3);
+            let b = test_mat(k, n, 4);
+            approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
     fn matmul_large_parallel_path() {
         let a = test_mat(80, 70, 3);
         let b = test_mat(70, 90, 4);
         approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_gemv_paths_match_naive() {
+        // 1×k (row GEMV — the online scoring shape) and k×1 (column GEMV).
+        for k in [1usize, 3, 8, 65, 300] {
+            let a = test_mat(1, k, 5);
+            let b = test_mat(k, 37, 6);
+            approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+            let c = test_mat(9, k, 7);
+            let d = test_mat(k, 1, 8);
+            approx_eq(&c.matmul(&d), &naive_matmul(&c, &d), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_sparse_one_hot_rows() {
+        // One-hot A rows exercise the zero-skipping paths exactly like the
+        // phase-2/3 vectorized inputs.
+        let mut a = Mat::zeros(16, 120);
+        for r in 0..16 {
+            a[(r, (r * 7) % 120)] = 1.0;
+            a[(r, 0)] = 0.25;
+        }
+        let b = test_mat(120, 64, 9);
+        approx_eq(&a.matmul(&b), &naive_matmul(&a, &b), 1e-5);
+        let one_row = Mat::from_vec(1, 120, a.row(3).to_vec());
+        approx_eq(&one_row.matmul(&b), &naive_matmul(&one_row, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_into_and_acc_reuse_buffers() {
+        let a = test_mat(6, 11, 10);
+        let b = test_mat(11, 9, 11);
+        let c = test_mat(6, 14, 12);
+        let d = test_mat(14, 9, 13);
+        let mut out = Mat::full(3, 3, 42.0); // wrong shape: must be resized
+        a.matmul_into(&b, &mut out);
+        approx_eq(&out, &naive_matmul(&a, &b), 1e-5);
+        c.matmul_acc(&d, &mut out);
+        let mut expect = naive_matmul(&a, &b);
+        expect.add_assign(&naive_matmul(&c, &d));
+        approx_eq(&out, &expect, 1e-5);
+        // Overwrite again: stale contents must not leak through.
+        a.matmul_into(&b, &mut out);
+        approx_eq(&out, &naive_matmul(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_cols_into_matches_explicit_slice() {
+        let a = test_mat(4, 10, 14);
+        let b = test_mat(10, 24, 15);
+        let mut out = Mat::zeros(0, 0);
+        a.matmul_cols_into(&b, 8, 16, &mut out);
+        approx_eq(&out, &naive_matmul(&a, &b.col_slice(8, 16)), 1e-5);
+        // Batch=1 GEMV flavour of the same.
+        let v = test_mat(1, 10, 16);
+        v.matmul_cols_into(&b, 8, 16, &mut out);
+        approx_eq(&out, &naive_matmul(&v, &b.col_slice(8, 16)), 1e-5);
     }
 
     #[test]
@@ -385,6 +827,14 @@ mod tests {
         let eye = Mat::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
         approx_eq(&a.matmul(&eye), &a, 0.0);
         approx_eq(&eye.matmul(&a), &a, 0.0);
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_zeroes() {
+        let mut m = Mat::full(4, 4, 7.0);
+        m.reset(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.data().iter().all(|&x| x == 0.0));
     }
 
     #[test]

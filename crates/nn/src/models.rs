@@ -13,12 +13,13 @@
 //! `timesteps` dimension does.
 
 use crate::embedding::Embedding;
-use crate::loss::{mse, softmax, softmax_xent};
+use crate::loss::{mse, mse_vec, softmax, softmax_xent};
+use crate::lstm::LstmState;
 use crate::mat::Mat;
 use crate::observe::{NoopObserver, TrainObserver};
 use crate::optim::Optimizer;
 use crate::param::{clip_global_norm, Param};
-use crate::stacked::StackedLstm;
+use crate::stacked::{StackedLstm, StackedScratch};
 use desh_util::Xoshiro256pp;
 use std::time::Instant;
 
@@ -37,7 +38,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { history: 8, batch: 32, epochs: 4, clip: 5.0 }
+        Self {
+            history: 8,
+            batch: 32,
+            epochs: 4,
+            clip: 5.0,
+        }
     }
 }
 
@@ -140,6 +146,7 @@ impl TokenLstm {
             "no training windows: all sequences shorter than history+1"
         );
         let mut losses = Vec::with_capacity(cfg.epochs);
+        let mut ws = StackedScratch::new();
         for epoch in 0..cfg.epochs {
             let epoch_start = Instant::now();
             rng.shuffle(&mut index);
@@ -147,7 +154,8 @@ impl TokenLstm {
             let mut batches = 0usize;
             for chunk in index.chunks(cfg.batch) {
                 // Build per-timestep id columns.
-                let mut step_ids: Vec<Vec<u32>> = vec![Vec::with_capacity(chunk.len()); cfg.history];
+                let mut step_ids: Vec<Vec<u32>> =
+                    vec![Vec::with_capacity(chunk.len()); cfg.history];
                 let mut targets = Vec::with_capacity(chunk.len());
                 for &(si, t) in chunk {
                     let s = &seqs[si as usize];
@@ -165,7 +173,7 @@ impl TokenLstm {
                     xs.push(x);
                     ecaches.push(c);
                 }
-                let (logits, tape) = self.net.forward(&xs);
+                let (logits, tape) = self.net.forward_ws(&xs, &mut ws);
                 let (loss, dlogits) = softmax_xent(&logits, &targets);
                 epoch_loss += loss;
                 batches += 1;
@@ -257,7 +265,10 @@ pub struct VectorLstm {
 impl VectorLstm {
     /// Fresh model for `dim`-wide samples.
     pub fn new(dim: usize, hidden: usize, layers: usize, rng: &mut Xoshiro256pp) -> Self {
-        Self { net: StackedLstm::new(dim, hidden, layers, dim, rng), dim }
+        Self {
+            net: StackedLstm::new(dim, hidden, layers, dim, rng),
+            dim,
+        }
     }
 
     /// Sample width.
@@ -318,8 +329,12 @@ impl VectorLstm {
             }
         }
         let mut index = Self::window_index(seqs);
-        assert!(!index.is_empty(), "no training windows: sequences too short");
+        assert!(
+            !index.is_empty(),
+            "no training windows: sequences too short"
+        );
         let mut losses = Vec::with_capacity(cfg.epochs);
+        let mut ws = StackedScratch::new();
         for epoch in 0..cfg.epochs {
             let epoch_start = Instant::now();
             rng.shuffle(&mut index);
@@ -340,7 +355,7 @@ impl VectorLstm {
                     }
                     target.row_mut(r).copy_from_slice(&s[t]);
                 }
-                let (pred, tape) = self.net.forward(&xs);
+                let (pred, tape) = self.net.forward_ws(&xs, &mut ws);
                 let (loss, dpred) = mse(&pred, &target);
                 epoch_loss += loss;
                 batches += 1;
@@ -362,18 +377,139 @@ impl VectorLstm {
         self.net.infer(&xs).row(0).to_vec()
     }
 
+    /// Fresh reusable workspace for the windowed scoring path.
+    pub fn workspace(&self) -> ScoreWorkspace {
+        ScoreWorkspace {
+            states: self.net.zero_states(1),
+            ws: StackedScratch::new(),
+            x: Mat::zeros(1, self.dim),
+            y: Mat::zeros(1, self.dim),
+        }
+    }
+
     /// Per-position one-step-ahead MSE along a sequence: element `t` scores
     /// how well positions `..=t` predicted sample `t+1`. This is the
-    /// quantity the paper thresholds at 0.5 in phase 3.
-    pub fn score_sequence(&self, seq: &[Vec<f32>], history: usize) -> Vec<f64> {
-        let mut scores = Vec::new();
+    /// quantity the paper thresholds at 0.5 in phase 3. All transients
+    /// live in the caller-held workspace; the only per-call allocation is
+    /// the returned score vector.
+    pub fn score_sequence_ws(
+        &self,
+        seq: &[Vec<f32>],
+        history: usize,
+        sw: &mut ScoreWorkspace,
+    ) -> Vec<f64> {
+        let mut scores = Vec::with_capacity(seq.len().saturating_sub(1));
         for t in 1..seq.len() {
             let lo = t.saturating_sub(history);
-            let window: Vec<&[f32]> = seq[lo..t].iter().map(|v| v.as_slice()).collect();
-            let pred = self.predict_next(&window, history);
-            scores.push(crate::loss::mse_vec(&pred, &seq[t]));
+            let window = &seq[lo..t];
+            // Re-run the window from zero state, left zero-padded to
+            // `history` steps exactly like the batched training windows.
+            for st in &mut sw.states {
+                st.clear();
+            }
+            sw.x.clear();
+            for _ in window.len()..history {
+                self.net.step_layers(&sw.x, &mut sw.states, &mut sw.ws);
+            }
+            for sample in window {
+                sw.x.row_mut(0).copy_from_slice(sample);
+                self.net.step_layers(&sw.x, &mut sw.states, &mut sw.ws);
+            }
+            let top = &sw.states[sw.states.len() - 1].h;
+            self.net.head.infer_into(top, &mut sw.y);
+            scores.push(mse_vec(sw.y.row(0), &seq[t]));
         }
         scores
+    }
+
+    /// [`VectorLstm::score_sequence_ws`] with a throwaway workspace.
+    pub fn score_sequence(&self, seq: &[Vec<f32>], history: usize) -> Vec<f64> {
+        let mut sw = self.workspace();
+        self.score_sequence_ws(seq, history, &mut sw)
+    }
+
+    /// Begin a carried-state streaming pass (DeepLog-style): the recurrent
+    /// state persists across pushes, so each new sample costs exactly one
+    /// cell step per layer instead of a windowed re-run.
+    pub fn begin_stream(&self) -> VectorStream {
+        VectorStream {
+            states: self.net.zero_states(1),
+            ws: StackedScratch::new(),
+            x: Mat::zeros(1, self.dim),
+            pred: vec![0.0; self.dim],
+            steps: 0,
+        }
+    }
+
+    /// Feed the next sample of a stream. Returns the one-step-ahead MSE of
+    /// the previous prediction against this sample (`None` on the first
+    /// push, which has no prediction to judge). Allocation-free once the
+    /// stream's buffers are warm.
+    pub fn stream_push(&self, st: &mut VectorStream, sample: &[f32]) -> Option<f64> {
+        assert_eq!(sample.len(), self.dim, "sample width mismatch");
+        let score = (st.steps > 0).then(|| mse_vec(&st.pred, sample));
+        st.x.row_mut(0).copy_from_slice(sample);
+        let y = self.net.step_infer_ws(&st.x, &mut st.states, &mut st.ws);
+        st.pred.copy_from_slice(y.row(0));
+        st.steps += 1;
+        score
+    }
+
+    /// Batch reference for the streaming scorer: for every position `t`,
+    /// re-run the net from zero state over the full prefix `..=t` and
+    /// score its prediction of sample `t+1`. O(n²) — exists so tests can
+    /// prove [`VectorLstm::stream_push`] matches a from-scratch recompute.
+    pub fn score_stream_batch(&self, seq: &[Vec<f32>]) -> Vec<f64> {
+        let mut scores = Vec::with_capacity(seq.len().saturating_sub(1));
+        for t in 1..seq.len() {
+            let xs: Vec<Mat> = seq[..t]
+                .iter()
+                .map(|v| Mat::from_vec(1, self.dim, v.clone()))
+                .collect();
+            let pred = self.net.infer(&xs);
+            scores.push(mse_vec(pred.row(0), &seq[t]));
+        }
+        scores
+    }
+}
+
+/// Reusable buffers for [`VectorLstm::score_sequence_ws`]: per-layer
+/// recurrent states, the gate scratch, and staging mats for the input
+/// sample and head output.
+#[derive(Debug, Clone)]
+pub struct ScoreWorkspace {
+    states: Vec<LstmState>,
+    ws: StackedScratch,
+    x: Mat,
+    y: Mat,
+}
+
+/// Carried state for a [`VectorLstm`] streaming pass: recurrent states,
+/// gate scratch, input staging, and the pending next-sample prediction.
+#[derive(Debug, Clone)]
+pub struct VectorStream {
+    states: Vec<LstmState>,
+    ws: StackedScratch,
+    x: Mat,
+    pred: Vec<f32>,
+    steps: usize,
+}
+
+impl VectorStream {
+    /// Number of samples pushed so far.
+    pub fn len(&self) -> usize {
+        self.steps
+    }
+
+    /// True when no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0
+    }
+
+    /// The model's current prediction of the *next* sample (zeros before
+    /// the first push).
+    pub fn prediction(&self) -> &[f32] {
+        &self.pred
     }
 }
 
@@ -394,7 +530,12 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(1);
         let seqs = cyclic_seqs(6, 40, 4);
         let mut m = TokenLstm::new(6, 8, 16, 2, &mut rng);
-        let cfg = TrainConfig { history: 4, batch: 16, epochs: 30, clip: 5.0 };
+        let cfg = TrainConfig {
+            history: 4,
+            batch: 16,
+            epochs: 30,
+            clip: 5.0,
+        };
         let mut opt = Sgd::with_momentum(0.3, 0.9);
         let losses = m.train(&seqs, &cfg, &mut opt, &mut rng);
         assert!(
@@ -410,7 +551,12 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(2);
         let seqs = cyclic_seqs(5, 50, 3);
         let mut m = TokenLstm::new(5, 8, 32, 2, &mut rng);
-        let cfg = TrainConfig { history: 4, batch: 16, epochs: 80, clip: 5.0 };
+        let cfg = TrainConfig {
+            history: 4,
+            batch: 16,
+            epochs: 80,
+            clip: 5.0,
+        };
         let mut opt = Sgd::with_momentum(0.3, 0.9);
         m.train(&seqs, &cfg, &mut opt, &mut rng);
         // After 0,1,2,3 the 3-step continuation must be 4,0,1.
@@ -434,7 +580,12 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(9);
         let seqs = cyclic_seqs(5, 20, 2);
         let mut m = TokenLstm::new(5, 4, 8, 1, &mut rng);
-        let cfg = TrainConfig { history: 4, batch: 8, epochs: 3, clip: 5.0 };
+        let cfg = TrainConfig {
+            history: 4,
+            batch: 8,
+            epochs: 3,
+            clip: 5.0,
+        };
         let mut opt = Sgd::new(0.1);
         let mut obs = RecordingObserver::default();
         let losses = m.train_observed(&seqs, &cfg, &mut opt, &mut rng, &mut obs);
@@ -448,7 +599,12 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(10);
         let seqs = countdown_seqs(2, 8);
         let mut m = VectorLstm::new(2, 4, 1, &mut rng);
-        let cfg = TrainConfig { history: 5, batch: 8, epochs: 2, clip: 5.0 };
+        let cfg = TrainConfig {
+            history: 5,
+            batch: 8,
+            epochs: 2,
+            clip: 5.0,
+        };
         let mut opt = RmsProp::new(0.01);
         let mut seen = Vec::new();
         let mut hook = |epoch: usize, loss: f64, _d: std::time::Duration| {
@@ -465,7 +621,12 @@ mod tests {
     fn token_train_rejects_too_short_sequences() {
         let mut rng = Xoshiro256pp::seed_from_u64(4);
         let mut m = TokenLstm::new(4, 4, 4, 1, &mut rng);
-        let cfg = TrainConfig { history: 8, batch: 4, epochs: 1, clip: 5.0 };
+        let cfg = TrainConfig {
+            history: 8,
+            batch: 4,
+            epochs: 1,
+            clip: 5.0,
+        };
         let mut opt = Sgd::new(0.1);
         m.train(&[vec![0, 1, 2]], &cfg, &mut opt, &mut rng);
     }
@@ -491,7 +652,12 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let seqs = countdown_seqs(8, 10);
         let mut m = VectorLstm::new(2, 16, 2, &mut rng);
-        let cfg = TrainConfig { history: 5, batch: 16, epochs: 60, clip: 5.0 };
+        let cfg = TrainConfig {
+            history: 5,
+            batch: 16,
+            epochs: 60,
+            clip: 5.0,
+        };
         let mut opt = RmsProp::new(0.005);
         let losses = m.train(&seqs, &cfg, &mut opt, &mut rng);
         assert!(
@@ -511,7 +677,12 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(6);
         let seqs = countdown_seqs(8, 10);
         let mut m = VectorLstm::new(2, 16, 2, &mut rng);
-        let cfg = TrainConfig { history: 5, batch: 16, epochs: 60, clip: 5.0 };
+        let cfg = TrainConfig {
+            history: 5,
+            batch: 16,
+            epochs: 60,
+            clip: 5.0,
+        };
         let mut opt = RmsProp::new(0.005);
         m.train(&seqs, &cfg, &mut opt, &mut rng);
         // A wildly different sequence must score worse than a familiar one.
@@ -548,5 +719,46 @@ mod tests {
         let cfg = TrainConfig::default();
         let mut opt = RmsProp::new(0.01);
         m.train(&[vec![vec![1.0, 2.0, 3.0]]], &cfg, &mut opt, &mut rng);
+    }
+
+    #[test]
+    fn score_sequence_matches_predict_next_loop() {
+        // The workspace scorer must reproduce the naive windowed path:
+        // per position, predict from the `history` preceding samples and
+        // take the MSE against the observation.
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let m = VectorLstm::new(2, 8, 2, &mut rng);
+        let seq = &countdown_seqs(1, 12)[0];
+        let history = 5;
+        let fast = m.score_sequence(seq, history);
+        assert_eq!(fast.len(), seq.len() - 1);
+        for t in 1..seq.len() {
+            let lo = t.saturating_sub(history);
+            let window: Vec<&[f32]> = seq[lo..t].iter().map(|v| v.as_slice()).collect();
+            let pred = m.predict_next(&window, history);
+            let want = mse_vec(&pred, &seq[t]);
+            assert_eq!(fast[t - 1], want, "position {t}");
+        }
+    }
+
+    #[test]
+    fn stream_push_matches_batch_replay() {
+        // Carried-state streaming must agree with re-running the net from
+        // zero state over every prefix.
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        let m = VectorLstm::new(2, 8, 2, &mut rng);
+        let seq = &countdown_seqs(1, 14)[0];
+        let batch = m.score_stream_batch(seq);
+        let mut st = m.begin_stream();
+        assert!(st.is_empty());
+        let mut streamed = Vec::new();
+        for sample in seq {
+            if let Some(s) = m.stream_push(&mut st, sample) {
+                streamed.push(s);
+            }
+        }
+        assert_eq!(st.len(), seq.len());
+        assert_eq!(streamed, batch);
+        assert!(st.prediction().iter().all(|x| x.is_finite()));
     }
 }

@@ -29,13 +29,21 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!((0.0..1.0).contains(&momentum));
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -90,7 +98,12 @@ impl RmsProp {
     /// Fully specified.
     pub fn with_params(lr: f32, decay: f32, eps: f32) -> Self {
         assert!((0.0..1.0).contains(&decay));
-        Self { lr, decay, eps, cache: Vec::new() }
+        Self {
+            lr,
+            decay,
+            eps,
+            cache: Vec::new(),
+        }
     }
 }
 
@@ -140,14 +153,25 @@ pub struct Adam {
 impl Adam {
     /// Standard configuration (0.9 / 0.999 / 1e-8).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Mat::zeros(p.w.rows(), p.w.cols())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Mat::zeros(p.w.rows(), p.w.cols()))
+                .collect();
             self.v = self.m.clone();
         }
         self.t += 1;
@@ -239,7 +263,10 @@ mod tests {
         let moved1 = p.w.data()[1].abs();
         assert!(moved0 > 0.0 && moved1 > 0.0);
         let ratio = moved0 / moved1;
-        assert!(ratio < 10.0, "RMSprop should normalise magnitudes, ratio {ratio}");
+        assert!(
+            ratio < 10.0,
+            "RMSprop should normalise magnitudes, ratio {ratio}"
+        );
     }
 
     #[test]

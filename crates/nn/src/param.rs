@@ -32,13 +32,21 @@ impl Param {
     pub fn xavier(name: &str, rows: usize, cols: usize, rng: &mut Xoshiro256pp) -> Self {
         let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
         let w = Mat::from_fn(rows, cols, |_, _| (rng.f32() * 2.0 - 1.0) * a);
-        Self { g: Mat::zeros(rows, cols), w, name: name.to_string() }
+        Self {
+            g: Mat::zeros(rows, cols),
+            w,
+            name: name.to_string(),
+        }
     }
 
     /// Uniform initialisation in [-a, a] (used for embedding tables).
     pub fn uniform(name: &str, rows: usize, cols: usize, a: f32, rng: &mut Xoshiro256pp) -> Self {
         let w = Mat::from_fn(rows, cols, |_, _| (rng.f32() * 2.0 - 1.0) * a);
-        Self { g: Mat::zeros(rows, cols), w, name: name.to_string() }
+        Self {
+            g: Mat::zeros(rows, cols),
+            w,
+            name: name.to_string(),
+        }
     }
 
     /// Zero the accumulated gradient.

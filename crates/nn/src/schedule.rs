@@ -92,7 +92,11 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = StepDecay { base: 0.4, factor: 0.5, every: 10 };
+        let s = StepDecay {
+            base: 0.4,
+            factor: 0.5,
+            every: 10,
+        };
         assert_eq!(s.rate(0), 0.4);
         assert_eq!(s.rate(9), 0.4);
         assert_eq!(s.rate(10), 0.2);
@@ -101,7 +105,11 @@ mod tests {
 
     #[test]
     fn cosine_spans_base_to_floor_monotonically() {
-        let s = Cosine { base: 0.3, floor: 0.01, total: 50 };
+        let s = Cosine {
+            base: 0.3,
+            floor: 0.01,
+            total: 50,
+        };
         assert!((s.rate(0) - 0.3).abs() < 1e-6);
         assert!((s.rate(49) - 0.01).abs() < 1e-6);
         for e in 1..50 {
@@ -111,7 +119,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_then_defers() {
-        let s = Warmup { epochs: 5, inner: Constant(0.5) };
+        let s = Warmup {
+            epochs: 5,
+            inner: Constant(0.5),
+        };
         assert!(s.rate(0) < s.rate(4));
         assert!((s.rate(4) - 0.5).abs() < 1e-6);
         assert_eq!(s.rate(10), 0.5);
@@ -120,7 +131,11 @@ mod tests {
     #[test]
     fn schedule_drives_optimizer_rate() {
         use crate::optim::{Optimizer, Sgd};
-        let sched = StepDecay { base: 0.2, factor: 0.1, every: 1 };
+        let sched = StepDecay {
+            base: 0.2,
+            factor: 0.1,
+            every: 1,
+        };
         let mut opt = Sgd::new(sched.rate(0));
         assert_eq!(opt.learning_rate(), 0.2);
         opt.set_learning_rate(sched.rate(1));

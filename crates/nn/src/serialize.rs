@@ -49,7 +49,10 @@ fn put_dense(e: &mut Encoder, layer: &Dense) {
 }
 
 fn get_dense(d: &mut Decoder) -> Result<Dense, CodecError> {
-    Ok(Dense { w: get_param(d)?, b: get_param(d)? })
+    Ok(Dense {
+        w: get_param(d)?,
+        b: get_param(d)?,
+    })
 }
 
 fn put_lstm_layer(e: &mut Encoder, layer: &LstmLayer) {
@@ -110,11 +113,17 @@ impl TokenLstm {
         d.expect_header(MAGIC, VERSION)?;
         let kind = d.u8()?;
         if kind != 1 {
-            return Err(CodecError::BadMagic { expected: [1, 0, 0, 0], found: [kind, 0, 0, 0] });
+            return Err(CodecError::BadMagic {
+                expected: [1, 0, 0, 0],
+                found: [kind, 0, 0, 0],
+            });
         }
         let table = get_mat(&mut d)?;
         let net = get_stacked(&mut d)?;
-        Ok(Self { embed: Embedding::from_table(table), net })
+        Ok(Self {
+            embed: Embedding::from_table(table),
+            net,
+        })
     }
 }
 
@@ -134,7 +143,10 @@ impl VectorLstm {
         d.expect_header(MAGIC, VERSION)?;
         let kind = d.u8()?;
         if kind != 2 {
-            return Err(CodecError::BadMagic { expected: [2, 0, 0, 0], found: [kind, 0, 0, 0] });
+            return Err(CodecError::BadMagic {
+                expected: [2, 0, 0, 0],
+                found: [kind, 0, 0, 0],
+            });
         }
         let dim = d.u64()? as usize;
         let net = get_stacked(&mut d)?;

@@ -77,7 +77,13 @@ impl SkipGram {
         let bound = 0.5 / cfg.dim as f32;
         let w_in = Mat::from_fn(vocab, cfg.dim, |_, _| (rng.f32() * 2.0 - 1.0) * bound);
         let w_out = Mat::zeros(vocab, cfg.dim);
-        Self { vocab, cfg, w_in, w_out, neg_cdf }
+        Self {
+            vocab,
+            cfg,
+            w_in,
+            w_out,
+            neg_cdf,
+        }
     }
 
     fn sample_negative(&self, rng: &mut Xoshiro256pp) -> u32 {
@@ -164,7 +170,11 @@ impl SkipGram {
                     }
                 }
             }
-            losses.push(if pairs == 0 { 0.0 } else { total / pairs as f64 });
+            losses.push(if pairs == 0 {
+                0.0
+            } else {
+                total / pairs as f64
+            });
         }
         losses
     }
@@ -216,7 +226,11 @@ mod tests {
     fn loss_decreases() {
         let mut rng = Xoshiro256pp::seed_from_u64(1);
         let seqs = grouped_corpus(20);
-        let cfg = SgnsConfig { dim: 8, epochs: 8, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 8,
+            ..Default::default()
+        };
         let mut sg = SkipGram::new(4, &seqs, cfg, &mut rng);
         let losses = sg.train(&seqs, &mut rng);
         assert!(
@@ -229,7 +243,12 @@ mod tests {
     fn cooccurring_ids_are_closer() {
         let mut rng = Xoshiro256pp::seed_from_u64(2);
         let seqs = grouped_corpus(40);
-        let cfg = SgnsConfig { dim: 8, epochs: 10, lr: 0.08, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 8,
+            epochs: 10,
+            lr: 0.08,
+            ..Default::default()
+        };
         let mut sg = SkipGram::new(4, &seqs, cfg, &mut rng);
         sg.train(&seqs, &mut rng);
         let within = sg.cosine(0, 1);
@@ -265,7 +284,11 @@ mod tests {
     fn into_table_has_expected_shape() {
         let mut rng = Xoshiro256pp::seed_from_u64(4);
         let seqs = vec![vec![0u32, 1, 2, 3, 4]];
-        let cfg = SgnsConfig { dim: 6, epochs: 1, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 6,
+            epochs: 1,
+            ..Default::default()
+        };
         let mut sg = SkipGram::new(5, &seqs, cfg, &mut rng);
         sg.train(&seqs, &mut rng);
         let table = sg.into_table();

@@ -6,10 +6,27 @@
 //! to remember past phrases").
 
 use crate::dense::{Dense, DenseCache};
-use crate::lstm::{LstmLayer, LstmState, LstmTape};
+use crate::lstm::{LstmLayer, LstmScratch, LstmState, LstmTape};
 use crate::mat::Mat;
 use crate::param::Param;
 use desh_util::Xoshiro256pp;
+
+/// Reusable workspace for a whole stacked network: one [`LstmScratch`] per
+/// recurrent layer plus the head's output buffer. One of these carried
+/// across calls makes the streaming step and the training forward pass
+/// allocation-free in the gate pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct StackedScratch {
+    layers: Vec<LstmScratch>,
+    y: Mat,
+}
+
+impl StackedScratch {
+    /// Empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Stacked LSTM: `layers` recurrent layers followed by a linear head that
 /// is applied to the **last** timestep's top hidden state.
@@ -46,7 +63,10 @@ impl StackedLstm {
             let in_dim = if l == 0 { input } else { hidden };
             layers.push(LstmLayer::new(in_dim, hidden, &format!("lstm{l}"), rng));
         }
-        Self { layers, head: Dense::new(hidden, output, "head", rng) }
+        Self {
+            layers,
+            head: Dense::new(hidden, output, "head", rng),
+        }
     }
 
     /// Input width of the bottom layer.
@@ -74,15 +94,25 @@ impl StackedLstm {
         self.params().iter().map(|p| p.len()).sum()
     }
 
-    /// Forward over a window of inputs; produces the head output for the
+    /// Size the workspace's per-layer scratch list (the buffers inside
+    /// each scratch are grown lazily by the layers themselves).
+    fn ensure_scratch(&self, ws: &mut StackedScratch) {
+        if ws.layers.len() != self.layers.len() {
+            ws.layers = vec![LstmScratch::new(); self.layers.len()];
+        }
+    }
+
+    /// Forward over a window of inputs, reusing a caller-held workspace
+    /// for the gate pre-activations; produces the head output for the
     /// final step plus the tape.
-    pub fn forward(&self, xs: &[Mat]) -> (Mat, StackedTape) {
+    pub fn forward_ws(&self, xs: &[Mat], ws: &mut StackedScratch) -> (Mat, StackedTape) {
         assert!(!xs.is_empty());
+        self.ensure_scratch(ws);
         let mut layer_tapes = Vec::with_capacity(self.layers.len());
         let mut layer_hs: Vec<Vec<Mat>> = Vec::with_capacity(self.layers.len());
         let mut cur: Vec<Mat> = xs.to_vec();
-        for layer in &self.layers {
-            let (hs, tape) = layer.forward_seq(&cur);
+        for (layer, lws) in self.layers.iter().zip(ws.layers.iter_mut()) {
+            let (hs, tape) = layer.forward_seq_ws(&cur, lws);
             layer_tapes.push(tape);
             cur = hs.clone();
             layer_hs.push(hs);
@@ -91,30 +121,76 @@ impl StackedLstm {
         let (y, head_cache) = self.head.forward(last_h);
         (
             y,
-            StackedTape { layer_tapes, layer_hs, head_cache, seq_len: xs.len() },
+            StackedTape {
+                layer_tapes,
+                layer_hs,
+                head_cache,
+                seq_len: xs.len(),
+            },
         )
     }
 
-    /// Inference: head output at the last step, no tape.
-    pub fn infer(&self, xs: &[Mat]) -> Mat {
-        assert!(!xs.is_empty());
-        let mut cur: Vec<Mat> = xs.to_vec();
-        for layer in &self.layers {
-            let (hs, _) = layer.forward_seq(&cur);
-            cur = hs;
-        }
-        self.head.infer(cur.last().unwrap())
+    /// Forward with a throwaway workspace.
+    pub fn forward(&self, xs: &[Mat]) -> (Mat, StackedTape) {
+        let mut ws = StackedScratch::new();
+        self.forward_ws(xs, &mut ws)
     }
 
-    /// Stateful streaming inference support: run one step, carrying states.
-    pub fn step_infer(&self, x: &Mat, states: &mut [LstmState]) -> Mat {
-        assert_eq!(states.len(), self.layers.len());
-        let mut cur = x.clone();
-        for (layer, st) in self.layers.iter().zip(states.iter_mut()) {
-            layer.step_infer(&cur, st);
-            cur = st.h.clone();
+    /// Inference: head output at the last step, no tape. Runs the
+    /// streaming step path, which shares every kernel with the tape path,
+    /// so the two agree bitwise.
+    pub fn infer(&self, xs: &[Mat]) -> Mat {
+        assert!(!xs.is_empty());
+        let mut states = self.zero_states(xs[0].rows());
+        let mut ws = StackedScratch::new();
+        self.ensure_scratch(&mut ws);
+        for x in xs {
+            self.step_states(x, &mut states, &mut ws);
         }
-        self.head.infer(&cur)
+        self.head.infer(&states[states.len() - 1].h)
+    }
+
+    /// Advance all recurrent layers one step in place without applying
+    /// the head. Windowed scorers drive this per timestep and apply the
+    /// head only once at the window's end.
+    pub fn step_layers(&self, x: &Mat, states: &mut [LstmState], ws: &mut StackedScratch) {
+        assert_eq!(states.len(), self.layers.len());
+        self.ensure_scratch(ws);
+        self.step_states(x, states, ws);
+    }
+
+    /// Advance all recurrent layers one step in place (no head).
+    fn step_states(&self, x: &Mat, states: &mut [LstmState], ws: &mut StackedScratch) {
+        debug_assert_eq!(states.len(), self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            // Split so layer l can read layer l-1's fresh output while
+            // mutating its own state — no per-layer clone of h.
+            let (below, rest) = states.split_at_mut(l);
+            let input = if l == 0 { x } else { &below[l - 1].h };
+            layer.step_into(input, &mut rest[0], &mut ws.layers[l]);
+        }
+    }
+
+    /// Stateful streaming inference: run one step, carrying states, with
+    /// every intermediate in the caller-held workspace. Returns the head
+    /// output by reference into the workspace's buffer.
+    pub fn step_infer_ws<'w>(
+        &self,
+        x: &Mat,
+        states: &mut [LstmState],
+        ws: &'w mut StackedScratch,
+    ) -> &'w Mat {
+        assert_eq!(states.len(), self.layers.len());
+        self.ensure_scratch(ws);
+        self.step_states(x, states, ws);
+        self.head.infer_into(&states[states.len() - 1].h, &mut ws.y);
+        &ws.y
+    }
+
+    /// Stateful streaming inference with a throwaway workspace.
+    pub fn step_infer(&self, x: &Mat, states: &mut [LstmState]) -> Mat {
+        let mut ws = StackedScratch::new();
+        self.step_infer_ws(x, states, &mut ws).clone()
     }
 
     /// Fresh zero states for streaming inference.

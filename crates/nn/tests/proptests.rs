@@ -9,7 +9,112 @@ fn finite_f32() -> impl Strategy<Value = f32> {
     (-100.0f32..100.0).prop_map(|x| x)
 }
 
+/// Reference triple-loop product accumulated in f64 — the oracle the
+/// packed/GEMV/sparse dispatch in `Mat::matmul` must agree with.
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.cols(), b.rows());
+    Mat::from_fn(a.rows(), b.cols(), |i, j| {
+        let mut s = 0.0f64;
+        for kk in 0..a.cols() {
+            s += a.row(i)[kk] as f64 * b.row(kk)[j] as f64;
+        }
+        s as f32
+    })
+}
+
+fn random_mat(rows: usize, cols: usize, rng: &mut Xoshiro256pp) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| rng.f32() * 2.0 - 1.0)
+}
+
+/// Tolerance for comparing an f32 kernel (whatever its summation order)
+/// against the f64 oracle over a k-long inner product of values in [-1,1].
+fn gemm_tol(k: usize) -> f32 {
+    1e-5 * (k as f32).sqrt() + 1e-6
+}
+
+fn assert_mats_close(got: &Mat, want: &Mat, tol: f32) -> proptest::TestCaseResult {
+    prop_assert_eq!(got.shape(), want.shape());
+    for (g, w) in got.data().iter().zip(want.data()) {
+        prop_assert!((g - w).abs() <= tol, "got {g} want {w} (tol {tol})");
+    }
+    Ok(())
+}
+
 proptest! {
+    #[test]
+    fn matmul_matches_naive_triple_loop(
+        m in 1usize..40,
+        k in 1usize..96,
+        n in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        // Shapes straddle both dispatch thresholds: small products take the
+        // plain ikj loop, large ones the cache-blocked packed kernel.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        assert_mats_close(&a.matmul(&b), &naive_matmul(&a, &b), gemm_tol(k))?;
+    }
+
+    #[test]
+    fn matmul_degenerate_vectors_match_naive(
+        k in 1usize..300,
+        n in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        // 1×k @ k×n exercises the dedicated GEMV path; m×k @ k×1 the
+        // per-row dot path; 1×k @ k×1 both degeneracies at once.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let row = random_mat(1, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        assert_mats_close(&row.matmul(&b), &naive_matmul(&row, &b), gemm_tol(k))?;
+        let a = random_mat(n, k, &mut rng);
+        let col = random_mat(k, 1, &mut rng);
+        assert_mats_close(&a.matmul(&col), &naive_matmul(&a, &col), gemm_tol(k))?;
+        assert_mats_close(&row.matmul(&col), &naive_matmul(&row, &col), gemm_tol(k))?;
+    }
+
+    #[test]
+    fn matmul_sparse_rows_match_naive(
+        m in 1usize..24,
+        k in 8usize..128,
+        n in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        // One-hot rows (phase-2 style inputs) route through the
+        // zero-skipping axpy kernel; the result must still be exact.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let a = Mat::from_fn(m, k, |_, c| {
+            if c == rng.below(k as u64) as usize { 1.0 } else { 0.0 }
+        });
+        let b = random_mat(k, n, &mut rng);
+        assert_mats_close(&a.matmul(&b), &naive_matmul(&a, &b), gemm_tol(k))?;
+    }
+
+    #[test]
+    fn matmul_into_and_acc_match_matmul(
+        m in 1usize..24,
+        k in 1usize..64,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let want = a.matmul(&b);
+        let mut out = Mat::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(out.data(), want.data());
+        // Accumulating on top of an existing value adds exactly one product.
+        let mut acc = random_mat(m, n, &mut rng);
+        let base = acc.clone();
+        a.matmul_acc(&b, &mut acc);
+        for i in 0..m * n {
+            let diff = acc.data()[i] - base.data()[i];
+            prop_assert!((diff - want.data()[i]).abs() <= gemm_tol(k));
+        }
+    }
+
     #[test]
     fn softmax_rows_are_distributions(
         rows in 1usize..5,

@@ -29,7 +29,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::Truncated { needed, remaining } => {
-                write!(f, "truncated stream: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "truncated stream: needed {needed} bytes, {remaining} remaining"
+                )
             }
             CodecError::BadMagic { expected, found } => {
                 write!(f, "bad magic: expected {expected:?}, found {found:?}")
@@ -58,7 +61,9 @@ pub struct Encoder {
 impl Encoder {
     /// Fresh encoder.
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Encoder that starts with a magic + version header.
@@ -137,18 +142,27 @@ impl Decoder {
         let mut found = [0u8; 4];
         self.take(4)?.copy_to_slice(&mut found);
         if found != magic {
-            return Err(CodecError::BadMagic { expected: magic, found });
+            return Err(CodecError::BadMagic {
+                expected: magic,
+                found,
+            });
         }
         let v = self.u32()?;
         if v != version {
-            return Err(CodecError::BadVersion { expected: version, found: v });
+            return Err(CodecError::BadVersion {
+                expected: version,
+                found: v,
+            });
         }
         Ok(())
     }
 
     fn take(&mut self, n: usize) -> Result<Bytes, CodecError> {
         if self.buf.remaining() < n {
-            return Err(CodecError::Truncated { needed: n, remaining: self.buf.remaining() });
+            return Err(CodecError::Truncated {
+                needed: n,
+                remaining: self.buf.remaining(),
+            });
         }
         Ok(self.buf.split_to(n))
     }
@@ -193,7 +207,10 @@ impl Decoder {
 
     pub fn f32_vec(&mut self) -> Result<Vec<f32>, CodecError> {
         let n = self.len_prefix()?;
-        let mut raw = self.take(n.checked_mul(4).ok_or(CodecError::LengthOverflow(n as u64))?)?;
+        let mut raw = self.take(
+            n.checked_mul(4)
+                .ok_or(CodecError::LengthOverflow(n as u64))?,
+        )?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(raw.get_f32_le());
@@ -203,7 +220,10 @@ impl Decoder {
 
     pub fn u32_vec(&mut self) -> Result<Vec<u32>, CodecError> {
         let n = self.len_prefix()?;
-        let mut raw = self.take(n.checked_mul(4).ok_or(CodecError::LengthOverflow(n as u64))?)?;
+        let mut raw = self.take(
+            n.checked_mul(4)
+                .ok_or(CodecError::LengthOverflow(n as u64))?,
+        )?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(raw.get_u32_le());
@@ -248,7 +268,10 @@ mod tests {
         e.put_f32_slice(&[0.0, -1.0, f32::MAX, f32::MIN_POSITIVE]);
         e.put_u32_slice(&[1, 2, 3]);
         let mut d = Decoder::new(e.finish());
-        assert_eq!(d.f32_vec().unwrap(), vec![0.0, -1.0, f32::MAX, f32::MIN_POSITIVE]);
+        assert_eq!(
+            d.f32_vec().unwrap(),
+            vec![0.0, -1.0, f32::MAX, f32::MIN_POSITIVE]
+        );
         assert_eq!(d.u32_vec().unwrap(), vec![1, 2, 3]);
     }
 
@@ -268,7 +291,10 @@ mod tests {
         let mut bad_version = Decoder::new(bytes);
         assert!(matches!(
             bad_version.expect_header(*b"DESH", 4),
-            Err(CodecError::BadVersion { expected: 4, found: 3 })
+            Err(CodecError::BadVersion {
+                expected: 4,
+                found: 3
+            })
         ));
     }
 

@@ -47,7 +47,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo, "empty range");
         assert!(bins > 0, "need at least one bin");
-        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Record one observation.

@@ -19,4 +19,4 @@ pub mod time;
 pub use hist::Histogram;
 pub use rng::Xoshiro256pp;
 pub use stats::Summary;
-pub use time::Micros;
+pub use time::{duration_us, Micros};

@@ -134,6 +134,14 @@ impl fmt::Display for Micros {
     }
 }
 
+/// Saturating conversion of a wall-clock [`std::time::Duration`] to whole
+/// microseconds — the unit every latency histogram in the workspace
+/// records. `Duration::as_micros` returns a `u128`; this clamps instead of
+/// silently truncating on (absurdly) long intervals.
+pub fn duration_us(d: std::time::Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,7 +157,13 @@ mod tests {
 
     #[test]
     fn clock_round_trip() {
-        for raw in [0u64, 1, 999_999, 12 * MICROS_PER_HOUR + 345, MICROS_PER_DAY - 1] {
+        for raw in [
+            0u64,
+            1,
+            999_999,
+            12 * MICROS_PER_HOUR + 345,
+            MICROS_PER_DAY - 1,
+        ] {
             let t = Micros(raw);
             let parsed = Micros::parse_clock(&t.as_clock()).unwrap();
             assert_eq!(parsed, t);
@@ -164,14 +178,32 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        for bad in ["", "25:00:00", "10:61:00", "10:00:61", "10:00", "aa:bb:cc", "1:2:3.1234567"] {
+        for bad in [
+            "",
+            "25:00:00",
+            "10:61:00",
+            "10:00:61",
+            "10:00",
+            "aa:bb:cc",
+            "1:2:3.1234567",
+        ] {
             assert!(Micros::parse_clock(bad).is_none(), "{bad} should fail");
         }
     }
 
     #[test]
     fn parse_pads_short_fractions() {
-        assert_eq!(Micros::parse_clock("00:00:01.5").unwrap(), Micros(1_500_000));
+        assert_eq!(
+            Micros::parse_clock("00:00:01.5").unwrap(),
+            Micros(1_500_000)
+        );
+    }
+
+    #[test]
+    fn duration_us_converts_and_saturates() {
+        assert_eq!(duration_us(std::time::Duration::from_millis(2)), 2_000);
+        assert_eq!(duration_us(std::time::Duration::from_micros(7)), 7);
+        assert_eq!(duration_us(std::time::Duration::MAX), u64::MAX);
     }
 
     #[test]
@@ -179,7 +211,10 @@ mod tests {
         let a = Micros::from_secs(90);
         assert!((a.as_mins_f64() - 1.5).abs() < 1e-12);
         assert_eq!(a.saturating_sub(Micros::from_mins(2)), Micros(0));
-        assert_eq!(Micros::from_mins(2).saturating_sub(a), Micros::from_secs(30));
+        assert_eq!(
+            Micros::from_mins(2).saturating_sub(a),
+            Micros::from_secs(30)
+        );
         assert_eq!(a.abs_diff(Micros::from_secs(100)), Micros::from_secs(10));
     }
 }

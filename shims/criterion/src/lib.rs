@@ -8,10 +8,74 @@
 //! iteration count to a ~300 ms measurement window, then mean/min per-iter
 //! times (and derived throughput) are printed per benchmark.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock time for one benchmark's measurement phase.
 const TARGET_MEASURE: Duration = Duration::from_millis(300);
+
+/// One finished measurement, kept for the optional JSON export.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    label: String,
+    mean_ns: f64,
+    best_ns: f64,
+    /// Derived rate in units/s when the bench declared a throughput.
+    rate: Option<f64>,
+}
+
+/// Results accumulated across every bench the process runs.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Minimal JSON string escape (labels only contain benign characters, but
+/// be correct anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// When the `BENCH_JSON` environment variable names a path, write every
+/// recorded benchmark there as a machine-readable JSON document. Called by
+/// [`criterion_main!`] after all groups have run; harmless otherwise.
+pub fn export_json_if_requested() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap();
+    let mut body = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {:.1}, \"best_ns\": {:.1}",
+            json_escape(&r.label),
+            r.mean_ns,
+            r.best_ns
+        ));
+        if let Some(rate) = r.rate {
+            body.push_str(&format!(", \"rate_per_s\": {rate:.1}"));
+        }
+        body.push_str(if i + 1 == results.len() { "}\n" } else { "},\n" });
+    }
+    body.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("\nwrote {} benchmark results to {path}", results.len()),
+        Err(e) => eprintln!("BENCH_JSON: failed to write {path}: {e}"),
+    }
+}
 
 /// Top-level harness handle passed to every bench function.
 #[derive(Debug, Default)]
@@ -179,14 +243,22 @@ fn run_bench(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut
         human_time(Duration::from_secs_f64(mean)),
         human_time(Duration::from_secs_f64(best)),
     );
+    let mut rate = None;
     if let Some(t) = throughput {
         let (units, what) = match t {
             Throughput::Elements(n) => (n as f64, "elem/s"),
             Throughput::Bytes(n) => (n as f64, "B/s"),
         };
+        rate = Some(units / mean);
         line.push_str(&format!("  {:.3e} {what}", units / mean));
     }
     println!("{line}");
+    RESULTS.lock().unwrap().push(BenchRecord {
+        label: label.to_string(),
+        mean_ns: mean * 1e9,
+        best_ns: best * 1e9,
+        rate,
+    });
 }
 
 /// Bundle bench functions into one runner, mirroring criterion's macro.
@@ -206,6 +278,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::export_json_if_requested();
         }
     };
 }
