@@ -13,14 +13,18 @@
 //! * `--smoke` — tiny profile + fast config, for CI latency gating.
 //! * `--max-p99-us <N>` — exit non-zero when the p99 scoring latency
 //!   exceeds `N` microseconds (a perf-regression tripwire).
+//! * `--trace` — attach the decision tracer (flight recorder + warning
+//!   log + chain matching) so the measured latency includes the full
+//!   tracing path; CI gates this too, to keep tracing affordable.
 //! * `--json <path>` — write the measurements as machine-readable JSON
 //!   (defaults to `results/BENCH_fig10.json` in full runs; off in smoke
 //!   runs unless given explicitly).
 
 use desh_bench::{experiment_config, EXPERIMENT_SEED};
-use desh_core::{Desh, DeshConfig, OnlineDetector};
+use desh_core::{Desh, DeshConfig};
 use desh_loggen::{generate, SystemProfile};
-use desh_obs::Telemetry;
+use desh_obs::{FlightRecorder, Telemetry, WarningLog};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Fig 10's per-event scoring cost on the paper's hardware, microseconds.
@@ -34,16 +38,18 @@ const BASELINE_SCORE_US: (f64, f64, f64) = (126.4, 248.0, 369.5);
 
 struct Args {
     smoke: bool,
+    trace: bool,
     max_p99_us: Option<f64>,
     json: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { smoke: false, max_p99_us: None, json: None };
+    let mut args = Args { smoke: false, trace: false, max_p99_us: None, json: None };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
+            "--trace" => args.trace = true,
             "--max-p99-us" => {
                 let v = it.next().expect("--max-p99-us needs a value");
                 args.max_p99_us = Some(v.parse().expect("--max-p99-us must be a number"));
@@ -72,12 +78,13 @@ fn main() {
     let trained = desh.train(&train);
 
     let telemetry = Telemetry::enabled();
-    let mut det = OnlineDetector::with_telemetry(
-        trained.lead_model.clone(),
-        trained.parsed_train.vocab.clone(),
-        desh.cfg.clone(),
-        &telemetry,
-    );
+    let mut det = trained.online_detector(desh.cfg.clone(), &telemetry);
+    let flight = Arc::new(FlightRecorder::new());
+    let warning_log = Arc::new(WarningLog::new(1024));
+    if args.trace {
+        det.attach_tracing(Arc::clone(&flight), Arc::clone(&warning_log));
+        println!("decision tracing attached (flight recorder + warning log)");
+    }
     let t0 = Instant::now();
     let mut warnings = 0usize;
     for r in &test.records {
@@ -121,6 +128,13 @@ fn main() {
         );
     }
     println!("  max : {:>8} us", lat.max());
+    if args.trace {
+        println!(
+            "  tracing: {} node flight rings, {} warning records",
+            flight.node_names().len(),
+            warning_log.len()
+        );
+    }
     println!("\nThe paper's requirement is satisfied when headroom > 1.");
 
     if let Some(path) = &args.json {
@@ -130,6 +144,7 @@ fn main() {
                 "  \"experiment\": \"fig10_realtime_check\",\n",
                 "  \"profile\": \"{}\",\n",
                 "  \"smoke\": {},\n",
+                "  \"trace\": {},\n",
                 "  \"events\": {},\n",
                 "  \"elapsed_s\": {:.4},\n",
                 "  \"throughput_events_per_s\": {:.1},\n",
@@ -144,6 +159,7 @@ fn main() {
             ),
             profile.name,
             args.smoke,
+            args.trace,
             events as u64,
             elapsed,
             throughput,

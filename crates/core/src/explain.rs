@@ -61,6 +61,28 @@ pub fn dtw_distance(a: &[Vec<f32>], b: &[Vec<f32>]) -> f64 {
     }
 }
 
+/// Retrieve the nearest chain (by normalised DTW distance) to an encoded
+/// episode. `chain_vecs` holds each trained chain already passed through
+/// [`chain_to_vectors`] — precompute once and reuse, which is what the
+/// online detector does so warnings can name their matched chain without
+/// re-encoding the chain set per event. Empty chains are skipped.
+pub fn nearest_chain(ep_vecs: &[Vec<f32>], chain_vecs: &[Vec<Vec<f32>>]) -> Option<(usize, f64)> {
+    if ep_vecs.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for (i, cv) in chain_vecs.iter().enumerate() {
+        if cv.is_empty() {
+            continue;
+        }
+        let d = dtw_distance(ep_vecs, cv);
+        if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
 /// The explanation for one episode.
 #[derive(Debug, Clone)]
 pub struct Explanation {
@@ -92,15 +114,11 @@ pub fn explain_episode(
         .map(|e| model.vectorize(end.saturating_sub(e.time).as_secs_f64(), e.phrase))
         .collect();
 
-    let mut best: Option<(usize, f64)> = None;
-    for (i, chain) in chains.iter().enumerate() {
-        let cv = chain_to_vectors(chain, model.dt_scale, model.vocab_size);
-        let d = dtw_distance(&ep_vecs, &cv);
-        if best.map(|(_, bd)| d < bd).unwrap_or(true) {
-            best = Some((i, d));
-        }
-    }
-    let (nearest_chain, distance) = best?;
+    let chain_vecs: Vec<Vec<Vec<f32>>> = chains
+        .iter()
+        .map(|c| chain_to_vectors(c, model.dt_scale, model.vocab_size))
+        .collect();
+    let (nearest_chain, distance) = nearest_chain(&ep_vecs, &chain_vecs)?;
     Some(Explanation {
         nearest_chain,
         distance,
@@ -179,6 +197,54 @@ mod tests {
             explained += 1;
         }
         assert!(explained > 0);
+    }
+
+    #[test]
+    fn nearest_chain_picks_minimum_and_skips_empty() {
+        let ep = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let chains = vec![
+            vec![],                                     // empty: skipped
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],       // reversed
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],       // identical
+        ];
+        let (idx, d) = nearest_chain(&ep, &chains).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(d, 0.0);
+        assert!(nearest_chain(&[], &chains).is_none());
+        assert!(nearest_chain(&ep, &[]).is_none());
+        assert!(nearest_chain(&ep, &[vec![], vec![]]).is_none());
+    }
+
+    #[test]
+    fn explanation_evidence_preserves_event_order() {
+        // The explanation's template lists must follow the underlying
+        // event order (oldest first) on both sides — operators read them
+        // as a timeline.
+        let mut p = SystemProfile::tiny();
+        p.failures = 24;
+        p.nodes = 16;
+        let d = generate(&p, 703);
+        let cfg = DeshConfig::fast();
+        let parsed = parse_records(&d.records);
+        let chains = extract_chains(&parsed, &cfg.episodes);
+        let mut rng = Xoshiro256pp::seed_from_u64(703);
+        let model = run_phase2(&chains, parsed.vocab_size(), &cfg.phase2, &mut rng);
+        let episodes = extract_episodes(&parsed, &cfg.episodes);
+        let ep = episodes.iter().find(|e| e.events.len() >= 2).expect("multi-event episode");
+        let ex = explain_episode(ep, &chains, &model, &parsed).unwrap();
+
+        assert_eq!(ex.episode_templates.len(), ep.events.len());
+        for (tmpl, ev) in ex.episode_templates.iter().zip(&ep.events) {
+            assert_eq!(*tmpl, parsed.template(ev.phrase), "episode evidence out of order");
+        }
+        let chain = &chains[ex.nearest_chain];
+        assert_eq!(ex.chain_templates.len(), chain.events.len());
+        for (tmpl, ev) in ex.chain_templates.iter().zip(&chain.events) {
+            assert_eq!(*tmpl, parsed.template(ev.phrase), "chain evidence out of order");
+        }
+        // And the underlying events really are time-ordered, so template
+        // order == chronological order.
+        assert!(ep.events.windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]

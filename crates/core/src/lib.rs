@@ -34,11 +34,11 @@ pub use classes::{classify_chain, classify_templates};
 pub use crossval::{stability_run, StabilityReport};
 pub use config::{DeshConfig, EpisodeConfig, Phase1Config, Phase2Config, Phase3Config};
 pub use episode::{extract_episodes, Episode};
-pub use explain::{dtw_distance, explain_episode, Explanation};
+pub use explain::{dtw_distance, explain_episode, nearest_chain, Explanation};
 pub use leadtime::{lead_by_class, lead_overall, observation4, recall_by_class, sensitivity_sweep, SweepPoint};
 pub use metrics::Confusion;
 pub use online::{OnlineDetector, Warning};
-pub use observe::EpochTelemetry;
+pub use observe::{warning_record, EpochTelemetry};
 pub use phase1::{run_phase1, run_phase1_telemetry, Phase1Output};
 pub use phase2::{chain_to_vectors, run_phase2, run_phase2_telemetry, LeadTimeModel};
 pub use phase3::{maintenance_windows, run_phase3, run_phase3_telemetry, Phase3Output, Verdict};

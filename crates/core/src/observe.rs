@@ -5,10 +5,29 @@
 //! hands it to `train_observed` and per-epoch loss/wall-time flow into the
 //! shared registry under the caller's metric prefix.
 
+use crate::online::Warning;
 use desh_nn::TrainObserver;
-use desh_obs::Telemetry;
+use desh_obs::{Telemetry, TraceEvent, WarningRecord};
 use desh_util::duration_us;
 use std::time::Duration;
+
+/// Bridge a detector [`Warning`] (typed: `NodeId`, `FailureClass`,
+/// `Micros`) into the obs-layer [`WarningRecord`] (stringly, so `desh-obs`
+/// stays free of core's domain types). `trace` is the node's flight-ring
+/// contents at firing time, oldest first.
+pub fn warning_record(w: &Warning, trace: Vec<TraceEvent>) -> WarningRecord {
+    WarningRecord {
+        node: w.node.to_string(),
+        at_us: w.at.0,
+        predicted_lead_secs: w.predicted_lead_secs,
+        score: w.score,
+        class: w.class.name().to_string(),
+        matched_chain: w.matched_chain.map(|c| c as i64).unwrap_or(-1),
+        chain_distance: w.chain_distance.unwrap_or(f64::NAN),
+        evidence: w.evidence.clone(),
+        trace,
+    }
+}
 
 /// Forwards per-epoch training progress into a telemetry registry:
 /// `<prefix>.epochs` (counter), `<prefix>.epoch_loss` (gauge, last epoch's

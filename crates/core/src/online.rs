@@ -23,12 +23,17 @@
 //! One warning is emitted per episode: after warning, a node stays quiet
 //! until its buffer resets (session gap elapses or a terminal arrives).
 
+use crate::chain::FailureChain;
 use crate::classes::classify_templates;
 use crate::config::DeshConfig;
-use crate::phase2::{LeadStream, LeadTimeModel};
+use crate::explain::nearest_chain;
+use crate::phase2::{chain_to_vectors, LeadStream, LeadTimeModel};
 use desh_loggen::{FailureClass, Label, LogRecord, NodeId};
 use desh_logparse::{extract_template, is_failure_terminal, label_template, Vocab};
-use desh_obs::{Counter, Gauge, LatencyHistogram, Telemetry};
+use desh_obs::{
+    Counter, FlightRecorder, Gauge, LatencyHistogram, NodeFlight, QualityMonitor, Telemetry,
+    TraceEvent, WarningLog,
+};
 use desh_util::{duration_us, Micros};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -49,6 +54,12 @@ pub struct Warning {
     pub class: FailureClass,
     /// The phrase templates that triggered the warning, oldest first.
     pub evidence: Vec<String>,
+    /// Index of the nearest trained failure chain (DTW over the same
+    /// encoding phase 3 scores), when a chain set was attached via
+    /// [`OnlineDetector::attach_chains`].
+    pub matched_chain: Option<usize>,
+    /// Normalised DTW distance to the matched chain.
+    pub chain_distance: Option<f64>,
 }
 
 #[derive(Debug, Default)]
@@ -61,6 +72,18 @@ struct NodeState {
     /// buffer reset (session gap, terminal, warning); rebuilt from the
     /// buffer on the next event — the full re-scoring fallback.
     stream: Option<LeadStream>,
+    /// This node's flight ring, resolved lazily on first scored event
+    /// (only when tracing is attached) and held so hot-path pushes skip
+    /// the recorder's map lock.
+    flight: Option<Arc<NodeFlight>>,
+}
+
+/// Decision-tracing sinks, attached via [`OnlineDetector::attach_tracing`].
+/// When absent (the default) the scoring path does no trace work at all.
+#[derive(Debug)]
+struct Tracer {
+    flight: Arc<FlightRecorder>,
+    warnings: Arc<WarningLog>,
 }
 
 /// Pre-resolved metric handles for the per-event hot path: every update
@@ -91,6 +114,16 @@ pub struct OnlineDetector {
     /// update stays O(1) per event).
     buffered_total: u64,
     metrics: Option<OnlineMetrics>,
+    /// Decision-trace sinks; `None` (default) keeps the hot path trace-free.
+    tracer: Option<Tracer>,
+    /// Trained chains pre-encoded with [`chain_to_vectors`], for naming the
+    /// matched chain in warnings. Empty when no chains were attached.
+    chains: Vec<Vec<Vec<f32>>>,
+    /// Vocabulary size at construction: any later-interned phrase id is a
+    /// template the model never trained on (the drift signal).
+    train_vocab: u32,
+    /// Template-drift monitor (shares the telemetry registry).
+    quality: Option<QualityMonitor>,
 }
 
 impl OnlineDetector {
@@ -118,6 +151,7 @@ impl OnlineDetector {
             score_latency: r.histogram("online.score_latency_us"),
             buffered: r.gauge("online.buffered_events"),
         });
+        let train_vocab = vocab.len() as u32;
         Self {
             model,
             cfg,
@@ -127,7 +161,30 @@ impl OnlineDetector {
             events_seen: 0,
             buffered_total: 0,
             metrics,
+            tracer: None,
+            chains: Vec::new(),
+            train_vocab,
+            quality: QualityMonitor::new(telemetry),
         }
+    }
+
+    /// Attach decision tracing: every scored event lands in `flight`'s
+    /// per-node ring, and each fired warning (with the ring contents as
+    /// evidence) is pushed to `warnings`. Without this call the scoring
+    /// path never touches either.
+    pub fn attach_tracing(&mut self, flight: Arc<FlightRecorder>, warnings: Arc<WarningLog>) {
+        self.tracer = Some(Tracer { flight, warnings });
+    }
+
+    /// Attach the trained failure chains so warnings can name the nearest
+    /// chain (index into `chains` + DTW distance). Chains are encoded once
+    /// here; the per-warning cost is one DTW pass per chain, paid only
+    /// when a warning actually fires.
+    pub fn attach_chains(&mut self, chains: &[FailureChain]) {
+        self.chains = chains
+            .iter()
+            .map(|c| chain_to_vectors(c, self.model.dt_scale, self.model.vocab_size))
+            .collect();
     }
 
     /// Total events ingested (after Safe filtering).
@@ -156,16 +213,26 @@ impl OnlineDetector {
             return None;
         }
         let phrase = self.vocab.intern(&template);
+        if let Some(q) = &self.quality {
+            // A phrase id at or past the training vocabulary size is a
+            // template the model never saw — the drift signal.
+            q.record_template(phrase >= self.train_vocab);
+        }
         let state = self.nodes.entry(record.node).or_default();
 
-        // Session split: a long quiet gap starts a new episode.
+        // Session split: a long quiet gap starts a new episode. `dt_secs`
+        // (ΔT to the previous buffered event, 0 at episode start) is kept
+        // for the decision trace.
         let gap = Micros::from_secs_f64(self.cfg.episodes.session_gap_secs);
+        let mut dt_secs = 0.0;
         if let Some(&(last, _)) = state.events.last() {
             if record.time.saturating_sub(last) > gap {
                 self.buffered_total -= state.events.len() as u64;
                 state.events.clear();
                 state.warned = false;
                 state.stream = None;
+            } else {
+                dt_secs = record.time.saturating_sub(last).as_secs_f64();
             }
         }
         state.events.push((record.time, phrase));
@@ -198,25 +265,66 @@ impl OnlineDetector {
         // The hot path advances the carried state by ONE cell step; the
         // full replay below only runs when an episode just (re)started.
         let t0 = self.metrics.as_ref().map(|_| Instant::now());
-        match &mut state.stream {
-            Some(ls) => {
-                self.model.stream_push(ls, record.time, phrase);
-            }
+        let replayed = state.stream.is_none();
+        let step_raw = match &mut state.stream {
+            Some(ls) => self.model.stream_push(ls, record.time, phrase),
             None => {
                 let mut ls = self.model.begin_stream();
+                let mut last = None;
                 for &(t, p) in &state.events {
-                    self.model.stream_push(&mut ls, t, p);
+                    last = self.model.stream_push(&mut ls, t, p);
                 }
                 state.stream = Some(ls);
+                last
             }
-        }
-        let warning = Self::evaluate(&self.model, &self.cfg, &self.vocab, state, record);
+        };
+        let warning =
+            Self::evaluate(&self.model, &self.cfg, &self.vocab, &self.chains, state, record);
         if let Some(m) = &self.metrics {
             m.score_latency.record(duration_us(t0.unwrap().elapsed()));
             if warning.is_some() {
                 m.warnings.inc();
             }
         }
+
+        // Decision trace: a handful of atomic stores into the node's ring.
+        // Skipped entirely (no branch below this one) when tracing is not
+        // attached, preserving the untraced hot-path latency.
+        if let Some(tr) = &self.tracer {
+            let unit = (self.model.vocab_size + 1) as f64 / 2.0 * self.cfg.phase3.score_scale;
+            let ls = state.stream.as_ref();
+            let ev = TraceEvent {
+                at_us: record.time.0,
+                phrase,
+                dt_secs,
+                step_mse: step_raw.map(|s| s * unit).unwrap_or(f64::NAN),
+                mean_mse: ls
+                    .and_then(|l| self.model.stream_mean(l))
+                    .map(|m| m * unit)
+                    .unwrap_or(f64::NAN),
+                threshold: self.cfg.phase3.mse_threshold,
+                transitions: ls.map(|l| l.transitions() as u32).unwrap_or(0),
+                min_evidence: self.cfg.phase3.min_evidence as u32,
+                replayed,
+                warned: warning.is_some(),
+                matched_chain: warning
+                    .as_ref()
+                    .and_then(|w| w.matched_chain)
+                    .map(|c| c as i64)
+                    .unwrap_or(-1),
+            };
+            let ring = state
+                .flight
+                .get_or_insert_with(|| tr.flight.node(&record.node.to_string()));
+            ring.push(&ev);
+            if let Some(w) = &warning {
+                // Ship the ring contents (including the event just pushed,
+                // whose `warned` flag is set) as the warning's evidence.
+                tr.warnings
+                    .push(crate::observe::warning_record(w, ring.snapshot()));
+            }
+        }
+
         if warning.is_some() {
             state.warned = true;
             // The episode is done from a scoring perspective; free the
@@ -236,6 +344,7 @@ impl OnlineDetector {
         model: &LeadTimeModel,
         cfg: &DeshConfig,
         vocab: &Vocab,
+        chains: &[Vec<Vec<f32>>],
         state: &NodeState,
         record: &LogRecord,
     ) -> Option<Warning> {
@@ -269,6 +378,13 @@ impl OnlineDetector {
             .map(|&(_, p)| vocab.text(p).unwrap_or_default())
             .collect();
         let class = classify_templates(evidence.iter().cloned());
+        // The episode is already encoded in the batch ΔT form `seq`; the
+        // DTW retrieval against the attached chains reuses it. Paid only
+        // on the (rare) warning path.
+        let (matched_chain, chain_distance) = match nearest_chain(&seq, chains) {
+            Some((i, d)) => (Some(i), Some(d)),
+            None => (None, None),
+        };
         Some(Warning {
             node: record.node,
             at: record.time,
@@ -276,12 +392,15 @@ impl OnlineDetector {
             score,
             class,
             evidence,
+            matched_chain,
+            chain_distance,
         })
     }
 
-    /// Render a warning the way the paper phrases it (§4.5).
+    /// Render a warning the way the paper phrases it (§4.5), naming the
+    /// matched trained chain when one was retrieved.
     pub fn format_warning(w: &Warning) -> String {
-        format!(
+        let mut line = format!(
             "In {:.1} seconds, node {} (cabinet {}-{}, chassis {}, slot {}) is expected to fail [{}]",
             w.predicted_lead_secs,
             w.node,
@@ -290,7 +409,11 @@ impl OnlineDetector {
             w.node.chassis,
             w.node.slot,
             w.class.name()
-        )
+        );
+        if let (Some(c), Some(d)) = (w.matched_chain, w.chain_distance) {
+            line.push_str(&format!(" — matched chain #{c} (dtw {d:.4})"));
+        }
+        line
     }
 }
 
@@ -441,6 +564,131 @@ mod tests {
             }
         }
         assert!(checked >= 50, "replay only compared {checked} states");
+    }
+
+    #[test]
+    fn tracing_records_decisions_and_warning_evidence() {
+        let mut p = SystemProfile::tiny();
+        p.failures = 30;
+        p.nodes = 24;
+        let d = generate(&p, 308);
+        let (train, test) = d.split_by_time(0.3);
+        let desh = Desh::new(DeshConfig::fast(), 308);
+        let trained = desh.train(&train);
+        let mut det = OnlineDetector::new(
+            trained.lead_model.clone(),
+            trained.parsed_train.vocab.clone(),
+            desh.cfg.clone(),
+        );
+        det.attach_chains(&trained.phase1.chains);
+        let flight = Arc::new(FlightRecorder::new());
+        let warnings = Arc::new(WarningLog::new(64));
+        det.attach_tracing(Arc::clone(&flight), Arc::clone(&warnings));
+
+        let mut fired: Vec<Warning> = Vec::new();
+        for r in &test.records {
+            if let Some(w) = det.ingest(r) {
+                fired.push(w);
+            }
+        }
+        assert!(!fired.is_empty(), "no warnings fired");
+        assert_eq!(warnings.len() as u64, det.warnings_emitted().min(64));
+
+        // Every scored event left a trace; totals across rings match the
+        // detector's own event count.
+        let total: u64 = flight
+            .node_names()
+            .iter()
+            .map(|n| flight.get(n).unwrap().total())
+            .sum();
+        assert!(total > 0);
+
+        // A fired warning's record carries the same verdict fields that
+        // format_warning reports, plus per-step MSEs in its trace.
+        let records = warnings.snapshot();
+        let (w, rec) = fired
+            .iter()
+            .find_map(|w| {
+                records
+                    .iter()
+                    .find(|r| r.node == w.node.to_string() && r.at_us == w.at.0)
+                    .map(|r| (w, r))
+            })
+            .expect("warning has a matching record");
+        let line = OnlineDetector::format_warning(w);
+        assert_eq!(rec.class, w.class.name());
+        let chain = w.matched_chain.expect("chains attached");
+        assert_eq!(rec.matched_chain, chain as i64);
+        assert!(line.contains(&format!("matched chain #{chain}")), "{line}");
+        assert!(!rec.trace.is_empty(), "warning shipped without trace");
+        let last = rec.trace.last().unwrap();
+        assert!(last.warned, "final trace event should be the firing one");
+        assert_eq!(last.matched_chain, chain as i64);
+        assert!(
+            rec.trace.iter().any(|t| t.step_mse.is_finite()),
+            "no per-step MSEs in trace"
+        );
+        assert!(
+            (last.mean_mse - w.score).abs() < 1e-9,
+            "trace mean {} vs warning score {}",
+            last.mean_mse,
+            w.score
+        );
+        let jsonl = rec.to_json();
+        assert!(jsonl.contains("\"step_mse\":"));
+        assert!(jsonl.contains(&format!("\"matched_chain\":{chain}")));
+
+        // Trace events alternate replay (episode start) and carried paths.
+        let any_replay = flight
+            .node_names()
+            .iter()
+            .flat_map(|n| flight.get(n).unwrap().snapshot())
+            .any(|t| t.replayed);
+        assert!(any_replay, "no replay-path events traced");
+    }
+
+    #[test]
+    fn untraced_detector_behaves_identically() {
+        // Tracing must be observation-only: the warning stream with and
+        // without tracing attached is identical.
+        let (mut plain, test) = trained_detector(309);
+        let (mut traced, _) = trained_detector(309);
+        traced.attach_tracing(
+            Arc::new(FlightRecorder::new()),
+            Arc::new(WarningLog::new(16)),
+        );
+        for r in &test.records {
+            let a = plain.ingest(r);
+            let b = traced.ingest(r);
+            assert_eq!(a.is_some(), b.is_some(), "warning divergence at {:?}", r.time);
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.score, b.score);
+            }
+        }
+    }
+
+    #[test]
+    fn quality_monitor_tracks_template_drift() {
+        let (mut det, test) = trained_detector(310);
+        let t = Telemetry::enabled();
+        det.quality = QualityMonitor::new(&t);
+        for r in test.records.iter().take(200) {
+            det.ingest(r);
+        }
+        // Feed a template the training vocabulary has never seen.
+        for i in 0..64 {
+            let r = LogRecord::new(
+                test.records[0].time + Micros::from_secs_f64(0.1 * i as f64),
+                NodeId::from_index(0),
+                "totally novel firmware fault string",
+            );
+            det.ingest(&r);
+        }
+        let s = t.snapshot().unwrap();
+        assert!(s.counter("quality.template_events").unwrap() > 0);
+        assert!(s.counter("quality.template_miss").unwrap() >= 64);
+        assert!(s.gauge("quality.template_drift").unwrap() > 0.0);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::phase2::LeadTimeModel;
 use desh_loggen::{FailureClass, GroundTruthFailure, NodeId};
 use desh_logparse::ParsedLog;
 use desh_nn::ScoreWorkspace;
-use desh_obs::Telemetry;
+use desh_obs::{QualityMonitor, Telemetry};
 use desh_util::{duration_us, Micros};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -160,7 +160,12 @@ pub fn run_phase3(
 /// `phase3.episodes` / `phase3.flagged` / `phase3.excluded_maintenance`
 /// counters, and the per-episode `phase3.episode_score_us` latency
 /// histogram (recorded from the rayon workers through a pre-resolved
-/// lock-free handle).
+/// lock-free handle). Because phase 3 runs with ground-truth labels, each
+/// verdict also feeds the [`QualityMonitor`]: the rolling confusion
+/// matrix (`quality.confusion.*`, `quality.precision`/`quality.recall`)
+/// and, for flagged true positives, the per-class lead-time histogram
+/// tracked against the paper's Table 7 figures
+/// (`quality.lead_secs[class=..]`, `quality.lead_vs_paper[class=..]`).
 pub fn run_phase3_telemetry(
     model: &LeadTimeModel,
     parsed: &ParsedLog,
@@ -208,8 +213,17 @@ pub fn run_phase3_telemetry(
         .collect();
 
     let mut confusion = Confusion::default();
+    let quality = QualityMonitor::new(telemetry);
     for v in &verdicts {
         confusion.record(v.flagged, v.is_failure);
+        if let Some(q) = &quality {
+            q.record_outcome(v.flagged, v.is_failure);
+            if v.flagged {
+                if let (Some(class), Some(lead)) = (v.class, v.predicted_lead_secs) {
+                    q.record_lead(class.name(), lead, class.paper_lead_secs());
+                }
+            }
+        }
     }
     telemetry.count("phase3.flagged", verdicts.iter().filter(|v| v.flagged).count() as u64);
     Phase3Output { verdicts, confusion }

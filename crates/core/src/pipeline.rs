@@ -5,6 +5,7 @@ use crate::chain::FailureChain;
 use crate::config::DeshConfig;
 use crate::leadtime::{lead_by_class, lead_overall, observation4, recall_by_class};
 use crate::metrics::Confusion;
+use crate::online::OnlineDetector;
 use crate::phase1::{run_phase1_telemetry, Phase1Output};
 use crate::phase2::{run_phase2_telemetry, LeadTimeModel};
 use crate::phase3::{run_phase3_telemetry, Verdict};
@@ -58,6 +59,24 @@ pub struct TrainedDesh {
     pub lead_model: LeadTimeModel,
     /// The parsed training log.
     pub parsed_train: ParsedLog,
+}
+
+impl TrainedDesh {
+    /// Build an [`OnlineDetector`] from the trained artifacts: the
+    /// phase-2 model scores against the training vocabulary, and the
+    /// trained failure chains are attached so fired warnings can name
+    /// their matched chain. Tracing sinks can then be added with
+    /// [`OnlineDetector::attach_tracing`].
+    pub fn online_detector(&self, cfg: DeshConfig, telemetry: &Telemetry) -> OnlineDetector {
+        let mut det = OnlineDetector::with_telemetry(
+            self.lead_model.clone(),
+            self.parsed_train.vocab.clone(),
+            cfg,
+            telemetry,
+        );
+        det.attach_chains(&self.phase1.chains);
+        det
+    }
 }
 
 impl Desh {
@@ -208,6 +227,41 @@ mod tests {
             snap.histogram("phase3.episode_score_us").unwrap().count(),
             report.verdicts.len() as u64
         );
+        // Labelled verdicts fed the quality monitor: the rolling confusion
+        // counters agree with the report's aggregate.
+        assert_eq!(snap.counter("quality.confusion.tp"), Some(report.confusion.tp));
+        assert_eq!(snap.counter("quality.confusion.fp"), Some(report.confusion.fp));
+        assert_eq!(snap.counter("quality.confusion.fn"), Some(report.confusion.fnn));
+        assert_eq!(snap.counter("quality.confusion.tn"), Some(report.confusion.tn));
+        let recall = snap.gauge("quality.recall").unwrap();
+        assert!((recall - report.confusion.recall()).abs() < 1e-12);
+        // Flagged true positives landed per-class lead-time series.
+        assert!(
+            snap.hists.iter().any(|(k, _)| k.starts_with("quality.lead_secs[class=")),
+            "no per-class lead histograms"
+        );
+    }
+
+    #[test]
+    fn trained_pipeline_builds_online_detector_with_chains() {
+        let mut p = SystemProfile::tiny();
+        p.failures = 30;
+        p.nodes = 24;
+        let d = generate(&p, 114);
+        let (train, test) = d.split_by_time(0.3);
+        let desh = Desh::new(DeshConfig::fast(), 114);
+        let trained = desh.train(&train);
+        let mut det = trained.online_detector(desh.cfg.clone(), &Telemetry::disabled());
+        let mut matched = 0;
+        for r in &test.records {
+            if let Some(w) = det.ingest(r) {
+                let c = w.matched_chain.expect("chains attached by online_detector");
+                assert!(c < trained.phase1.chains.len());
+                assert!(w.chain_distance.unwrap().is_finite());
+                matched += 1;
+            }
+        }
+        assert!(matched > 0, "no warnings to check chain matching on");
     }
 
     #[test]

@@ -89,7 +89,12 @@ pub fn parse_records_with_vocab(records: &[LogRecord], vocab: Arc<Vocab>) -> Par
 /// the vocabulary did not know before this call), the `logparse.templates`
 /// gauge (vocabulary size after), and `logparse.unknown_rate` (fraction of
 /// parsed events whose phrase labels Unknown — the paper's untyped middle
-/// class between Safe and Error). Wall time lands in the `parse` span.
+/// class between Safe and Error). When parsing against a trained
+/// vocabulary, `logparse.template_miss_events` counts events whose
+/// template was not in it and the `logparse.template_miss_rate` gauge is
+/// their fraction — the batch-side template-drift signal (a deployed
+/// vocabulary that no longer covers the stream). Wall time lands in the
+/// `parse` span.
 pub fn parse_records_telemetry(
     records: &[LogRecord],
     vocab: Arc<Vocab>,
@@ -134,6 +139,18 @@ pub fn parse_records_telemetry(
         telemetry.gauge_set(
             "logparse.unknown_rate",
             if total == 0 { 0.0 } else { unknown as f64 / total as f64 },
+        );
+        // Events landing at ids >= the pre-parse vocabulary size hit
+        // templates the existing (trained) vocabulary did not cover.
+        let misses: u64 = per_node
+            .values()
+            .flatten()
+            .filter(|e| e.phrase as usize >= vocab_before)
+            .count() as u64;
+        telemetry.count("logparse.template_miss_events", misses);
+        telemetry.gauge_set(
+            "logparse.template_miss_rate",
+            if total == 0 { 0.0 } else { misses as f64 / total as f64 },
         );
     }
     ParsedLog { vocab, labels, per_node }
@@ -246,6 +263,28 @@ mod tests {
         assert!((0.0..=1.0).contains(&rate), "unknown rate {rate}");
         // Parse wall time was recorded under the span histogram.
         assert_eq!(snap.histogram("span.parse_us").unwrap().count(), 1);
+        // Fresh vocab: every event is a template miss by definition.
+        assert_eq!(
+            snap.counter("logparse.template_miss_events"),
+            Some(d.records.len() as u64)
+        );
+        assert_eq!(snap.gauge("logparse.template_miss_rate"), Some(1.0));
+    }
+
+    #[test]
+    fn template_miss_rate_drops_against_trained_vocab() {
+        let d = generate(&SystemProfile::tiny(), 9);
+        let half = d.records.len() / 2;
+        let first = parse_records(&d.records[..half]);
+        let t = Telemetry::enabled();
+        parse_records_telemetry(&d.records[half..], first.vocab.clone(), &t);
+        let snap = t.snapshot().unwrap();
+        let rate = snap.gauge("logparse.template_miss_rate").unwrap();
+        // The second half re-uses most templates from the first; a trained
+        // vocabulary drops the miss rate from 100% to a small residual.
+        assert!(rate < 0.2, "template miss rate unexpectedly high: {rate}");
+        let misses = snap.counter("logparse.template_miss_events").unwrap();
+        assert!((misses as usize) < (d.records.len() - half) / 5);
     }
 
     #[test]

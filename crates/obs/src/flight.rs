@@ -1,0 +1,342 @@
+//! Per-node flight recorder: a lock-free, fixed-capacity ring buffer of
+//! the most recent [`TraceEvent`]s for every node the online detector has
+//! scored.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **The write path must cost nothing measurable.** The detector's
+//!    per-event scoring path is ~8 µs p50; a recorder push is a dozen
+//!    relaxed atomic stores into a preallocated slot — no locks, no
+//!    allocation, no branching beyond the ring index.
+//! 2. **Readers never block the writer.** The introspection HTTP thread
+//!    snapshots rings while scoring continues. Each slot is a seqlock:
+//!    the writer bumps the slot's sequence to odd, stores the packed
+//!    words, and bumps it back to even; a reader that observes an odd or
+//!    changed sequence discards the torn slot and moves on.
+//! 3. **No `unsafe`.** Events pack into `[u64; TRACE_WORDS]`
+//!    (`TraceEvent::to_words`), so plain `AtomicU64` fields suffice.
+//!
+//! One writer per node is assumed (the detector owns its event loop);
+//! concurrent *readers* are always safe. With multiple writers a slot
+//! could interleave, but the sequence check still prevents a reader from
+//! observing a torn event as valid.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::trace::{TraceEvent, TRACE_WORDS};
+
+/// Default ring capacity per node (events retained).
+pub const FLIGHT_CAPACITY: usize = 256;
+
+#[derive(Debug)]
+struct Slot {
+    /// Seqlock: even = stable, odd = write in progress.
+    seq: AtomicU64,
+    words: [AtomicU64; TRACE_WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// One node's ring of recent decision traces.
+#[derive(Debug)]
+pub struct NodeFlight {
+    slots: Vec<Slot>,
+    /// Total events ever pushed; `head % capacity` is the next write slot.
+    head: AtomicU64,
+}
+
+impl NodeFlight {
+    fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events pushed over the ring's lifetime (monotonic; exceeds
+    /// [`NodeFlight::len`] once the ring has wrapped).
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events currently retained (`min(total, capacity)`).
+    pub fn len(&self) -> usize {
+        (self.total() as usize).min(self.capacity())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Record one event. Single-writer: see the module docs.
+    pub fn push(&self, ev: &TraceEvent) {
+        let n = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(n % self.slots.len() as u64) as usize];
+        let s = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(s + 1, Ordering::Release); // odd: in progress
+        for (w, v) in slot.words.iter().zip(ev.to_words()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(s + 2, Ordering::Release); // even: stable
+        self.head.store(n + 1, Ordering::Release);
+    }
+
+    /// Copy out the retained events, oldest first. Slots torn by a
+    /// concurrent write (odd or changed sequence after a few retries) are
+    /// skipped rather than blocked on.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for n in start..head {
+            let slot = &self.slots[(n % cap) as usize];
+            for _attempt in 0..4 {
+                let s0 = slot.seq.load(Ordering::Acquire);
+                if s0 % 2 == 1 {
+                    continue; // write in progress
+                }
+                let mut words = [0u64; TRACE_WORDS];
+                for (dst, src) in words.iter_mut().zip(&slot.words) {
+                    *dst = src.load(Ordering::Relaxed);
+                }
+                if slot.seq.load(Ordering::Acquire) == s0 {
+                    out.push(TraceEvent::from_words(&words));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the retained events as JSONL, oldest first.
+    pub fn to_jsonl(&self, node: &str) -> String {
+        let mut s = String::new();
+        for ev in self.snapshot() {
+            s.push_str(&ev.to_json(node));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Registry of per-node flight rings.
+///
+/// Mirrors the metric [`crate::Registry`] discipline: `node()` takes the
+/// map lock once to get-or-create a ring, callers hold the `Arc` handle,
+/// and steady-state pushes never touch the lock.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    nodes: RwLock<BTreeMap<String, Arc<NodeFlight>>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// Recorder with the default per-node capacity ([`FLIGHT_CAPACITY`]).
+    pub fn new() -> Self {
+        Self::with_capacity(FLIGHT_CAPACITY)
+    }
+
+    /// Recorder retaining `capacity` events per node.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            nodes: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Get or create the ring for `node`. Resolve once per node and hold
+    /// the handle; pushes through the handle are lock-free.
+    pub fn node(&self, node: &str) -> Arc<NodeFlight> {
+        if let Some(f) = self.nodes.read().unwrap().get(node) {
+            return Arc::clone(f);
+        }
+        let mut w = self.nodes.write().unwrap();
+        Arc::clone(
+            w.entry(node.to_string())
+                .or_insert_with(|| Arc::new(NodeFlight::new(self.capacity))),
+        )
+    }
+
+    /// The ring for `node`, if any events were ever recorded for it.
+    pub fn get(&self, node: &str) -> Option<Arc<NodeFlight>> {
+        self.nodes.read().unwrap().get(node).cloned()
+    }
+
+    /// Names of every node with a ring, sorted.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.read().unwrap().keys().cloned().collect()
+    }
+
+    /// JSONL dump of one node's ring, or `None` for an unknown node.
+    pub fn dump_jsonl(&self, node: &str) -> Option<String> {
+        self.get(node).map(|f| f.to_jsonl(node))
+    }
+
+    /// JSONL dump of every ring, nodes in sorted order, oldest first
+    /// within each node.
+    pub fn dump_all_jsonl(&self) -> String {
+        let nodes = self.nodes.read().unwrap();
+        let mut s = String::new();
+        for (name, f) in nodes.iter() {
+            s.push_str(&f.to_jsonl(name));
+        }
+        s
+    }
+}
+
+/// Install a panic hook that dumps every flight ring to `path` (JSONL)
+/// before delegating to the previous hook — the post-mortem path: when
+/// the process dies, the last ~[`FLIGHT_CAPACITY`] decisions per node
+/// survive on disk. Returns immediately; the hook stays installed for the
+/// process lifetime.
+pub fn install_panic_dump(recorder: Arc<FlightRecorder>, path: std::path::PathBuf) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let _ = std::fs::write(&path, recorder.dump_all_jsonl());
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent {
+            at_us: i,
+            phrase: i as u32,
+            dt_secs: i as f64,
+            step_mse: 0.1,
+            mean_mse: 0.2,
+            threshold: 0.5,
+            transitions: i as u32,
+            min_evidence: 2,
+            replayed: false,
+            warned: false,
+            matched_chain: -1,
+        }
+    }
+
+    #[test]
+    fn fills_in_order_before_wrapping() {
+        let f = NodeFlight::new(8);
+        for i in 0..5 {
+            f.push(&ev(i));
+        }
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(
+            snap.iter().map(|e| e.at_us).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4],
+            "oldest first"
+        );
+    }
+
+    #[test]
+    fn wraparound_at_exactly_capacity() {
+        let cap = 8;
+        let f = NodeFlight::new(cap);
+        for i in 0..cap as u64 {
+            f.push(&ev(i));
+        }
+        assert_eq!(f.len(), cap);
+        assert_eq!(f.total(), cap as u64);
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), cap, "exactly full ring keeps every event");
+        assert_eq!(snap.first().unwrap().at_us, 0);
+        assert_eq!(snap.last().unwrap().at_us, cap as u64 - 1);
+    }
+
+    #[test]
+    fn wraparound_at_capacity_plus_one_evicts_oldest() {
+        let cap = 8;
+        let f = NodeFlight::new(cap);
+        for i in 0..cap as u64 + 1 {
+            f.push(&ev(i));
+        }
+        assert_eq!(f.len(), cap, "len saturates at capacity");
+        assert_eq!(f.total(), cap as u64 + 1, "total keeps counting");
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), cap);
+        assert_eq!(snap.first().unwrap().at_us, 1, "event 0 evicted");
+        assert_eq!(snap.last().unwrap().at_us, cap as u64);
+    }
+
+    #[test]
+    fn deep_wraparound_keeps_newest_window() {
+        let f = NodeFlight::new(4);
+        for i in 0..103 {
+            f.push(&ev(i));
+        }
+        assert_eq!(
+            f.snapshot().iter().map(|e| e.at_us).collect::<Vec<_>>(),
+            vec![99, 100, 101, 102]
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_never_see_torn_events() {
+        // Writer pushes events whose fields are all derived from one
+        // counter; a torn read would mix counters across fields.
+        let f = Arc::new(NodeFlight::new(16));
+        let stop = Arc::new(AtomicU64::new(0));
+        let wf = Arc::clone(&f);
+        let wstop = Arc::clone(&stop);
+        let writer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while wstop.load(Ordering::Relaxed) == 0 {
+                let mut e = ev(i);
+                e.dt_secs = i as f64;
+                e.transitions = i as u32;
+                wf.push(&e);
+                i += 1;
+            }
+        });
+        for _ in 0..2000 {
+            for e in f.snapshot() {
+                assert_eq!(e.at_us, e.dt_secs as u64, "torn event: {e:?}");
+                assert_eq!(e.at_us as u32, e.transitions, "torn event: {e:?}");
+            }
+        }
+        stop.store(1, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn recorder_registry_get_or_create() {
+        let r = FlightRecorder::with_capacity(4);
+        let a = r.node("n1");
+        let b = r.node("n1");
+        a.push(&ev(1));
+        assert_eq!(b.len(), 1, "same ring behind both handles");
+        assert!(r.get("n2").is_none());
+        r.node("n2").push(&ev(2));
+        assert_eq!(r.node_names(), vec!["n1".to_string(), "n2".to_string()]);
+        let dump = r.dump_jsonl("n1").unwrap();
+        assert!(dump.contains("\"node\":\"n1\""));
+        assert!(r.dump_jsonl("missing").is_none());
+        let all = r.dump_all_jsonl();
+        assert_eq!(all.lines().count(), 2);
+    }
+}

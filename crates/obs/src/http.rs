@@ -1,0 +1,310 @@
+//! Dependency-free HTTP introspection server.
+//!
+//! A deliberately tiny, single-threaded, blocking server on a std
+//! [`TcpListener`] — enough HTTP/1.0-with-Content-Length to satisfy
+//! `curl` and a Prometheus scraper, with none of the surface area of a
+//! real web stack. One request per connection, `Connection: close`,
+//! every handler is a read-only snapshot of shared state:
+//!
+//! | route                | body                                          |
+//! |----------------------|-----------------------------------------------|
+//! | `GET /healthz`       | JSON status/uptime/node and warning counts    |
+//! | `GET /metrics`       | [`crate::render_prometheus`] over the registry|
+//! | `GET /warnings`      | JSON array of recent [`crate::WarningRecord`]s|
+//! | `GET /nodes/<id>/flight` | JSONL dump of that node's flight ring     |
+//!
+//! The accept loop runs on one background thread; handlers never touch
+//! the scoring hot path (snapshots read atomics / seqlock slots).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::flight::FlightRecorder;
+use crate::prom::render_prometheus;
+use crate::registry::Registry;
+use crate::trace::WarningLog;
+
+/// The read-only state the introspection routes expose. All fields are
+/// shared handles; the server holds clones and never mutates anything.
+#[derive(Debug, Clone)]
+pub struct Introspection {
+    pub registry: Arc<Registry>,
+    pub flight: Arc<FlightRecorder>,
+    pub warnings: Arc<WarningLog>,
+}
+
+impl Introspection {
+    pub fn new(
+        registry: Arc<Registry>,
+        flight: Arc<FlightRecorder>,
+        warnings: Arc<WarningLog>,
+    ) -> Self {
+        Self {
+            registry,
+            flight,
+            warnings,
+        }
+    }
+}
+
+/// Handle to a running introspection server. Dropping it (or calling
+/// [`HttpServer::stop`]) shuts the accept loop down and joins the thread.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9090"`, or port `0` to let the OS
+    /// pick) and start serving `state` on a background thread.
+    pub fn start(addr: &str, state: Introspection) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("desh-introspect".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = serve_one(&mut stream, &state, started);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, unblock the accept loop, and join the thread.
+    /// Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // `incoming()` blocks in accept; a throwaway local connection
+            // wakes it so it can observe the stop flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Read one request head (start line + headers) off `stream`. Bounded:
+/// 2-second read timeout and an 8 KiB cap, since the only legitimate
+/// clients send a few hundred bytes.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) -> io::Result<()> {
+    let head = read_request_head(stream)?;
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return write_response(
+            stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+    }
+    match path {
+        "/healthz" => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"uptime_secs\":{},\"nodes\":{},\"warnings\":{}}}\n",
+                started.elapsed().as_secs(),
+                state.flight.node_names().len(),
+                state.warnings.len()
+            );
+            write_response(stream, "200 OK", "application/json", &body)
+        }
+        "/metrics" => write_response(
+            stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &render_prometheus(&state.registry.snapshot()),
+        ),
+        "/warnings" => {
+            let mut body = state.warnings.to_json_array();
+            body.push('\n');
+            write_response(stream, "200 OK", "application/json", &body)
+        }
+        p => {
+            if let Some(node) = p
+                .strip_prefix("/nodes/")
+                .and_then(|rest| rest.strip_suffix("/flight"))
+            {
+                match state.flight.dump_jsonl(node) {
+                    Some(body) => {
+                        write_response(stream, "200 OK", "application/jsonl; charset=utf-8", &body)
+                    }
+                    None => write_response(
+                        stream,
+                        "404 Not Found",
+                        "text/plain; charset=utf-8",
+                        "unknown node\n",
+                    ),
+                }
+            } else {
+                write_response(
+                    stream,
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "routes: /healthz /metrics /warnings /nodes/<id>/flight\n",
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, WarningRecord};
+
+    fn state() -> Introspection {
+        let registry = Arc::new(Registry::new());
+        registry.counter("online.events").add(42);
+        let flight = Arc::new(FlightRecorder::with_capacity(8));
+        flight.node("n1").push(&TraceEvent {
+            at_us: 5,
+            phrase: 1,
+            dt_secs: 0.5,
+            step_mse: 0.1,
+            mean_mse: 0.1,
+            threshold: 0.4,
+            transitions: 1,
+            min_evidence: 2,
+            replayed: true,
+            warned: false,
+            matched_chain: -1,
+        });
+        let warnings = Arc::new(WarningLog::new(4));
+        warnings.push(WarningRecord {
+            node: "n1".into(),
+            at_us: 5,
+            predicted_lead_secs: 90.0,
+            score: 0.2,
+            class: "MCE".into(),
+            matched_chain: 0,
+            chain_distance: 0.3,
+            evidence: vec!["machine check".into()],
+            trace: vec![],
+        });
+        Introspection::new(registry, flight, warnings)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn routes_serve_expected_bodies() {
+        let srv = HttpServer::start("127.0.0.1:0", state()).unwrap();
+        let addr = srv.addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""));
+        assert!(health.contains("\"nodes\":1"));
+        assert!(health.contains("\"warnings\":1"));
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("# TYPE desh_online_events counter"));
+        assert!(metrics.contains("desh_online_events 42"));
+
+        let warnings = get(addr, "/warnings");
+        assert!(warnings.contains("\"class\":\"MCE\""));
+        assert!(warnings.contains("\"evidence\":[\"machine check\"]"));
+
+        let flight = get(addr, "/nodes/n1/flight");
+        assert!(flight.contains("\"type\":\"trace\""));
+        assert!(flight.contains("\"node\":\"n1\""));
+
+        assert!(get(addr, "/nodes/ghost/flight").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let srv = HttpServer::start("127.0.0.1:0", state()).unwrap();
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        s.write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"));
+    }
+
+    #[test]
+    fn stop_terminates_promptly_and_is_idempotent() {
+        let mut srv = HttpServer::start("127.0.0.1:0", state()).unwrap();
+        let addr = srv.addr();
+        assert!(get(addr, "/healthz").contains("200 OK"));
+        srv.stop();
+        srv.stop();
+        // stop() joins the accept thread, which drops the listener, so
+        // fresh connections are refused.
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err(),
+            "server should no longer accept after stop"
+        );
+    }
+}

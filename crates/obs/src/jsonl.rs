@@ -42,7 +42,7 @@ impl From<bool> for JsonValue {
     }
 }
 
-fn push_escaped(out: &mut String, s: &str) {
+pub(crate) fn push_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -58,7 +58,7 @@ fn push_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
     } else {
@@ -169,6 +169,16 @@ impl JsonlSink {
     }
 }
 
+/// Flush buffered lines when the sink goes out of scope, so a CLI exit
+/// (or unwinding panic) doesn't silently drop the tail of the log.
+/// Callers that care about the error should call [`JsonlSink::flush`]
+/// explicitly; the drop path swallows it by necessity.
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +244,44 @@ mod tests {
         let open = line.matches('{').count();
         let close = line.matches('}').count();
         assert_eq!(open, close);
+    }
+
+    /// Holds writes until an explicit `flush` — and, unlike `BufWriter`,
+    /// does NOT flush in its own `Drop` — so data only reaches the shared
+    /// store if `JsonlSink`'s drop path flushes.
+    struct HoldUntilFlush {
+        pending: Vec<u8>,
+        out: Shared,
+    }
+    impl Write for HoldUntilFlush {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.pending.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.out.0.lock().unwrap().extend_from_slice(&self.pending);
+            self.pending.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines() {
+        let buf = Shared::default();
+        {
+            let mut sink = JsonlSink::from_writer(HoldUntilFlush {
+                pending: Vec::new(),
+                out: buf.clone(),
+            });
+            sink.event("warning", &[("node", "n1".into())]).unwrap();
+            assert!(
+                buf.0.lock().unwrap().is_empty(),
+                "line should still be buffered before drop"
+            );
+        }
+        let bytes = buf.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        assert!(line.contains("\"kind\":\"warning\""));
     }
 
     #[test]

@@ -25,18 +25,44 @@
 //!   [`desh_util::Histogram`] for distribution bars).
 //!
 //! Metric names are dotted lowercase (`online.score_latency_us`); the
-//! Prometheus renderer maps dots to underscores.
+//! Prometheus renderer maps dots to underscores. A `base[k=v,...]` name
+//! suffix becomes Prometheus labels (`desh_base{k="v"}`), with label
+//! values escaped per the text exposition format.
+//!
+//! On top of the metric layer sits the decision-tracing stack
+//! (`desh-trace`):
+//!
+//! - [`TraceEvent`] / [`WarningRecord`] / [`WarningLog`] (`trace`): one
+//!   wide event per scored log line and the evidence bundle shipped with
+//!   each fired warning.
+//! - [`FlightRecorder`] / [`NodeFlight`] (`flight`): lock-free per-node
+//!   seqlock rings holding the last ~[`FLIGHT_CAPACITY`] decisions, plus
+//!   [`install_panic_dump`] for post-mortem JSONL dumps.
+//! - [`HttpServer`] / [`Introspection`] (`http`): a dependency-free
+//!   blocking server exposing `/metrics`, `/healthz`, `/warnings`, and
+//!   `/nodes/<id>/flight`.
+//! - [`QualityMonitor`] (`quality`): rolling confusion matrix, per-class
+//!   lead-time tracking against the paper's Table 7, and a template-miss
+//!   drift gauge.
 
+mod flight;
+mod http;
 mod jsonl;
 mod metrics;
 mod prom;
+mod quality;
 mod registry;
 mod snapshot;
 mod span;
+mod trace;
 
+pub use flight::{install_panic_dump, FlightRecorder, NodeFlight, FLIGHT_CAPACITY};
+pub use http::{HttpServer, Introspection};
 pub use jsonl::{JsonValue, JsonlSink};
 pub use metrics::{Counter, Gauge, LatencyHistogram, LatencySnapshot};
 pub use prom::{render_prometheus, render_summary};
+pub use quality::QualityMonitor;
 pub use registry::{Registry, Telemetry};
 pub use snapshot::Snapshot;
 pub use span::Span;
+pub use trace::{TraceEvent, WarningLog, WarningRecord, TRACE_WORDS};

@@ -8,29 +8,141 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
+/// Escape a label value per the text exposition format: backslash,
+/// double-quote, and newline must be backslash-escaped inside the quotes.
+fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a HELP string per the text exposition format: backslash and
+/// newline must be backslash-escaped (quotes are legal verbatim here).
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Split a registry name using the `base[k=v,...]` labelled-metric
+/// convention into the base name and its label pairs. Names without a
+/// trailing `[...]` suffix come back label-free.
+fn split_labels(name: &str) -> (&str, Vec<(&str, &str)>) {
+    if let Some(open) = name.find('[') {
+        if let Some(body) = name[open + 1..].strip_suffix(']') {
+            let labels = body
+                .split(',')
+                .filter_map(|kv| kv.split_once('='))
+                .collect();
+            return (&name[..open], labels);
+        }
+    }
+    (name, Vec::new())
+}
+
+/// Render `{k="v",...}` (or an empty string), escaping values and mapping
+/// key characters through [`prom_name`]. `extra` appends one more pair
+/// whose value is already exposition-safe (the summary `quantile` tag).
+fn render_labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// HELP text for metric families worth documenting at the scrape surface.
+fn help_for(base: &str) -> Option<&'static str> {
+    Some(match base {
+        "online.score_latency_us" => {
+            "Per-event online scoring latency in microseconds (paper Fig. 10 reports ~650us)"
+        }
+        "quality.precision" => "Rolling precision over labelled replay verdicts",
+        "quality.recall" => "Rolling recall over labelled replay verdicts",
+        "quality.template_drift" => {
+            "EWMA of the template-miss rate over scored events (~64-event window)"
+        }
+        "quality.lead_secs" => "Predicted failure lead time in seconds, per failure class",
+        "quality.lead_vs_paper" => {
+            "Mean predicted lead divided by the paper's Table 7 per-class mean\nnear 1.0 = calibrated"
+        }
+        _ => return None,
+    })
+}
+
+/// Emit the `# HELP` / `# TYPE` header for a family, once per family.
+fn push_header(out: &mut String, emitted: &mut Vec<String>, fam: &str, base: &str, ty: &str) {
+    if emitted.iter().any(|f| f == fam) {
+        return;
+    }
+    emitted.push(fam.to_string());
+    if let Some(help) = help_for(base) {
+        out.push_str(&format!("# HELP {fam} {}\n", escape_help(help)));
+    }
+    out.push_str(&format!("# TYPE {fam} {ty}\n"));
+}
+
 /// Render a snapshot in the Prometheus text exposition format.
 ///
 /// Counters and gauges map directly; latency histograms are exported as
 /// summaries (`{quantile="..."}` series plus `_sum` and `_count`), which
 /// is the conventional shape for client-side quantiles. Dots in metric
 /// names become underscores, and every metric is prefixed `desh_`.
+/// Registry names using the `base[k=v,...]` convention become labelled
+/// series sharing one `# TYPE` header per family, with label values
+/// escaped per the exposition format.
 pub fn render_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
+    let mut emitted: Vec<String> = Vec::new();
     for (name, v) in &snap.counters {
-        let n = format!("desh_{}", prom_name(name));
-        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        let (base, labels) = split_labels(name);
+        let n = format!("desh_{}", prom_name(base));
+        push_header(&mut out, &mut emitted, &n, base, "counter");
+        out.push_str(&format!("{n}{} {v}\n", render_labels(&labels, None)));
     }
     for (name, v) in &snap.gauges {
-        let n = format!("desh_{}", prom_name(name));
-        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        let (base, labels) = split_labels(name);
+        let n = format!("desh_{}", prom_name(base));
+        push_header(&mut out, &mut emitted, &n, base, "gauge");
+        out.push_str(&format!("{n}{} {v}\n", render_labels(&labels, None)));
     }
     for (name, h) in &snap.hists {
-        let n = format!("desh_{}", prom_name(name));
-        out.push_str(&format!("# TYPE {n} summary\n"));
+        let (base, labels) = split_labels(name);
+        let n = format!("desh_{}", prom_name(base));
+        push_header(&mut out, &mut emitted, &n, base, "summary");
         for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
-            out.push_str(&format!("{n}{{quantile=\"{tag}\"}} {}\n", h.quantile(q)));
+            out.push_str(&format!(
+                "{n}{} {}\n",
+                render_labels(&labels, Some(("quantile", tag))),
+                h.quantile(q)
+            ));
         }
-        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
+        let suffix = render_labels(&labels, None);
+        out.push_str(&format!(
+            "{n}_sum{suffix} {}\n{n}_count{suffix} {}\n",
+            h.sum(),
+            h.count()
+        ));
     }
     out
 }
@@ -121,6 +233,52 @@ mod tests {
             let value = parts.next().unwrap();
             assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
             assert!(parts.next().is_some(), "no name in line: {line}");
+        }
+    }
+
+    #[test]
+    fn labelled_names_become_prometheus_labels_with_escaping() {
+        let t = Telemetry::enabled();
+        t.count("quality.confusion.tp", 3);
+        t.gauge_set("quality.lead_vs_paper[class=MCE]", 0.97);
+        t.gauge_set("quality.lead_vs_paper[class=File System]", 1.02);
+        // Hostile label value: quote, backslash, newline all need escapes.
+        t.gauge_set("drive[path=C:\\logs\n\"x\"]", 1.0);
+        for v in [10u64, 20] {
+            t.observe_us("quality.lead_secs[class=MCE]", v);
+        }
+        let text = render_prometheus(&t.snapshot().unwrap());
+        assert!(text.contains("desh_quality_lead_vs_paper{class=\"MCE\"} 0.97\n"));
+        assert!(text.contains("desh_quality_lead_vs_paper{class=\"File System\"} 1.02\n"));
+        assert!(text.contains("desh_drive{path=\"C:\\\\logs\\n\\\"x\\\"\"} 1\n"));
+        // One TYPE header per family even with several labelled series.
+        assert_eq!(
+            text.matches("# TYPE desh_quality_lead_vs_paper gauge")
+                .count(),
+            1
+        );
+        // Labelled summary merges class and quantile labels and suffixes
+        // _sum/_count with the class label alone.
+        assert!(text.contains("desh_quality_lead_secs{class=\"MCE\",quantile=\"0.5\"} "));
+        assert!(text.contains("desh_quality_lead_secs_count{class=\"MCE\"} 2\n"));
+        assert!(text.contains("desh_quality_lead_secs_sum{class=\"MCE\"} 30\n"));
+    }
+
+    #[test]
+    fn help_strings_are_emitted_and_escaped() {
+        let t = Telemetry::enabled();
+        t.gauge_set("quality.lead_vs_paper[class=MCE]", 1.0);
+        t.observe_us("online.score_latency_us", 8);
+        let text = render_prometheus(&t.snapshot().unwrap());
+        // The lead_vs_paper help text contains a raw newline; it must be
+        // escaped so HELP stays a single line.
+        assert!(text.contains("# HELP desh_quality_lead_vs_paper "));
+        assert!(text.contains("per-class mean\\nnear 1.0 = calibrated\n"));
+        assert!(text.contains("# HELP desh_online_score_latency_us "));
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                assert!(!rest.contains('\r'), "unescaped control char: {line}");
+            }
         }
     }
 

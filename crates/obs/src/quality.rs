@@ -1,0 +1,217 @@
+//! Online quality monitor: is the predictor still any good, live?
+//!
+//! Three signals, all cheap enough to update per verdict / per event:
+//!
+//! * **Rolling confusion matrix** — when ground-truth labels are
+//!   available (replay mode, phase-3 evaluation), every verdict lands in
+//!   `quality.confusion.{tp,fp,fn,tn}` counters and the derived
+//!   `quality.precision` / `quality.recall` gauges are refreshed.
+//! * **Lead-time tracking vs the paper** — each true positive's predicted
+//!   lead time is recorded into a per-class histogram
+//!   (`quality.lead_secs[class=<name>]`, unit: whole seconds) and the
+//!   `quality.lead_vs_paper[class=<name>]` gauge tracks the ratio of the
+//!   observed mean lead to the paper's Table 7 per-class figure — a
+//!   sustained drift away from ~1.0 means the model's timing calibration
+//!   has decayed.
+//! * **Template drift** — the fraction of scored events whose template
+//!   was not in the training vocabulary (the `logparse` template-miss /
+//!   unknown-phrase signal): `quality.template_miss` /
+//!   `quality.template_events` counters plus an exponentially weighted
+//!   `quality.template_drift` gauge. A rising drift gauge is the earliest
+//!   sign the deployed vocabulary no longer covers the log stream.
+//!
+//! Labelled metric names use the `[key=value]` suffix convention that
+//! [`crate::render_prometheus`] expands into Prometheus labels.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, LatencyHistogram};
+use crate::registry::Telemetry;
+
+/// Smoothing factor for the drift EWMA: each event contributes 1/64 of
+/// the gauge, so the gauge tracks roughly the last ~64 scored events.
+const DRIFT_ALPHA: f64 = 1.0 / 64.0;
+
+/// Per-class lead-time state: the histogram handle plus the running
+/// sum/count needed for the vs-paper ratio gauge.
+#[derive(Debug)]
+struct ClassLead {
+    hist: Arc<LatencyHistogram>,
+    ratio: Arc<Gauge>,
+    sum_secs: f64,
+    count: u64,
+}
+
+/// Pre-resolved handles for the quality metric family. Construct once
+/// (returns `None` on a disabled [`Telemetry`]) and call the record
+/// methods from wherever verdicts and events surface.
+#[derive(Debug)]
+pub struct QualityMonitor {
+    tp: Arc<Counter>,
+    fp: Arc<Counter>,
+    fneg: Arc<Counter>,
+    tn: Arc<Counter>,
+    precision: Arc<Gauge>,
+    recall: Arc<Gauge>,
+    miss: Arc<Counter>,
+    events: Arc<Counter>,
+    drift: Arc<Gauge>,
+    registry: Arc<crate::Registry>,
+    leads: Mutex<BTreeMap<String, ClassLead>>,
+}
+
+impl QualityMonitor {
+    /// Resolve the quality metric handles from `telemetry`, or `None`
+    /// when telemetry is disabled (every caller can then skip recording
+    /// with a single `Option` check).
+    pub fn new(telemetry: &Telemetry) -> Option<Self> {
+        let r = telemetry.registry()?;
+        Some(Self {
+            tp: r.counter("quality.confusion.tp"),
+            fp: r.counter("quality.confusion.fp"),
+            fneg: r.counter("quality.confusion.fn"),
+            tn: r.counter("quality.confusion.tn"),
+            precision: r.gauge("quality.precision"),
+            recall: r.gauge("quality.recall"),
+            miss: r.counter("quality.template_miss"),
+            events: r.counter("quality.template_events"),
+            drift: r.gauge("quality.template_drift"),
+            registry: Arc::clone(r),
+            leads: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Record one labelled verdict into the rolling confusion matrix and
+    /// refresh the derived precision/recall gauges.
+    pub fn record_outcome(&self, flagged: bool, is_failure: bool) {
+        match (flagged, is_failure) {
+            (true, true) => self.tp.inc(),
+            (true, false) => self.fp.inc(),
+            (false, true) => self.fneg.inc(),
+            (false, false) => self.tn.inc(),
+        }
+        let (tp, fp, fneg) = (
+            self.tp.get() as f64,
+            self.fp.get() as f64,
+            self.fneg.get() as f64,
+        );
+        if tp + fp > 0.0 {
+            self.precision.set(tp / (tp + fp));
+        }
+        if tp + fneg > 0.0 {
+            self.recall.set(tp / (tp + fneg));
+        }
+    }
+
+    /// Record one true positive's predicted lead time for `class`,
+    /// tracked against `paper_secs` (the paper's Table 7 mean for that
+    /// class). Negative or non-finite leads are clamped to zero seconds.
+    pub fn record_lead(&self, class: &str, lead_secs: f64, paper_secs: f64) {
+        let mut leads = self.leads.lock().unwrap();
+        let entry = leads.entry(class.to_string()).or_insert_with(|| ClassLead {
+            hist: self
+                .registry
+                .histogram(&format!("quality.lead_secs[class={class}]")),
+            ratio: self
+                .registry
+                .gauge(&format!("quality.lead_vs_paper[class={class}]")),
+            sum_secs: 0.0,
+            count: 0,
+        });
+        let lead = if lead_secs.is_finite() {
+            lead_secs.max(0.0)
+        } else {
+            0.0
+        };
+        entry.hist.record(lead.round() as u64);
+        entry.sum_secs += lead;
+        entry.count += 1;
+        if paper_secs > 0.0 {
+            entry
+                .ratio
+                .set(entry.sum_secs / entry.count as f64 / paper_secs);
+        }
+    }
+
+    /// Record whether one scored event's template missed the training
+    /// vocabulary, updating the miss/event counters and the EWMA drift
+    /// gauge.
+    pub fn record_template(&self, missed: bool) {
+        self.events.inc();
+        if missed {
+            self.miss.inc();
+        }
+        let x = if missed { 1.0 } else { 0.0 };
+        self.drift
+            .set(self.drift.get() * (1.0 - DRIFT_ALPHA) + x * DRIFT_ALPHA);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_yields_no_monitor() {
+        assert!(QualityMonitor::new(&Telemetry::disabled()).is_none());
+    }
+
+    #[test]
+    fn confusion_counters_and_derived_gauges() {
+        let t = Telemetry::enabled();
+        let q = QualityMonitor::new(&t).unwrap();
+        q.record_outcome(true, true); // tp
+        q.record_outcome(true, true); // tp
+        q.record_outcome(true, false); // fp
+        q.record_outcome(false, true); // fn
+        q.record_outcome(false, false); // tn
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.counter("quality.confusion.tp"), Some(2));
+        assert_eq!(s.counter("quality.confusion.fp"), Some(1));
+        assert_eq!(s.counter("quality.confusion.fn"), Some(1));
+        assert_eq!(s.counter("quality.confusion.tn"), Some(1));
+        assert!((s.gauge("quality.precision").unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.gauge("quality.recall").unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lead_histograms_track_paper_ratio_per_class() {
+        let t = Telemetry::enabled();
+        let q = QualityMonitor::new(&t).unwrap();
+        q.record_lead("MCE", 160.0, 160.29);
+        q.record_lead("MCE", 150.0, 160.29);
+        q.record_lead("Panic", 30.0, 58.87);
+        q.record_lead("Panic", f64::NAN, 58.87); // clamped to 0
+        let s = t.snapshot().unwrap();
+        let mce = s.histogram("quality.lead_secs[class=MCE]").unwrap();
+        assert_eq!(mce.count(), 2);
+        let ratio = s.gauge("quality.lead_vs_paper[class=MCE]").unwrap();
+        assert!((ratio - 155.0 / 160.29).abs() < 1e-9, "ratio {ratio}");
+        let panic_ratio = s.gauge("quality.lead_vs_paper[class=Panic]").unwrap();
+        assert!((panic_ratio - 15.0 / 58.87).abs() < 1e-9);
+    }
+
+    #[test]
+    fn template_drift_converges_toward_miss_rate() {
+        let t = Telemetry::enabled();
+        let q = QualityMonitor::new(&t).unwrap();
+        for _ in 0..512 {
+            q.record_template(true);
+        }
+        let s = t.snapshot().unwrap();
+        assert_eq!(s.counter("quality.template_miss"), Some(512));
+        assert_eq!(s.counter("quality.template_events"), Some(512));
+        assert!(s.gauge("quality.template_drift").unwrap() > 0.99);
+        for _ in 0..512 {
+            q.record_template(false);
+        }
+        assert!(
+            t.snapshot()
+                .unwrap()
+                .gauge("quality.template_drift")
+                .unwrap()
+                < 0.01
+        );
+    }
+}

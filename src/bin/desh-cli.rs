@@ -13,14 +13,18 @@
 //! them when ground truth is supplied; `analyze` runs the log mining and
 //! unknown-phrase analysis with no model at all.
 
-use desh::core::{run_phase1_telemetry, run_phase2_telemetry, OnlineDetector};
-use desh::obs::JsonValue;
+use desh::core::{run_phase1_telemetry, run_phase2_telemetry, ChainEvent, OnlineDetector};
+use desh::obs::{
+    install_panic_dump, FlightRecorder, HttpServer, Introspection, JsonValue, WarningLog,
+};
 use desh::prelude::*;
 use desh_util::codec::{Decoder, Encoder};
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,11 +68,19 @@ USAGE:
   desh-cli train    --log <logs.txt> --out <model.dshm> [--seed <n>] [--fast]
                     [--telemetry <out.jsonl>]
   desh-cli predict  --log <logs.txt> --model <model.dshm> [--truth <truth.txt>]
-                    [--telemetry <out.jsonl>]
+                    [--telemetry <out.jsonl>] [--serve <addr:port>]
+                    [--serve-secs <n>] [--trace-dir <dir>]
   desh-cli analyze  --log <logs.txt>
 
   --telemetry writes metric snapshots (counters, gauges, latency-histogram
-  quantiles, span timings) as JSON lines and prints a stats block on exit.";
+  quantiles, span timings) as JSON lines and prints a stats block on exit.
+
+  --serve starts a read-only introspection HTTP server (GET /healthz,
+  /metrics, /warnings, /nodes/<id>/flight) during the replay and holds it
+  afterwards — forever, or for --serve-secs seconds. --trace-dir records
+  per-warning decision traces (warnings.jsonl), a final flight-recorder
+  dump (flight.jsonl), and installs a panic hook dumping every node ring
+  to panic-flight.jsonl. Both flags enable telemetry implicitly.";
 
 type Flags = HashMap<String, String>;
 
@@ -160,8 +172,47 @@ fn cmd_generate(opts: &Flags) -> Result<(), String> {
 }
 
 /// Checkpoint layout: header, vocabulary snapshot, lead-time model
-/// parameters, then the serialized VectorLstm.
+/// parameters, the serialized VectorLstm, and (since version 2) the
+/// trained failure chains so `predict` can name each warning's nearest
+/// chain without re-running phase 1. Version-1 files load fine — they just
+/// have no chains to match against.
 const MODEL_MAGIC: [u8; 4] = *b"DSHC";
+const MODEL_VERSION: u32 = 2;
+
+fn encode_chains(chains: &[FailureChain]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u64(chains.len() as u64);
+    for c in chains {
+        e.put_u64(c.node.to_index() as u64);
+        e.put_u64(c.terminal_time.0);
+        e.put_u64(c.events.len() as u64);
+        for ev in &c.events {
+            e.put_u64(ev.time.0);
+            e.put_u32(ev.phrase);
+            e.put_f64(ev.delta_t);
+        }
+    }
+    e.finish().to_vec()
+}
+
+fn decode_chains(d: &mut Decoder) -> Result<Vec<FailureChain>, String> {
+    let n = d.u64().map_err(|e| e.to_string())? as usize;
+    let mut chains = Vec::with_capacity(n);
+    for _ in 0..n {
+        let node = NodeId::from_index(d.u64().map_err(|e| e.to_string())? as usize);
+        let terminal_time = Micros(d.u64().map_err(|e| e.to_string())?);
+        let len = d.u64().map_err(|e| e.to_string())? as usize;
+        let mut events = Vec::with_capacity(len);
+        for _ in 0..len {
+            let time = Micros(d.u64().map_err(|e| e.to_string())?);
+            let phrase = d.u32().map_err(|e| e.to_string())?;
+            let delta_t = d.f64().map_err(|e| e.to_string())?;
+            events.push(ChainEvent { time, phrase, delta_t });
+        }
+        chains.push(FailureChain { node, terminal_time, events });
+    }
+    Ok(chains)
+}
 
 fn cmd_train(opts: &Flags) -> Result<(), String> {
     let log_path = PathBuf::from(need(opts, "log")?);
@@ -197,8 +248,8 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
         run_phase2_telemetry(&p1.chains, parsed.vocab_size(), &cfg.phase2, &mut rng, &telemetry);
     drop(train_span);
 
-    // Checkpoint: vocabulary + model constants + network weights.
-    let mut e = Encoder::with_header(MODEL_MAGIC, 1);
+    // Checkpoint: vocabulary + model constants + network weights + chains.
+    let mut e = Encoder::with_header(MODEL_MAGIC, MODEL_VERSION);
     let vocab = parsed.vocab.snapshot();
     e.put_u64(vocab.len() as u64);
     for t in &vocab {
@@ -210,6 +261,7 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
     e.put_u64(net.len() as u64);
     let mut bytes = e.finish().to_vec();
     bytes.extend_from_slice(&net);
+    bytes.extend_from_slice(&encode_chains(&p1.chains));
     std::fs::write(&out, &bytes).map_err(|e| e.to_string())?;
     println!(
         "checkpointed lead-time model ({} KiB) to {}",
@@ -220,10 +272,21 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn load_model(path: &Path) -> Result<(LeadTimeModel, std::sync::Arc<desh::logparse::Vocab>), String> {
+type LoadedModel = (LeadTimeModel, Arc<desh::logparse::Vocab>, Vec<FailureChain>);
+
+fn load_model(path: &Path) -> Result<LoadedModel, String> {
     let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    if bytes.len() < 8 {
+        return Err("model file truncated".into());
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if !(1..=MODEL_VERSION).contains(&version) {
+        return Err(format!(
+            "unsupported model version {version} (this build reads 1..={MODEL_VERSION})"
+        ));
+    }
     let mut d = Decoder::new(bytes::Bytes::from(bytes));
-    d.expect_header(MODEL_MAGIC, 1).map_err(|e| e.to_string())?;
+    d.expect_header(MODEL_MAGIC, version).map_err(|e| e.to_string())?;
     let n = d.u64().map_err(|e| e.to_string())? as usize;
     let vocab = desh::logparse::Vocab::new();
     for _ in 0..n {
@@ -237,6 +300,9 @@ fn load_model(path: &Path) -> Result<(LeadTimeModel, std::sync::Arc<desh::logpar
         *b = d.u8().map_err(|e| e.to_string())?;
     }
     let net = VectorLstm::from_bytes(net_bytes.into()).map_err(|e| e.to_string())?;
+    // v1 checkpoints predate the chain trailer; detectors loaded from them
+    // run fine but cannot name a warning's matched chain.
+    let chains = if version >= 2 { decode_chains(&mut d)? } else { Vec::new() };
     let model = LeadTimeModel {
         model: net,
         dt_scale,
@@ -244,23 +310,81 @@ fn load_model(path: &Path) -> Result<(LeadTimeModel, std::sync::Arc<desh::logpar
         history,
         losses: Vec::new(),
     };
-    Ok((model, std::sync::Arc::new(vocab)))
+    Ok((model, Arc::new(vocab), chains))
 }
 
 /// Records between periodic telemetry snapshots in `predict`.
 const SNAPSHOT_EVERY: usize = 25_000;
 
+/// Fired warnings kept in the in-memory log the `/warnings` route serves.
+const WARNING_LOG_CAP: usize = 1024;
+
 fn cmd_predict(opts: &Flags) -> Result<(), String> {
     let log_path = PathBuf::from(need(opts, "log")?);
     let model_path = PathBuf::from(need(opts, "model")?);
-    let (telemetry, mut sink) = telemetry_of(opts)?;
-    let (model, vocab) = telemetry.time("load_model", || load_model(&model_path))?;
+    let serve_secs = match opts.get("serve-secs").map(|s| s.parse::<u64>()) {
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => return Err("--serve-secs needs an integer number of seconds".into()),
+        None => None,
+    };
+    let (mut telemetry, mut sink) = telemetry_of(opts)?;
+    let tracing = opts.contains_key("serve") || opts.contains_key("trace-dir");
+    if tracing && !telemetry.is_enabled() {
+        // The introspection routes and trace dumps read the registry, so
+        // tracing turns it on even without --telemetry.
+        telemetry = Telemetry::enabled();
+    }
+    let (model, vocab, chains) = telemetry.time("load_model", || load_model(&model_path))?;
     let (records, bad) =
         desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
     println!("read {} records ({} corrupt skipped)", records.len(), bad.len());
 
     let mut detector =
         OnlineDetector::with_telemetry(model, vocab, DeshConfig::default(), &telemetry);
+    if chains.is_empty() {
+        println!("note: v1 checkpoint without chains; warnings will not name a matched chain");
+    } else {
+        detector.attach_chains(&chains);
+    }
+    let trace = if tracing {
+        let flight = Arc::new(FlightRecorder::new());
+        let warning_log = Arc::new(WarningLog::new(WARNING_LOG_CAP));
+        detector.attach_tracing(Arc::clone(&flight), Arc::clone(&warning_log));
+        Some((flight, warning_log))
+    } else {
+        None
+    };
+    let trace_dir = opts.get("trace-dir").map(PathBuf::from);
+    let mut warn_file = None;
+    if let (Some(dir), Some((flight, _))) = (&trace_dir, &trace) {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        install_panic_dump(Arc::clone(flight), dir.join("panic-flight.jsonl"));
+        let path = dir.join("warnings.jsonl");
+        warn_file = Some(
+            std::fs::File::create(&path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+        );
+    }
+    let mut server = match opts.get("serve") {
+        Some(addr) => {
+            let (flight, warning_log) = trace.as_ref().expect("--serve implies tracing");
+            let registry = telemetry.registry().expect("tracing enables telemetry");
+            let state = Introspection::new(
+                Arc::clone(registry),
+                Arc::clone(flight),
+                Arc::clone(warning_log),
+            );
+            let s = HttpServer::start(addr, state)
+                .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
+            println!(
+                "introspection server on http://{}/ (/healthz /metrics /warnings /nodes/<id>/flight)",
+                s.addr()
+            );
+            Some(s)
+        }
+        None => None,
+    };
+
     let mut warnings = Vec::new();
     let stream_span = telemetry.span("stream");
     for (i, r) in records.iter().enumerate() {
@@ -278,6 +402,15 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
                     ],
                 )
                 .map_err(|e| e.to_string())?;
+                // A warning is the line an operator greps for after a crash;
+                // it must not sit in a buffer if the process dies next.
+                sink.flush().map_err(|e| e.to_string())?;
+            }
+            if let (Some(f), Some((_, warning_log))) = (warn_file.as_mut(), &trace) {
+                if let Some(rec) = warning_log.snapshot().last() {
+                    writeln!(f, "{}", rec.to_json()).map_err(|e| e.to_string())?;
+                    f.flush().map_err(|e| e.to_string())?;
+                }
             }
             warnings.push(w);
         }
@@ -307,7 +440,32 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
             truth.len()
         );
     }
+    if let (Some(dir), Some((flight, _))) = (&trace_dir, &trace) {
+        let path = dir.join("flight.jsonl");
+        std::fs::write(&path, flight.dump_all_jsonl()).map_err(|e| e.to_string())?;
+        println!(
+            "trace dir {}: warnings.jsonl ({} warnings), flight.jsonl ({} nodes)",
+            dir.display(),
+            warnings.len(),
+            flight.node_names().len()
+        );
+    }
     finish_telemetry(&telemetry, sink.as_mut(), "final")?;
+    if let Some(server) = server.as_mut() {
+        match serve_secs {
+            Some(secs) => {
+                println!("holding introspection server for {secs}s...");
+                std::thread::sleep(Duration::from_secs(secs));
+                server.stop();
+            }
+            None => {
+                println!("replay done; serving introspection until killed...");
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
+    }
     Ok(())
 }
 

@@ -1,0 +1,137 @@
+//! Integration test for the desh-trace stack: decision traces recorded by
+//! the online detector, the per-node flight recorder, and the HTTP
+//! introspection server — all wired the way `desh-cli predict --serve`
+//! wires them, but in-process so the assertions can reach the registry.
+
+use desh::core::OnlineDetector;
+use desh::obs::{FlightRecorder, HttpServer, Introspection, WarningLog};
+use desh::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Blocking GET over a raw TcpStream; returns (status line, body).
+fn http_get(addr: &std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect introspection server");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: desh\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has header block");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+/// Pull `desh_<name> <value>` from a Prometheus text body.
+fn prom_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l[name.len()..].trim().parse().ok())
+}
+
+#[test]
+fn introspection_server_and_warning_traces_agree_with_detector() {
+    let mut p = SystemProfile::tiny();
+    p.failures = 30;
+    p.nodes = 24;
+    let d = generate(&p, 777);
+    let (train, test) = d.split_by_time(0.3);
+    let desh = Desh::new(DeshConfig::fast(), 777);
+    let trained = desh.train(&train);
+
+    let telemetry = Telemetry::enabled();
+    let mut det = trained.online_detector(desh.cfg.clone(), &telemetry);
+    let flight = Arc::new(FlightRecorder::new());
+    let warning_log = Arc::new(WarningLog::new(64));
+    det.attach_tracing(Arc::clone(&flight), Arc::clone(&warning_log));
+
+    let state = Introspection::new(
+        Arc::clone(telemetry.registry().unwrap()),
+        Arc::clone(&flight),
+        Arc::clone(&warning_log),
+    );
+    let mut server = HttpServer::start("127.0.0.1:0", state).expect("bind introspection");
+    let addr = server.addr();
+
+    let mut warnings = Vec::new();
+    for r in &test.records {
+        if let Some(w) = det.ingest(r) {
+            warnings.push(w);
+        }
+    }
+    assert!(!warnings.is_empty(), "test split produced no warnings");
+
+    // /healthz is alive and counts what the detector saw.
+    let (status, body) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "healthz: {status}");
+    assert!(body.contains("\"status\":\"ok\""), "healthz body: {body}");
+
+    // /metrics serves the same counters the registry snapshot (and thus
+    // render_summary) reports.
+    let snap = telemetry.snapshot().unwrap();
+    let (status, metrics) = http_get(&addr, "/metrics");
+    assert!(status.contains("200"), "metrics: {status}");
+    assert_eq!(
+        prom_value(&metrics, "desh_online_events"),
+        Some(snap.counter("online.events").unwrap() as f64),
+        "online.events diverges between /metrics and the snapshot"
+    );
+    assert_eq!(
+        prom_value(&metrics, "desh_online_warnings"),
+        Some(warnings.len() as f64)
+    );
+    let summary = render_summary(&snap);
+    assert!(
+        summary.contains("online.events"),
+        "render_summary lost the counter"
+    );
+
+    // /warnings serves every fired warning with its decision trace; the
+    // matched chain in the JSON is the one format_warning reports.
+    let (status, wjson) = http_get(&addr, "/warnings");
+    assert!(status.contains("200"), "warnings: {status}");
+    let records = warning_log.snapshot();
+    assert_eq!(records.len(), warnings.len());
+    for (rec, w) in records.iter().zip(&warnings) {
+        assert_eq!(rec.node, w.node.to_string());
+        assert_eq!(rec.at_us, w.at.0);
+        let text = OnlineDetector::format_warning(w);
+        let chain = w.matched_chain.expect("chains attached") as i64;
+        assert_eq!(rec.matched_chain, chain);
+        assert!(
+            text.contains(&format!("matched chain #{chain}")),
+            "format_warning does not name chain {chain}: {text}"
+        );
+        // The trace ends at the firing decision and carries per-step MSEs.
+        let last = rec.trace.last().expect("warning carries its flight trace");
+        assert!(last.warned, "last trace event is the firing one");
+        assert!(
+            rec.trace.iter().any(|t| t.step_mse.is_finite()),
+            "no per-step MSE in trace"
+        );
+        assert!(wjson.contains(&format!("\"node\":\"{}\"", rec.node)));
+    }
+    assert!(
+        wjson.contains("\"step_mse\":"),
+        "warnings JSON lacks step MSEs"
+    );
+
+    // /nodes/<id>/flight serves that node's ring as JSONL; unknown → 404.
+    let node = warnings[0].node.to_string();
+    let (status, jsonl) = http_get(&addr, &format!("/nodes/{node}/flight"));
+    assert!(status.contains("200"), "flight: {status}");
+    let first = jsonl.lines().next().expect("flight dump has events");
+    assert!(
+        first.contains("\"step_mse\":") && first.contains(&node),
+        "{first}"
+    );
+    let (status, _) = http_get(&addr, "/nodes/no-such-node/flight");
+    assert!(status.contains("404"), "missing node should 404: {status}");
+
+    server.stop();
+}
