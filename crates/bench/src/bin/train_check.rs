@@ -1,0 +1,350 @@
+//! Data-parallel training check.
+//!
+//! Measures the sharded minibatch trainer (desh-nn `parallel` module)
+//! against the sequential reference on the phase-1 workload: same
+//! sequences, same seed, same epochs. Three things are verified and
+//! recorded:
+//!
+//! 1. **Determinism** — final weights are bit-identical across worker
+//!    counts (the whole point of fixed shards + tree reduction), and the
+//!    parallel loss curve tracks the sequential one.
+//! 2. **Measured scaling** — epoch wall-clock at 1/2/4 workers. Only
+//!    meaningful when the host actually has that many cores.
+//! 3. **Projected scaling** — from the 1-worker run's per-shard busy
+//!    profile: shards are dealt round-robin to workers exactly like the
+//!    shim does (`pile = shard % workers`), so the projected epoch time is
+//!    `other_overhead + max_pile_busy + reduce_time`. This critical-path
+//!    model is what a single-core CI host can still compute honestly.
+//!
+//! Flags:
+//! * `--smoke` — tiny profile + fast config, for CI gating.
+//! * `--min-speedup <X>` — exit non-zero unless the 4-worker speedup over
+//!   1 worker reaches `X`. Uses the measured number when the host has ≥4
+//!   cores, the projected number otherwise (recorded as such).
+//! * `--json <path>` — write machine-readable results (defaults to
+//!   `results/BENCH_train.json` in full runs; off in smoke runs).
+
+use desh_bench::{experiment_config, EXPERIMENT_SEED};
+use desh_core::DeshConfig;
+use desh_loggen::{generate, SystemProfile};
+use desh_logparse::parse_records;
+use desh_nn::{
+    shard_count, Optimizer, Sgd, ShardStats, TokenLstm, TrainConfig, TrainObserver,
+};
+use desh_util::Xoshiro256pp;
+use std::time::{Duration, Instant};
+
+/// Worker counts swept for the scaling curve.
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+
+struct Args {
+    smoke: bool,
+    min_speedup: Option<f64>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { smoke: false, min_speedup: None, json: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--min-speedup" => {
+                let v = it.next().expect("--min-speedup needs a value");
+                args.min_speedup = Some(v.parse().expect("--min-speedup must be a number"));
+            }
+            "--json" => args.json = Some(it.next().expect("--json needs a path")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if args.json.is_none() && !args.smoke {
+        args.json = Some("results/BENCH_train.json".to_string());
+    }
+    args
+}
+
+/// Totals collected over one training run of the data-parallel trainer.
+#[derive(Default)]
+struct TrainProbe {
+    epoch_wall: Duration,
+    epochs: usize,
+    last_loss: f64,
+    shard_busy: Vec<Duration>,
+    reduce_total: Duration,
+    reduces: u64,
+    windows: usize,
+}
+
+impl TrainObserver for TrainProbe {
+    fn on_epoch(&mut self, _epoch: usize, mean_loss: f64, elapsed: Duration) {
+        self.epoch_wall += elapsed;
+        self.epochs += 1;
+        self.last_loss = mean_loss;
+    }
+
+    fn on_shards(&mut self, _epoch: usize, stats: &[ShardStats]) {
+        if self.shard_busy.len() < stats.len() {
+            self.shard_busy.resize(stats.len(), Duration::ZERO);
+        }
+        for s in stats {
+            self.shard_busy[s.shard] += s.busy;
+            self.windows += s.windows;
+        }
+    }
+
+    fn on_grad_reduce(&mut self, elapsed: Duration) {
+        self.reduce_total += elapsed;
+        self.reduces += 1;
+    }
+}
+
+/// FNV-1a over the raw weight bits: equal fingerprints ⇔ bit-identical
+/// models.
+fn fingerprint(model: &TokenLstm) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for p in model.params() {
+        for x in p.w.data() {
+            for b in x.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    h
+}
+
+fn phase1_workload(smoke: bool) -> (Vec<Vec<u32>>, usize, DeshConfig) {
+    let (profile, cfg) = if smoke {
+        // Fast config trains one epoch; repeat a few so the timing signal
+        // rises above scheduler noise on small CI runners.
+        let mut cfg = DeshConfig::fast();
+        cfg.phase1.epochs = 6;
+        (SystemProfile::tiny(), cfg)
+    } else {
+        (SystemProfile::m1(), experiment_config())
+    };
+    let dataset = generate(&profile, EXPERIMENT_SEED);
+    let (train, _) = dataset.split_by_time(0.3);
+    let parsed = parse_records(&train.records);
+    let seqs: Vec<Vec<u32>> = parsed
+        .node_sequences()
+        .into_iter()
+        .map(|(_, s)| s)
+        .filter(|s| s.len() > cfg.phase1.history)
+        .collect();
+    println!(
+        "workload: {} ({} sequences, vocab {})",
+        profile.name,
+        seqs.len(),
+        parsed.vocab_size()
+    );
+    (seqs, parsed.vocab_size().max(2), cfg)
+}
+
+fn fresh_model(vocab: usize, cfg: &DeshConfig) -> (TokenLstm, Sgd, Xoshiro256pp) {
+    let mut rng = Xoshiro256pp::seed_from_u64(EXPERIMENT_SEED);
+    let p1 = &cfg.phase1;
+    let model = TokenLstm::new(vocab, p1.embed_dim, p1.hidden, p1.layers, &mut rng);
+    (model, Sgd::with_momentum(p1.lr, 0.9), rng)
+}
+
+fn train_cfg(cfg: &DeshConfig) -> TrainConfig {
+    let p1 = &cfg.phase1;
+    TrainConfig { history: p1.history, batch: p1.batch, epochs: p1.epochs, clip: 5.0 }
+}
+
+/// One parallel training run pinned to `workers` shim threads.
+fn run_parallel(
+    seqs: &[Vec<u32>],
+    vocab: usize,
+    cfg: &DeshConfig,
+    workers: usize,
+) -> (TrainProbe, u64) {
+    rayon::set_thread_override(Some(workers));
+    let (mut model, mut opt, mut rng) = fresh_model(vocab, cfg);
+    let mut probe = TrainProbe::default();
+    model.train_observed(
+        seqs,
+        &train_cfg(cfg),
+        &mut opt as &mut dyn Optimizer,
+        &mut rng,
+        &mut probe,
+    );
+    rayon::set_thread_override(None);
+    (probe, fingerprint(&model))
+}
+
+/// Round-robin critical-path projection: deal the measured per-shard busy
+/// totals to `workers` piles the way the shim deals chunks to threads,
+/// then take overhead + slowest pile + reduction time.
+fn project(probe: &TrainProbe, workers: usize) -> f64 {
+    let busy_total: f64 = probe.shard_busy.iter().map(|d| d.as_secs_f64()).sum();
+    let reduce = probe.reduce_total.as_secs_f64();
+    let other = (probe.epoch_wall.as_secs_f64() - busy_total - reduce).max(0.0);
+    let mut piles = vec![0.0f64; workers.max(1)];
+    for (i, d) in probe.shard_busy.iter().enumerate() {
+        piles[i % workers.max(1)] += d.as_secs_f64();
+    }
+    let max_pile = piles.iter().cloned().fold(0.0, f64::max);
+    other + max_pile + reduce
+}
+
+fn main() {
+    let args = parse_args();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (seqs, vocab, cfg) = phase1_workload(args.smoke);
+    let epochs = cfg.phase1.epochs;
+    println!(
+        "host cores: {host_cores}, shards: {}, epochs: {epochs}",
+        shard_count()
+    );
+
+    // Sequential reference (the pre-sharding loop, kept for exactly this).
+    let (mut seq_model, mut seq_opt, mut seq_rng) = fresh_model(vocab, &cfg);
+    let mut seq_probe = TrainProbe::default();
+    let t0 = Instant::now();
+    seq_model.train_sequential(
+        &seqs,
+        &train_cfg(&cfg),
+        &mut seq_opt as &mut dyn Optimizer,
+        &mut seq_rng,
+        &mut seq_probe,
+    );
+    let seq_wall = t0.elapsed().as_secs_f64();
+    println!(
+        "sequential: {seq_wall:.2}s total, {:.3}s/epoch, final loss {:.4}",
+        seq_wall / epochs as f64,
+        seq_probe.last_loss
+    );
+
+    // Parallel sweep.
+    let runs: Vec<(usize, TrainProbe, u64)> = WORKER_SWEEP
+        .iter()
+        .map(|&w| {
+            let (probe, fp) = run_parallel(&seqs, vocab, &cfg, w);
+            println!(
+                "parallel w={w}: {:.2}s total, {:.3}s/epoch, loss {:.4}, \
+                 reduce {:.1}ms over {} minibatches",
+                probe.epoch_wall.as_secs_f64(),
+                probe.epoch_wall.as_secs_f64() / epochs as f64,
+                probe.last_loss,
+                probe.reduce_total.as_secs_f64() * 1e3,
+                probe.reduces
+            );
+            (w, probe, fp)
+        })
+        .collect();
+
+    // Determinism: identical weights at every worker count.
+    let fp1 = runs[0].2;
+    let deterministic = runs.iter().all(|(_, _, fp)| *fp == fp1);
+    // Parallel vs sequential agreement (FP summation order only).
+    let loss_drift = (runs[0].1.last_loss - seq_probe.last_loss).abs()
+        / seq_probe.last_loss.abs().max(1e-9);
+    println!(
+        "determinism: weights {} across workers {:?}; loss drift vs sequential {:.2e}",
+        if deterministic { "bit-identical" } else { "DIVERGED" },
+        WORKER_SWEEP,
+        loss_drift
+    );
+
+    // Scaling: measured against the 1-worker parallel run, plus the
+    // critical-path projection from its shard busy profile.
+    let par1 = &runs[0].1;
+    let par1_wall = par1.epoch_wall.as_secs_f64();
+    println!("\nscaling (epoch totals, {} shards):", par1.shard_busy.len());
+    let mut measured4 = 1.0;
+    let mut projected4 = 1.0;
+    let proj1 = project(par1, 1);
+    let mut curve = String::new();
+    for (w, probe, _) in &runs {
+        let wall = probe.epoch_wall.as_secs_f64();
+        let measured = par1_wall / wall;
+        let projected = proj1 / project(par1, *w);
+        if *w == 4 {
+            measured4 = measured;
+            projected4 = projected;
+        }
+        println!(
+            "  w={w}: measured {wall:.2}s ({measured:.2}x), projected {:.2}s ({projected:.2}x)",
+            project(par1, *w)
+        );
+        curve.push_str(&format!(
+            "{}{{\"workers\": {w}, \"measured_s\": {wall:.4}, \"measured_speedup\": \
+             {measured:.2}, \"projected_s\": {:.4}, \"projected_speedup\": {projected:.2}}}",
+            if curve.is_empty() { "" } else { ", " },
+            project(par1, *w)
+        ));
+    }
+    let effective4 = if host_cores >= 4 { measured4 } else { projected4 };
+    println!(
+        "4-worker speedup: measured {measured4:.2}x, projected {projected4:.2}x \
+         (gating on {} — host has {host_cores} core(s))",
+        if host_cores >= 4 { "measured" } else { "projected" }
+    );
+
+    if let Some(path) = &args.json {
+        let body = format!(
+            concat!(
+                "{{\n",
+                "  \"experiment\": \"train_check_data_parallel\",\n",
+                "  \"profile\": \"{}\",\n",
+                "  \"smoke\": {},\n",
+                "  \"host_cores\": {},\n",
+                "  \"shards\": {},\n",
+                "  \"sequences\": {},\n",
+                "  \"windows_per_epoch\": {},\n",
+                "  \"epochs\": {},\n",
+                "  \"sequential_total_s\": {:.4},\n",
+                "  \"deterministic_across_workers\": {},\n",
+                "  \"loss_drift_vs_sequential\": {:.3e},\n",
+                "  \"grad_reduce_total_ms\": {:.3},\n",
+                "  \"scaling\": [{}],\n",
+                "  \"speedup_4w_measured\": {:.2},\n",
+                "  \"speedup_4w_projected\": {:.2},\n",
+                "  \"speedup_4w_effective\": {:.2}\n",
+                "}}\n"
+            ),
+            if args.smoke { "tiny" } else { "M1" },
+            args.smoke,
+            host_cores,
+            par1.shard_busy.len(),
+            seqs.len(),
+            par1.windows / epochs.max(1),
+            epochs,
+            seq_wall,
+            deterministic,
+            loss_drift,
+            par1.reduce_total.as_secs_f64() * 1e3,
+            curve,
+            measured4,
+            projected4,
+            effective4,
+        );
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(path, body).expect("write bench json");
+        println!("wrote {path}");
+    }
+
+    if !deterministic {
+        eprintln!("FAIL: weights differ across worker counts");
+        std::process::exit(1);
+    }
+    if loss_drift > 1e-2 {
+        eprintln!("FAIL: parallel loss drifted {loss_drift:.2e} from sequential");
+        std::process::exit(1);
+    }
+    if let Some(min) = args.min_speedup {
+        if effective4 < min {
+            eprintln!(
+                "FAIL: 4-worker speedup {effective4:.2}x below required {min:.2}x \
+                 ({} on a {host_cores}-core host)",
+                if host_cores >= 4 { "measured" } else { "projected" }
+            );
+            std::process::exit(1);
+        }
+        println!("speedup {effective4:.2}x meets required {min:.2}x");
+    }
+}

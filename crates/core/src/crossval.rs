@@ -4,6 +4,11 @@
 //! they are not seed lottery. [`stability_run`] repeats the full pipeline
 //! over independently generated datasets and aggregates each metric into a
 //! mean ± deviation summary.
+//!
+//! Every source of nondeterminism in the pipeline is seeded, and training
+//! parallelism uses fixed-count shards with a deterministic tree reduction
+//! (see `desh_nn::parallel`), so a stability run's numbers depend only on
+//! the seed list — never on `DESH_THREADS` or the host's core count.
 
 use crate::config::DeshConfig;
 use crate::pipeline::Desh;
@@ -91,5 +96,26 @@ mod tests {
         assert_eq!(rep.recall.count(), 2);
         assert!(rep.recall.mean() > 0.4, "{}", rep.summary_row());
         assert!(rep.summary_row().contains("seeds"));
+    }
+
+    #[test]
+    fn stability_is_invariant_to_worker_count() {
+        let mut p = SystemProfile::tiny();
+        p.failures = 24;
+        p.nodes = 16;
+        let run_with = |workers: usize| {
+            rayon::set_thread_override(Some(workers));
+            let rep = stability_run(&p, &DeshConfig::fast(), &[7]);
+            rayon::set_thread_override(None);
+            (
+                rep.recall.mean(),
+                rep.precision.mean(),
+                rep.f1.mean(),
+                rep.lead_secs.mean(),
+            )
+        };
+        let one = run_with(1);
+        let four = run_with(4);
+        assert_eq!(one, four, "pipeline metrics must not depend on worker count");
     }
 }

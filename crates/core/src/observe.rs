@@ -6,7 +6,7 @@
 //! shared registry under the caller's metric prefix.
 
 use crate::online::Warning;
-use desh_nn::TrainObserver;
+use desh_nn::{ShardStats, TrainObserver};
 use desh_obs::{Telemetry, TraceEvent, WarningRecord};
 use desh_util::duration_us;
 use std::time::Duration;
@@ -31,7 +31,11 @@ pub fn warning_record(w: &Warning, trace: Vec<TraceEvent>) -> WarningRecord {
 
 /// Forwards per-epoch training progress into a telemetry registry:
 /// `<prefix>.epochs` (counter), `<prefix>.epoch_loss` (gauge, last epoch's
-/// mean loss) and `<prefix>.epoch_time_us` (latency histogram).
+/// mean loss) and `<prefix>.epoch_time_us` (latency histogram). The
+/// data-parallel trainer additionally feeds `<prefix>.grad_reduce_us`
+/// (tree-reduction latency per minibatch), a per-shard
+/// `<prefix>.shard_seqs_per_s[shard=N]` throughput gauge, and a
+/// `<prefix>.shard_windows` counter of windows processed across shards.
 pub struct EpochTelemetry<'a> {
     telemetry: &'a Telemetry,
     prefix: &'a str,
@@ -55,6 +59,31 @@ impl TrainObserver for EpochTelemetry<'_> {
             duration_us(elapsed),
         );
     }
+
+    fn on_shards(&mut self, _epoch: usize, stats: &[ShardStats]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let mut windows = 0u64;
+        for s in stats {
+            windows += s.windows as u64;
+            self.telemetry.gauge_set(
+                &format!("{}.shard_seqs_per_s[shard={}]", self.prefix, s.shard),
+                s.throughput(),
+            );
+        }
+        self.telemetry.count(&format!("{}.shard_windows", self.prefix), windows);
+    }
+
+    fn on_grad_reduce(&mut self, elapsed: Duration) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.observe_us(
+            &format!("{}.grad_reduce_us", self.prefix),
+            duration_us(elapsed),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +102,27 @@ mod tests {
         let h = snap.histogram("phase1.epoch_time_us").unwrap();
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.5) >= 400.0);
+    }
+
+    #[test]
+    fn shard_stats_and_reduce_latency_flow_into_registry() {
+        let t = Telemetry::enabled();
+        let mut obs = EpochTelemetry::new(&t, "phase1");
+        obs.on_shards(
+            0,
+            &[
+                ShardStats { shard: 0, windows: 30, busy: Duration::from_millis(10) },
+                ShardStats { shard: 1, windows: 20, busy: Duration::from_millis(10) },
+            ],
+        );
+        obs.on_grad_reduce(Duration::from_micros(120));
+        obs.on_grad_reduce(Duration::from_micros(80));
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counter("phase1.shard_windows"), Some(50));
+        assert_eq!(snap.gauge("phase1.shard_seqs_per_s[shard=0]"), Some(3000.0));
+        assert_eq!(snap.gauge("phase1.shard_seqs_per_s[shard=1]"), Some(2000.0));
+        let h = snap.histogram("phase1.grad_reduce_us").unwrap();
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

@@ -158,9 +158,10 @@ pub fn run_phase3(
 
 /// [`run_phase3`] reporting into a telemetry registry: the `phase3` span,
 /// `phase3.episodes` / `phase3.flagged` / `phase3.excluded_maintenance`
-/// counters, and the per-episode `phase3.episode_score_us` latency
+/// counters, the per-episode `phase3.episode_score_us` latency
 /// histogram (recorded from the rayon workers through a pre-resolved
-/// lock-free handle). Because phase 3 runs with ground-truth labels, each
+/// lock-free handle), and the `phase3.workers` /
+/// `phase3.episodes_per_s` scoring-throughput gauges. Because phase 3 runs with ground-truth labels, each
 /// verdict also feeds the [`QualityMonitor`]: the rolling confusion
 /// matrix (`quality.confusion.*`, `quality.precision`/`quality.recall`)
 /// and, for flagged true positives, the per-class lead-time histogram
@@ -187,8 +188,10 @@ pub fn run_phase3_telemetry(
         .collect();
     telemetry.count("phase3.episodes", episodes.len() as u64);
     telemetry.count("phase3.excluded_maintenance", (before - episodes.len()) as u64);
+    telemetry.gauge_set("phase3.workers", rayon::current_num_threads() as f64);
 
     let score_hist = telemetry.histogram_handle("phase3.episode_score_us");
+    let t_score = Instant::now();
     let verdicts: Vec<Verdict> = episodes
         .par_iter()
         .map(|ep| {
@@ -211,6 +214,13 @@ pub fn run_phase3_telemetry(
             }
         })
         .collect();
+    let score_elapsed = t_score.elapsed();
+    if !verdicts.is_empty() && !score_elapsed.is_zero() {
+        telemetry.gauge_set(
+            "phase3.episodes_per_s",
+            verdicts.len() as f64 / score_elapsed.as_secs_f64(),
+        );
+    }
 
     let mut confusion = Confusion::default();
     let quality = QualityMonitor::new(telemetry);

@@ -222,6 +222,18 @@ mod tests {
         // Training epochs flowed through the observer hook.
         assert!(snap.counter("phase1.epochs").unwrap() > 0);
         assert!(snap.histogram("phase2.epoch_time_us").unwrap().count() > 0);
+        // The data-parallel trainer reported its gradient reductions and
+        // per-shard throughput for both training phases.
+        assert!(snap.histogram("phase1.grad_reduce_us").unwrap().count() > 0);
+        assert!(snap.histogram("phase2.grad_reduce_us").unwrap().count() > 0);
+        assert!(snap.counter("phase1.shard_windows").unwrap() > 0);
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(name, _)| name.starts_with("phase1.shard_seqs_per_s[shard=")));
+        // Phase-3 scoring throughput gauges.
+        assert!(snap.gauge("phase3.workers").unwrap() >= 1.0);
+        assert!(snap.gauge("phase3.episodes_per_s").unwrap() > 0.0);
         // Per-episode scoring latency was captured from the rayon workers.
         assert_eq!(
             snap.histogram("phase3.episode_score_us").unwrap().count(),

@@ -63,9 +63,20 @@ impl Dense {
 
     /// Backward pass: accumulates into `w.g` / `b.g`, returns `dx`.
     pub fn backward(&mut self, cache: &DenseCache, dy: &Mat) -> Mat {
-        self.w.g.add_assign(&cache.x.t_matmul(dy));
-        self.b.g.add_assign(&dy.col_sums());
-        dy.matmul_t(&self.w.w)
+        Self::backward_parts(&self.w.w, &mut self.w.g, &mut self.b.g, cache, dy)
+    }
+
+    /// Backward pass into caller-held gradient buffers (`&self`): the
+    /// data-parallel trainer's per-shard path, where workers share the
+    /// model immutably and each owns its own accumulators.
+    pub fn backward_into(&self, cache: &DenseCache, dy: &Mat, dw: &mut Mat, db: &mut Mat) -> Mat {
+        Self::backward_parts(&self.w.w, dw, db, cache, dy)
+    }
+
+    fn backward_parts(w: &Mat, dw: &mut Mat, db: &mut Mat, cache: &DenseCache, dy: &Mat) -> Mat {
+        dw.add_assign(&cache.x.t_matmul(dy));
+        db.add_assign(&dy.col_sums());
+        dy.matmul_t(w)
     }
 
     /// Parameters in deterministic order.

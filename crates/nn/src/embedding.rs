@@ -71,10 +71,23 @@ impl Embedding {
 
     /// Scatter-add `dy` rows into the gradient of the looked-up ids.
     pub fn backward(&mut self, cache: &EmbeddingCache, dy: &Mat) {
+        let dim = self.dim();
+        Self::scatter_add(&mut self.table.g, cache, dy, dim);
+    }
+
+    /// Scatter-add `dy` rows into an external gradient table (`&self`):
+    /// the data-parallel trainer's per-shard path. `gtable` must have the
+    /// table's shape.
+    pub fn backward_into(&self, cache: &EmbeddingCache, dy: &Mat, gtable: &mut Mat) {
+        assert_eq!(gtable.shape(), self.table.w.shape());
+        Self::scatter_add(gtable, cache, dy, self.dim());
+    }
+
+    fn scatter_add(gtable: &mut Mat, cache: &EmbeddingCache, dy: &Mat, dim: usize) {
         assert_eq!(dy.rows(), cache.ids.len());
-        assert_eq!(dy.cols(), self.dim());
+        assert_eq!(dy.cols(), dim);
         for (r, &id) in cache.ids.iter().enumerate() {
-            let grow = self.table.g.row_mut(id as usize);
+            let grow = gtable.row_mut(id as usize);
             for (g, d) in grow.iter_mut().zip(dy.row(r)) {
                 *g += d;
             }

@@ -15,6 +15,9 @@
 //!   the paper's asymmetric 8-left/3-right context window.
 //! * [`models::TokenLstm`] / [`models::VectorLstm`] — the two trained model
 //!   shapes (next-phrase classifier; (ΔT, phrase) regressor).
+//! * [`parallel`] — data-parallel training support: fixed-count gradient
+//!   shards merged by a deterministic tree reduction, so training is
+//!   bit-for-bit reproducible at any thread count.
 //!
 //! Everything is deterministic given a [`desh_util::Xoshiro256pp`] seed, and
 //! every layer's backward pass is covered by numerical gradient checks in
@@ -31,6 +34,7 @@ pub mod mat;
 pub mod models;
 pub mod observe;
 pub mod optim;
+pub mod parallel;
 pub mod param;
 pub mod schedule;
 pub mod serialize;
@@ -44,8 +48,9 @@ pub use gru::{GruLayer, GruScratch};
 pub use lstm::{LstmLayer, LstmScratch, LstmState};
 pub use mat::Mat;
 pub use models::{ScoreWorkspace, TokenLstm, TrainConfig, VectorLstm, VectorStream};
-pub use observe::{NoopObserver, RecordingObserver, TrainObserver};
+pub use observe::{NoopObserver, RecordingObserver, ShardStats, TrainObserver};
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};
+pub use parallel::{shard_count, GradSet};
 pub use param::Param;
 pub use schedule::{Constant, Cosine, Schedule, StepDecay, Warmup};
 pub use sgns::{SgnsConfig, SkipGram};

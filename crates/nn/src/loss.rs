@@ -27,9 +27,18 @@ pub fn softmax(logits: &Mat) -> Mat {
 /// Returns (mean loss, gradient w.r.t. logits). The gradient is the classic
 /// `(softmax - onehot) / batch`.
 pub fn softmax_xent(logits: &Mat, targets: &[u32]) -> (f64, Mat) {
+    softmax_xent_denom(logits, targets, logits.rows())
+}
+
+/// [`softmax_xent`] with an explicit normalising denominator: loss and
+/// gradient are divided by `denom` instead of the local row count. The
+/// data-parallel trainer evaluates each shard's rows against the *full*
+/// minibatch size, so the tree-reduced sum of shard gradients equals the
+/// one-shot batch gradient.
+pub fn softmax_xent_denom(logits: &Mat, targets: &[u32], denom: usize) -> (f64, Mat) {
     assert_eq!(logits.rows(), targets.len());
+    assert!(denom >= logits.rows(), "denominator smaller than row count");
     let probs = softmax(logits);
-    let batch = logits.rows();
     let mut loss = 0.0f64;
     let mut grad = probs.clone();
     for (r, &t) in targets.iter().enumerate() {
@@ -39,15 +48,26 @@ pub fn softmax_xent(logits: &Mat, targets: &[u32]) -> (f64, Mat) {
         loss -= (p as f64).ln();
         grad[(r, t)] -= 1.0;
     }
-    grad.scale(1.0 / batch as f32);
-    (loss / batch as f64, grad)
+    grad.scale(1.0 / denom as f32);
+    (loss / denom as f64, grad)
 }
 
 /// Mean squared error between prediction and target matrices.
 /// Returns (mean-per-element loss, gradient w.r.t. prediction).
 pub fn mse(pred: &Mat, target: &Mat) -> (f64, Mat) {
+    mse_denom(pred, target, pred.rows() * pred.cols())
+}
+
+/// [`mse`] with an explicit element-count denominator (the full
+/// minibatch's rows × cols; see [`softmax_xent_denom`] for why the
+/// sharded trainer needs this).
+pub fn mse_denom(pred: &Mat, target: &Mat, denom_elems: usize) -> (f64, Mat) {
     assert_eq!(pred.shape(), target.shape());
-    let n = (pred.rows() * pred.cols()) as f64;
+    assert!(
+        denom_elems >= pred.data().len(),
+        "denominator smaller than element count"
+    );
+    let n = denom_elems as f64;
     let mut grad = Mat::zeros(pred.rows(), pred.cols());
     let mut loss = 0.0f64;
     for i in 0..pred.data().len() {

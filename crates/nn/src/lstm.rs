@@ -259,10 +259,45 @@ impl LstmLayer {
     /// the step-`t` hidden output (zero matrices for steps without loss).
     /// Accumulates parameter gradients and returns `dxs` per step.
     pub fn backward_seq(&mut self, tape: &LstmTape, dhs: &[Mat]) -> Vec<Mat> {
+        Self::backward_seq_parts(
+            self.hidden,
+            &self.wx.w,
+            &self.wh.w,
+            &mut self.wx.g,
+            &mut self.wh.g,
+            &mut self.b.g,
+            tape,
+            dhs,
+        )
+    }
+
+    /// BPTT into caller-held gradient buffers (`&self`): the data-parallel
+    /// trainer's per-shard path. Buffer shapes must match `wx`/`wh`/`b`.
+    pub fn backward_seq_into(
+        &self,
+        tape: &LstmTape,
+        dhs: &[Mat],
+        dwx: &mut Mat,
+        dwh: &mut Mat,
+        db: &mut Mat,
+    ) -> Vec<Mat> {
+        Self::backward_seq_parts(self.hidden, &self.wx.w, &self.wh.w, dwx, dwh, db, tape, dhs)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn backward_seq_parts(
+        hsz: usize,
+        wx: &Mat,
+        wh: &Mat,
+        dwx: &mut Mat,
+        dwh: &mut Mat,
+        db: &mut Mat,
+        tape: &LstmTape,
+        dhs: &[Mat],
+    ) -> Vec<Mat> {
         assert_eq!(tape.steps.len(), dhs.len());
         let t_len = tape.steps.len();
         let batch = tape.steps[0].x.rows();
-        let hsz = self.hidden;
 
         let mut dh_next = Mat::zeros(batch, hsz);
         let mut dc_next = Mat::zeros(batch, hsz);
@@ -302,12 +337,12 @@ impl LstmLayer {
                 }
             }
 
-            self.wx.g.add_assign(&s.x.t_matmul(&dp));
-            self.wh.g.add_assign(&s.h_prev.t_matmul(&dp));
-            self.b.g.add_assign(&dp.col_sums());
+            dwx.add_assign(&s.x.t_matmul(&dp));
+            dwh.add_assign(&s.h_prev.t_matmul(&dp));
+            db.add_assign(&dp.col_sums());
 
-            dxs[t] = dp.matmul_t(&self.wx.w);
-            dh_next = dp.matmul_t(&self.wh.w);
+            dxs[t] = dp.matmul_t(wx);
+            dh_next = dp.matmul_t(wh);
             dc_next = dc_prev;
         }
         dxs

@@ -13,15 +13,17 @@
 //! `timesteps` dimension does.
 
 use crate::embedding::Embedding;
-use crate::loss::{mse, mse_vec, softmax, softmax_xent};
+use crate::loss::{mse, mse_denom, mse_vec, softmax, softmax_xent, softmax_xent_denom};
 use crate::lstm::LstmState;
 use crate::mat::Mat;
-use crate::observe::{NoopObserver, TrainObserver};
+use crate::observe::{NoopObserver, ShardStats, TrainObserver};
 use crate::optim::Optimizer;
+use crate::parallel::{shard_count, shard_ranges, tree_reduce_indices, GradSet};
 use crate::param::{clip_global_norm, Param};
 use crate::stacked::{StackedLstm, StackedScratch};
 use desh_util::Xoshiro256pp;
-use std::time::Instant;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
 
 /// Hyper-parameters for a training run.
 #[derive(Debug, Clone)]
@@ -49,6 +51,78 @@ impl Default for TrainConfig {
 
 /// Per-epoch mean losses returned by a training run.
 pub type EpochLosses = Vec<f64>;
+
+/// One shard's private state for the data-parallel trainer: gradient
+/// accumulators, forward/backward scratch, the current batch's loss
+/// contribution, and per-epoch work accounting.
+struct TrainShard {
+    grads: GradSet,
+    ws: StackedScratch,
+    loss: f64,
+    windows: usize,
+    busy: Duration,
+}
+
+impl TrainShard {
+    fn fresh(params: &[&Param], n: usize) -> Vec<TrainShard> {
+        (0..n)
+            .map(|_| TrainShard {
+                grads: GradSet::zeros_like(params),
+                ws: StackedScratch::new(),
+                loss: 0.0,
+                windows: 0,
+                busy: Duration::ZERO,
+            })
+            .collect()
+    }
+
+    fn reset_epoch(states: &mut [TrainShard]) {
+        for st in states {
+            st.windows = 0;
+            st.busy = Duration::ZERO;
+        }
+    }
+
+    fn epoch_stats(states: &[TrainShard]) -> Vec<ShardStats> {
+        states
+            .iter()
+            .enumerate()
+            .map(|(i, st)| ShardStats {
+                shard: i,
+                windows: st.windows,
+                busy: st.busy,
+            })
+            .collect()
+    }
+}
+
+/// Merge shard gradients in the fixed tree order, add the total into the
+/// parameters, clip, and step the optimizer. Returns the batch's summed
+/// loss and the wall time of the tree reduction (including the final add
+/// into the parameter gradients). Shard gradient buffers are left zeroed
+/// for the next batch.
+fn reduce_apply_step(
+    states: &mut [TrainShard],
+    params: &mut [&mut Param],
+    clip: f64,
+    opt: &mut dyn Optimizer,
+) -> (f64, Duration) {
+    let t0 = Instant::now();
+    tree_reduce_indices(states.len(), |d, s| {
+        let (a, b) = states.split_at_mut(s);
+        a[d].grads.add_assign(&b[0].grads);
+        a[d].loss += b[0].loss;
+    });
+    states[0].grads.apply_to(params);
+    let reduce_elapsed = t0.elapsed();
+    clip_global_norm(params, clip);
+    opt.step(params);
+    let loss = states[0].loss;
+    for st in states {
+        st.grads.clear();
+    }
+    (loss, reduce_elapsed)
+}
 
 // ---------------------------------------------------------------------------
 // TokenLstm
@@ -106,6 +180,13 @@ impl TokenLstm {
         ps
     }
 
+    /// Immutable parameter view (same order as [`Self::params_mut`]).
+    pub fn params(&self) -> Vec<&Param> {
+        let mut ps = vec![&self.embed.table];
+        ps.extend(self.net.params());
+        ps
+    }
+
     /// Enumerate (sequence index, end position) of every full history
     /// window with a target token after it.
     fn window_index(seqs: &[Vec<u32>], history: usize) -> Vec<(u32, u32)> {
@@ -132,7 +213,120 @@ impl TokenLstm {
     }
 
     /// [`TokenLstm::train`] with a per-epoch [`TrainObserver`] callback.
+    ///
+    /// Data-parallel: each minibatch is split across a fixed number of
+    /// gradient shards (`parallel::shard_count`, default 8) executed by
+    /// however many threads the rayon shim is configured for, then merged
+    /// with a deterministic tree reduction. Numerics depend only on the
+    /// shard count: any thread count yields bit-identical weights.
     pub fn train_observed(
+        &mut self,
+        seqs: &[Vec<u32>],
+        cfg: &TrainConfig,
+        opt: &mut dyn Optimizer,
+        rng: &mut Xoshiro256pp,
+        observer: &mut dyn TrainObserver,
+    ) -> EpochLosses {
+        let mut index = Self::window_index(seqs, cfg.history);
+        assert!(
+            !index.is_empty(),
+            "no training windows: all sequences shorter than history+1"
+        );
+        let shards = shard_count();
+        let mut states = TrainShard::fresh(&self.params(), shards);
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let epoch_start = Instant::now();
+            rng.shuffle(&mut index);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            TrainShard::reset_epoch(&mut states);
+            for chunk in index.chunks(cfg.batch) {
+                let ranges = shard_ranges(chunk.len(), shards);
+                {
+                    let model = &*self;
+                    states.par_chunks_mut(1).enumerate().for_each(|(si, st)| {
+                        let st = &mut st[0];
+                        st.loss = 0.0;
+                        let r = ranges[si].clone();
+                        if r.is_empty() {
+                            return;
+                        }
+                        let t0 = Instant::now();
+                        st.loss = model.shard_pass(
+                            seqs,
+                            &chunk[r.clone()],
+                            cfg.history,
+                            chunk.len(),
+                            &mut st.ws,
+                            &mut st.grads,
+                        );
+                        st.windows += r.len();
+                        st.busy += t0.elapsed();
+                    });
+                }
+                let (loss, reduce_elapsed) =
+                    reduce_apply_step(&mut states, &mut self.params_mut(), cfg.clip, opt);
+                epoch_loss += loss;
+                batches += 1;
+                observer.on_grad_reduce(reduce_elapsed);
+            }
+            let mean = epoch_loss / batches.max(1) as f64;
+            observer.on_epoch(epoch, mean, epoch_start.elapsed());
+            observer.on_shards(epoch, &TrainShard::epoch_stats(&states));
+            losses.push(mean);
+        }
+        losses
+    }
+
+    /// Forward + backward for one shard's slice of a minibatch: gradients
+    /// go into the shard's own buffers, losses use the full-batch
+    /// denominator so the tree-reduced sum equals the one-shot batch
+    /// gradient.
+    fn shard_pass(
+        &self,
+        seqs: &[Vec<u32>],
+        rows: &[(u32, u32)],
+        history: usize,
+        batch_rows: usize,
+        ws: &mut StackedScratch,
+        grads: &mut GradSet,
+    ) -> f64 {
+        // Build per-timestep id columns for this shard's rows.
+        let mut step_ids: Vec<Vec<u32>> = vec![Vec::with_capacity(rows.len()); history];
+        let mut targets = Vec::with_capacity(rows.len());
+        for &(si, t) in rows {
+            let s = &seqs[si as usize];
+            let t = t as usize;
+            for (k, ids) in step_ids.iter_mut().enumerate() {
+                ids.push(s[t - history + k]);
+            }
+            targets.push(s[t]);
+        }
+        // Forward: embed each timestep, run the stack.
+        let mut xs = Vec::with_capacity(history);
+        let mut ecaches = Vec::with_capacity(history);
+        for ids in &step_ids {
+            let (x, c) = self.embed.forward(ids);
+            xs.push(x);
+            ecaches.push(c);
+        }
+        let (logits, tape) = self.net.forward_ws(&xs, ws);
+        let (loss, dlogits) = softmax_xent_denom(&logits, &targets, batch_rows);
+        // Backward into the shard's buffers: [embed table | net params].
+        let (etab, net_grads) = grads.mats_mut().split_first_mut().expect("grad layout");
+        let dxs = self.net.backward_into(&tape, &dlogits, net_grads);
+        for (c, dx) in ecaches.iter().zip(&dxs) {
+            self.embed.backward_into(c, dx, etab);
+        }
+        loss
+    }
+
+    /// Single-threaded reference trainer: the exact pre-sharding loop,
+    /// kept so benches can measure the parallel path against it and tests
+    /// can bound the 1-worker-vs-sequential FP drift (summation order is
+    /// the only difference).
+    pub fn train_sequential(
         &mut self,
         seqs: &[Vec<u32>],
         cfg: &TrainConfig,
@@ -315,7 +509,111 @@ impl VectorLstm {
     }
 
     /// [`VectorLstm::train`] with a per-epoch [`TrainObserver`] callback.
+    ///
+    /// Data-parallel exactly like [`TokenLstm::train_observed`]: a fixed
+    /// shard count and a deterministic gradient tree-reduction keep the
+    /// weights bit-identical at any thread count.
     pub fn train_observed(
+        &mut self,
+        seqs: &[Vec<Vec<f32>>],
+        cfg: &TrainConfig,
+        opt: &mut dyn Optimizer,
+        rng: &mut Xoshiro256pp,
+        observer: &mut dyn TrainObserver,
+    ) -> EpochLosses {
+        for s in seqs {
+            for v in s {
+                assert_eq!(v.len(), self.dim, "sample width mismatch");
+            }
+        }
+        let mut index = Self::window_index(seqs);
+        assert!(
+            !index.is_empty(),
+            "no training windows: sequences too short"
+        );
+        let shards = shard_count();
+        let mut states = TrainShard::fresh(&self.net.params(), shards);
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let epoch_start = Instant::now();
+            rng.shuffle(&mut index);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            TrainShard::reset_epoch(&mut states);
+            for chunk in index.chunks(cfg.batch) {
+                let ranges = shard_ranges(chunk.len(), shards);
+                let denom_elems = chunk.len() * self.dim;
+                {
+                    let model = &*self;
+                    states.par_chunks_mut(1).enumerate().for_each(|(si, st)| {
+                        let st = &mut st[0];
+                        st.loss = 0.0;
+                        let r = ranges[si].clone();
+                        if r.is_empty() {
+                            return;
+                        }
+                        let t0 = Instant::now();
+                        st.loss = model.shard_pass(
+                            seqs,
+                            &chunk[r.clone()],
+                            cfg.history,
+                            denom_elems,
+                            &mut st.ws,
+                            &mut st.grads,
+                        );
+                        st.windows += r.len();
+                        st.busy += t0.elapsed();
+                    });
+                }
+                let (loss, reduce_elapsed) =
+                    reduce_apply_step(&mut states, &mut self.net.params_mut(), cfg.clip, opt);
+                epoch_loss += loss;
+                batches += 1;
+                observer.on_grad_reduce(reduce_elapsed);
+            }
+            let mean = epoch_loss / batches.max(1) as f64;
+            observer.on_epoch(epoch, mean, epoch_start.elapsed());
+            observer.on_shards(epoch, &TrainShard::epoch_stats(&states));
+            losses.push(mean);
+        }
+        losses
+    }
+
+    /// Forward + backward for one shard's slice of a minibatch (see
+    /// [`TokenLstm::shard_pass`]); `denom_elems` is the full batch's
+    /// rows × dim so shard losses sum to the batch MSE.
+    fn shard_pass(
+        &self,
+        seqs: &[Vec<Vec<f32>>],
+        rows: &[(u32, u32)],
+        history: usize,
+        denom_elems: usize,
+        ws: &mut StackedScratch,
+        grads: &mut GradSet,
+    ) -> f64 {
+        // Assemble this shard's timesteps with left zero-padding.
+        let b = rows.len();
+        let mut xs: Vec<Mat> = (0..history).map(|_| Mat::zeros(b, self.dim)).collect();
+        let mut target = Mat::zeros(b, self.dim);
+        for (r, &(si, t)) in rows.iter().enumerate() {
+            let s = &seqs[si as usize];
+            let t = t as usize;
+            let lo = t.saturating_sub(history);
+            let pad = history - (t - lo);
+            for (k, sample) in s[lo..t].iter().enumerate() {
+                xs[pad + k].row_mut(r).copy_from_slice(sample);
+            }
+            target.row_mut(r).copy_from_slice(&s[t]);
+        }
+        let (pred, tape) = self.net.forward_ws(&xs, ws);
+        let (loss, dpred) = mse_denom(&pred, &target, denom_elems);
+        self.net.backward_into(&tape, &dpred, grads.mats_mut());
+        loss
+    }
+
+    /// Single-threaded reference trainer (see
+    /// [`TokenLstm::train_sequential`]).
+    pub fn train_sequential(
         &mut self,
         seqs: &[Vec<Vec<f32>>],
         cfg: &TrainConfig,

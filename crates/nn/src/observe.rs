@@ -9,11 +9,42 @@
 
 use std::time::Duration;
 
+/// Per-shard work accounting for one epoch of the data-parallel trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Shard index (fixed for the process; see `parallel::shard_count`).
+    pub shard: usize,
+    /// Training windows the shard processed this epoch.
+    pub windows: usize,
+    /// Wall-clock the shard spent in forward/backward this epoch.
+    pub busy: Duration,
+}
+
+impl ShardStats {
+    /// Windows per second of busy time (0 when the shard sat idle).
+    pub fn throughput(&self) -> f64 {
+        if self.busy.is_zero() {
+            0.0
+        } else {
+            self.windows as f64 / self.busy.as_secs_f64()
+        }
+    }
+}
+
 /// Receives one callback per completed training epoch.
 pub trait TrainObserver {
     /// `epoch` is zero-based; `mean_loss` is the epoch's mean batch loss;
     /// `elapsed` is the epoch's wall time.
     fn on_epoch(&mut self, epoch: usize, mean_loss: f64, elapsed: Duration);
+
+    /// Per-shard work stats after each epoch of the data-parallel
+    /// trainer. Default: ignored, so closure observers and existing
+    /// implementations keep working unchanged.
+    fn on_shards(&mut self, _epoch: usize, _stats: &[ShardStats]) {}
+
+    /// Wall time of one deterministic gradient tree-reduction (called
+    /// once per minibatch by the data-parallel trainer). Default: ignored.
+    fn on_grad_reduce(&mut self, _elapsed: Duration) {}
 }
 
 /// Observer that ignores everything (the default for `train`).

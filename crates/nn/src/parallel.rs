@@ -1,0 +1,218 @@
+//! Data-parallel training support: fixed-count gradient shards combined
+//! with a deterministic tree reduction.
+//!
+//! The invariant the whole design hangs on: **numerics depend only on the
+//! shard count, never on the thread count**. Every minibatch is split into
+//! [`shard_count`] shards (a fixed count, default [`DEFAULT_SHARDS`],
+//! overridable once per process with `DESH_SHARDS`); each shard
+//! accumulates gradients into its own [`GradSet`] using the *full-batch*
+//! loss denominator (`loss::softmax_xent_denom` / `loss::mse_denom`), so
+//! the sum over shards equals the one-shot batch gradient up to FP
+//! summation order; and the per-shard sets are summed in the fixed binary
+//! tree of [`tree_reduce_indices`] — the same pairing the rayon shim's
+//! `tree_fold` uses. How many OS threads execute the shards
+//! (`DESH_THREADS` / `rayon::set_thread_override`) decides wall-clock
+//! only: a 1-thread and an 8-thread run of the same seed produce
+//! bit-identical weights.
+
+use crate::mat::Mat;
+use crate::param::Param;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Default fixed shard count when `DESH_SHARDS` is unset. Chosen so a
+/// 4-core box still has 2 shards per worker to smooth load imbalance,
+/// while per-shard minibatch slices stay large enough for the GEMM
+/// kernels to matter.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The fixed shard count gradient work is split into. Read once per
+/// process from `DESH_SHARDS` (positive integer), else
+/// [`DEFAULT_SHARDS`]. Changing this changes FP summation order and thus
+/// exact bits — changing thread counts does not.
+pub fn shard_count() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("DESH_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_SHARDS)
+    })
+}
+
+/// A flat set of gradient buffers mirroring a model's parameter order.
+#[derive(Debug, Clone)]
+pub struct GradSet {
+    mats: Vec<Mat>,
+}
+
+impl GradSet {
+    /// Zeroed buffers shaped like each parameter, in the given order.
+    pub fn zeros_like(params: &[&Param]) -> Self {
+        Self {
+            mats: params
+                .iter()
+                .map(|p| Mat::zeros(p.w.rows(), p.w.cols()))
+                .collect(),
+        }
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// True when the set holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// The buffers, in parameter order.
+    pub fn mats(&self) -> &[Mat] {
+        &self.mats
+    }
+
+    /// Mutable buffers, in parameter order.
+    pub fn mats_mut(&mut self) -> &mut [Mat] {
+        &mut self.mats
+    }
+
+    /// Zero every buffer in place, keeping allocations.
+    pub fn clear(&mut self) {
+        for m in &mut self.mats {
+            m.clear();
+        }
+    }
+
+    /// Elementwise add another set into this one (one tree-reduce merge).
+    pub fn add_assign(&mut self, other: &GradSet) {
+        assert_eq!(self.mats.len(), other.mats.len(), "grad set size mismatch");
+        for (a, b) in self.mats.iter_mut().zip(&other.mats) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Add the buffers into the parameters' accumulated gradients (`.g`),
+    /// in order. The optimizer then consumes `.g` exactly as in the
+    /// sequential path.
+    pub fn apply_to(&self, params: &mut [&mut Param]) {
+        assert_eq!(self.mats.len(), params.len(), "param count mismatch");
+        for (p, g) in params.iter_mut().zip(&self.mats) {
+            p.g.add_assign(g);
+        }
+    }
+}
+
+/// Visit the fixed binary reduction tree over `n` slots: `combine(dst,
+/// src)` is called for each pair merge, always with `dst < src`, in a
+/// deterministic stride-doubling order — (0,1),(2,3),…, then (0,2),(4,6),…
+/// — leaving the total in slot 0. This is the same combination tree as
+/// the rayon shim's `tree_fold`, so in-place reductions here and
+/// value-passing reductions there agree bit-for-bit.
+pub fn tree_reduce_indices(n: usize, mut combine: impl FnMut(usize, usize)) {
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            combine(i, i + stride);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+}
+
+/// Contiguous per-shard row ranges for `items` work items over `shards`
+/// slots (ceil-divided; trailing shards may be empty). Contiguity keeps
+/// each shard's minibatch slice a single block, and the fixed shard count
+/// keeps the split — and therefore the numerics — thread-independent.
+pub fn shard_ranges(items: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    let per = items.div_ceil(shards).max(1);
+    (0..shards)
+        .map(|s| {
+            let lo = (s * per).min(items);
+            let hi = ((s + 1) * per).min(items);
+            lo..hi
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_reduce_matches_shim_tree_fold_pairing() {
+        // Symbolic check: with 5 slots the merges must be (0,1),(2,3),
+        // (0,2),(0,4) — the in-place form of (((01)(23))4).
+        let mut merges = Vec::new();
+        tree_reduce_indices(5, |d, s| merges.push((d, s)));
+        assert_eq!(merges, vec![(0, 1), (2, 3), (0, 2), (0, 4)]);
+        // And slot 0 accumulates everything exactly once.
+        let mut slots: Vec<Vec<usize>> = (0..7).map(|i| vec![i]).collect();
+        tree_reduce_indices(7, |d, s| {
+            let moved = std::mem::take(&mut slots[s]);
+            slots[d].extend(moved);
+        });
+        let mut total = slots[0].clone();
+        total.sort_unstable();
+        assert_eq!(total, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_reduce_trivial_sizes() {
+        let mut calls = 0;
+        tree_reduce_indices(0, |_, _| calls += 1);
+        tree_reduce_indices(1, |_, _| calls += 1);
+        assert_eq!(calls, 0);
+        let mut merges = Vec::new();
+        tree_reduce_indices(2, |d, s| merges.push((d, s)));
+        assert_eq!(merges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for items in [0usize, 1, 5, 8, 9, 64, 100] {
+            for shards in [1usize, 2, 8] {
+                let rs = shard_ranges(items, shards);
+                assert_eq!(rs.len(), shards);
+                let mut covered = 0;
+                let mut next = 0;
+                for r in &rs {
+                    assert!(r.start <= r.end);
+                    if !r.is_empty() {
+                        assert_eq!(r.start, next, "items={items} shards={shards}");
+                        next = r.end;
+                    }
+                    covered += r.len();
+                }
+                assert_eq!(covered, items, "items={items} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn grad_set_roundtrip() {
+        let mut p1 = Param::zeros("a", 2, 3);
+        let mut p2 = Param::zeros("b", 1, 4);
+        let mut gs = GradSet::zeros_like(&[&p1, &p2]);
+        assert_eq!(gs.len(), 2);
+        gs.mats_mut()[0].data_mut()[0] = 1.5;
+        gs.mats_mut()[1].data_mut()[3] = -2.0;
+        let mut other = gs.clone();
+        other.add_assign(&gs);
+        assert_eq!(other.mats()[0].data()[0], 3.0);
+        {
+            let mut params = vec![&mut p1, &mut p2];
+            other.apply_to(&mut params);
+        }
+        assert_eq!(p1.g.data()[0], 3.0);
+        assert_eq!(p2.g.data()[3], -4.0);
+        other.clear();
+        assert!(other
+            .mats()
+            .iter()
+            .all(|m| m.data().iter().all(|&x| x == 0.0)));
+    }
+}

@@ -9,7 +9,9 @@
 
 use crate::act::sigmoid;
 use crate::mat::Mat;
+use crate::parallel::shard_count;
 use desh_util::Xoshiro256pp;
+use rayon::prelude::*;
 
 /// Skip-gram hyper-parameters.
 #[derive(Debug, Clone)]
@@ -56,6 +58,14 @@ pub struct SkipGram {
     neg_cdf: Vec<f64>,
 }
 
+/// One shard's table deltas plus loss accounting for an epoch.
+struct EpochDelta {
+    d_in: Mat,
+    d_out: Mat,
+    loss: f64,
+    pairs: u64,
+}
+
 impl SkipGram {
     /// Initialise from the corpus (needed for the unigram table).
     pub fn new(vocab: usize, seqs: &[Vec<u32>], cfg: SgnsConfig, rng: &mut Xoshiro256pp) -> Self {
@@ -86,23 +96,31 @@ impl SkipGram {
         }
     }
 
-    fn sample_negative(&self, rng: &mut Xoshiro256pp) -> u32 {
-        let total = *self.neg_cdf.last().unwrap();
+    fn sample_negative_from(neg_cdf: &[f64], vocab: usize, rng: &mut Xoshiro256pp) -> u32 {
+        let total = *neg_cdf.last().unwrap();
         let x = rng.f64() * total;
         // Binary search the CDF.
-        match self
-            .neg_cdf
-            .binary_search_by(|v| v.partial_cmp(&x).unwrap())
-        {
-            Ok(i) | Err(i) => (i.min(self.vocab - 1)) as u32,
+        match neg_cdf.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) | Err(i) => (i.min(vocab - 1)) as u32,
         }
     }
 
-    /// One (target, context) SGNS update with k negatives. Returns the
-    /// positive-pair loss contribution.
-    fn update_pair(&mut self, target: u32, context: u32, rng: &mut Xoshiro256pp) -> f64 {
-        let dim = self.cfg.dim;
-        let lr = self.cfg.lr;
+    /// One (target, context) SGNS update with k negatives, applied to
+    /// explicit tables so per-shard private copies can run it without
+    /// touching the shared trainer state. Returns the pair's loss.
+    #[allow(clippy::too_many_arguments)]
+    fn update_pair_tables(
+        cfg: &SgnsConfig,
+        vocab: usize,
+        neg_cdf: &[f64],
+        w_in: &mut Mat,
+        w_out: &mut Mat,
+        target: u32,
+        context: u32,
+        rng: &mut Xoshiro256pp,
+    ) -> f64 {
+        let dim = cfg.dim;
+        let lr = cfg.lr;
         let mut grad_in = vec![0.0f32; dim];
         let t = target as usize;
         let mut loss = 0.0f64;
@@ -128,53 +146,120 @@ impl SkipGram {
             (gi, loss)
         };
 
-        let (gi, l) = apply(&self.w_in, &mut self.w_out, context as usize, 1.0);
+        let (gi, l) = apply(w_in, w_out, context as usize, 1.0);
         for (a, b) in grad_in.iter_mut().zip(&gi) {
             *a += b;
         }
         loss += l;
-        for _ in 0..self.cfg.negatives {
-            let mut neg = self.sample_negative(rng);
+        for _ in 0..cfg.negatives {
+            let mut neg = Self::sample_negative_from(neg_cdf, vocab, rng);
             if neg == context {
-                neg = (neg + 1) % self.vocab as u32;
+                neg = (neg + 1) % vocab as u32;
             }
-            let (gi, l) = apply(&self.w_in, &mut self.w_out, neg as usize, 0.0);
+            let (gi, l) = apply(w_in, w_out, neg as usize, 0.0);
             for (a, b) in grad_in.iter_mut().zip(&gi) {
                 *a += b;
             }
             loss += l;
         }
-        let vi = self.w_in.row_mut(t);
+        let vi = w_in.row_mut(t);
         for k in 0..dim {
             vi[k] -= grad_in[k];
         }
         loss
     }
 
-    /// Train on the corpus; returns the mean pair loss per epoch.
-    pub fn train(&mut self, seqs: &[Vec<u32>], rng: &mut Xoshiro256pp) -> Vec<f64> {
-        let mut losses = Vec::with_capacity(self.cfg.epochs);
-        for _ in 0..self.cfg.epochs {
-            let mut total = 0.0f64;
-            let mut pairs = 0u64;
-            for s in seqs {
-                for (pos, &target) in s.iter().enumerate() {
-                    let lo = pos.saturating_sub(self.cfg.window_left);
-                    let hi = (pos + self.cfg.window_right + 1).min(s.len());
-                    for (ctx_pos, &ctx_tok) in s.iter().enumerate().take(hi).skip(lo) {
-                        if ctx_pos == pos {
-                            continue;
-                        }
-                        total += self.update_pair(target, ctx_tok, rng);
-                        pairs += 1;
+    /// One shard's epoch: sequential SGNS updates on private copies of
+    /// both tables, returned as deltas from the epoch-start snapshot.
+    fn shard_epoch(&self, shard: &[Vec<u32>], rng: &mut Xoshiro256pp) -> EpochDelta {
+        let mut w_in = self.w_in.clone();
+        let mut w_out = self.w_out.clone();
+        let mut loss = 0.0f64;
+        let mut pairs = 0u64;
+        for s in shard {
+            for (pos, &target) in s.iter().enumerate() {
+                let lo = pos.saturating_sub(self.cfg.window_left);
+                let hi = (pos + self.cfg.window_right + 1).min(s.len());
+                for (ctx_pos, &ctx_tok) in s.iter().enumerate().take(hi).skip(lo) {
+                    if ctx_pos == pos {
+                        continue;
                     }
+                    loss += Self::update_pair_tables(
+                        &self.cfg,
+                        self.vocab,
+                        &self.neg_cdf,
+                        &mut w_in,
+                        &mut w_out,
+                        target,
+                        ctx_tok,
+                        rng,
+                    );
+                    pairs += 1;
                 }
             }
-            losses.push(if pairs == 0 {
-                0.0
-            } else {
-                total / pairs as f64
-            });
+        }
+        // Convert the locally updated tables into deltas in place.
+        w_in.axpy(-1.0, &self.w_in);
+        w_out.axpy(-1.0, &self.w_out);
+        EpochDelta {
+            d_in: w_in,
+            d_out: w_out,
+            loss,
+            pairs,
+        }
+    }
+
+    /// Train on the corpus; returns the mean pair loss per epoch.
+    ///
+    /// Data-parallel with no Hogwild races: per epoch, the corpus is
+    /// split into a fixed number of shards (`parallel::shard_count`),
+    /// each shard runs the classic sequential update loop on a private
+    /// snapshot of both tables with its own seeded RNG, and the per-shard
+    /// deltas are merged in the shim's fixed tree order and applied once.
+    /// Shard seeds are drawn from the caller's RNG in shard order, so the
+    /// result is deterministic and independent of the thread count.
+    pub fn train(&mut self, seqs: &[Vec<u32>], rng: &mut Xoshiro256pp) -> Vec<f64> {
+        let shards = shard_count();
+        let chunk = seqs.len().div_ceil(shards).max(1);
+        let n_chunks = if seqs.is_empty() {
+            0
+        } else {
+            seqs.len().div_ceil(chunk)
+        };
+        let mut losses = Vec::with_capacity(self.cfg.epochs);
+        for _ in 0..self.cfg.epochs {
+            let seeds: Vec<u64> = (0..n_chunks).map(|_| rng.next_u64()).collect();
+            let merged = seqs
+                .par_chunks(chunk)
+                .enumerate()
+                .map(|(i, shard)| {
+                    let mut shard_rng = Xoshiro256pp::seed_from_u64(seeds[i]);
+                    self.shard_epoch(shard, &mut shard_rng)
+                })
+                .reduce_with(|mut a, b| {
+                    a.d_in.add_assign(&b.d_in);
+                    a.d_out.add_assign(&b.d_out);
+                    a.loss += b.loss;
+                    a.pairs += b.pairs;
+                    a
+                });
+            match merged {
+                Some(m) => {
+                    // Average the shard deltas (equal-sized shards): the
+                    // local-SGD merge. Summing instead would scale the
+                    // effective learning rate by the shard count and
+                    // diverge.
+                    let scale = 1.0 / n_chunks as f32;
+                    self.w_in.axpy(scale, &m.d_in);
+                    self.w_out.axpy(scale, &m.d_out);
+                    losses.push(if m.pairs == 0 {
+                        0.0
+                    } else {
+                        m.loss / m.pairs as f64
+                    });
+                }
+                None => losses.push(0.0),
+            }
         }
         losses
     }

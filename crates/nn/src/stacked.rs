@@ -205,8 +205,37 @@ impl StackedLstm {
     /// Accumulates all parameter gradients; returns gradients w.r.t. the
     /// input sequence.
     pub fn backward(&mut self, tape: &StackedTape, dy: &Mat) -> Vec<Mat> {
+        let mut grads: Vec<Mat> = self
+            .params()
+            .iter()
+            .map(|p| Mat::zeros(p.w.rows(), p.w.cols()))
+            .collect();
+        let dxs = self.backward_into(tape, dy, &mut grads);
+        for (p, g) in self.params_mut().into_iter().zip(&grads) {
+            p.g.add_assign(g);
+        }
+        dxs
+    }
+
+    /// Number of gradient buffers [`Self::backward_into`] expects: one per
+    /// parameter, in [`Self::params`] order (3 per layer + 2 for the head).
+    pub fn grad_slots(&self) -> usize {
+        3 * self.layers.len() + 2
+    }
+
+    /// Backward with `&self` into an ordered gradient-buffer slice (one
+    /// `Mat` per parameter, [`Self::params`] order): the data-parallel
+    /// trainer's per-shard path, where workers share the model immutably.
+    pub fn backward_into(&self, tape: &StackedTape, dy: &Mat, grads: &mut [Mat]) -> Vec<Mat> {
+        assert_eq!(grads.len(), self.grad_slots(), "gradient buffer count");
+        let nl = self.layers.len();
+        let (layer_grads, head_grads) = grads.split_at_mut(3 * nl);
+        let (dw_head, db_head) = head_grads.split_at_mut(1);
+
         // Head backward feeds the last step of the top layer.
-        let dh_last = self.head.backward(&tape.head_cache, dy);
+        let dh_last =
+            self.head
+                .backward_into(&tape.head_cache, dy, &mut dw_head[0], &mut db_head[0]);
         let batch = dh_last.rows();
 
         // Gradient w.r.t. each step's hidden output of the current layer.
@@ -220,8 +249,17 @@ impl StackedLstm {
             })
             .collect();
 
-        for (li, layer) in self.layers.iter_mut().enumerate().rev() {
-            let dxs = layer.backward_seq(&tape.layer_tapes[li], &dhs);
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            let g = &mut layer_grads[3 * li..3 * li + 3];
+            let (dwx, rest) = g.split_at_mut(1);
+            let (dwh, db) = rest.split_at_mut(1);
+            let dxs = layer.backward_seq_into(
+                &tape.layer_tapes[li],
+                &dhs,
+                &mut dwx[0],
+                &mut dwh[0],
+                &mut db[0],
+            );
             dhs = dxs;
         }
         let _ = &tape.layer_hs; // kept for future per-step losses

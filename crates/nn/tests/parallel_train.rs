@@ -1,0 +1,282 @@
+//! Determinism guarantees of the data-parallel trainer.
+//!
+//! The contract under test: training numerics depend only on the fixed
+//! shard count, never on the executing thread count — a same-seed run at
+//! 1 worker and at 4 workers must produce **bit-identical** weights and
+//! predictions, and repeat runs must be bit-identical too. The 1-worker
+//! parallel run must also track the pre-sharding sequential loop to
+//! within FP-summation-order tolerance.
+//!
+//! The thread override is process-global, so every test serialises on
+//! one mutex and restores the override before releasing it.
+
+use desh_nn::{
+    RecordingObserver, RmsProp, Sgd, SgnsConfig, SkipGram, TokenLstm, TrainConfig, VectorLstm,
+};
+use desh_util::Xoshiro256pp;
+use std::sync::Mutex;
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the shim pinned to `workers` threads, restoring the
+/// override afterwards even on panic-free early returns.
+fn with_workers<R>(
+    guard: &std::sync::MutexGuard<'_, ()>,
+    workers: usize,
+    f: impl FnOnce() -> R,
+) -> R {
+    let _ = guard;
+    rayon::set_thread_override(Some(workers));
+    let out = f();
+    rayon::set_thread_override(None);
+    out
+}
+
+fn cyclic_seqs(vocab: u32, len: usize, n: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|off| (0..len).map(|i| ((i + off) as u32) % vocab).collect())
+        .collect()
+}
+
+fn countdown_seqs(n: usize, len: usize) -> Vec<Vec<Vec<f32>>> {
+    (0..n)
+        .map(|j| {
+            (0..len)
+                .map(|i| {
+                    let t = (len - 1 - i) as f32 / len as f32;
+                    let p = (i as f32 + j as f32 * 0.1) / len as f32;
+                    vec![t, p]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn token_cfg() -> TrainConfig {
+    TrainConfig {
+        history: 4,
+        batch: 16,
+        epochs: 8,
+        clip: 5.0,
+    }
+}
+
+fn train_token(workers: usize, guard: &std::sync::MutexGuard<'_, ()>) -> TokenLstm {
+    with_workers(guard, workers, || {
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        let seqs = cyclic_seqs(6, 40, 4);
+        let mut m = TokenLstm::new(6, 8, 16, 2, &mut rng);
+        let mut opt = Sgd::with_momentum(0.3, 0.9);
+        m.train(&seqs, &token_cfg(), &mut opt, &mut rng);
+        m
+    })
+}
+
+fn weights_of(m: &TokenLstm) -> Vec<Vec<f32>> {
+    m.params().iter().map(|p| p.w.data().to_vec()).collect()
+}
+
+fn max_abs_diff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| x.iter().zip(y).map(|(u, v)| (u - v).abs()))
+        .fold(0.0f32, f32::max)
+}
+
+#[test]
+fn token_training_is_bit_identical_across_worker_counts() {
+    let guard = OVERRIDE_LOCK.lock().unwrap();
+    let one = train_token(1, &guard);
+    let four = train_token(4, &guard);
+    // Bit-identical weights — which trivially satisfies the 1e-6 bound.
+    for (a, b) in weights_of(&one).iter().zip(weights_of(&four).iter()) {
+        let bits_a: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+        let bits_b: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "weights diverged between 1 and 4 workers");
+    }
+    assert!(max_abs_diff(&weights_of(&one), &weights_of(&four)) <= 1e-6);
+    // Identical predictions follow from identical weights, but assert the
+    // user-visible surface directly too.
+    assert_eq!(
+        one.predict_kstep(&[0, 1, 2, 3], 3),
+        four.predict_kstep(&[0, 1, 2, 3], 3)
+    );
+    let pa = one.predict_probs(&[1, 2, 3, 4]);
+    let pb = four.predict_probs(&[1, 2, 3, 4]);
+    assert_eq!(pa, pb);
+}
+
+#[test]
+fn token_repeat_runs_are_bit_identical() {
+    let guard = OVERRIDE_LOCK.lock().unwrap();
+    let a = train_token(4, &guard);
+    let b = train_token(4, &guard);
+    for (x, y) in weights_of(&a).iter().zip(weights_of(&b).iter()) {
+        let bits_x: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+        let bits_y: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_x, bits_y, "same-seed repeat runs diverged");
+    }
+}
+
+#[test]
+fn token_parallel_tracks_sequential_reference() {
+    let guard = OVERRIDE_LOCK.lock().unwrap();
+    let seqs = cyclic_seqs(6, 40, 4);
+    let cfg = TrainConfig {
+        history: 4,
+        batch: 16,
+        epochs: 3,
+        clip: 5.0,
+    };
+    let run = |sequential: bool| {
+        with_workers(&guard, 1, || {
+            let mut rng = Xoshiro256pp::seed_from_u64(42);
+            let mut m = TokenLstm::new(6, 8, 16, 2, &mut rng);
+            let mut opt = Sgd::with_momentum(0.3, 0.9);
+            let mut obs = RecordingObserver::default();
+            let losses = if sequential {
+                m.train_sequential(&seqs, &cfg, &mut opt, &mut rng, &mut obs)
+            } else {
+                m.train(&seqs, &cfg, &mut opt, &mut rng)
+            };
+            (weights_of(&m), losses)
+        })
+    };
+    let (w_seq, l_seq) = run(true);
+    let (w_par, l_par) = run(false);
+    // Only FP summation order differs (shard-local partial sums + the
+    // tree), so the runs drift but stay within a tight envelope over a
+    // few epochs.
+    let drift = max_abs_diff(&w_seq, &w_par);
+    assert!(
+        drift < 1e-3,
+        "1-worker parallel drifted {drift} from sequential"
+    );
+    for (a, b) in l_seq.iter().zip(&l_par) {
+        assert!((a - b).abs() < 1e-3, "epoch losses diverged: {a} vs {b}");
+    }
+}
+
+#[test]
+fn vector_training_is_bit_identical_across_worker_counts() {
+    let guard = OVERRIDE_LOCK.lock().unwrap();
+    let run = |workers: usize| {
+        with_workers(&guard, workers, || {
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            let seqs = countdown_seqs(8, 10);
+            let mut m = VectorLstm::new(2, 16, 2, &mut rng);
+            let cfg = TrainConfig {
+                history: 5,
+                batch: 16,
+                epochs: 10,
+                clip: 5.0,
+            };
+            let mut opt = RmsProp::new(0.005);
+            let losses = m.train(&seqs, &cfg, &mut opt, &mut rng);
+            let scores = m.score_sequence(&seqs[0], 5);
+            (losses, scores)
+        })
+    };
+    let (l1, s1) = run(1);
+    let (l4, s4) = run(4);
+    assert_eq!(
+        l1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        l4.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        s1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        s4.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn sgns_training_is_bit_identical_across_worker_counts() {
+    let guard = OVERRIDE_LOCK.lock().unwrap();
+    let run = |workers: usize| {
+        with_workers(&guard, workers, || {
+            let mut rng = Xoshiro256pp::seed_from_u64(11);
+            let seqs: Vec<Vec<u32>> = (0..20)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        vec![0, 1, 0, 1, 0, 1]
+                    } else {
+                        vec![2, 3, 2, 3, 2, 3]
+                    }
+                })
+                .collect();
+            let cfg = SgnsConfig {
+                dim: 8,
+                epochs: 4,
+                ..Default::default()
+            };
+            let mut sg = SkipGram::new(4, &seqs, cfg, &mut rng);
+            let losses = sg.train(&seqs, &mut rng);
+            (losses, sg.into_table())
+        })
+    };
+    let (l1, t1) = run(1);
+    let (l4, t4) = run(4);
+    assert_eq!(
+        l1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        l4.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        t1.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        t4.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn observer_sees_shard_stats_and_reduce_latency() {
+    use desh_nn::{ShardStats, TrainObserver};
+    use std::time::Duration;
+
+    #[derive(Default)]
+    struct ShardProbe {
+        epochs: usize,
+        shard_calls: usize,
+        shards_seen: usize,
+        windows_total: usize,
+        reduces: usize,
+    }
+    impl TrainObserver for ShardProbe {
+        fn on_epoch(&mut self, _e: usize, _l: f64, _d: Duration) {
+            self.epochs += 1;
+        }
+        fn on_shards(&mut self, _e: usize, stats: &[ShardStats]) {
+            self.shard_calls += 1;
+            self.shards_seen = stats.len();
+            self.windows_total = stats.iter().map(|s| s.windows).sum();
+            for s in stats {
+                let _ = s.throughput();
+            }
+        }
+        fn on_grad_reduce(&mut self, _elapsed: Duration) {
+            self.reduces += 1;
+        }
+    }
+
+    let guard = OVERRIDE_LOCK.lock().unwrap();
+    with_workers(&guard, 2, || {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let seqs = cyclic_seqs(5, 24, 3);
+        let mut m = TokenLstm::new(5, 4, 8, 1, &mut rng);
+        let cfg = TrainConfig {
+            history: 4,
+            batch: 8,
+            epochs: 2,
+            clip: 5.0,
+        };
+        let mut opt = Sgd::new(0.1);
+        let mut probe = ShardProbe::default();
+        m.train_observed(&seqs, &cfg, &mut opt, &mut rng, &mut probe);
+        assert_eq!(probe.epochs, 2);
+        assert_eq!(probe.shard_calls, 2);
+        assert_eq!(probe.shards_seen, desh_nn::shard_count());
+        // Every window is attributed to exactly one shard each epoch:
+        // 3 sequences of 24 tokens with history 4 -> 60 windows.
+        assert_eq!(probe.windows_total, 60);
+        // One reduce per minibatch: ceil(60 / 8) = 8 per epoch.
+        assert_eq!(probe.reduces, 16);
+    });
+}

@@ -120,6 +120,11 @@ fn predict_telemetry_writes_parseable_jsonl_with_latencies() {
     ] {
         assert_eq!(hist_count(snap, span), Some(1), "missing {span} in {snap}");
     }
+    // The data-parallel trainer records one gradient tree-reduction per
+    // minibatch; the snapshot must carry a nonzero latency histogram.
+    let reduces = hist_count(snap, "phase1.grad_reduce_us")
+        .expect("train snapshot has phase1.grad_reduce_us");
+    assert!(reduces > 0, "no gradient reductions recorded: {snap}");
 
     // Predict sink: every line parses, and the final snapshot carries a
     // nonzero scoring-latency histogram plus the stream span.
