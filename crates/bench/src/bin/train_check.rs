@@ -16,11 +16,19 @@
 //!    `other_overhead + max_pile_busy + reduce_time`. This critical-path
 //!    model is what a single-core CI host can still compute honestly.
 //!
+//! It also measures the epoch-time overhead of the run ledger's
+//! per-layer parameter-statistics collection (`on_param_stats`): same
+//! workload with and without the hook, interleaved pairs, median
+//! overhead. The ledger's promise is that auditing a run is close to
+//! free; this keeps the number honest.
+//!
 //! Flags:
 //! * `--smoke` — tiny profile + fast config, for CI gating.
 //! * `--min-speedup <X>` — exit non-zero unless the 4-worker speedup over
 //!   1 worker reaches `X`. Uses the measured number when the host has ≥4
 //!   cores, the projected number otherwise (recorded as such).
+//! * `--max-stats-overhead <pct>` — exit non-zero if the param-stats
+//!   collection overhead exceeds `pct` percent of epoch time.
 //! * `--json <path>` — write machine-readable results (defaults to
 //!   `results/BENCH_train.json` in full runs; off in smoke runs).
 
@@ -29,7 +37,7 @@ use desh_core::DeshConfig;
 use desh_loggen::{generate, SystemProfile};
 use desh_logparse::parse_records;
 use desh_nn::{
-    shard_count, Optimizer, Sgd, ShardStats, TokenLstm, TrainConfig, TrainObserver,
+    shard_count, Optimizer, ParamStats, Sgd, ShardStats, TokenLstm, TrainConfig, TrainObserver,
 };
 use desh_util::Xoshiro256pp;
 use std::time::{Duration, Instant};
@@ -40,11 +48,12 @@ const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
 struct Args {
     smoke: bool,
     min_speedup: Option<f64>,
+    max_stats_overhead: Option<f64>,
     json: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { smoke: false, min_speedup: None, json: None };
+    let mut args = Args { smoke: false, min_speedup: None, max_stats_overhead: None, json: None };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,6 +61,11 @@ fn parse_args() -> Args {
             "--min-speedup" => {
                 let v = it.next().expect("--min-speedup needs a value");
                 args.min_speedup = Some(v.parse().expect("--min-speedup must be a number"));
+            }
+            "--max-stats-overhead" => {
+                let v = it.next().expect("--max-stats-overhead needs a value");
+                args.max_stats_overhead =
+                    Some(v.parse().expect("--max-stats-overhead must be a number"));
             }
             "--json" => args.json = Some(it.next().expect("--json needs a path")),
             other => panic!("unknown flag {other}"),
@@ -96,6 +110,70 @@ impl TrainObserver for TrainProbe {
         self.reduce_total += elapsed;
         self.reduces += 1;
     }
+}
+
+/// [`TrainProbe`] plus the run-ledger stats hook: requesting
+/// `on_param_stats` turns on the one-pass per-layer scan of the merged
+/// gradient buffers inside the sharded trainer — the thing whose cost is
+/// being measured.
+#[derive(Default)]
+struct StatsOnProbe {
+    inner: TrainProbe,
+    stats_epochs: usize,
+    layers: usize,
+}
+
+impl TrainObserver for StatsOnProbe {
+    fn on_epoch(&mut self, epoch: usize, mean_loss: f64, elapsed: Duration) {
+        self.inner.on_epoch(epoch, mean_loss, elapsed);
+    }
+    fn on_shards(&mut self, epoch: usize, stats: &[ShardStats]) {
+        self.inner.on_shards(epoch, stats);
+    }
+    fn on_grad_reduce(&mut self, elapsed: Duration) {
+        self.inner.on_grad_reduce(elapsed);
+    }
+    fn wants_param_stats(&self) -> bool {
+        true
+    }
+    fn on_param_stats(&mut self, _epoch: usize, stats: &[ParamStats]) {
+        self.stats_epochs += 1;
+        self.layers = stats.len();
+    }
+}
+
+/// Median epoch-time overhead (percent) of param-stats collection:
+/// `reps` interleaved (hook off, hook on) pairs over the same seeded
+/// workload at 1 worker, comparing summed epoch wall time. Interleaving
+/// pairs absorbs slow drift (thermal, other tenants) that a
+/// batched A/A/B/B order would fold into the answer.
+fn measure_stats_overhead(
+    seqs: &[Vec<u32>],
+    vocab: usize,
+    cfg: &DeshConfig,
+    reps: usize,
+) -> (f64, usize) {
+    rayon::set_thread_override(Some(1));
+    let mut pcts = Vec::with_capacity(reps);
+    let mut layers = 0;
+    for _ in 0..reps {
+        let (mut model, mut opt, mut rng) = fresh_model(vocab, cfg);
+        let mut off = TrainProbe::default();
+        model.train_observed(seqs, &train_cfg(cfg), &mut opt as &mut dyn Optimizer, &mut rng, &mut off);
+
+        let (mut model, mut opt, mut rng) = fresh_model(vocab, cfg);
+        let mut on = StatsOnProbe::default();
+        model.train_observed(seqs, &train_cfg(cfg), &mut opt as &mut dyn Optimizer, &mut rng, &mut on);
+        assert_eq!(on.stats_epochs, cfg.phase1.epochs, "stats hook fired every epoch");
+        assert!(on.layers > 0, "per-layer stats must name the layers");
+        layers = on.layers;
+
+        let base = off.epoch_wall.as_secs_f64();
+        pcts.push((on.inner.epoch_wall.as_secs_f64() - base) / base * 100.0);
+    }
+    rayon::set_thread_override(None);
+    pcts.sort_by(|a, b| a.total_cmp(b));
+    (pcts[pcts.len() / 2], layers)
 }
 
 /// FNV-1a over the raw weight bits: equal fingerprints ⇔ bit-identical
@@ -283,6 +361,14 @@ fn main() {
         if host_cores >= 4 { "measured" } else { "projected" }
     );
 
+    // Ledger observability tax: per-layer param-stats collection.
+    let stats_reps = 3;
+    let (stats_overhead_pct, stats_layers) = measure_stats_overhead(&seqs, vocab, &cfg, stats_reps);
+    println!(
+        "\nparam-stats collection: {stats_overhead_pct:+.2}% of epoch time \
+         (median of {stats_reps} interleaved pairs, {stats_layers} layers per epoch)"
+    );
+
     if let Some(path) = &args.json {
         let body = format!(
             concat!(
@@ -302,7 +388,9 @@ fn main() {
                 "  \"scaling\": [{}],\n",
                 "  \"speedup_4w_measured\": {:.2},\n",
                 "  \"speedup_4w_projected\": {:.2},\n",
-                "  \"speedup_4w_effective\": {:.2}\n",
+                "  \"speedup_4w_effective\": {:.2},\n",
+                "  \"param_stats_layers\": {},\n",
+                "  \"param_stats_overhead_pct\": {:.2}\n",
                 "}}\n"
             ),
             if args.smoke { "tiny" } else { "M1" },
@@ -320,6 +408,8 @@ fn main() {
             measured4,
             projected4,
             effective4,
+            stats_layers,
+            stats_overhead_pct,
         );
         if let Some(dir) = std::path::Path::new(path).parent() {
             let _ = std::fs::create_dir_all(dir);
@@ -346,5 +436,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("speedup {effective4:.2}x meets required {min:.2}x");
+    }
+    if let Some(max) = args.max_stats_overhead {
+        if stats_overhead_pct > max {
+            eprintln!(
+                "FAIL: param-stats overhead {stats_overhead_pct:.2}% exceeds allowed {max:.2}%"
+            );
+            std::process::exit(1);
+        }
+        println!("param-stats overhead {stats_overhead_pct:.2}% within allowed {max:.2}%");
     }
 }

@@ -26,8 +26,10 @@ pub mod phase2;
 pub mod phase3;
 pub mod pipeline;
 pub mod report;
+pub mod session;
 pub mod tuning;
 pub mod unknown;
+pub mod watchdog;
 
 pub use chain::{extract_chains, ChainEvent, FailureChain};
 pub use classes::{classify_chain, classify_templates};
@@ -39,10 +41,12 @@ pub use leadtime::{lead_by_class, lead_overall, observation4, recall_by_class, s
 pub use metrics::Confusion;
 pub use online::{OnlineDetector, Warning};
 pub use observe::{warning_record, EpochTelemetry};
-pub use phase1::{run_phase1, run_phase1_telemetry, Phase1Output};
-pub use phase2::{chain_to_vectors, run_phase2, run_phase2_telemetry, LeadTimeModel};
+pub use phase1::{run_phase1, run_phase1_session, run_phase1_telemetry, Phase1Output};
+pub use phase2::{chain_to_vectors, run_phase2, run_phase2_session, run_phase2_telemetry, LeadTimeModel};
 pub use phase3::{maintenance_windows, run_phase3, run_phase3_telemetry, Phase3Output, Verdict};
 pub use pipeline::{Desh, DeshReport, TrainedDesh};
 pub use report::{markdown_row, render};
+pub use session::{config_hash, dataset_fingerprint, LedgerObserver, RunSession};
+pub use watchdog::{check_epoch, DivergenceReason, WatchdogConfig};
 pub use tuning::{calibrate, Calibration, OperatingPoint};
 pub use unknown::{unknown_contributions, PhraseContribution};

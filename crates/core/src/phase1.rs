@@ -11,9 +11,10 @@
 use crate::chain::{extract_chains, FailureChain};
 use crate::config::{DeshConfig, Phase1Config};
 use crate::observe::EpochTelemetry;
+use crate::session::RunSession;
 use desh_logparse::ParsedLog;
-use desh_nn::{Mat, Optimizer, Sgd, SgnsConfig, SkipGram, TokenLstm, TrainConfig};
-use desh_obs::Telemetry;
+use desh_nn::{Mat, NoopObserver, Optimizer, Sgd, SgnsConfig, SkipGram, TokenLstm, TrainConfig, TrainObserver};
+use desh_obs::{DivergenceRecord, Telemetry};
 use desh_util::Xoshiro256pp;
 
 /// Everything phase 1 produces.
@@ -38,8 +39,20 @@ pub fn train_embeddings(
     cfg: &SgnsConfig,
     rng: &mut Xoshiro256pp,
 ) -> Mat {
+    train_embeddings_observed(seqs, vocab, cfg, rng, &mut NoopObserver)
+}
+
+/// [`train_embeddings`] with a training observer attached (the run
+/// ledger's per-epoch SGNS series and watchdog).
+pub fn train_embeddings_observed(
+    seqs: &[Vec<u32>],
+    vocab: usize,
+    cfg: &SgnsConfig,
+    rng: &mut Xoshiro256pp,
+    observer: &mut dyn TrainObserver,
+) -> Mat {
     let mut sg = SkipGram::new(vocab, seqs, cfg.clone(), rng);
-    sg.train(seqs, rng);
+    sg.train_observed(seqs, rng, observer);
     sg.into_table()
 }
 
@@ -57,6 +70,26 @@ pub fn run_phase1_telemetry(
     rng: &mut Xoshiro256pp,
     telemetry: &Telemetry,
 ) -> Phase1Output {
+    run_phase1_session(parsed, cfg, rng, telemetry, None)
+        .expect("phase 1 cannot diverge without a run session attached")
+}
+
+/// [`run_phase1_telemetry`] with an optional [`RunSession`] attached.
+///
+/// With a session, the SGNS pre-training and the LSTM training both feed
+/// per-epoch rows (loss, wall time, per-layer gradient stats) into the
+/// run's `series.jsonl` under the phases `sgns` and `phase1`, and the
+/// divergence watchdog can abort either: the offending epoch is dumped,
+/// the last healthy checkpoint saved, and the [`DivergenceRecord`]
+/// returned as the error. Attaching a session does not perturb training
+/// numerics — observers only read merged gradients.
+pub fn run_phase1_session(
+    parsed: &ParsedLog,
+    cfg: &DeshConfig,
+    rng: &mut Xoshiro256pp,
+    telemetry: &Telemetry,
+    mut session: Option<&mut RunSession>,
+) -> Result<Phase1Output, DivergenceRecord> {
     let _span = telemetry.span("phase1");
     let p1: &Phase1Config = &cfg.phase1;
     let vocab = parsed.vocab_size().max(2);
@@ -70,7 +103,18 @@ pub fn run_phase1_telemetry(
     telemetry.count("phase1.sequences", seqs.len() as u64);
 
     let mut model = if p1.use_sgns {
-        let table = telemetry.time("sgns", || train_embeddings(&seqs, vocab, &p1.sgns, rng));
+        let table = telemetry.time("sgns", || match session.as_deref_mut() {
+            Some(s) => {
+                let mut obs = s.observer("sgns", telemetry);
+                let table = train_embeddings_observed(&seqs, vocab, &p1.sgns, rng, &mut obs);
+                obs.finish();
+                table
+            }
+            None => train_embeddings(&seqs, vocab, &p1.sgns, rng),
+        });
+        if let Some(d) = session.as_deref_mut().and_then(|s| s.diverged().cloned()) {
+            return Err(d);
+        }
         TokenLstm::with_embeddings(table, p1.hidden, p1.layers, rng)
     } else {
         TokenLstm::new(vocab, p1.embed_dim, p1.hidden, p1.layers, rng)
@@ -83,14 +127,33 @@ pub fn run_phase1_telemetry(
         clip: 5.0,
     };
     let mut opt = Sgd::with_momentum(p1.lr, 0.9);
-    let mut observer = EpochTelemetry::new(telemetry, "phase1");
-    let losses = model.train_observed(
-        &seqs,
-        &tcfg,
-        &mut opt as &mut dyn Optimizer,
-        rng,
-        &mut observer,
-    );
+    let losses = match session.as_deref_mut() {
+        Some(s) => {
+            let mut obs = s.observer("phase1", telemetry);
+            let losses = model.train_observed(
+                &seqs,
+                &tcfg,
+                &mut opt as &mut dyn Optimizer,
+                rng,
+                &mut obs,
+            );
+            obs.finish();
+            losses
+        }
+        None => {
+            let mut observer = EpochTelemetry::new(telemetry, "phase1");
+            model.train_observed(
+                &seqs,
+                &tcfg,
+                &mut opt as &mut dyn Optimizer,
+                rng,
+                &mut observer,
+            )
+        }
+    };
+    if let Some(d) = session.as_deref_mut().and_then(|s| s.diverged().cloned()) {
+        return Err(d);
+    }
 
     // Evaluate k-step accuracy on a bounded sample of sequences to keep
     // phase 1 cheap (it is an offline training phase).
@@ -100,7 +163,7 @@ pub fn run_phase1_telemetry(
 
     let chains = extract_chains(parsed, &cfg.episodes);
     telemetry.count("phase1.chains", chains.len() as u64);
-    Phase1Output { model, chains, losses, accuracy_kstep }
+    Ok(Phase1Output { model, chains, losses, accuracy_kstep })
 }
 
 #[cfg(test)]

@@ -21,8 +21,9 @@
 use crate::chain::FailureChain;
 use crate::config::Phase2Config;
 use crate::observe::EpochTelemetry;
+use crate::session::RunSession;
 use desh_nn::{Optimizer, RmsProp, TrainConfig, VectorLstm, VectorStream};
-use desh_obs::Telemetry;
+use desh_obs::{DivergenceRecord, Telemetry};
 use desh_util::{Micros, Xoshiro256pp};
 
 /// The trained lead-time model plus the encoding constants that must
@@ -177,6 +178,23 @@ pub fn run_phase2_telemetry(
     rng: &mut Xoshiro256pp,
     telemetry: &Telemetry,
 ) -> LeadTimeModel {
+    run_phase2_session(chains, vocab_size, cfg, rng, telemetry, None)
+        .expect("phase 2 cannot diverge without a run session attached")
+}
+
+/// [`run_phase2_telemetry`] with an optional [`RunSession`] attached:
+/// per-epoch rows (loss, wall time, per-layer gradient stats) land in the
+/// run's `series.jsonl` under the `phase2` phase, and the divergence
+/// watchdog can abort training — the offending epoch is dumped, the last
+/// healthy checkpoint saved, and the [`DivergenceRecord`] returned.
+pub fn run_phase2_session(
+    chains: &[FailureChain],
+    vocab_size: usize,
+    cfg: &Phase2Config,
+    rng: &mut Xoshiro256pp,
+    telemetry: &Telemetry,
+    mut session: Option<&mut RunSession>,
+) -> Result<LeadTimeModel, DivergenceRecord> {
     let _span = telemetry.span("phase2");
     assert!(!chains.is_empty(), "phase 2 requires at least one failure chain");
     assert!(vocab_size > 0);
@@ -193,21 +211,40 @@ pub fn run_phase2_telemetry(
         clip: 5.0,
     };
     let mut opt = RmsProp::new(cfg.lr);
-    let mut observer = EpochTelemetry::new(telemetry, "phase2");
-    let losses = model.train_observed(
-        &seqs,
-        &tcfg,
-        &mut opt as &mut dyn Optimizer,
-        rng,
-        &mut observer,
-    );
-    LeadTimeModel {
+    let losses = match session.as_deref_mut() {
+        Some(s) => {
+            let mut obs = s.observer("phase2", telemetry);
+            let losses = model.train_observed(
+                &seqs,
+                &tcfg,
+                &mut opt as &mut dyn Optimizer,
+                rng,
+                &mut obs,
+            );
+            obs.finish();
+            losses
+        }
+        None => {
+            let mut observer = EpochTelemetry::new(telemetry, "phase2");
+            model.train_observed(
+                &seqs,
+                &tcfg,
+                &mut opt as &mut dyn Optimizer,
+                rng,
+                &mut observer,
+            )
+        }
+    };
+    if let Some(d) = session.and_then(|s| s.diverged().cloned()) {
+        return Err(d);
+    }
+    Ok(LeadTimeModel {
         model,
         dt_scale: cfg.dt_scale,
         vocab_size,
         history: cfg.history,
         losses,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -6,12 +6,13 @@ use crate::config::DeshConfig;
 use crate::leadtime::{lead_by_class, lead_overall, observation4, recall_by_class};
 use crate::metrics::Confusion;
 use crate::online::OnlineDetector;
-use crate::phase1::{run_phase1_telemetry, Phase1Output};
-use crate::phase2::{run_phase2_telemetry, LeadTimeModel};
+use crate::phase1::{run_phase1_session, run_phase1_telemetry, Phase1Output};
+use crate::phase2::{run_phase2_session, run_phase2_telemetry, LeadTimeModel};
 use crate::phase3::{run_phase3_telemetry, Verdict};
+use crate::session::RunSession;
 use desh_loggen::{Dataset, FailureClass};
 use desh_logparse::{parse_records_telemetry, ParsedLog};
-use desh_obs::Telemetry;
+use desh_obs::{DivergenceRecord, Telemetry};
 use desh_util::{Summary, Xoshiro256pp};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -153,6 +154,90 @@ impl Desh {
         let mut report = self.evaluate(&trained, &test);
         report.system = dataset.system.clone();
         report
+    }
+
+    /// [`Desh::train`] with a run ledger attached: both training phases
+    /// (plus SGNS pre-training) stream per-epoch rows into the session's
+    /// `series.jsonl`, and the divergence watchdog can abort either phase
+    /// — in which case the [`DivergenceRecord`] is returned and the
+    /// caller should still [`RunSession::finish`] to write `run.json`.
+    pub fn train_session(
+        &self,
+        train: &Dataset,
+        session: &mut RunSession,
+    ) -> Result<TrainedDesh, DivergenceRecord> {
+        let _span = self.telemetry.span("train");
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed);
+        let parsed_train = parse_records_telemetry(
+            &train.records,
+            Arc::new(desh_logparse::Vocab::new()),
+            &self.telemetry,
+        );
+        let phase1 = run_phase1_session(
+            &parsed_train,
+            &self.cfg,
+            &mut rng,
+            &self.telemetry,
+            Some(session),
+        )?;
+        assert!(
+            !phase1.chains.is_empty(),
+            "no failure chains in the training split; enlarge the dataset"
+        );
+        let lead_model = run_phase2_session(
+            &phase1.chains,
+            parsed_train.vocab_size(),
+            &self.cfg.phase2,
+            &mut rng,
+            &self.telemetry,
+            Some(session),
+        )?;
+        Ok(TrainedDesh { phase1, lead_model, parsed_train })
+    }
+
+    /// The end-of-run metrics written into a ledger's `run.json`:
+    /// measured prediction-efficiency and lead-time figures next to the
+    /// paper's headline references (`paper.*` keys — ≥85% recall, ≥83.6%
+    /// accuracy, >2 min mean lead; Tables 6/7).
+    pub fn end_metrics(report: &DeshReport) -> Vec<(String, f64)> {
+        vec![
+            ("recall".into(), report.confusion.recall()),
+            ("precision".into(), report.confusion.precision()),
+            ("accuracy".into(), report.confusion.accuracy()),
+            ("f1".into(), report.confusion.f1()),
+            ("fp_rate".into(), report.confusion.fp_rate()),
+            ("lead_mean_secs".into(), report.lead_overall.mean()),
+            ("chains_trained".into(), report.chains_trained as f64),
+            ("phase1_accuracy_kstep".into(), report.phase1_accuracy),
+            ("paper.recall".into(), 0.85),
+            ("paper.accuracy".into(), 0.836),
+            ("paper.lead_mean_secs".into(), 120.0),
+        ]
+    }
+
+    /// [`Desh::run`] under a run ledger: split, train, evaluate, and
+    /// write the session's `run.json` whichever way it ends. Returns the
+    /// report, or the watchdog's [`DivergenceRecord`] when training
+    /// aborted (status `"diverged"` in `run.json`). The outer `Err` is a
+    /// ledger I/O failure.
+    pub fn run_session(
+        &self,
+        dataset: &Dataset,
+        mut session: RunSession,
+    ) -> std::io::Result<Result<DeshReport, DivergenceRecord>> {
+        let (train, test) = dataset.split_by_time(0.3);
+        match self.train_session(&train, &mut session) {
+            Ok(trained) => {
+                let mut report = self.evaluate(&trained, &test);
+                report.system = dataset.system.clone();
+                session.finish(&Self::end_metrics(&report))?;
+                Ok(Ok(report))
+            }
+            Err(d) => {
+                session.finish(&[])?;
+                Ok(Err(d))
+            }
+        }
     }
 
     /// Access the training chains of a trained pipeline (for analyses).

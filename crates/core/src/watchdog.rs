@@ -1,0 +1,168 @@
+//! Divergence watchdog for the training phases.
+//!
+//! Deep training runs fail in a characteristic way: loss goes NaN or a
+//! layer's gradients explode, and every epoch after that is wasted work
+//! on garbage weights. The watchdog checks each epoch's observed loss
+//! and per-layer gradient statistics (from the run ledger's
+//! [`desh_nn::TrainObserver::on_param_stats`] hook) and trips as soon as
+//! one of three conditions holds:
+//!
+//! 1. the mean epoch loss is non-finite (`nan_loss`),
+//! 2. any layer saw a non-finite gradient value (`nonfinite_grads`,
+//!    cross-checked against [`desh_nn::nonfinite_grad_count`], the
+//!    optimizer-level counter fed by its NaN/Inf sanitizer), or
+//! 3. any layer's max minibatch gradient norm exceeds the configured
+//!    ceiling (`exploding_grad`).
+//!
+//! Tripping aborts the phase via `should_stop`, dumps the offending
+//! epoch and the last healthy checkpoint, and surfaces the reason in the
+//! run's `run.json` — see [`crate::session::RunSession`].
+
+use desh_obs::LayerStat;
+
+/// Thresholds for the divergence watchdog.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Trip when any layer's max per-minibatch gradient L2 norm exceeds
+    /// this. Healthy runs in this codebase sit well under 10² even on
+    /// the first epoch; the default leaves an order of magnitude of
+    /// headroom before calling a run lost.
+    pub max_grad_norm: f64,
+    /// Trip when any layer reports non-finite gradient values. The
+    /// optimizer already zeroes them out (so weights stay finite), but a
+    /// poisoned gradient means the loss surface itself produced NaN/Inf
+    /// — continuing silently hides a real numerical bug.
+    pub trip_on_nonfinite: bool,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            max_grad_norm: 1e3,
+            trip_on_nonfinite: true,
+        }
+    }
+}
+
+/// Why the watchdog tripped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DivergenceReason {
+    /// The epoch's mean loss was NaN or infinite.
+    NanLoss { loss: f64 },
+    /// A layer's max gradient norm exceeded [`WatchdogConfig::max_grad_norm`].
+    ExplodingGrad { layer: String, norm: f64 },
+    /// A layer produced non-finite gradient values.
+    NonFiniteGrads { layer: String, count: u64 },
+}
+
+impl DivergenceReason {
+    /// Stable machine-readable kind for `run.json` / `divergence.json`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DivergenceReason::NanLoss { .. } => "nan_loss",
+            DivergenceReason::ExplodingGrad { .. } => "exploding_grad",
+            DivergenceReason::NonFiniteGrads { .. } => "nonfinite_grads",
+        }
+    }
+
+    /// Human-readable detail naming the offending value / layer.
+    pub fn detail(&self) -> String {
+        match self {
+            DivergenceReason::NanLoss { loss } => format!("mean epoch loss {loss} is non-finite"),
+            DivergenceReason::ExplodingGrad { layer, norm } => {
+                format!("layer {layer} max gradient norm {norm:.3e} exceeds ceiling")
+            }
+            DivergenceReason::NonFiniteGrads { layer, count } => {
+                format!("layer {layer} produced {count} non-finite gradient values")
+            }
+        }
+    }
+}
+
+/// Check one epoch's observations. Returns the first tripped condition
+/// (NaN loss, then non-finite grads, then explosion) or `None` when the
+/// epoch looks healthy.
+pub fn check_epoch(
+    cfg: &WatchdogConfig,
+    mean_loss: f64,
+    layers: &[LayerStat],
+) -> Option<DivergenceReason> {
+    if !mean_loss.is_finite() {
+        return Some(DivergenceReason::NanLoss { loss: mean_loss });
+    }
+    if cfg.trip_on_nonfinite {
+        if let Some(l) = layers.iter().find(|l| l.nonfinite > 0) {
+            return Some(DivergenceReason::NonFiniteGrads {
+                layer: l.name.clone(),
+                count: l.nonfinite,
+            });
+        }
+    }
+    if let Some(l) = layers
+        .iter()
+        .filter(|l| l.grad_norm_max.is_finite())
+        .find(|l| l.grad_norm_max > cfg.max_grad_norm)
+    {
+        return Some(DivergenceReason::ExplodingGrad {
+            layer: l.name.clone(),
+            norm: l.grad_norm_max,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(name: &str, grad_max: f64, nonfinite: u64) -> LayerStat {
+        LayerStat {
+            name: name.into(),
+            weight_norm: 1.0,
+            grad_norm_mean: grad_max / 2.0,
+            grad_norm_max: grad_max,
+            update_ratio: 0.01,
+            nonfinite,
+        }
+    }
+
+    #[test]
+    fn healthy_epoch_passes() {
+        let cfg = WatchdogConfig::default();
+        assert_eq!(check_epoch(&cfg, 0.5, &[layer("l0", 10.0, 0)]), None);
+    }
+
+    #[test]
+    fn nan_loss_trips_first() {
+        let cfg = WatchdogConfig::default();
+        let got = check_epoch(&cfg, f64::NAN, &[layer("l0", 1e9, 3)]).unwrap();
+        assert_eq!(got.kind(), "nan_loss");
+        assert!(check_epoch(&cfg, f64::INFINITY, &[]).is_some());
+    }
+
+    #[test]
+    fn exploding_grad_names_the_layer() {
+        let cfg = WatchdogConfig::default();
+        let got = check_epoch(&cfg, 0.5, &[layer("ok", 1.0, 0), layer("boom", 5e3, 0)]).unwrap();
+        match &got {
+            DivergenceReason::ExplodingGrad { layer, norm } => {
+                assert_eq!(layer, "boom");
+                assert_eq!(*norm, 5e3);
+            }
+            other => panic!("wrong reason {other:?}"),
+        }
+        assert!(got.detail().contains("boom"));
+    }
+
+    #[test]
+    fn nonfinite_grads_trip_unless_disabled() {
+        let cfg = WatchdogConfig::default();
+        let got = check_epoch(&cfg, 0.5, &[layer("l0", 1.0, 7)]).unwrap();
+        assert_eq!(got.kind(), "nonfinite_grads");
+        let lax = WatchdogConfig {
+            trip_on_nonfinite: false,
+            ..WatchdogConfig::default()
+        };
+        assert_eq!(check_epoch(&lax, 0.5, &[layer("l0", 1.0, 7)]), None);
+    }
+}

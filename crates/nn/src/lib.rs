@@ -48,8 +48,8 @@ pub use gru::{GruLayer, GruScratch};
 pub use lstm::{LstmLayer, LstmScratch, LstmState};
 pub use mat::Mat;
 pub use models::{ScoreWorkspace, TokenLstm, TrainConfig, VectorLstm, VectorStream};
-pub use observe::{NoopObserver, RecordingObserver, ShardStats, TrainObserver};
-pub use optim::{Adam, Optimizer, RmsProp, Sgd};
+pub use observe::{NoopObserver, ParamStats, RecordingObserver, ShardStats, TrainObserver};
+pub use optim::{nonfinite_grad_count, Adam, Optimizer, RmsProp, Sgd};
 pub use parallel::{shard_count, GradSet};
 pub use param::Param;
 pub use schedule::{Constant, Cosine, Schedule, StepDecay, Warmup};

@@ -16,7 +16,7 @@ use crate::embedding::Embedding;
 use crate::loss::{mse, mse_denom, mse_vec, softmax, softmax_xent, softmax_xent_denom};
 use crate::lstm::LstmState;
 use crate::mat::Mat;
-use crate::observe::{NoopObserver, ShardStats, TrainObserver};
+use crate::observe::{NoopObserver, ParamStatsAcc, ShardStats, TrainObserver};
 use crate::optim::Optimizer;
 use crate::parallel::{shard_count, shard_ranges, tree_reduce_indices, GradSet};
 use crate::param::{clip_global_norm, Param};
@@ -100,12 +100,16 @@ impl TrainShard {
 /// parameters, clip, and step the optimizer. Returns the batch's summed
 /// loss and the wall time of the tree reduction (including the final add
 /// into the parameter gradients). Shard gradient buffers are left zeroed
-/// for the next batch.
+/// for the next batch. When `stats` is set (an observer opted into
+/// per-layer stats) the merged buffers get one extra read pass before
+/// they are cleared; the stats never feed back into the update, so the
+/// numerics are identical with or without an accumulator.
 fn reduce_apply_step(
     states: &mut [TrainShard],
     params: &mut [&mut Param],
     clip: f64,
     opt: &mut dyn Optimizer,
+    stats: Option<&mut ParamStatsAcc>,
 ) -> (f64, Duration) {
     let t0 = Instant::now();
     tree_reduce_indices(states.len(), |d, s| {
@@ -115,6 +119,9 @@ fn reduce_apply_step(
     });
     states[0].grads.apply_to(params);
     let reduce_elapsed = t0.elapsed();
+    if let Some(acc) = stats {
+        acc.accumulate(states[0].grads.mats());
+    }
     clip_global_norm(params, clip);
     opt.step(params);
     let loss = states[0].loss;
@@ -234,6 +241,9 @@ impl TokenLstm {
         );
         let shards = shard_count();
         let mut states = TrainShard::fresh(&self.params(), shards);
+        let mut stats_acc = observer
+            .wants_param_stats()
+            .then(|| ParamStatsAcc::new(&self.params()));
         let mut losses = Vec::with_capacity(cfg.epochs);
         for epoch in 0..cfg.epochs {
             let epoch_start = Instant::now();
@@ -265,8 +275,13 @@ impl TokenLstm {
                         st.busy += t0.elapsed();
                     });
                 }
-                let (loss, reduce_elapsed) =
-                    reduce_apply_step(&mut states, &mut self.params_mut(), cfg.clip, opt);
+                let (loss, reduce_elapsed) = reduce_apply_step(
+                    &mut states,
+                    &mut self.params_mut(),
+                    cfg.clip,
+                    opt,
+                    stats_acc.as_mut(),
+                );
                 epoch_loss += loss;
                 batches += 1;
                 observer.on_grad_reduce(reduce_elapsed);
@@ -274,7 +289,18 @@ impl TokenLstm {
             let mean = epoch_loss / batches.max(1) as f64;
             observer.on_epoch(epoch, mean, epoch_start.elapsed());
             observer.on_shards(epoch, &TrainShard::epoch_stats(&states));
+            if let Some(acc) = stats_acc.as_mut() {
+                let stats = acc.finish_epoch(&self.params(), f64::from(opt.learning_rate()));
+                observer.on_param_stats(epoch, &stats);
+            }
+            if observer.wants_checkpoints() {
+                let model = &*self;
+                observer.on_checkpoint(epoch, &mut || model.to_bytes());
+            }
             losses.push(mean);
+            if observer.should_stop() {
+                break;
+            }
         }
         losses
     }
@@ -533,6 +559,9 @@ impl VectorLstm {
         );
         let shards = shard_count();
         let mut states = TrainShard::fresh(&self.net.params(), shards);
+        let mut stats_acc = observer
+            .wants_param_stats()
+            .then(|| ParamStatsAcc::new(&self.net.params()));
         let mut losses = Vec::with_capacity(cfg.epochs);
         for epoch in 0..cfg.epochs {
             let epoch_start = Instant::now();
@@ -565,8 +594,13 @@ impl VectorLstm {
                         st.busy += t0.elapsed();
                     });
                 }
-                let (loss, reduce_elapsed) =
-                    reduce_apply_step(&mut states, &mut self.net.params_mut(), cfg.clip, opt);
+                let (loss, reduce_elapsed) = reduce_apply_step(
+                    &mut states,
+                    &mut self.net.params_mut(),
+                    cfg.clip,
+                    opt,
+                    stats_acc.as_mut(),
+                );
                 epoch_loss += loss;
                 batches += 1;
                 observer.on_grad_reduce(reduce_elapsed);
@@ -574,7 +608,18 @@ impl VectorLstm {
             let mean = epoch_loss / batches.max(1) as f64;
             observer.on_epoch(epoch, mean, epoch_start.elapsed());
             observer.on_shards(epoch, &TrainShard::epoch_stats(&states));
+            if let Some(acc) = stats_acc.as_mut() {
+                let stats = acc.finish_epoch(&self.net.params(), f64::from(opt.learning_rate()));
+                observer.on_param_stats(epoch, &stats);
+            }
+            if observer.wants_checkpoints() {
+                let model = &*self;
+                observer.on_checkpoint(epoch, &mut || model.to_bytes());
+            }
             losses.push(mean);
+            if observer.should_stop() {
+                break;
+            }
         }
         losses
     }
@@ -912,6 +957,123 @@ mod tests {
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0].0, 0);
         assert_eq!(seen[1].0, 1);
+    }
+
+    /// Observer exercising the opt-in hooks: records per-layer stats,
+    /// keeps the latest checkpoint bytes, and can stop after N epochs.
+    struct StatsProbe {
+        epochs: Vec<f64>,
+        stats: Vec<Vec<crate::observe::ParamStats>>,
+        checkpoint: Option<bytes::Bytes>,
+        stop_after: Option<usize>,
+    }
+
+    impl StatsProbe {
+        fn new(stop_after: Option<usize>) -> Self {
+            Self {
+                epochs: Vec::new(),
+                stats: Vec::new(),
+                checkpoint: None,
+                stop_after,
+            }
+        }
+    }
+
+    impl TrainObserver for StatsProbe {
+        fn on_epoch(&mut self, _epoch: usize, mean_loss: f64, _elapsed: Duration) {
+            self.epochs.push(mean_loss);
+        }
+        fn wants_param_stats(&self) -> bool {
+            true
+        }
+        fn on_param_stats(&mut self, _epoch: usize, stats: &[crate::observe::ParamStats]) {
+            self.stats.push(stats.to_vec());
+        }
+        fn wants_checkpoints(&self) -> bool {
+            true
+        }
+        fn on_checkpoint(&mut self, _epoch: usize, serialize: &mut dyn FnMut() -> bytes::Bytes) {
+            self.checkpoint = Some(serialize());
+        }
+        fn should_stop(&self) -> bool {
+            self.stop_after.is_some_and(|n| self.epochs.len() >= n)
+        }
+    }
+
+    #[test]
+    fn param_stats_cover_every_layer_and_match_training() {
+        // The stats hook must fire once per epoch with one entry per
+        // parameter (embedding + per-layer wx/wh/b + head w/b), all
+        // finite and named, without perturbing the weights: a run with
+        // stats enabled must end bit-identical to a plain run.
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let seqs = cyclic_seqs(6, 30, 3);
+        let cfg = TrainConfig {
+            history: 4,
+            batch: 16,
+            epochs: 3,
+            clip: 5.0,
+        };
+        let mut plain = TokenLstm::new(6, 8, 12, 2, &mut rng);
+        let mut observed = plain.clone();
+        let mut rng_a = Xoshiro256pp::seed_from_u64(99);
+        let mut rng_b = Xoshiro256pp::seed_from_u64(99);
+        let mut opt_a = Sgd::with_momentum(0.2, 0.9);
+        let mut opt_b = Sgd::with_momentum(0.2, 0.9);
+        plain.train(&seqs, &cfg, &mut opt_a, &mut rng_a);
+        let mut probe = StatsProbe::new(None);
+        observed.train_observed(&seqs, &cfg, &mut opt_b, &mut rng_b, &mut probe);
+
+        assert_eq!(probe.stats.len(), 3, "one stats batch per epoch");
+        let n_params = observed.params().len();
+        for epoch_stats in &probe.stats {
+            assert_eq!(epoch_stats.len(), n_params);
+            for s in epoch_stats {
+                assert!(!s.name.is_empty());
+                assert!(
+                    s.weight_norm.is_finite() && s.weight_norm > 0.0,
+                    "{}",
+                    s.name
+                );
+                assert!(s.grad_norm_mean.is_finite());
+                assert!(s.grad_norm_max >= s.grad_norm_mean || s.grad_norm_max == 0.0);
+                assert!(s.update_ratio.is_finite());
+                assert_eq!(s.nonfinite, 0);
+            }
+        }
+        assert!(probe.checkpoint.is_some());
+        for (a, b) in plain.params().iter().zip(observed.params().iter()) {
+            assert_eq!(
+                a.w.data(),
+                b.w.data(),
+                "stats pass changed weights: {}",
+                a.name
+            );
+        }
+        // The checkpoint bytes reload to the trained weights.
+        let restored = TokenLstm::from_bytes(probe.checkpoint.unwrap()).unwrap();
+        assert_eq!(
+            restored.predict_probs(&[0, 1, 2, 3]),
+            observed.predict_probs(&[0, 1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn should_stop_halts_vector_training_early() {
+        let mut rng = Xoshiro256pp::seed_from_u64(22);
+        let seqs = countdown_seqs(4, 10);
+        let mut m = VectorLstm::new(2, 8, 1, &mut rng);
+        let cfg = TrainConfig {
+            history: 5,
+            batch: 8,
+            epochs: 10,
+            clip: 5.0,
+        };
+        let mut opt = RmsProp::new(0.01);
+        let mut probe = StatsProbe::new(Some(2));
+        let losses = m.train_observed(&seqs, &cfg, &mut opt, &mut rng, &mut probe);
+        assert_eq!(losses.len(), 2, "stopped after 2 of 10 epochs");
+        assert_eq!(probe.stats.len(), 2);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! provides an adapter that forwards into a `desh-obs` registry. The plain
 //! `train` methods use [`NoopObserver`] and cost nothing extra.
 
+use crate::mat::Mat;
+use crate::param::Param;
+use bytes::Bytes;
 use std::time::Duration;
 
 /// Per-shard work accounting for one epoch of the data-parallel trainer.
@@ -31,6 +34,31 @@ impl ShardStats {
     }
 }
 
+/// Per-parameter ("layer") statistics for one completed training epoch,
+/// computed by the data-parallel trainer from the tree-reduced gradient
+/// buffers — one extra pass over the merged `GradSet` per minibatch, and
+/// only when the observer opts in via
+/// [`TrainObserver::wants_param_stats`].
+#[derive(Debug, Clone)]
+pub struct ParamStats {
+    /// Parameter name (e.g. `"lstm0.wx"`, `"embed"`).
+    pub name: String,
+    /// L2 norm of the weights at epoch end.
+    pub weight_norm: f64,
+    /// Mean over the epoch's minibatches of the merged (pre-clip)
+    /// gradient's L2 norm.
+    pub grad_norm_mean: f64,
+    /// Largest per-minibatch merged gradient L2 norm seen this epoch.
+    pub grad_norm_max: f64,
+    /// `lr * grad_norm_mean / weight_norm` — a cheap proxy for the
+    /// update-to-weight ratio (healthy SGD sits around 1e-3; values near
+    /// 1 mean the optimizer is rewriting the layer every step). 0 when
+    /// the weight norm is 0.
+    pub update_ratio: f64,
+    /// Non-finite (NaN/Inf) gradient values observed this epoch.
+    pub nonfinite: u64,
+}
+
 /// Receives one callback per completed training epoch.
 pub trait TrainObserver {
     /// `epoch` is zero-based; `mean_loss` is the epoch's mean batch loss;
@@ -45,6 +73,119 @@ pub trait TrainObserver {
     /// Wall time of one deterministic gradient tree-reduction (called
     /// once per minibatch by the data-parallel trainer). Default: ignored.
     fn on_grad_reduce(&mut self, _elapsed: Duration) {}
+
+    /// Opt-in gate for per-layer gradient statistics. Return `true` and
+    /// the trainer spends one pass over the merged gradient buffers per
+    /// minibatch to feed [`TrainObserver::on_param_stats`]. Default
+    /// `false`, so [`NoopObserver`] (and every pre-existing observer)
+    /// pays nothing.
+    fn wants_param_stats(&self) -> bool {
+        false
+    }
+
+    /// Per-layer weight/gradient statistics after each epoch, in
+    /// parameter order. Only called when [`Self::wants_param_stats`]
+    /// returns `true`. Default: ignored.
+    fn on_param_stats(&mut self, _epoch: usize, _stats: &[ParamStats]) {}
+
+    /// Opt-in gate for per-epoch checkpoint snapshots. Default `false`.
+    fn wants_checkpoints(&self) -> bool {
+        false
+    }
+
+    /// Called after each epoch when [`Self::wants_checkpoints`] is
+    /// `true`, with a lazy serializer for the model's current weights.
+    /// Observers that keep a "last good" snapshot (divergence watchdogs)
+    /// call `serialize()`; the cost is only paid on demand.
+    fn on_checkpoint(&mut self, _epoch: usize, _serialize: &mut dyn FnMut() -> Bytes) {}
+
+    /// Polled after each epoch's callbacks; return `true` to stop
+    /// training early (remaining epochs are skipped and the losses
+    /// collected so far are returned). Default: never stops.
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+/// Epoch accumulator behind [`TrainObserver::on_param_stats`]: one slot
+/// per parameter, fed once per minibatch from the tree-reduced gradient
+/// buffers (a single fused norm + non-finite-count pass), drained once
+/// per epoch.
+pub(crate) struct ParamStatsAcc {
+    names: Vec<String>,
+    grad_norm_sum: Vec<f64>,
+    grad_sq_max: Vec<f64>,
+    nonfinite: Vec<u64>,
+    batches: u64,
+}
+
+impl ParamStatsAcc {
+    pub(crate) fn new(params: &[&Param]) -> Self {
+        Self {
+            names: params.iter().map(|p| p.name.clone()).collect(),
+            grad_norm_sum: vec![0.0; params.len()],
+            grad_sq_max: vec![0.0; params.len()],
+            nonfinite: vec![0; params.len()],
+            batches: 0,
+        }
+    }
+
+    /// Fold one minibatch's merged gradients in: per parameter, a single
+    /// pass accumulating the squared L2 norm and counting non-finite
+    /// values (which are excluded from the norm so one NaN doesn't erase
+    /// the magnitude signal).
+    pub(crate) fn accumulate(&mut self, grads: &[Mat]) {
+        debug_assert_eq!(grads.len(), self.names.len());
+        for (i, g) in grads.iter().enumerate() {
+            let mut sq = 0.0f64;
+            let mut bad = 0u64;
+            for &x in g.data() {
+                if x.is_finite() {
+                    sq += f64::from(x) * f64::from(x);
+                } else {
+                    bad += 1;
+                }
+            }
+            self.grad_norm_sum[i] += sq.sqrt();
+            if sq > self.grad_sq_max[i] {
+                self.grad_sq_max[i] = sq;
+            }
+            self.nonfinite[i] += bad;
+        }
+        self.batches += 1;
+    }
+
+    /// Drain the epoch into per-layer stats (weight norms are read here,
+    /// once per epoch) and reset for the next epoch.
+    pub(crate) fn finish_epoch(&mut self, params: &[&Param], lr: f64) -> Vec<ParamStats> {
+        let batches = self.batches.max(1) as f64;
+        let out = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let weight_norm = p.w.sq_norm().sqrt();
+                let grad_norm_mean = self.grad_norm_sum[i] / batches;
+                let update_ratio = if weight_norm > 0.0 {
+                    lr * grad_norm_mean / weight_norm
+                } else {
+                    0.0
+                };
+                ParamStats {
+                    name: self.names[i].clone(),
+                    weight_norm,
+                    grad_norm_mean,
+                    grad_norm_max: self.grad_sq_max[i].sqrt(),
+                    update_ratio,
+                    nonfinite: self.nonfinite[i],
+                }
+            })
+            .collect();
+        self.grad_norm_sum.iter_mut().for_each(|x| *x = 0.0);
+        self.grad_sq_max.iter_mut().for_each(|x| *x = 0.0);
+        self.nonfinite.iter_mut().for_each(|x| *x = 0);
+        self.batches = 0;
+        out
+    }
 }
 
 /// Observer that ignores everything (the default for `train`).

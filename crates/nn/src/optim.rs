@@ -3,6 +3,38 @@
 
 use crate::mat::Mat;
 use crate::param::Param;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of non-finite gradient values caught (and zeroed)
+/// by optimizer steps. See [`nonfinite_grad_count`].
+static NONFINITE_GRADS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic process-wide count of NaN/Inf gradient values the optimizers
+/// have zeroed before stepping. A healthy run stays at 0 forever; the
+/// divergence watchdog samples it per epoch and treats any growth as a
+/// divergence signal.
+pub fn nonfinite_grad_count() -> u64 {
+    NONFINITE_GRADS.load(Ordering::Relaxed)
+}
+
+/// Zero non-finite gradient values in place so one NaN cannot poison a
+/// whole weight matrix through the update rule, counting what was caught
+/// into [`nonfinite_grad_count`]. Returns this call's catch count.
+fn sanitize_grads(params: &mut [&mut Param]) -> u64 {
+    let mut bad = 0u64;
+    for p in params.iter_mut() {
+        for g in p.g.data_mut() {
+            if !g.is_finite() {
+                *g = 0.0;
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        NONFINITE_GRADS.fetch_add(bad, Ordering::Relaxed);
+    }
+    bad
+}
 
 /// A first-order optimizer stepping a fixed, ordered parameter set.
 /// State is keyed by position, so the caller must always pass parameters
@@ -49,6 +81,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
+        sanitize_grads(params);
         if self.velocity.is_empty() && self.momentum > 0.0 {
             self.velocity = params
                 .iter()
@@ -109,6 +142,7 @@ impl RmsProp {
 
 impl Optimizer for RmsProp {
     fn step(&mut self, params: &mut [&mut Param]) {
+        sanitize_grads(params);
         if self.cache.is_empty() {
             self.cache = params
                 .iter()
@@ -167,6 +201,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
+        sanitize_grads(params);
         if self.m.is_empty() {
             self.m = params
                 .iter()
@@ -267,6 +302,36 @@ mod tests {
             ratio < 10.0,
             "RMSprop should normalise magnitudes, ratio {ratio}"
         );
+    }
+
+    #[test]
+    fn poisoned_gradient_is_counted_and_neutralised() {
+        // A NaN/Inf gradient must not reach the weights: the step zeroes
+        // the poisoned entries, applies the finite ones, and bumps the
+        // process-wide counter the divergence watchdog reads.
+        for opt in [
+            &mut Sgd::with_momentum(0.1, 0.9) as &mut dyn Optimizer,
+            &mut RmsProp::new(0.1),
+            &mut Adam::new(0.1),
+        ] {
+            let before = nonfinite_grad_count();
+            let mut p = Param::zeros("w", 1, 3);
+            p.w.data_mut().copy_from_slice(&[1.0, 2.0, 3.0]);
+            p.g.data_mut()
+                .copy_from_slice(&[f32::NAN, f32::INFINITY, 0.5]);
+            opt.step(&mut [&mut p]);
+            assert!(
+                p.w.data().iter().all(|x| x.is_finite()),
+                "weights poisoned: {:?}",
+                p.w.data()
+            );
+            // Poisoned entries got a zero gradient, so their weights are
+            // untouched; the finite entry still trained.
+            assert_eq!(p.w.data()[0], 1.0);
+            assert_eq!(p.w.data()[1], 2.0);
+            assert_ne!(p.w.data()[2], 3.0);
+            assert_eq!(nonfinite_grad_count() - before, 2);
+        }
     }
 
     #[test]

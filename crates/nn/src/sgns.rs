@@ -9,9 +9,11 @@
 
 use crate::act::sigmoid;
 use crate::mat::Mat;
+use crate::observe::{NoopObserver, ParamStats, TrainObserver};
 use crate::parallel::shard_count;
 use desh_util::Xoshiro256pp;
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Skip-gram hyper-parameters.
 #[derive(Debug, Clone)]
@@ -219,6 +221,25 @@ impl SkipGram {
     /// Shard seeds are drawn from the caller's RNG in shard order, so the
     /// result is deterministic and independent of the thread count.
     pub fn train(&mut self, seqs: &[Vec<u32>], rng: &mut Xoshiro256pp) -> Vec<f64> {
+        self.train_observed(seqs, rng, &mut NoopObserver)
+    }
+
+    /// [`SkipGram::train`] with a per-epoch [`TrainObserver`] callback.
+    ///
+    /// The observer gets `on_epoch` per pass and — when it opts in via
+    /// `wants_param_stats` — per-table stats where the "gradient" is the
+    /// averaged local-SGD delta actually applied that epoch (the learning
+    /// rate is already baked into it, so `update_ratio` is simply
+    /// delta-norm over table-norm). There is one merge per epoch, so mean
+    /// and max gradient norms coincide. `should_stop` is honoured between
+    /// epochs; `on_checkpoint` is not offered (tables are cheap to retrain
+    /// and the embedding phase has no downstream optimizer state).
+    pub fn train_observed(
+        &mut self,
+        seqs: &[Vec<u32>],
+        rng: &mut Xoshiro256pp,
+        observer: &mut dyn TrainObserver,
+    ) -> Vec<f64> {
         let shards = shard_count();
         let chunk = seqs.len().div_ceil(shards).max(1);
         let n_chunks = if seqs.is_empty() {
@@ -227,7 +248,8 @@ impl SkipGram {
             seqs.len().div_ceil(chunk)
         };
         let mut losses = Vec::with_capacity(self.cfg.epochs);
-        for _ in 0..self.cfg.epochs {
+        for epoch in 0..self.cfg.epochs {
+            let epoch_start = Instant::now();
             let seeds: Vec<u64> = (0..n_chunks).map(|_| rng.next_u64()).collect();
             let merged = seqs
                 .par_chunks(chunk)
@@ -257,11 +279,52 @@ impl SkipGram {
                     } else {
                         m.loss / m.pairs as f64
                     });
+                    if observer.wants_param_stats() {
+                        let stats = [
+                            Self::table_stats("sgns.w_in", &self.w_in, &m.d_in, scale),
+                            Self::table_stats("sgns.w_out", &self.w_out, &m.d_out, scale),
+                        ];
+                        observer.on_param_stats(epoch, &stats);
+                    }
                 }
                 None => losses.push(0.0),
             }
+            observer.on_epoch(epoch, *losses.last().unwrap(), epoch_start.elapsed());
+            if observer.should_stop() {
+                break;
+            }
         }
         losses
+    }
+
+    /// Per-table stats for one epoch: the applied update is `scale *
+    /// delta`, whose L2 norm stands in for the gradient norm (the lr is
+    /// inside the delta already, hence `update_ratio` has no lr factor).
+    fn table_stats(name: &str, table: &Mat, delta: &Mat, scale: f32) -> ParamStats {
+        let mut sq = 0.0f64;
+        let mut bad = 0u64;
+        for &x in delta.data() {
+            if x.is_finite() {
+                let d = f64::from(x) * f64::from(scale);
+                sq += d * d;
+            } else {
+                bad += 1;
+            }
+        }
+        let delta_norm = sq.sqrt();
+        let weight_norm = table.sq_norm().sqrt();
+        ParamStats {
+            name: name.to_string(),
+            weight_norm,
+            grad_norm_mean: delta_norm,
+            grad_norm_max: delta_norm,
+            update_ratio: if weight_norm > 0.0 {
+                delta_norm / weight_norm
+            } else {
+                0.0
+            },
+            nonfinite: bad,
+        }
     }
 
     /// The learned input-side table (what downstream models consume).

@@ -12,12 +12,18 @@
 //! | `GET /metrics`       | [`crate::render_prometheus`] over the registry|
 //! | `GET /warnings`      | JSON array of recent [`crate::WarningRecord`]s|
 //! | `GET /nodes/<id>/flight` | JSONL dump of that node's flight ring     |
+//! | `GET /runs`          | JSON array of training run summaries *        |
+//! | `GET /runs/<id>/series` | that run's `series.jsonl`, verbatim *      |
+//!
+//! Routes marked `*` exist only when the server was built with
+//! [`Introspection::with_runs_dir`]; without a runs directory they 404.
 //!
 //! The accept loop runs on one background thread; handlers never touch
 //! the scoring hot path (snapshots read atomics / seqlock slots).
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -26,6 +32,7 @@ use std::time::{Duration, Instant};
 use crate::flight::FlightRecorder;
 use crate::prom::render_prometheus;
 use crate::registry::Registry;
+use crate::runs::{list_runs, render_runs_json};
 use crate::trace::WarningLog;
 
 /// The read-only state the introspection routes expose. All fields are
@@ -35,6 +42,9 @@ pub struct Introspection {
     pub registry: Arc<Registry>,
     pub flight: Arc<FlightRecorder>,
     pub warnings: Arc<WarningLog>,
+    /// Training run ledger root served under `/runs`; `None` disables
+    /// those routes.
+    pub runs_dir: Option<PathBuf>,
 }
 
 impl Introspection {
@@ -47,7 +57,15 @@ impl Introspection {
             registry,
             flight,
             warnings,
+            runs_dir: None,
         }
+    }
+
+    /// Attach a run-ledger root directory, enabling `/runs` and
+    /// `/runs/<id>/series`.
+    pub fn with_runs_dir(mut self, dir: PathBuf) -> Self {
+        self.runs_dir = Some(dir);
+        self
     }
 }
 
@@ -181,6 +199,19 @@ fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) ->
             body.push('\n');
             write_response(stream, "200 OK", "application/json", &body)
         }
+        "/runs" => match &state.runs_dir {
+            Some(dir) => {
+                let mut body = render_runs_json(&list_runs(dir));
+                body.push('\n');
+                write_response(stream, "200 OK", "application/json", &body)
+            }
+            None => write_response(
+                stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no runs directory attached\n",
+            ),
+        },
         p => {
             if let Some(node) = p
                 .strip_prefix("/nodes/")
@@ -197,15 +228,46 @@ fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) ->
                         "unknown node\n",
                     ),
                 }
+            } else if let Some(id) = p
+                .strip_prefix("/runs/")
+                .and_then(|rest| rest.strip_suffix("/series"))
+            {
+                serve_run_series(stream, state, id)
             } else {
                 write_response(
                     stream,
                     "404 Not Found",
                     "text/plain; charset=utf-8",
-                    "routes: /healthz /metrics /warnings /nodes/<id>/flight\n",
+                    "routes: /healthz /metrics /warnings /nodes/<id>/flight /runs /runs/<id>/series\n",
                 )
             }
         }
+    }
+}
+
+/// `GET /runs/<id>/series`: stream the run's raw `series.jsonl`. The id
+/// comes off the wire, so it is validated as a plain directory name —
+/// anything with path separators or `..` is rejected before touching the
+/// filesystem.
+fn serve_run_series(stream: &mut TcpStream, state: &Introspection, id: &str) -> io::Result<()> {
+    let not_found = |stream: &mut TcpStream, msg| {
+        write_response(stream, "404 Not Found", "text/plain; charset=utf-8", msg)
+    };
+    let Some(dir) = &state.runs_dir else {
+        return not_found(stream, "no runs directory attached\n");
+    };
+    let safe = !id.is_empty()
+        && id != ".."
+        && id != "."
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if !safe {
+        return not_found(stream, "bad run id\n");
+    }
+    match std::fs::read_to_string(dir.join(id).join("series.jsonl")) {
+        Ok(body) => write_response(stream, "200 OK", "application/jsonl; charset=utf-8", &body),
+        Err(_) => not_found(stream, "unknown run\n"),
     }
 }
 
@@ -280,6 +342,63 @@ mod tests {
 
         assert!(get(addr, "/nodes/ghost/flight").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn runs_routes_require_a_runs_dir() {
+        let srv = HttpServer::start("127.0.0.1:0", state()).unwrap();
+        assert!(get(srv.addr(), "/runs").starts_with("HTTP/1.1 404"));
+        assert!(get(srv.addr(), "/runs/x/series").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn runs_routes_serve_ledger_contents() {
+        use crate::runs::{RunLedger, RunManifest};
+        use crate::timeseries::EpochRecord;
+        let root = std::env::temp_dir().join(format!("desh-http-runs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut ledger = RunLedger::create(
+            &root,
+            RunManifest {
+                run_id: "run-http".into(),
+                created_unix_ms: 1,
+                seed: 3,
+                shards: 2,
+                threads: "default".into(),
+                dataset: "d".into(),
+                config_hash: 9,
+                config: vec![],
+            },
+        )
+        .unwrap();
+        ledger
+            .append_epoch(&EpochRecord {
+                phase: "phase1".into(),
+                epoch: 0,
+                loss: 0.5,
+                wall_us: 1,
+                grad_norm: 0.1,
+                grad_reduce_us: 1.0,
+                shard_seqs_per_s: vec![],
+                layers: vec![],
+            })
+            .unwrap();
+        ledger.end_phase("phase1", 1, 1, 0.5);
+        ledger.finish(None, &[]).unwrap();
+
+        let srv = HttpServer::start("127.0.0.1:0", state().with_runs_dir(root.clone())).unwrap();
+        let runs = get(srv.addr(), "/runs");
+        assert!(runs.starts_with("HTTP/1.1 200 OK\r\n"), "{runs}");
+        assert!(runs.contains("\"id\":\"run-http\""));
+        assert!(runs.contains("\"status\":\"completed\""));
+
+        let series = get(srv.addr(), "/runs/run-http/series");
+        assert!(series.starts_with("HTTP/1.1 200 OK\r\n"), "{series}");
+        assert!(series.contains("\"phase\":\"phase1\""));
+
+        assert!(get(srv.addr(), "/runs/ghost/series").starts_with("HTTP/1.1 404"));
+        assert!(get(srv.addr(), "/runs/../series").starts_with("HTTP/1.1 404"));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

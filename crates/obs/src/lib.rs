@@ -39,30 +39,47 @@
 //!   seqlock rings holding the last ~[`FLIGHT_CAPACITY`] decisions, plus
 //!   [`install_panic_dump`] for post-mortem JSONL dumps.
 //! - [`HttpServer`] / [`Introspection`] (`http`): a dependency-free
-//!   blocking server exposing `/metrics`, `/healthz`, `/warnings`, and
-//!   `/nodes/<id>/flight`.
+//!   blocking server exposing `/metrics`, `/healthz`, `/warnings`,
+//!   `/nodes/<id>/flight`, and — when a runs directory is attached —
+//!   `/runs` and `/runs/<id>/series`.
 //! - [`QualityMonitor`] (`quality`): rolling confusion matrix, per-class
 //!   lead-time tracking against the paper's Table 7, and a template-miss
 //!   drift gauge.
+//!
+//! The training run ledger (`runs` + `timeseries` + `json`) persists one
+//! directory per training run — manifest, append-only per-epoch series
+//! with per-layer gradient stats, divergence dumps, and a final
+//! `run.json` — and reads them back for `desh-cli runs list|show|diff`.
 
 mod flight;
 mod http;
+mod json;
 mod jsonl;
 mod metrics;
 mod prom;
 mod quality;
 mod registry;
+mod runs;
 mod snapshot;
 mod span;
+mod timeseries;
 mod trace;
 
 pub use flight::{install_panic_dump, FlightRecorder, NodeFlight, FLIGHT_CAPACITY};
 pub use http::{HttpServer, Introspection};
+pub use json::{parse_json, Json};
 pub use jsonl::{JsonValue, JsonlSink};
 pub use metrics::{Counter, Gauge, LatencyHistogram, LatencySnapshot};
 pub use prom::{render_prometheus, render_summary};
 pub use quality::QualityMonitor;
 pub use registry::{Registry, Telemetry};
+pub use runs::{
+    fnv1a, list_runs, load_run, load_series, now_unix_ms, render_runs_json, DivergenceRecord,
+    PhaseSummary, RunLedger, RunManifest, RunSummary,
+};
 pub use snapshot::Snapshot;
 pub use span::Span;
+pub use timeseries::{
+    diff_series, parse_series, render_series_diff, EpochDiff, EpochRecord, LayerStat,
+};
 pub use trace::{TraceEvent, WarningLog, WarningRecord, TRACE_WORDS};

@@ -1,0 +1,664 @@
+//! The training run ledger: one directory per run, holding everything
+//! needed to audit or compare training runs after the process is gone.
+//!
+//! Layout under a runs root (the CLI's `--run-dir`):
+//!
+//! ```text
+//! <root>/<run_id>/
+//!   manifest.json     # config snapshot, seed, shards/threads, dataset
+//!   series.jsonl      # append-only per-epoch EpochRecord lines
+//!   run.json          # written once at the end: status, phases, metrics
+//!   divergence.json   # only on watchdog abort: offending epoch + reason
+//!   last-good-<phase>.ckpt  # only on abort: weights of the last healthy epoch
+//! ```
+//!
+//! `series.jsonl` is flushed after every line, so a crashed or killed run
+//! leaves at most one partial trailing line (which
+//! [`crate::timeseries::parse_series`] drops). `run.json` existing means
+//! the run finished — `status` says how.
+
+use crate::json::{parse_json, Json};
+use crate::jsonl::{push_escaped, push_f64};
+use crate::timeseries::{parse_series, EpochRecord};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Milliseconds since the Unix epoch (run-id construction, manifest).
+pub fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// FNV-1a over arbitrary bytes — the ledger's cheap content fingerprint
+/// (config hashes, dataset fingerprints). Stable across processes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Immutable facts about a run, captured at creation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Unique id; also the directory name.
+    pub run_id: String,
+    /// Wall-clock creation time, ms since Unix epoch.
+    pub created_unix_ms: u64,
+    /// Training seed.
+    pub seed: u64,
+    /// Fixed gradient shard count in effect (`DESH_SHARDS`).
+    pub shards: u64,
+    /// `DESH_THREADS` value, or `"default"` when unset.
+    pub threads: String,
+    /// Dataset fingerprint (caller-defined; the pipeline hashes record
+    /// count + time span + text sample).
+    pub dataset: String,
+    /// FNV-1a hash of the full config debug representation — the same
+    /// hash stamped into v3 checkpoints, linking them to this ledger.
+    pub config_hash: u64,
+    /// Human-readable key config fields, as (key, value) pairs.
+    pub config: Vec<(String, String)>,
+}
+
+impl RunManifest {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\"run_id\":");
+        push_escaped(&mut s, &self.run_id);
+        s.push_str(&format!(
+            ",\"created_unix_ms\":{},\"seed\":{},\"shards\":{},\"threads\":",
+            self.created_unix_ms, self.seed, self.shards
+        ));
+        push_escaped(&mut s, &self.threads);
+        s.push_str(",\"dataset\":");
+        push_escaped(&mut s, &self.dataset);
+        // Hex string, not a JSON number: the hash uses the full u64 range
+        // and would lose its low bits round-tripping through f64 parsers.
+        s.push_str(&format!(
+            ",\"config_hash\":\"{:016x}\",\"config\":{{",
+            self.config_hash
+        ));
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_escaped(&mut s, k);
+            s.push(':');
+            push_escaped(&mut s, v);
+        }
+        s.push_str("}}");
+        s
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("manifest missing {key}"))
+        };
+        let u64_field = |key: &str| -> u64 { v.get(key).and_then(Json::as_u64).unwrap_or(0) };
+        // Written as a 16-digit hex string (see to_json); tolerate the
+        // numeric form from pre-hex manifests even though it may have
+        // lost low bits to f64.
+        let config_hash = match v.get("config_hash") {
+            Some(Json::Str(s)) => u64::from_str_radix(s, 16).unwrap_or(0),
+            _ => u64_field("config_hash"),
+        };
+        let mut config = Vec::new();
+        if let Some(m) = v.get("config").and_then(Json::as_obj) {
+            for (k, val) in m {
+                config.push((k.clone(), val.as_str().unwrap_or_default().to_string()));
+            }
+        }
+        Ok(Self {
+            run_id: str_field("run_id")?,
+            created_unix_ms: u64_field("created_unix_ms"),
+            seed: u64_field("seed"),
+            shards: u64_field("shards"),
+            threads: str_field("threads").unwrap_or_else(|_| "default".into()),
+            dataset: str_field("dataset").unwrap_or_default(),
+            config_hash,
+            config,
+        })
+    }
+}
+
+/// Why and where a run was aborted by the divergence watchdog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceRecord {
+    /// Phase that tripped (`sgns`/`phase1`/`phase2`).
+    pub phase: String,
+    /// Zero-based epoch within the phase.
+    pub epoch: u64,
+    /// Machine-readable reason kind (`nan_loss`, `exploding_grad`,
+    /// `nonfinite_grads`).
+    pub reason: String,
+    /// Human-readable detail (the offending value / layer).
+    pub detail: String,
+    /// File name of the last-good checkpoint inside the run dir, when
+    /// one healthy epoch existed before the trip.
+    pub last_good_checkpoint: Option<String>,
+}
+
+impl DivergenceRecord {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\"phase\":");
+        push_escaped(&mut s, &self.phase);
+        s.push_str(&format!(",\"epoch\":{},\"reason\":", self.epoch));
+        push_escaped(&mut s, &self.reason);
+        s.push_str(",\"detail\":");
+        push_escaped(&mut s, &self.detail);
+        s.push_str(",\"last_good_checkpoint\":");
+        match &self.last_good_checkpoint {
+            Some(p) => push_escaped(&mut s, p),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            phase: v.get("phase")?.as_str()?.to_string(),
+            epoch: v.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+            reason: v.get("reason")?.as_str()?.to_string(),
+            detail: v
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            last_good_checkpoint: v
+                .get("last_good_checkpoint")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+/// End-of-phase accounting kept in `run.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub name: String,
+    /// Epochs completed.
+    pub epochs: u64,
+    /// Phase wall time, microseconds.
+    pub wall_us: u64,
+    /// Mean loss of the final completed epoch.
+    pub final_loss: f64,
+}
+
+/// A live, writable run ledger. Create one per training run; feed it
+/// epochs and phase boundaries; call [`RunLedger::finish`] exactly once.
+#[derive(Debug)]
+pub struct RunLedger {
+    dir: PathBuf,
+    manifest: RunManifest,
+    series: File,
+    phases: Vec<PhaseSummary>,
+    checkpoint: Option<String>,
+}
+
+impl RunLedger {
+    /// Create `<root>/<run_id>/` with `manifest.json` and an empty
+    /// `series.jsonl`. Fails if the run directory already exists.
+    pub fn create(root: &Path, manifest: RunManifest) -> io::Result<Self> {
+        let dir = root.join(&manifest.run_id);
+        fs::create_dir_all(root)?;
+        fs::create_dir(&dir)?;
+        fs::write(dir.join("manifest.json"), manifest.to_json())?;
+        let series = File::create(dir.join("series.jsonl"))?;
+        Ok(Self {
+            dir,
+            manifest,
+            series,
+            phases: Vec::new(),
+            checkpoint: None,
+        })
+    }
+
+    /// The run's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The run id.
+    pub fn run_id(&self) -> &str {
+        &self.manifest.run_id
+    }
+
+    /// The manifest captured at creation.
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Append one epoch line and flush it, so a later crash cannot lose
+    /// it.
+    pub fn append_epoch(&mut self, rec: &EpochRecord) -> io::Result<()> {
+        let mut line = rec.to_json_line();
+        line.push('\n');
+        self.series.write_all(line.as_bytes())?;
+        self.series.flush()
+    }
+
+    /// Record a completed (or aborted) phase's summary for `run.json`.
+    pub fn end_phase(&mut self, name: &str, epochs: u64, wall_us: u64, final_loss: f64) {
+        self.phases.push(PhaseSummary {
+            name: name.to_string(),
+            epochs,
+            wall_us,
+            final_loss,
+        });
+    }
+
+    /// Dump the offending epoch's full stats to `divergence.json`.
+    pub fn write_divergence(
+        &self,
+        record: &DivergenceRecord,
+        offending_epoch: &EpochRecord,
+    ) -> io::Result<()> {
+        let body = format!(
+            "{{\"divergence\":{},\"offending_epoch\":{}}}",
+            record.to_json(),
+            offending_epoch.to_json_line()
+        );
+        fs::write(self.dir.join("divergence.json"), body)
+    }
+
+    /// Save opaque checkpoint bytes under the run dir; returns the file
+    /// name (not path) for cross-referencing from `run.json`.
+    pub fn save_checkpoint(&self, name: &str, bytes: &[u8]) -> io::Result<String> {
+        fs::write(self.dir.join(name), bytes)?;
+        Ok(name.to_string())
+    }
+
+    /// Record the path of the exported model checkpoint (the CLI's
+    /// `--out` file, stamped with this run's id and config hash) so
+    /// `runs show` can link checkpoint and ledger both ways.
+    pub fn note_checkpoint(&mut self, path: &str) {
+        self.checkpoint = Some(path.to_string());
+    }
+
+    /// Write `run.json` and consume the ledger. `divergence` set means
+    /// status `"diverged"`, else `"completed"`. `end_metrics` are final
+    /// pipeline numbers — by convention including `paper.*` keys for the
+    /// paper's Table 6/7 reference figures next to the measured values.
+    pub fn finish(
+        self,
+        divergence: Option<&DivergenceRecord>,
+        end_metrics: &[(String, f64)],
+    ) -> io::Result<()> {
+        let mut s = String::from("{\"run_id\":");
+        push_escaped(&mut s, &self.manifest.run_id);
+        s.push_str(",\"status\":");
+        push_escaped(
+            &mut s,
+            if divergence.is_some() {
+                "diverged"
+            } else {
+                "completed"
+            },
+        );
+        s.push_str(",\"manifest\":");
+        s.push_str(&self.manifest.to_json());
+        s.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            push_escaped(&mut s, &p.name);
+            s.push_str(&format!(
+                ",\"epochs\":{},\"wall_us\":{},\"final_loss\":",
+                p.epochs, p.wall_us
+            ));
+            push_f64(&mut s, p.final_loss);
+            s.push('}');
+        }
+        s.push_str("],\"divergence\":");
+        match divergence {
+            Some(d) => s.push_str(&d.to_json()),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"checkpoint\":");
+        match &self.checkpoint {
+            Some(p) => push_escaped(&mut s, p),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"end_metrics\":{");
+        for (i, (k, v)) in end_metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_escaped(&mut s, k);
+            s.push(':');
+            push_f64(&mut s, *v);
+        }
+        s.push_str("}}");
+        fs::write(self.dir.join("run.json"), s)
+    }
+}
+
+/// A run as read back from disk: everything `runs list`/`show` and the
+/// `/runs` endpoint need, without the epoch series (load that separately
+/// via [`load_series`]).
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Run id (directory name).
+    pub id: String,
+    /// The run's directory.
+    pub dir: PathBuf,
+    /// Manifest, when `manifest.json` parses.
+    pub manifest: Option<RunManifest>,
+    /// `completed` / `diverged` from `run.json`, or `incomplete` when
+    /// the run never finished (crashed or still training).
+    pub status: String,
+    /// Per-phase accounting from `run.json`.
+    pub phases: Vec<PhaseSummary>,
+    /// Watchdog abort record, if the run diverged.
+    pub divergence: Option<DivergenceRecord>,
+    /// Final metrics from `run.json` (includes `paper.*` reference keys).
+    pub end_metrics: Vec<(String, f64)>,
+    /// Path of the exported model checkpoint, when the CLI recorded one.
+    pub checkpoint: Option<String>,
+}
+
+/// Load one run directory.
+pub fn load_run(dir: &Path) -> Result<RunSummary, String> {
+    let id = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or("run dir has no name")?
+        .to_string();
+    let manifest = fs::read_to_string(dir.join("manifest.json"))
+        .ok()
+        .and_then(|t| parse_json(&t).ok())
+        .and_then(|v| RunManifest::from_json(&v).ok());
+    let mut status = "incomplete".to_string();
+    let mut phases = Vec::new();
+    let mut divergence = None;
+    let mut end_metrics = Vec::new();
+    let mut checkpoint = None;
+    if let Ok(text) = fs::read_to_string(dir.join("run.json")) {
+        let v = parse_json(&text).map_err(|e| format!("{id}/run.json: {e}"))?;
+        if let Some(s) = v.get("status").and_then(Json::as_str) {
+            status = s.to_string();
+        }
+        if let Some(arr) = v.get("phases").and_then(Json::as_arr) {
+            for p in arr {
+                phases.push(PhaseSummary {
+                    name: p
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    epochs: p.get("epochs").and_then(Json::as_u64).unwrap_or(0),
+                    wall_us: p.get("wall_us").and_then(Json::as_u64).unwrap_or(0),
+                    final_loss: p
+                        .get("final_loss")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(f64::NAN),
+                });
+            }
+        }
+        divergence = v.get("divergence").and_then(DivergenceRecord::from_json);
+        if let Some(m) = v.get("end_metrics").and_then(Json::as_obj) {
+            for (k, val) in m {
+                end_metrics.push((k.clone(), val.as_f64().unwrap_or(f64::NAN)));
+            }
+        }
+        checkpoint = v
+            .get("checkpoint")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+    }
+    Ok(RunSummary {
+        id,
+        dir: dir.to_path_buf(),
+        manifest,
+        status,
+        phases,
+        divergence,
+        end_metrics,
+        checkpoint,
+    })
+}
+
+/// Enumerate every run under a runs root, oldest first (by manifest
+/// creation time, then id). Directories that aren't ledgers are skipped.
+pub fn list_runs(root: &Path) -> Vec<RunSummary> {
+    let mut runs = Vec::new();
+    let Ok(entries) = fs::read_dir(root) else {
+        return runs;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        if !dir.is_dir() || !dir.join("manifest.json").exists() {
+            continue;
+        }
+        if let Ok(run) = load_run(&dir) {
+            runs.push(run);
+        }
+    }
+    runs.sort_by(|a, b| {
+        let ka = a.manifest.as_ref().map_or(0, |m| m.created_unix_ms);
+        let kb = b.manifest.as_ref().map_or(0, |m| m.created_unix_ms);
+        ka.cmp(&kb).then_with(|| a.id.cmp(&b.id))
+    });
+    runs
+}
+
+/// Load a run's epoch series from `series.jsonl`.
+pub fn load_series(dir: &Path) -> Result<Vec<EpochRecord>, String> {
+    let text = fs::read_to_string(dir.join("series.jsonl"))
+        .map_err(|e| format!("{}: {e}", dir.join("series.jsonl").display()))?;
+    parse_series(&text)
+}
+
+/// Render the `/runs` endpoint body: a JSON array of run summaries.
+pub fn render_runs_json(runs: &[RunSummary]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"id\":");
+        push_escaped(&mut s, &r.id);
+        s.push_str(",\"status\":");
+        push_escaped(&mut s, &r.status);
+        s.push_str(",\"seed\":");
+        s.push_str(
+            &r.manifest
+                .as_ref()
+                .map_or("null".to_string(), |m| m.seed.to_string()),
+        );
+        s.push_str(",\"phases\":[");
+        for (j, p) in r.phases.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            push_escaped(&mut s, &p.name);
+            s.push_str(&format!(",\"epochs\":{},\"final_loss\":", p.epochs));
+            push_f64(&mut s, p.final_loss);
+            s.push('}');
+        }
+        s.push_str("],\"diverged\":");
+        s.push_str(if r.divergence.is_some() {
+            "true"
+        } else {
+            "false"
+        });
+        s.push('}');
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::LayerStat;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("desh-runs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest(id: &str, seed: u64) -> RunManifest {
+        RunManifest {
+            run_id: id.to_string(),
+            created_unix_ms: 1000 + seed,
+            seed,
+            shards: 8,
+            threads: "default".into(),
+            dataset: "ds-test".into(),
+            config_hash: 0xdead_beef,
+            config: vec![("phase1.epochs".into(), "4".into())],
+        }
+    }
+
+    fn epoch(phase: &str, e: u64, loss: f64) -> EpochRecord {
+        EpochRecord {
+            phase: phase.into(),
+            epoch: e,
+            loss,
+            wall_us: 10,
+            grad_norm: 0.5,
+            grad_reduce_us: 2.0,
+            shard_seqs_per_s: vec![1.0],
+            layers: vec![LayerStat {
+                name: "head.w".into(),
+                weight_norm: 1.0,
+                grad_norm_mean: 0.1,
+                grad_norm_max: 0.5,
+                update_ratio: 0.01,
+                nonfinite: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn ledger_round_trips_through_disk() {
+        let root = temp_root("roundtrip");
+        let mut ledger = RunLedger::create(&root, manifest("run-a", 7)).unwrap();
+        ledger.append_epoch(&epoch("phase1", 0, 0.9)).unwrap();
+        ledger.append_epoch(&epoch("phase1", 1, 0.7)).unwrap();
+        ledger.end_phase("phase1", 2, 20, 0.7);
+        ledger
+            .finish(
+                None,
+                &[("recall".into(), 0.9), ("paper.recall".into(), 0.85)],
+            )
+            .unwrap();
+
+        let runs = list_runs(&root);
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.id, "run-a");
+        assert_eq!(run.status, "completed");
+        assert_eq!(run.manifest.as_ref().unwrap().seed, 7);
+        assert_eq!(run.manifest.as_ref().unwrap().config_hash, 0xdead_beef);
+        assert_eq!(run.phases.len(), 1);
+        assert_eq!(run.phases[0].epochs, 2);
+        assert!(run.divergence.is_none());
+        assert!(run
+            .end_metrics
+            .iter()
+            .any(|(k, v)| k == "paper.recall" && *v == 0.85));
+
+        let series = load_series(&run.dir).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].loss, 0.7);
+        assert_eq!(series[1].layers[0].name, "head.w");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn diverged_run_records_reason_and_checkpoint() {
+        let root = temp_root("diverged");
+        let mut ledger = RunLedger::create(&root, manifest("run-b", 8)).unwrap();
+        let bad = epoch("phase2", 3, f64::NAN);
+        ledger.append_epoch(&bad).unwrap();
+        let ckpt = ledger
+            .save_checkpoint("last-good-phase2.ckpt", b"bytes")
+            .unwrap();
+        let record = DivergenceRecord {
+            phase: "phase2".into(),
+            epoch: 3,
+            reason: "nan_loss".into(),
+            detail: "mean loss NaN".into(),
+            last_good_checkpoint: Some(ckpt),
+        };
+        ledger.write_divergence(&record, &bad).unwrap();
+        ledger.end_phase("phase2", 3, 30, f64::NAN);
+        ledger.finish(Some(&record), &[]).unwrap();
+
+        let run = load_run(&root.join("run-b")).unwrap();
+        assert_eq!(run.status, "diverged");
+        let d = run.divergence.unwrap();
+        assert_eq!(d.reason, "nan_loss");
+        assert_eq!(d.epoch, 3);
+        assert_eq!(
+            d.last_good_checkpoint.as_deref(),
+            Some("last-good-phase2.ckpt")
+        );
+        let saved = fs::read(root.join("run-b").join("last-good-phase2.ckpt")).unwrap();
+        assert_eq!(saved, b"bytes");
+        // divergence.json parses and carries the offending epoch.
+        let dv =
+            parse_json(&fs::read_to_string(root.join("run-b").join("divergence.json")).unwrap())
+                .unwrap();
+        assert!(dv
+            .get("offending_epoch")
+            .unwrap()
+            .get("loss")
+            .unwrap()
+            .is_null());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unfinished_run_lists_as_incomplete() {
+        let root = temp_root("incomplete");
+        let mut ledger = RunLedger::create(&root, manifest("run-c", 9)).unwrap();
+        ledger.append_epoch(&epoch("sgns", 0, 2.0)).unwrap();
+        drop(ledger); // process died: no run.json
+        let runs = list_runs(&root);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].status, "incomplete");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn create_refuses_duplicate_run_id() {
+        let root = temp_root("dup");
+        let _a = RunLedger::create(&root, manifest("run-d", 1)).unwrap();
+        assert!(RunLedger::create(&root, manifest("run-d", 1)).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn runs_json_renders_summaries() {
+        let root = temp_root("json");
+        let mut ledger = RunLedger::create(&root, manifest("run-e", 2)).unwrap();
+        ledger.end_phase("phase1", 4, 40, 0.5);
+        ledger.finish(None, &[]).unwrap();
+        let body = render_runs_json(&list_runs(&root));
+        let v = parse_json(&body).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("id").unwrap().as_str(), Some("run-e"));
+        assert_eq!(arr[0].get("status").unwrap().as_str(), Some("completed"));
+        assert_eq!(arr[0].get("seed").unwrap().as_u64(), Some(2));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,354 @@
+//! Per-epoch training series: the append-only `series.jsonl` rows of a
+//! run ledger, their (de)serialization, and the epoch-aligned diff that
+//! backs `desh-cli runs diff`.
+//!
+//! One [`EpochRecord`] is one completed epoch of one training phase
+//! (`"sgns"`, `"phase1"`, `"phase2"`). Besides the loss/wall-time pair
+//! the line carries the shard throughputs and mean grad-reduce latency of
+//! the data-parallel trainer, and one [`LayerStat`] per parameter — the
+//! per-layer weight/gradient L2 norms the divergence watchdog keys on.
+
+use crate::json::{parse_json, Json};
+use crate::jsonl::{push_escaped, push_f64};
+
+/// Per-layer statistics embedded in an [`EpochRecord`] — mirrors
+/// `desh-nn`'s `ParamStats` without depending on that crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStat {
+    /// Parameter name, e.g. `"lstm0.wx"`.
+    pub name: String,
+    /// Weight L2 norm at epoch end.
+    pub weight_norm: f64,
+    /// Mean per-minibatch merged-gradient L2 norm.
+    pub grad_norm_mean: f64,
+    /// Max per-minibatch merged-gradient L2 norm.
+    pub grad_norm_max: f64,
+    /// Update-to-weight ratio proxy.
+    pub update_ratio: f64,
+    /// Non-finite gradient values seen this epoch.
+    pub nonfinite: u64,
+}
+
+/// One epoch of one training phase, as written to `series.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Training phase this epoch belongs to (`sgns`/`phase1`/`phase2`).
+    pub phase: String,
+    /// Zero-based epoch index within the phase.
+    pub epoch: u64,
+    /// Mean batch loss (NaN round-trips as JSON `null`).
+    pub loss: f64,
+    /// Epoch wall time in microseconds.
+    pub wall_us: u64,
+    /// Global gradient-norm signal: the largest per-layer
+    /// `grad_norm_max` this epoch. What the watchdog thresholds.
+    pub grad_norm: f64,
+    /// Mean gradient tree-reduce latency per minibatch, microseconds.
+    pub grad_reduce_us: f64,
+    /// Per-shard windows/second throughput (empty for phases without
+    /// sharded minibatches, e.g. SGNS local-SGD epochs).
+    pub shard_seqs_per_s: Vec<f64>,
+    /// Per-layer stats, in parameter order.
+    pub layers: Vec<LayerStat>,
+}
+
+impl EpochRecord {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"phase\":");
+        push_escaped(&mut s, &self.phase);
+        s.push_str(&format!(",\"epoch\":{},\"loss\":", self.epoch));
+        push_f64(&mut s, self.loss);
+        s.push_str(&format!(",\"wall_us\":{},\"grad_norm\":", self.wall_us));
+        push_f64(&mut s, self.grad_norm);
+        s.push_str(",\"grad_reduce_us\":");
+        push_f64(&mut s, self.grad_reduce_us);
+        s.push_str(",\"shard_seqs_per_s\":[");
+        for (i, v) in self.shard_seqs_per_s.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_f64(&mut s, *v);
+        }
+        s.push_str("],\"layers\":[");
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            push_escaped(&mut s, &l.name);
+            s.push_str(",\"weight_norm\":");
+            push_f64(&mut s, l.weight_norm);
+            s.push_str(",\"grad_norm_mean\":");
+            push_f64(&mut s, l.grad_norm_mean);
+            s.push_str(",\"grad_norm_max\":");
+            push_f64(&mut s, l.grad_norm_max);
+            s.push_str(",\"update_ratio\":");
+            push_f64(&mut s, l.update_ratio);
+            s.push_str(&format!(",\"nonfinite\":{}}}", l.nonfinite));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Rebuild from a parsed line. `null` floats (the JSONL encoding of
+    /// NaN/Inf) come back as NaN.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let f = |key: &str| -> f64 { v.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN) };
+        let mut layers = Vec::new();
+        for l in v
+            .get("layers")
+            .and_then(Json::as_arr)
+            .ok_or("missing layers")?
+        {
+            let lf = |key: &str| -> f64 { l.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN) };
+            layers.push(LayerStat {
+                name: l
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("layer missing name")?
+                    .to_string(),
+                weight_norm: lf("weight_norm"),
+                grad_norm_mean: lf("grad_norm_mean"),
+                grad_norm_max: lf("grad_norm_max"),
+                update_ratio: lf("update_ratio"),
+                nonfinite: l.get("nonfinite").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        Ok(Self {
+            phase: v
+                .get("phase")
+                .and_then(Json::as_str)
+                .ok_or("missing phase")?
+                .to_string(),
+            epoch: v
+                .get("epoch")
+                .and_then(Json::as_u64)
+                .ok_or("missing epoch")?,
+            loss: f("loss"),
+            wall_us: v.get("wall_us").and_then(Json::as_u64).unwrap_or(0),
+            grad_norm: f("grad_norm"),
+            grad_reduce_us: f("grad_reduce_us"),
+            shard_seqs_per_s: v
+                .get("shard_seqs_per_s")
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().map(|x| x.as_f64().unwrap_or(f64::NAN)).collect())
+                .unwrap_or_default(),
+            layers,
+        })
+    }
+}
+
+/// Parse a whole `series.jsonl` body. Malformed lines are errors — the
+/// ledger is append-only and flushed per line, so a bad line means a
+/// truncated write, which the caller should surface, not paper over.
+/// The one tolerated irregularity is a trailing partial line with no
+/// closing newline (a run killed mid-write): it is dropped.
+pub fn parse_series(text: &str) -> Result<Vec<EpochRecord>, String> {
+    let mut out = Vec::new();
+    let complete = match text.rfind('\n') {
+        Some(i) => &text[..i],
+        None => return Ok(out),
+    };
+    for (lineno, line) in complete.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("series line {}: {e}", lineno + 1))?;
+        out.push(
+            EpochRecord::from_json(&v).map_err(|e| format!("series line {}: {e}", lineno + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+/// One row of an epoch-aligned comparison between two series.
+#[derive(Debug, Clone)]
+pub struct EpochDiff {
+    pub phase: String,
+    pub epoch: u64,
+    /// Loss in run A / run B (NaN when that run lacks the epoch).
+    pub loss_a: f64,
+    pub loss_b: f64,
+    /// Watchdog gradient norm in run A / run B.
+    pub grad_a: f64,
+    pub grad_b: f64,
+}
+
+impl EpochDiff {
+    /// `loss_b - loss_a` (NaN when either side is missing/non-finite).
+    pub fn d_loss(&self) -> f64 {
+        self.loss_b - self.loss_a
+    }
+
+    /// `grad_b - grad_a`.
+    pub fn d_grad(&self) -> f64 {
+        self.grad_b - self.grad_a
+    }
+}
+
+/// Align two series by (phase, epoch) — keeping run A's phase order, with
+/// any phase exclusive to run B appended — and pair up the loss and
+/// grad-norm curves. Epochs present in only one run keep NaN on the
+/// other side, so diverged-early runs still render.
+pub fn diff_series(a: &[EpochRecord], b: &[EpochRecord]) -> Vec<EpochDiff> {
+    let mut phases: Vec<&str> = Vec::new();
+    for r in a.iter().chain(b) {
+        if !phases.contains(&r.phase.as_str()) {
+            phases.push(&r.phase);
+        }
+    }
+    let mut out = Vec::new();
+    for phase in phases {
+        let sa: Vec<&EpochRecord> = a.iter().filter(|r| r.phase == phase).collect();
+        let sb: Vec<&EpochRecord> = b.iter().filter(|r| r.phase == phase).collect();
+        let max_epoch = sa
+            .iter()
+            .chain(&sb)
+            .map(|r| r.epoch)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        for epoch in 0..max_epoch {
+            let ra = sa.iter().find(|r| r.epoch == epoch);
+            let rb = sb.iter().find(|r| r.epoch == epoch);
+            if ra.is_none() && rb.is_none() {
+                continue;
+            }
+            out.push(EpochDiff {
+                phase: phase.to_string(),
+                epoch,
+                loss_a: ra.map_or(f64::NAN, |r| r.loss),
+                loss_b: rb.map_or(f64::NAN, |r| r.loss),
+                grad_a: ra.map_or(f64::NAN, |r| r.grad_norm),
+                grad_b: rb.map_or(f64::NAN, |r| r.grad_norm),
+            });
+        }
+    }
+    out
+}
+
+/// Render an epoch-aligned diff as a fixed-width table (what `desh-cli
+/// runs diff` prints). `label_a`/`label_b` head the two value columns.
+pub fn render_series_diff(diffs: &[EpochDiff], label_a: &str, label_b: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>5}  {:>12} {:>12} {:>12}  {:>12} {:>12} {:>12}\n",
+        "phase", "epoch", "loss A", "loss B", "dloss", "grad A", "grad B", "dgrad"
+    ));
+    out.push_str(&format!("{:<8} {:>5}  A={label_a} B={label_b}\n", "", ""));
+    let num = |v: f64| -> String {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{v:.6}")
+        }
+    };
+    let mut last_phase = String::new();
+    for d in diffs {
+        let phase = if d.phase == last_phase {
+            String::new()
+        } else {
+            last_phase = d.phase.clone();
+            d.phase.clone()
+        };
+        out.push_str(&format!(
+            "{:<8} {:>5}  {:>12} {:>12} {:>12}  {:>12} {:>12} {:>12}\n",
+            phase,
+            d.epoch,
+            num(d.loss_a),
+            num(d.loss_b),
+            num(d.d_loss()),
+            num(d.grad_a),
+            num(d.grad_b),
+            num(d.d_grad()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(phase: &str, epoch: u64, loss: f64) -> EpochRecord {
+        EpochRecord {
+            phase: phase.to_string(),
+            epoch,
+            loss,
+            wall_us: 1234,
+            grad_norm: loss * 2.0,
+            grad_reduce_us: 17.5,
+            shard_seqs_per_s: vec![10.0, 20.0],
+            layers: vec![LayerStat {
+                name: "lstm0.wx".into(),
+                weight_norm: 3.0,
+                grad_norm_mean: 0.5,
+                grad_norm_max: 0.9,
+                update_ratio: 0.05,
+                nonfinite: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn epoch_record_round_trips() {
+        let r = record("phase1", 3, 0.75);
+        let line = r.to_json_line();
+        let v = parse_json(&line).unwrap();
+        let back = EpochRecord::from_json(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn nan_loss_round_trips_as_null() {
+        let r = record("phase2", 0, f64::NAN);
+        let line = r.to_json_line();
+        assert!(line.contains("\"loss\":null"), "{line}");
+        let back = EpochRecord::from_json(&parse_json(&line).unwrap()).unwrap();
+        assert!(back.loss.is_nan());
+        assert!(back.grad_norm.is_nan());
+    }
+
+    #[test]
+    fn parse_series_drops_trailing_partial_line() {
+        let mut text = String::new();
+        text.push_str(&record("phase1", 0, 0.5).to_json_line());
+        text.push('\n');
+        text.push_str(&record("phase1", 1, 0.4).to_json_line());
+        text.push('\n');
+        text.push_str("{\"phase\":\"phase1\",\"epo"); // killed mid-write
+        let rows = parse_series(&text).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].epoch, 1);
+    }
+
+    #[test]
+    fn parse_series_rejects_corrupt_complete_line() {
+        let text = "{\"phase\":oops}\n";
+        assert!(parse_series(text).is_err());
+    }
+
+    #[test]
+    fn diff_aligns_by_phase_and_epoch() {
+        let a = vec![
+            record("sgns", 0, 1.0),
+            record("phase1", 0, 0.9),
+            record("phase1", 1, 0.8),
+        ];
+        let b = vec![
+            record("sgns", 0, 1.1),
+            record("phase1", 0, 0.85),
+            // b diverged: no phase1 epoch 1
+        ];
+        let d = diff_series(&a, &b);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].phase, "sgns");
+        assert!((d[1].d_loss() - (-0.05)).abs() < 1e-12);
+        assert!(d[2].loss_b.is_nan(), "missing epoch renders as NaN");
+        let table = render_series_diff(&d, "runA", "runB");
+        assert!(table.contains("phase1"));
+        assert!(table.contains('-'), "missing cell rendered as dash");
+    }
+}

@@ -13,12 +13,16 @@
 //! them when ground truth is supplied; `analyze` runs the log mining and
 //! unknown-phrase analysis with no model at all.
 
-use desh::core::{run_phase1_telemetry, run_phase2_telemetry, ChainEvent, OnlineDetector};
+use desh::checkpoint::{encode_checkpoint, load_checkpoint};
+use desh::core::{
+    config_hash, dataset_fingerprint, run_phase1_session, run_phase2_session, OnlineDetector,
+    RunSession,
+};
 use desh::obs::{
-    install_panic_dump, FlightRecorder, HttpServer, Introspection, JsonValue, WarningLog,
+    diff_series, install_panic_dump, list_runs, load_run, load_series, render_series_diff,
+    FlightRecorder, HttpServer, Introspection, JsonValue, WarningLog,
 };
 use desh::prelude::*;
-use desh_util::codec::{Decoder, Encoder};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -32,23 +36,28 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_flags(&args[1..]) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+    // `runs` takes positional subcommands/ids, so it parses its own args.
+    let result = if cmd == "runs" {
+        cmd_runs(&args[1..])
+    } else {
+        let opts = match parse_flags(&args[1..]) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match cmd.as_str() {
+            "generate" => cmd_generate(&opts),
+            "train" => cmd_train(&opts),
+            "predict" => cmd_predict(&opts),
+            "analyze" => cmd_analyze(&opts),
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command {other:?}")),
         }
-    };
-    let result = match cmd.as_str() {
-        "generate" => cmd_generate(&opts),
-        "train" => cmd_train(&opts),
-        "predict" => cmd_predict(&opts),
-        "analyze" => cmd_analyze(&opts),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -66,21 +75,37 @@ USAGE:
   desh-cli generate --profile <m1|m2|m3|m4|tiny> --out <logs.txt>
                     [--truth <truth.txt>] [--seed <n>]
   desh-cli train    --log <logs.txt> --out <model.dshm> [--seed <n>] [--fast]
-                    [--telemetry <out.jsonl>]
+                    [--telemetry <out.jsonl>] [--run-dir <dir>] [--run-id <id>]
   desh-cli predict  --log <logs.txt> --model <model.dshm> [--truth <truth.txt>]
                     [--telemetry <out.jsonl>] [--serve <addr:port>]
-                    [--serve-secs <n>] [--trace-dir <dir>]
+                    [--serve-secs <n>] [--trace-dir <dir>] [--runs-dir <dir>]
   desh-cli analyze  --log <logs.txt>
+  desh-cli runs     list            --dir <runs-dir>
+  desh-cli runs     show <id>       --dir <runs-dir>
+  desh-cli runs     diff <a> <b>    --dir <runs-dir>
 
   --telemetry writes metric snapshots (counters, gauges, latency-histogram
   quantiles, span timings) as JSON lines and prints a stats block on exit.
 
+  --run-dir opens a training run ledger under <dir>: a manifest (seed,
+  config hash, dataset fingerprint), per-epoch series.jsonl rows with
+  per-layer gradient stats for all phases, and run.json with end metrics
+  keyed against the paper's figures. The divergence watchdog aborts a
+  phase on NaN loss or exploding gradients, keeping the last-good weights.
+  The checkpoint is stamped with the run id so `runs show` links the two.
+
+  `runs` audits ledgers: list every run under --dir, show one run's
+  manifest/phases/metrics, or diff two runs' epoch-aligned loss and
+  gradient-norm series.
+
   --serve starts a read-only introspection HTTP server (GET /healthz,
   /metrics, /warnings, /nodes/<id>/flight) during the replay and holds it
-  afterwards — forever, or for --serve-secs seconds. --trace-dir records
-  per-warning decision traces (warnings.jsonl), a final flight-recorder
-  dump (flight.jsonl), and installs a panic hook dumping every node ring
-  to panic-flight.jsonl. Both flags enable telemetry implicitly.";
+  afterwards — forever, or for --serve-secs seconds. --runs-dir adds
+  GET /runs and /runs/<id>/series over that ledger directory. --trace-dir
+  records per-warning decision traces (warnings.jsonl), a final
+  flight-recorder dump (flight.jsonl), and installs a panic hook dumping
+  every node ring to panic-flight.jsonl. Serving or tracing enables
+  telemetry implicitly.";
 
 type Flags = HashMap<String, String>;
 
@@ -171,49 +196,6 @@ fn cmd_generate(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Checkpoint layout: header, vocabulary snapshot, lead-time model
-/// parameters, the serialized VectorLstm, and (since version 2) the
-/// trained failure chains so `predict` can name each warning's nearest
-/// chain without re-running phase 1. Version-1 files load fine — they just
-/// have no chains to match against.
-const MODEL_MAGIC: [u8; 4] = *b"DSHC";
-const MODEL_VERSION: u32 = 2;
-
-fn encode_chains(chains: &[FailureChain]) -> Vec<u8> {
-    let mut e = Encoder::new();
-    e.put_u64(chains.len() as u64);
-    for c in chains {
-        e.put_u64(c.node.to_index() as u64);
-        e.put_u64(c.terminal_time.0);
-        e.put_u64(c.events.len() as u64);
-        for ev in &c.events {
-            e.put_u64(ev.time.0);
-            e.put_u32(ev.phrase);
-            e.put_f64(ev.delta_t);
-        }
-    }
-    e.finish().to_vec()
-}
-
-fn decode_chains(d: &mut Decoder) -> Result<Vec<FailureChain>, String> {
-    let n = d.u64().map_err(|e| e.to_string())? as usize;
-    let mut chains = Vec::with_capacity(n);
-    for _ in 0..n {
-        let node = NodeId::from_index(d.u64().map_err(|e| e.to_string())? as usize);
-        let terminal_time = Micros(d.u64().map_err(|e| e.to_string())?);
-        let len = d.u64().map_err(|e| e.to_string())? as usize;
-        let mut events = Vec::with_capacity(len);
-        for _ in 0..len {
-            let time = Micros(d.u64().map_err(|e| e.to_string())?);
-            let phrase = d.u32().map_err(|e| e.to_string())?;
-            let delta_t = d.f64().map_err(|e| e.to_string())?;
-            events.push(ChainEvent { time, phrase, delta_t });
-        }
-        chains.push(FailureChain { node, terminal_time, events });
-    }
-    Ok(chains)
-}
-
 fn cmd_train(opts: &Flags) -> Result<(), String> {
     let log_path = PathBuf::from(need(opts, "log")?);
     let out = PathBuf::from(need(opts, "out")?);
@@ -226,6 +208,22 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
 
     let cfg = if opts.contains_key("fast") { DeshConfig::fast() } else { DeshConfig::default() };
     let (telemetry, mut sink) = telemetry_of(opts)?;
+    let mut session = match opts.get("run-dir") {
+        Some(dir) => {
+            let root = PathBuf::from(dir);
+            let fp = dataset_fingerprint(&records);
+            let s = match opts.get("run-id") {
+                Some(id) => {
+                    RunSession::create_with_id(&root, id.clone(), seed_of(opts), &cfg, fp)
+                }
+                None => RunSession::create(&root, seed_of(opts), &cfg, fp),
+            }
+            .map_err(|e| format!("cannot open run ledger under {dir}: {e}"))?;
+            println!("run ledger: {} ({})", s.run_id(), s.dir().display());
+            Some(s)
+        }
+        None => None,
+    };
     let mut rng = Xoshiro256pp::seed_from_u64(seed_of(opts));
     let train_span = telemetry.span("train");
     let parsed = desh::logparse::parse_records_telemetry(
@@ -234,7 +232,10 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
         &telemetry,
     );
     println!("vocabulary: {} templates; running phase 1...", parsed.vocab_size());
-    let p1 = run_phase1_telemetry(&parsed, &cfg, &mut rng, &telemetry);
+    let p1 = match run_phase1_session(&parsed, &cfg, &mut rng, &telemetry, session.as_mut()) {
+        Ok(p1) => p1,
+        Err(d) => return Err(finish_diverged(session, d)),
+    };
     println!(
         "phase 1 done: {} failure chains, 3-step accuracy {:.1}%",
         p1.chains.len(),
@@ -244,73 +245,70 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
         return Err("no failure chains found in the training log".into());
     }
     println!("running phase 2 ({} epochs)...", cfg.phase2.epochs);
-    let model =
-        run_phase2_telemetry(&p1.chains, parsed.vocab_size(), &cfg.phase2, &mut rng, &telemetry);
+    let model = match run_phase2_session(
+        &p1.chains,
+        parsed.vocab_size(),
+        &cfg.phase2,
+        &mut rng,
+        &telemetry,
+        session.as_mut(),
+    ) {
+        Ok(m) => m,
+        Err(d) => return Err(finish_diverged(session, d)),
+    };
     drop(train_span);
 
-    // Checkpoint: vocabulary + model constants + network weights + chains.
-    let mut e = Encoder::with_header(MODEL_MAGIC, MODEL_VERSION);
-    let vocab = parsed.vocab.snapshot();
-    e.put_u64(vocab.len() as u64);
-    for t in &vocab {
-        e.put_str(t);
-    }
-    e.put_f32(model.dt_scale);
-    e.put_u64(model.history as u64);
-    let net = model.model.to_bytes();
-    e.put_u64(net.len() as u64);
-    let mut bytes = e.finish().to_vec();
-    bytes.extend_from_slice(&net);
-    bytes.extend_from_slice(&encode_chains(&p1.chains));
+    // Checkpoint, stamped with the ledger run id + config hash so
+    // `runs show` can link the two (empty id when no --run-dir).
+    let (run_id, cfg_hash) = match &session {
+        Some(s) => (s.run_id().to_string(), s.config_hash()),
+        None => (String::new(), config_hash(&cfg)),
+    };
+    let bytes = encode_checkpoint(&model, &parsed.vocab, &p1.chains, &run_id, cfg_hash);
     std::fs::write(&out, &bytes).map_err(|e| e.to_string())?;
     println!(
         "checkpointed lead-time model ({} KiB) to {}",
         bytes.len() / 1024,
         out.display()
     );
+    if let Some(mut s) = session {
+        s.note_checkpoint(&out.display().to_string());
+        let metrics = vec![
+            ("phase1_accuracy_kstep".to_string(), p1.accuracy_kstep),
+            ("chains_trained".to_string(), p1.chains.len() as f64),
+        ];
+        let dir = s.dir().to_path_buf();
+        s.finish(&metrics).map_err(|e| e.to_string())?;
+        println!("run ledger finalized: {}", dir.join("run.json").display());
+    }
     finish_telemetry(&telemetry, sink.as_mut(), "train")?;
     Ok(())
 }
 
-type LoadedModel = (LeadTimeModel, Arc<desh::logparse::Vocab>, Vec<FailureChain>);
-
-fn load_model(path: &Path) -> Result<LoadedModel, String> {
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-    if bytes.len() < 8 {
-        return Err("model file truncated".into());
+/// Seal a diverged run's ledger and describe the abort for the operator.
+fn finish_diverged(
+    session: Option<RunSession>,
+    d: desh::obs::DivergenceRecord,
+) -> String {
+    if let Some(s) = session {
+        let dir = s.dir().to_path_buf();
+        if s.finish(&[]).is_ok() {
+            eprintln!(
+                "divergence details in {} and {}",
+                dir.join("run.json").display(),
+                dir.join("divergence.json").display()
+            );
+        }
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    if !(1..=MODEL_VERSION).contains(&version) {
-        return Err(format!(
-            "unsupported model version {version} (this build reads 1..={MODEL_VERSION})"
-        ));
-    }
-    let mut d = Decoder::new(bytes::Bytes::from(bytes));
-    d.expect_header(MODEL_MAGIC, version).map_err(|e| e.to_string())?;
-    let n = d.u64().map_err(|e| e.to_string())? as usize;
-    let vocab = desh::logparse::Vocab::new();
-    for _ in 0..n {
-        vocab.intern(&d.string().map_err(|e| e.to_string())?);
-    }
-    let dt_scale = d.f32().map_err(|e| e.to_string())?;
-    let history = d.u64().map_err(|e| e.to_string())? as usize;
-    let net_len = d.u64().map_err(|e| e.to_string())? as usize;
-    let mut net_bytes = vec![0u8; net_len];
-    for b in net_bytes.iter_mut() {
-        *b = d.u8().map_err(|e| e.to_string())?;
-    }
-    let net = VectorLstm::from_bytes(net_bytes.into()).map_err(|e| e.to_string())?;
-    // v1 checkpoints predate the chain trailer; detectors loaded from them
-    // run fine but cannot name a warning's matched chain.
-    let chains = if version >= 2 { decode_chains(&mut d)? } else { Vec::new() };
-    let model = LeadTimeModel {
-        model: net,
-        dt_scale,
-        vocab_size: n,
-        history,
-        losses: Vec::new(),
-    };
-    Ok((model, Arc::new(vocab), chains))
+    let ckpt = d
+        .last_good_checkpoint
+        .as_deref()
+        .map(|c| format!("; last good weights: {c}"))
+        .unwrap_or_default();
+    format!(
+        "training diverged in {} at epoch {}: {} ({}){}",
+        d.phase, d.epoch, d.reason, d.detail, ckpt
+    )
 }
 
 /// Records between periodic telemetry snapshots in `predict`.
@@ -334,7 +332,14 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         // tracing turns it on even without --telemetry.
         telemetry = Telemetry::enabled();
     }
-    let (model, vocab, chains) = telemetry.time("load_model", || load_model(&model_path))?;
+    let ck = telemetry.time("load_model", || load_checkpoint(&model_path))?;
+    if !ck.run_id.is_empty() {
+        println!(
+            "model trained under run {} (config hash {:016x})",
+            ck.run_id, ck.config_hash
+        );
+    }
+    let (model, vocab, chains) = (ck.model, ck.vocab, ck.chains);
     let (records, bad) =
         desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
     println!("read {} records ({} corrupt skipped)", records.len(), bad.len());
@@ -369,15 +374,21 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         Some(addr) => {
             let (flight, warning_log) = trace.as_ref().expect("--serve implies tracing");
             let registry = telemetry.registry().expect("tracing enables telemetry");
-            let state = Introspection::new(
+            let mut state = Introspection::new(
                 Arc::clone(registry),
                 Arc::clone(flight),
                 Arc::clone(warning_log),
             );
+            let runs_routes = if let Some(dir) = opts.get("runs-dir") {
+                state = state.with_runs_dir(PathBuf::from(dir));
+                " /runs /runs/<id>/series"
+            } else {
+                ""
+            };
             let s = HttpServer::start(addr, state)
                 .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
             println!(
-                "introspection server on http://{}/ (/healthz /metrics /warnings /nodes/<id>/flight)",
+                "introspection server on http://{}/ (/healthz /metrics /warnings /nodes/<id>/flight{runs_routes})",
                 s.addr()
             );
             Some(s)
@@ -509,6 +520,147 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
             c.total,
             c.template
         );
+    }
+    Ok(())
+}
+
+/// `runs list|show|diff` — positional subcommands, so this parses its own
+/// argument list instead of going through [`parse_flags`] first.
+fn cmd_runs(args: &[String]) -> Result<(), String> {
+    let split = args.iter().position(|a| a.starts_with("--")).unwrap_or(args.len());
+    let (pos, flags) = args.split_at(split);
+    let opts = parse_flags(flags)?;
+    let dir = PathBuf::from(opts.get("dir").map(String::as_str).unwrap_or("runs"));
+    match pos {
+        [sub] if sub == "list" => runs_list(&dir),
+        [sub, id] if sub == "show" => runs_show(&dir, id),
+        [sub, a, b] if sub == "diff" => runs_diff(&dir, a, b),
+        _ => Err("usage: desh-cli runs <list | show <id> | diff <a> <b>> --dir <runs-dir>".into()),
+    }
+}
+
+fn runs_list(dir: &Path) -> Result<(), String> {
+    let runs = list_runs(dir);
+    if runs.is_empty() {
+        println!("no runs under {}", dir.display());
+        return Ok(());
+    }
+    println!(
+        "{:<28} {:<11} {:>6} {:>7} {:>12}  phases",
+        "run", "status", "seed", "epochs", "final loss"
+    );
+    for r in &runs {
+        let seed = r.manifest.as_ref().map(|m| m.seed.to_string()).unwrap_or_else(|| "?".into());
+        let epochs: u64 = r.phases.iter().map(|p| p.epochs).sum();
+        let final_loss = r
+            .phases
+            .last()
+            .map(|p| format!("{:.6}", p.final_loss))
+            .unwrap_or_else(|| "-".into());
+        let phases: Vec<&str> = r.phases.iter().map(|p| p.name.as_str()).collect();
+        println!(
+            "{:<28} {:<11} {:>6} {:>7} {:>12}  {}",
+            r.id,
+            r.status,
+            seed,
+            epochs,
+            final_loss,
+            phases.join(",")
+        );
+    }
+    Ok(())
+}
+
+fn runs_show(dir: &Path, id: &str) -> Result<(), String> {
+    let run = load_run(&dir.join(id)).map_err(|e| format!("cannot load run {id}: {e}"))?;
+    println!("run {} — {}", run.id, run.status);
+    if let Some(m) = &run.manifest {
+        println!("  seed {} | shards {} | threads {}", m.seed, m.shards, m.threads);
+        println!("  dataset {}", m.dataset);
+        println!("  config hash {:016x}", m.config_hash);
+        for (k, v) in &m.config {
+            println!("    {k} = {v}");
+        }
+    }
+    if !run.phases.is_empty() {
+        println!("  phases:");
+        for p in &run.phases {
+            println!(
+                "    {:<8} {:>4} epochs  {:>9.1} ms  final loss {:.6}",
+                p.name,
+                p.epochs,
+                p.wall_us as f64 / 1000.0,
+                p.final_loss
+            );
+        }
+    }
+    if let Some(d) = &run.divergence {
+        println!("  DIVERGED in {} at epoch {}: {} ({})", d.phase, d.epoch, d.reason, d.detail);
+        if let Some(c) = &d.last_good_checkpoint {
+            println!("  last good weights: {c}");
+        }
+    }
+    if !run.end_metrics.is_empty() {
+        println!("  end metrics:");
+        for (k, v) in &run.end_metrics {
+            println!("    {k} = {v:.4}");
+        }
+    }
+    match &run.checkpoint {
+        Some(path) => {
+            println!("  checkpoint: {path}");
+            // Close the loop: the v3 stamp inside the file should point
+            // right back at this ledger.
+            match load_checkpoint(Path::new(path)) {
+                Ok(ck) if ck.run_id == run.id => {
+                    let cfg_ok = run
+                        .manifest
+                        .as_ref()
+                        .is_none_or(|m| m.config_hash == ck.config_hash);
+                    if cfg_ok {
+                        println!("    stamp verified: run id and config hash match");
+                    } else {
+                        println!(
+                            "    WARNING: checkpoint config hash {:016x} differs from manifest",
+                            ck.config_hash
+                        );
+                    }
+                }
+                Ok(ck) => println!(
+                    "    WARNING: checkpoint is stamped with run {:?}, not this run",
+                    ck.run_id
+                ),
+                Err(e) => println!("    (checkpoint not readable: {e})"),
+            }
+        }
+        None => println!("  checkpoint: none recorded"),
+    }
+    Ok(())
+}
+
+fn runs_diff(dir: &Path, a: &str, b: &str) -> Result<(), String> {
+    let sa = load_series(&dir.join(a)).map_err(|e| format!("cannot load series for {a}: {e}"))?;
+    let sb = load_series(&dir.join(b)).map_err(|e| format!("cannot load series for {b}: {e}"))?;
+    if sa.is_empty() && sb.is_empty() {
+        return Err(format!("neither {a} nor {b} has any series rows"));
+    }
+    print!("{}", render_series_diff(&diff_series(&sa, &sb), a, b));
+    let ra = load_run(&dir.join(a));
+    let rb = load_run(&dir.join(b));
+    if let (Ok(ra), Ok(rb)) = (ra, rb) {
+        let mut printed_header = false;
+        for (k, va) in &ra.end_metrics {
+            if k.starts_with("paper.") {
+                continue;
+            }
+            if let Some((_, vb)) = rb.end_metrics.iter().find(|(kb, _)| kb == k) {
+                if !printed_header {
+                    println!("\nend metrics ({a} -> {b}):");
+                    printed_header = true;
+                }
+                println!("  {k:<24} {va:>12.4} -> {vb:>12.4} ({:+.4})", vb - va);
+            }
+        }
     }
     Ok(())
 }

@@ -34,6 +34,8 @@
 //! println!("{}", report.confusion.summary_row(&report.system));
 //! ```
 
+pub mod checkpoint;
+
 pub use desh_baselines as baselines;
 pub use desh_core as core;
 pub use desh_loggen as loggen;
