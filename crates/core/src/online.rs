@@ -31,8 +31,8 @@ use crate::phase2::{chain_to_vectors, LeadStream, LeadTimeModel};
 use desh_loggen::{FailureClass, Label, LogRecord, NodeId};
 use desh_logparse::{extract_template, is_failure_terminal, label_template, Vocab};
 use desh_obs::{
-    Counter, FlightRecorder, Gauge, LatencyHistogram, NodeFlight, QualityMonitor, Telemetry,
-    TraceEvent, WarningLog,
+    ActiveWaterfall, Counter, FlightRecorder, Gauge, LatencyHistogram, NodeFlight, QualityMonitor,
+    SpanProfiler, Telemetry, TraceEvent, WarningLog,
 };
 use desh_util::{duration_us, Micros};
 use std::collections::HashMap;
@@ -124,7 +124,20 @@ pub struct OnlineDetector {
     train_vocab: u32,
     /// Template-drift monitor (shares the telemetry registry).
     quality: Option<QualityMonitor>,
+    /// Sampled span profiler; `None` (default) keeps the hot path at a
+    /// single `Option` check per event.
+    profiler: Option<Arc<SpanProfiler>>,
 }
+
+/// Stage indices for the online serving waterfall, in pipeline order.
+/// These index [`OnlineDetector::PROFILE_STAGES`] and the per-stage
+/// histograms of an attached [`SpanProfiler`].
+const STAGE_PARSE: usize = 0;
+const STAGE_TEMPLATE: usize = 1;
+const STAGE_ENCODE: usize = 2;
+const STAGE_CELL_STEP: usize = 3;
+const STAGE_THRESHOLD: usize = 4;
+const STAGE_WARN: usize = 5;
 
 impl OnlineDetector {
     /// Build from a trained model and the training vocabulary (phrase ids
@@ -165,7 +178,33 @@ impl OnlineDetector {
             chains: Vec::new(),
             train_vocab,
             quality: QualityMonitor::new(telemetry),
+            profiler: None,
         }
+    }
+
+    /// The fixed stage list of the online serving waterfall, in the order
+    /// an event flows through [`OnlineDetector::ingest_line`]. Build the
+    /// profiler to attach with exactly these stages.
+    pub const PROFILE_STAGES: [&'static str; 6] = [
+        "parse",
+        "template",
+        "encode",
+        "cell_step",
+        "threshold",
+        "warn",
+    ];
+
+    /// Attach a sampled span profiler built over
+    /// [`OnlineDetector::PROFILE_STAGES`]. Unsampled events pay one
+    /// atomic increment; without this call the scoring path pays one
+    /// `Option` check.
+    pub fn attach_profiler(&mut self, profiler: Arc<SpanProfiler>) {
+        assert_eq!(
+            profiler.stage_names().len(),
+            Self::PROFILE_STAGES.len(),
+            "profiler stage list must match OnlineDetector::PROFILE_STAGES"
+        );
+        self.profiler = Some(profiler);
     }
 
     /// Attach decision tracing: every scored event lands in `flight`'s
@@ -200,14 +239,33 @@ impl OnlineDetector {
     /// Ingest one raw text line. Returns a warning if this line completed
     /// a recognisable failure-chain prefix; `None` for benign/ignored
     /// lines; `Err` for unparseable lines (which a deployment would count
-    /// and skip).
+    /// and skip). This is the surface whose waterfall includes the
+    /// `parse` stage; [`OnlineDetector::ingest`] starts at `template`.
     pub fn ingest_line(&mut self, line: &str) -> Result<Option<Warning>, String> {
+        let mut wf = self.profiler.as_ref().and_then(|p| p.begin());
         let record: LogRecord = line.parse().map_err(|e| format!("{e}"))?;
-        Ok(self.ingest(&record))
+        if let Some(w) = wf.as_mut() {
+            w.mark(STAGE_PARSE);
+        }
+        Ok(self.ingest_sampled(&record, wf))
     }
 
     /// Ingest one structured record.
     pub fn ingest(&mut self, record: &LogRecord) -> Option<Warning> {
+        let wf = self.profiler.as_ref().and_then(|p| p.begin());
+        self.ingest_sampled(record, wf)
+    }
+
+    /// The per-event pipeline, optionally carrying a sampled waterfall
+    /// whose marks bracket each stage. Safe-filtered events discard their
+    /// waterfall unrecorded (they never reach the serving path proper);
+    /// every other exit finishes it, and only waterfalls that reached
+    /// `cell_step` enter the profiler's full-waterfall ring.
+    fn ingest_sampled(
+        &mut self,
+        record: &LogRecord,
+        mut wf: Option<ActiveWaterfall>,
+    ) -> Option<Warning> {
         let template = extract_template(&record.text);
         if label_template(&template) == Label::Safe {
             return None;
@@ -217,6 +275,10 @@ impl OnlineDetector {
             // A phrase id at or past the training vocabulary size is a
             // template the model never saw — the drift signal.
             q.record_template(phrase >= self.train_vocab);
+        }
+        if let Some(w) = wf.as_mut() {
+            w.set_at_us(record.time.0);
+            w.mark(STAGE_TEMPLATE);
         }
         let state = self.nodes.entry(record.node).or_default();
 
@@ -242,6 +304,9 @@ impl OnlineDetector {
             m.events.inc();
             m.buffered.set(self.buffered_total as f64);
         }
+        if let Some(w) = wf.as_mut() {
+            w.mark(STAGE_ENCODE);
+        }
 
         // A terminal message ends the episode — too late to warn.
         if is_failure_terminal(&template) {
@@ -252,11 +317,17 @@ impl OnlineDetector {
             if let Some(m) = &self.metrics {
                 m.buffered.set(self.buffered_total as f64);
             }
+            if let (Some(p), Some(w)) = (&self.profiler, wf) {
+                p.finish(w, Some(STAGE_CELL_STEP));
+            }
             return None;
         }
         // Already warned for this episode: stay quiet until a reset. The
         // carried state was dropped at warning time, so nothing to advance.
         if state.warned {
+            if let (Some(p), Some(w)) = (&self.profiler, wf) {
+                p.finish(w, Some(STAGE_CELL_STEP));
+            }
             return None;
         }
 
@@ -278,8 +349,14 @@ impl OnlineDetector {
                 last
             }
         };
+        if let Some(w) = wf.as_mut() {
+            w.mark(STAGE_CELL_STEP);
+        }
         let warning =
             Self::evaluate(&self.model, &self.cfg, &self.vocab, &self.chains, state, record);
+        if let Some(w) = wf.as_mut() {
+            w.mark(STAGE_THRESHOLD);
+        }
         if let Some(m) = &self.metrics {
             m.score_latency.record(duration_us(t0.unwrap().elapsed()));
             if warning.is_some() {
@@ -331,6 +408,12 @@ impl OnlineDetector {
             // carried state (it is rebuilt if the node episodes again).
             state.stream = None;
             self.warnings_emitted += 1;
+            if let Some(w) = wf.as_mut() {
+                w.mark(STAGE_WARN);
+            }
+        }
+        if let (Some(p), Some(w)) = (&self.profiler, wf) {
+            p.finish(w, Some(STAGE_CELL_STEP));
         }
         warning
     }
@@ -666,6 +749,73 @@ mod tests {
                 assert_eq!(a.score, b.score);
             }
         }
+    }
+
+    #[test]
+    fn profiler_waterfalls_cover_stages_without_changing_decisions() {
+        let (mut plain, test) = trained_detector(311);
+        let (mut profiled, _) = trained_detector(311);
+        let t = Telemetry::enabled();
+        let profiler = SpanProfiler::new(
+            t.registry().unwrap(),
+            "online",
+            &OnlineDetector::PROFILE_STAGES,
+            4,
+            16,
+        );
+        profiled.attach_profiler(Arc::clone(&profiler));
+        for r in &test.records {
+            let a = plain.ingest(r);
+            let b = profiled.ingest(r);
+            assert_eq!(a.is_some(), b.is_some(), "profiling changed a decision");
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.score, b.score);
+            }
+        }
+        assert!(profiled.warnings_emitted() > 0);
+        assert!(profiler.sampled() > 0, "no events sampled");
+        let falls = profiler.waterfalls();
+        assert!(!falls.is_empty(), "no full waterfalls retained");
+        for w in &falls {
+            // Only waterfalls that reached the model step enter the ring,
+            // and every stage before it must have been marked too.
+            assert!(w.is_marked(STAGE_TEMPLATE) && w.is_marked(STAGE_ENCODE));
+            assert!(w.is_marked(STAGE_CELL_STEP));
+            assert!(w.at_us > 0, "event timestamp not attached");
+        }
+        let snap = t.snapshot().unwrap();
+        let steps = snap.histogram("profile.online.cell_step_ns").unwrap();
+        assert!(steps.count() > 0);
+        assert!(
+            snap.histogram("profile.online.threshold_ns").unwrap().count() > 0,
+            "threshold stage never recorded"
+        );
+        // ingest() starts at the template stage; parse is only marked on
+        // the ingest_line surface.
+        assert_eq!(snap.histogram("profile.online.parse_ns").unwrap().count(), 0);
+    }
+
+    #[test]
+    fn ingest_line_waterfalls_include_the_parse_stage() {
+        let (mut det, test) = trained_detector(312);
+        let t = Telemetry::enabled();
+        let profiler = SpanProfiler::new(
+            t.registry().unwrap(),
+            "online",
+            &OnlineDetector::PROFILE_STAGES,
+            1,
+            8,
+        );
+        det.attach_profiler(Arc::clone(&profiler));
+        for r in test.records.iter().take(500) {
+            det.ingest_line(&r.to_raw_line()).unwrap();
+        }
+        let snap = t.snapshot().unwrap();
+        let parse = snap.histogram("profile.online.parse_ns").unwrap();
+        assert!(parse.count() > 0, "parse stage never recorded");
+        // Safe-filtered events discard their waterfall: fewer recorded
+        // samples than lines seen.
+        assert!(profiler.sampled() <= profiler.events_seen());
     }
 
     #[test]

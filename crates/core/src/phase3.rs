@@ -16,10 +16,21 @@ use crate::phase2::LeadTimeModel;
 use desh_loggen::{FailureClass, GroundTruthFailure, NodeId};
 use desh_logparse::ParsedLog;
 use desh_nn::ScoreWorkspace;
-use desh_obs::{QualityMonitor, Telemetry};
+use desh_obs::{ActiveWaterfall, QualityMonitor, SpanProfiler, Telemetry};
 use desh_util::{duration_us, Micros};
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Stage list for the phase-3 scoring waterfall: Table 4 vectorization,
+/// the windowed LSTM forward pass, and the running-mean flag decision.
+/// Build the [`SpanProfiler`] passed to [`run_phase3_profiled`] with
+/// exactly these stages.
+pub const PHASE3_PROFILE_STAGES: [&str; 3] = ["encode", "predict", "threshold"];
+
+const P3_STAGE_ENCODE: usize = 0;
+const P3_STAGE_PREDICT: usize = 1;
+const P3_STAGE_THRESHOLD: usize = 2;
 
 /// Outcome for one test episode.
 #[derive(Debug, Clone)]
@@ -97,6 +108,7 @@ fn score_episode(
     episode: &Episode,
     cfg: &DeshConfig,
     sw: &mut ScoreWorkspace,
+    mut wf: Option<&mut ActiveWaterfall>,
 ) -> (bool, f64, Option<f64>) {
     let end = episode.end();
     // Cumulative ΔTs to the episode's final event (Table 4 construction).
@@ -105,7 +117,13 @@ fn score_episode(
         .iter()
         .map(|e| model.vectorize(end.saturating_sub(e.time).as_secs_f64(), e.phrase))
         .collect();
+    if let Some(w) = wf.as_deref_mut() {
+        w.mark(P3_STAGE_ENCODE);
+    }
     let raw = model.model.score_sequence_ws(&seq, model.history, sw);
+    if let Some(w) = wf.as_deref_mut() {
+        w.mark(P3_STAGE_PREDICT);
+    }
     // Normalise so one full phrase mismatch scores ~1.0 regardless of
     // vocabulary size, then apply the configured multiplier.
     let unit = (model.vocab_size + 1) as f64 / 2.0 * cfg.phase3.score_scale;
@@ -121,6 +139,9 @@ fn score_episode(
             let lead = end
                 .saturating_sub(episode.events[k + 1].time)
                 .as_secs_f64();
+            if let Some(w) = wf.as_deref_mut() {
+                w.mark(P3_STAGE_THRESHOLD);
+            }
             return (true, mean, Some(lead));
         }
     }
@@ -129,6 +150,9 @@ fn score_episode(
     } else {
         scores.iter().sum::<f64>() / scores.len() as f64
     };
+    if let Some(w) = wf.as_deref_mut() {
+        w.mark(P3_STAGE_THRESHOLD);
+    }
     (false, mean, None)
 }
 
@@ -174,6 +198,22 @@ pub fn run_phase3_telemetry(
     cfg: &DeshConfig,
     telemetry: &Telemetry,
 ) -> Phase3Output {
+    run_phase3_profiled(model, parsed, truth, cfg, telemetry, None)
+}
+
+/// [`run_phase3_telemetry`] with an optional sampled span profiler built
+/// over [`PHASE3_PROFILE_STAGES`]: 1-in-N scored episodes record an
+/// encode → predict → threshold waterfall (the batch-side mirror of the
+/// online detector's per-event one). The profiler's atomics are shared
+/// across the rayon workers; each sampled waterfall is worker-local.
+pub fn run_phase3_profiled(
+    model: &LeadTimeModel,
+    parsed: &ParsedLog,
+    truth: &[GroundTruthFailure],
+    cfg: &DeshConfig,
+    telemetry: &Telemetry,
+    profiler: Option<&Arc<SpanProfiler>>,
+) -> Phase3Output {
     let _span = telemetry.span("phase3");
     let windows = maintenance_windows(parsed, 8);
     let all = extract_episodes(parsed, &cfg.episodes);
@@ -197,7 +237,13 @@ pub fn run_phase3_telemetry(
         .map(|ep| {
             let t0 = score_hist.as_ref().map(|_| Instant::now());
             let mut sw = model.model.workspace();
-            let (flagged, score, predicted_lead_secs) = score_episode(model, ep, cfg, &mut sw);
+            let mut wf = profiler.and_then(|p| p.begin());
+            let (flagged, score, predicted_lead_secs) =
+                score_episode(model, ep, cfg, &mut sw, wf.as_mut());
+            if let (Some(p), Some(mut w)) = (profiler, wf) {
+                w.set_at_us(ep.end().0);
+                p.finish(w, Some(P3_STAGE_PREDICT));
+            }
             if let (Some(h), Some(t0)) = (&score_hist, t0) {
                 h.record(duration_us(t0.elapsed()));
             }
@@ -315,6 +361,56 @@ mod tests {
             })
             .collect();
         assert!(eps.is_empty(), "{} episodes leaked through maintenance filter", eps.len());
+    }
+
+    #[test]
+    fn profiled_scoring_matches_unprofiled_and_records_waterfalls() {
+        let d = generate(&SystemProfile::tiny(), 96);
+        let (train, test) = d.split_by_time(0.3);
+        let cfg = DeshConfig::fast();
+        let parsed_train = parse_records(&train.records);
+        let chains = extract_chains(&parsed_train, &cfg.episodes);
+        let mut rng = Xoshiro256pp::seed_from_u64(96);
+        let model = run_phase2(&chains, 40, &cfg.phase2, &mut rng);
+        let parsed_test =
+            desh_logparse::parse_records_with_vocab(&test.records, parsed_train.vocab.clone());
+
+        let plain = run_phase3(&model, &parsed_test, &test.failures, &cfg);
+        let t = Telemetry::enabled();
+        let profiler = SpanProfiler::new(
+            t.registry().unwrap(),
+            "phase3",
+            &PHASE3_PROFILE_STAGES,
+            1,
+            16,
+        );
+        let profiled = run_phase3_profiled(
+            &model,
+            &parsed_test,
+            &test.failures,
+            &cfg,
+            &t,
+            Some(&profiler),
+        );
+        // Profiling is observation-only.
+        assert_eq!(plain.verdicts.len(), profiled.verdicts.len());
+        let flags =
+            |o: &Phase3Output| o.verdicts.iter().filter(|v| v.flagged).count();
+        assert_eq!(flags(&plain), flags(&profiled));
+
+        assert_eq!(profiler.events_seen() as usize, profiled.verdicts.len());
+        assert!(!profiler.waterfalls().is_empty(), "no waterfalls retained");
+        let snap = t.snapshot().unwrap();
+        for stage in PHASE3_PROFILE_STAGES {
+            let h = snap
+                .histogram(&format!("profile.phase3.{stage}_ns"))
+                .unwrap();
+            assert_eq!(
+                h.count() as usize,
+                profiled.verdicts.len(),
+                "stage {stage} missed episodes"
+            );
+        }
     }
 
     #[test]

@@ -94,7 +94,10 @@ pub fn parse_records_with_vocab(records: &[LogRecord], vocab: Arc<Vocab>) -> Par
 /// template was not in it and the `logparse.template_miss_rate` gauge is
 /// their fraction — the batch-side template-drift signal (a deployed
 /// vocabulary that no longer covers the stream). Wall time lands in the
-/// `parse` span.
+/// `parse` span, with nested sub-spans breaking it down by stage:
+/// `parse.template` (parallel template extraction + interning),
+/// `parse.group` (per-node bucketing and time-sort), and `parse.label`
+/// (Safe/Unknown/Error classification of the vocabulary).
 pub fn parse_records_telemetry(
     records: &[LogRecord],
     vocab: Arc<Vocab>,
@@ -102,27 +105,36 @@ pub fn parse_records_telemetry(
 ) -> ParsedLog {
     let _span = telemetry.span("parse");
     let vocab_before = vocab.len();
-    let parsed: Vec<(NodeId, Event)> = records
-        .par_iter()
-        .map(|r| {
-            let template = extract_template(&r.text);
-            let id = vocab.intern(&template);
-            (r.node, Event { time: r.time, phrase: id })
-        })
-        .collect();
+    let parsed: Vec<(NodeId, Event)> = telemetry.time("template", || {
+        // Extraction (the expensive part) parallelises freely, but
+        // interning must stay sequential in record order: ids are
+        // assigned first-come, and cross-thread arrival order would make
+        // the numbering — and everything trained on it — depend on
+        // scheduling. Thread count must never change numerics.
+        let templates: Vec<String> = records.par_iter().map(|r| extract_template(&r.text)).collect();
+        records
+            .iter()
+            .zip(&templates)
+            .map(|(r, template)| {
+                let id = vocab.intern(template);
+                (r.node, Event { time: r.time, phrase: id })
+            })
+            .collect()
+    });
 
-    let mut per_node: BTreeMap<NodeId, Vec<Event>> = BTreeMap::new();
-    for (node, ev) in parsed {
-        per_node.entry(node).or_default().push(ev);
-    }
-    for evs in per_node.values_mut() {
-        evs.sort_by_key(|e| e.time);
-    }
-    let labels: Vec<Label> = vocab
-        .snapshot()
-        .iter()
-        .map(|t| label_template(t))
-        .collect();
+    let per_node: BTreeMap<NodeId, Vec<Event>> = telemetry.time("group", || {
+        let mut per_node: BTreeMap<NodeId, Vec<Event>> = BTreeMap::new();
+        for (node, ev) in parsed {
+            per_node.entry(node).or_default().push(ev);
+        }
+        for evs in per_node.values_mut() {
+            evs.sort_by_key(|e| e.time);
+        }
+        per_node
+    });
+    let labels: Vec<Label> = telemetry.time("label", || {
+        vocab.snapshot().iter().map(|t| label_template(t)).collect()
+    });
     if telemetry.is_enabled() {
         telemetry.count("logparse.records", records.len() as u64);
         telemetry.count(
@@ -261,8 +273,13 @@ mod tests {
         assert_eq!(snap.gauge("logparse.templates"), Some(parsed.vocab_size() as f64));
         let rate = snap.gauge("logparse.unknown_rate").unwrap();
         assert!((0.0..=1.0).contains(&rate), "unknown rate {rate}");
-        // Parse wall time was recorded under the span histogram.
+        // Parse wall time was recorded under the span histogram, and each
+        // pipeline stage got its own nested sub-span.
         assert_eq!(snap.histogram("span.parse_us").unwrap().count(), 1);
+        for sub in ["parse.template", "parse.group", "parse.label"] {
+            let h = snap.histogram(&format!("span.{sub}_us"));
+            assert_eq!(h.map(|h| h.count()), Some(1), "missing sub-span {sub}");
+        }
         // Fresh vocab: every event is a template miss by definition.
         assert_eq!(
             snap.counter("logparse.template_miss_events"),

@@ -1,0 +1,373 @@
+//! Windowed metrics history: a fixed-size ring of timestamped registry
+//! snapshots.
+//!
+//! `/metrics` answers "what is the value *now*"; rate and p99-over-time
+//! questions ("did scoring latency move when the new checkpoint loaded?")
+//! need retained history. Rather than assuming an external scraper, the
+//! serving process keeps its own short ring: every
+//! [`DEFAULT_RESOLUTION_MS`] a [`HistorySampler`] thread snapshots the
+//! whole [`Registry`] into a [`MetricsHistory`] ring capped at
+//! [`DEFAULT_CAPACITY`] entries (~15 min at 1 s resolution), served at
+//! `GET /metrics/history?name=...`.
+//!
+//! The ring is also the substrate the SLO engine ([`crate::SloEngine`])
+//! computes burn rates over: windows are taken relative to the *newest
+//! entry's* timestamp, not the wall clock, so tests can drive the whole
+//! stack deterministically through [`MetricsHistory::record_at`] with
+//! synthetic timestamps.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::jsonl::{push_escaped, push_f64};
+use crate::registry::Registry;
+use crate::runs::now_unix_ms;
+use crate::slo::SloEngine;
+use crate::snapshot::Snapshot;
+
+/// Default sampling resolution: one snapshot per second.
+pub const DEFAULT_RESOLUTION_MS: u64 = 1_000;
+
+/// Default ring capacity: 900 samples ≈ 15 minutes at 1 s resolution.
+pub const DEFAULT_CAPACITY: usize = 900;
+
+/// Fixed-size ring of `(unix_ms, Snapshot)` pairs over one registry.
+#[derive(Debug)]
+pub struct MetricsHistory {
+    registry: Arc<Registry>,
+    cap: usize,
+    ring: Mutex<VecDeque<(u64, Snapshot)>>,
+}
+
+impl MetricsHistory {
+    /// Ring over `registry` retaining the newest `cap` snapshots.
+    pub fn new(registry: Arc<Registry>, cap: usize) -> Arc<Self> {
+        Arc::new(Self {
+            registry,
+            cap: cap.max(2),
+            ring: Mutex::new(VecDeque::with_capacity(cap.max(2))),
+        })
+    }
+
+    /// Snapshot the registry now (wall clock).
+    pub fn record_now(&self) {
+        self.record_at(now_unix_ms());
+    }
+
+    /// Snapshot the registry stamped `at_ms`. Out-of-order timestamps are
+    /// accepted as-is (the ring is insertion-ordered); tests use this to
+    /// build deterministic histories.
+    pub fn record_at(&self, at_ms: u64) {
+        let snap = self.registry.snapshot();
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back((at_ms, snap));
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Newest sample's timestamp.
+    pub fn latest_at_ms(&self) -> Option<u64> {
+        self.ring.lock().unwrap().back().map(|(at, _)| *at)
+    }
+
+    /// Copy of the newest sample.
+    pub fn latest(&self) -> Option<(u64, Snapshot)> {
+        self.ring.lock().unwrap().back().cloned()
+    }
+
+    /// Samples inside the trailing `window_ms` window (relative to the
+    /// newest sample), oldest first, **plus the baseline sample**: the
+    /// newest one at or before the window start, so counter deltas across
+    /// the full window are computable. Empty ring → empty vec.
+    pub fn window(&self, window_ms: u64) -> Vec<(u64, Snapshot)> {
+        let ring = self.ring.lock().unwrap();
+        let Some(&(latest, _)) = ring.back() else {
+            return Vec::new();
+        };
+        let start = latest.saturating_sub(window_ms);
+        let first_inside = ring.iter().position(|(at, _)| *at > start).unwrap_or(0);
+        let from = first_inside.saturating_sub(1); // baseline sample
+        ring.iter().skip(from).cloned().collect()
+    }
+
+    /// Sorted names of every metric present in the newest sample,
+    /// prefixed by kind (`counter:`, `gauge:`, `hist:`).
+    pub fn names(&self) -> Vec<String> {
+        let ring = self.ring.lock().unwrap();
+        let Some((_, snap)) = ring.back() else {
+            return Vec::new();
+        };
+        let mut out =
+            Vec::with_capacity(snap.counters.len() + snap.gauges.len() + snap.hists.len());
+        out.extend(snap.counters.iter().map(|(k, _)| format!("counter:{k}")));
+        out.extend(snap.gauges.iter().map(|(k, _)| format!("gauge:{k}")));
+        out.extend(snap.hists.iter().map(|(k, _)| format!("hist:{k}")));
+        out
+    }
+
+    /// JSON time series for metric `name` across the whole ring, the
+    /// `GET /metrics/history?name=...` body: counters and gauges carry a
+    /// `value` per point, histograms carry `count`/`p50_us`/`p99_us`.
+    /// `None` when the newest sample has no metric of that name. Accepts
+    /// both the bare metric name and the `kind:` form the index
+    /// advertises, so a name copied out of `names()` always resolves.
+    pub fn series_json(&self, name: &str) -> Option<String> {
+        let name = ["counter:", "gauge:", "hist:"]
+            .iter()
+            .find_map(|p| name.strip_prefix(p))
+            .unwrap_or(name);
+        let ring = self.ring.lock().unwrap();
+        let (_, newest) = ring.back()?;
+        let kind = if newest.counter(name).is_some() {
+            "counter"
+        } else if newest.gauge(name).is_some() {
+            "gauge"
+        } else if newest.histogram(name).is_some() {
+            "histogram"
+        } else {
+            return None;
+        };
+        let mut s = String::from("{\"name\":");
+        push_escaped(&mut s, name);
+        s.push_str(&format!(",\"kind\":\"{kind}\",\"points\":["));
+        let mut first = true;
+        for (at, snap) in ring.iter() {
+            let mut point = format!("{{\"at_ms\":{at}");
+            match kind {
+                "counter" => match snap.counter(name) {
+                    Some(v) => point.push_str(&format!(",\"value\":{v}")),
+                    None => continue,
+                },
+                "gauge" => match snap.gauge(name) {
+                    Some(v) => {
+                        point.push_str(",\"value\":");
+                        push_f64(&mut point, v);
+                    }
+                    None => continue,
+                },
+                _ => match snap.histogram(name) {
+                    Some(h) => {
+                        point.push_str(&format!(",\"count\":{},\"p50_us\":", h.count()));
+                        push_f64(&mut point, h.quantile(0.5));
+                        point.push_str(",\"p99_us\":");
+                        push_f64(&mut point, h.quantile(0.99));
+                    }
+                    None => continue,
+                },
+            }
+            point.push('}');
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&point);
+        }
+        s.push_str("]}");
+        Some(s)
+    }
+
+    /// JSON index of the ring (the `GET /metrics/history` body without a
+    /// `name` query): sample count, covered time range, metric names.
+    pub fn index_json(&self) -> String {
+        let names = self.names();
+        let ring = self.ring.lock().unwrap();
+        let (from, to) = match (ring.front(), ring.back()) {
+            (Some((f, _)), Some((t, _))) => (*f, *t),
+            _ => (0, 0),
+        };
+        let mut s = format!(
+            "{{\"samples\":{},\"capacity\":{},\"from_ms\":{from},\"to_ms\":{to},\"names\":[",
+            ring.len(),
+            self.cap
+        );
+        for (i, n) in names.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_escaped(&mut s, n);
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Background thread snapshotting a [`MetricsHistory`] at a fixed
+/// interval, optionally evaluating an [`SloEngine`] after each tick so
+/// burn-rate alerts fire while serving, not just when `/slo` is polled.
+/// Dropping the handle (or calling [`HistorySampler::stop`]) joins the
+/// thread.
+#[derive(Debug)]
+pub struct HistorySampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HistorySampler {
+    pub fn start(
+        history: Arc<MetricsHistory>,
+        interval: Duration,
+        slo: Option<Arc<SloEngine>>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("desh-history".to_string())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Acquire) {
+                    history.record_now();
+                    if let Some(engine) = &slo {
+                        engine.evaluate(&history);
+                    }
+                    // Sleep in short slices so stop() returns promptly
+                    // even with multi-second intervals.
+                    let mut left = interval;
+                    while !left.is_zero() && !thread_stop.load(Ordering::Acquire) {
+                        let slice = left.min(Duration::from_millis(50));
+                        std::thread::sleep(slice);
+                        left = left.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn history sampler");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop sampling and join the thread. Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HistorySampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history(cap: usize) -> (Arc<Registry>, Arc<MetricsHistory>) {
+        let reg = Arc::new(Registry::new());
+        let h = MetricsHistory::new(Arc::clone(&reg), cap);
+        (reg, h)
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest_samples() {
+        let (reg, h) = history(4);
+        let c = reg.counter("events");
+        for i in 0..10u64 {
+            c.add(1);
+            h.record_at(1_000 * (i + 1));
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.latest_at_ms(), Some(10_000));
+        let w = h.window(u64::MAX);
+        assert_eq!(
+            w.iter().map(|(at, _)| *at).collect::<Vec<_>>(),
+            vec![7_000, 8_000, 9_000, 10_000],
+            "wraparound evicts oldest first"
+        );
+        // Counter values advanced with each sample: the retained ones are
+        // the last four.
+        assert_eq!(
+            w.iter()
+                .map(|(_, s)| s.counter("events").unwrap())
+                .collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+    }
+
+    #[test]
+    fn window_includes_baseline_sample_before_start() {
+        let (reg, h) = history(16);
+        reg.counter("events").add(1);
+        for at in [1_000u64, 2_000, 3_000, 4_000] {
+            h.record_at(at);
+        }
+        // 2 s window ending at 4 000 → inside: 3 000, 4 000 (at > 2 000);
+        // baseline: 2 000.
+        let w = h.window(2_000);
+        assert_eq!(
+            w.iter().map(|(at, _)| *at).collect::<Vec<_>>(),
+            vec![2_000, 3_000, 4_000]
+        );
+        // Window wider than the ring → everything, no phantom baseline.
+        assert_eq!(h.window(60_000).len(), 4);
+    }
+
+    #[test]
+    fn series_json_tracks_counter_and_histogram() {
+        let (reg, h) = history(8);
+        let c = reg.counter("online.events");
+        let lat = reg.histogram("online.score_latency_us");
+        c.add(5);
+        lat.record(100);
+        h.record_at(1_000);
+        c.add(5);
+        lat.record(300);
+        h.record_at(2_000);
+
+        let series = h.series_json("online.events").unwrap();
+        assert!(series.contains("\"kind\":\"counter\""));
+        assert!(series.contains("{\"at_ms\":1000,\"value\":5}"));
+        assert!(series.contains("{\"at_ms\":2000,\"value\":10}"));
+        // The `kind:` form the index advertises resolves to the same series.
+        assert_eq!(h.series_json("counter:online.events"), Some(series));
+
+        let series = h.series_json("online.score_latency_us").unwrap();
+        assert!(series.contains("\"kind\":\"histogram\""));
+        assert!(series.contains("\"count\":1"));
+        assert!(series.contains("\"count\":2"));
+        assert!(series.contains("\"p99_us\":"));
+
+        assert!(h.series_json("no.such.metric").is_none());
+        let index = h.index_json();
+        assert!(index.contains("\"samples\":2"));
+        assert!(index.contains("\"counter:online.events\""));
+        assert!(index.contains("\"hist:online.score_latency_us\""));
+    }
+
+    #[test]
+    fn sampler_thread_records_and_stops() {
+        let (reg, h) = history(64);
+        reg.counter("ticks").add(1);
+        let mut sampler = HistorySampler::start(Arc::clone(&h), Duration::from_millis(10), None);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h.len() < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sampler.stop();
+        sampler.stop(); // idempotent
+        let n = h.len();
+        assert!(n >= 3, "sampler took {n} samples");
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(h.len(), n, "sampler kept running after stop");
+    }
+}

@@ -8,15 +8,21 @@
 //!
 //! | route                | body                                          |
 //! |----------------------|-----------------------------------------------|
-//! | `GET /healthz`       | JSON status/uptime/node and warning counts    |
+//! | `GET /healthz`       | JSON status/uptime/version/checkpoint; 503 on |
+//! |                      | SLO fast-burn                                 |
 //! | `GET /metrics`       | [`crate::render_prometheus`] over the registry|
+//! | `GET /metrics/history` | snapshot-ring index, or `?name=<metric>`    |
+//! |                      | time series *                                 |
+//! | `GET /profile`       | sampled per-stage latency waterfalls *        |
+//! | `GET /slo`           | burn-rate reports + recent alerts *           |
 //! | `GET /warnings`      | JSON array of recent [`crate::WarningRecord`]s|
 //! | `GET /nodes/<id>/flight` | JSONL dump of that node's flight ring     |
 //! | `GET /runs`          | JSON array of training run summaries *        |
 //! | `GET /runs/<id>/series` | that run's `series.jsonl`, verbatim *      |
 //!
-//! Routes marked `*` exist only when the server was built with
-//! [`Introspection::with_runs_dir`]; without a runs directory they 404.
+//! Routes marked `*` exist only when the corresponding state was
+//! attached (`with_runs_dir`, `with_profilers`, `with_history`,
+//! `with_slo`); otherwise they 404.
 //!
 //! The accept loop runs on one background thread; handlers never touch
 //! the scoring hot path (snapshots read atomics / seqlock slots).
@@ -30,10 +36,27 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::flight::FlightRecorder;
+use crate::history::MetricsHistory;
+use crate::jsonl::push_escaped;
+use crate::profiler::{render_profile_json, SpanProfiler};
 use crate::prom::render_prometheus;
 use crate::registry::Registry;
 use crate::runs::{list_runs, render_runs_json};
+use crate::slo::SloEngine;
 use crate::trace::WarningLog;
+
+/// Identity block reported by `/healthz`: binary version plus the loaded
+/// checkpoint's provenance stamp, so a fleet rollout can be verified with
+/// one curl per node.
+#[derive(Debug, Clone, Default)]
+pub struct HealthInfo {
+    /// `CARGO_PKG_VERSION` of the serving binary.
+    pub version: String,
+    /// Run id of the loaded checkpoint, when it carries one.
+    pub run_id: Option<String>,
+    /// Config hash of the loaded checkpoint.
+    pub config_hash: Option<u64>,
+}
 
 /// The read-only state the introspection routes expose. All fields are
 /// shared handles; the server holds clones and never mutates anything.
@@ -45,6 +68,15 @@ pub struct Introspection {
     /// Training run ledger root served under `/runs`; `None` disables
     /// those routes.
     pub runs_dir: Option<PathBuf>,
+    /// Span profilers rendered at `/profile`; empty disables the route.
+    pub profilers: Vec<Arc<SpanProfiler>>,
+    /// Snapshot ring behind `/metrics/history`; `None` disables it.
+    pub history: Option<Arc<MetricsHistory>>,
+    /// SLO engine behind `/slo`; when present, `/healthz` re-evaluates it
+    /// and degrades to 503 on fast burn.
+    pub slo: Option<Arc<SloEngine>>,
+    /// Version / checkpoint identity reported by `/healthz`.
+    pub health: Option<HealthInfo>,
 }
 
 impl Introspection {
@@ -58,6 +90,10 @@ impl Introspection {
             flight,
             warnings,
             runs_dir: None,
+            profilers: Vec::new(),
+            history: None,
+            slo: None,
+            health: None,
         }
     }
 
@@ -65,6 +101,30 @@ impl Introspection {
     /// `/runs/<id>/series`.
     pub fn with_runs_dir(mut self, dir: PathBuf) -> Self {
         self.runs_dir = Some(dir);
+        self
+    }
+
+    /// Attach span profilers, enabling `/profile`.
+    pub fn with_profilers(mut self, profilers: Vec<Arc<SpanProfiler>>) -> Self {
+        self.profilers = profilers;
+        self
+    }
+
+    /// Attach the metrics history ring, enabling `/metrics/history`.
+    pub fn with_history(mut self, history: Arc<MetricsHistory>) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// Attach the SLO engine, enabling `/slo` and health degradation.
+    pub fn with_slo(mut self, slo: Arc<SloEngine>) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Attach version/checkpoint identity for `/healthz`.
+    pub fn with_health(mut self, health: HealthInfo) -> Self {
+        self.health = Some(health);
         self
     }
 }
@@ -178,16 +238,65 @@ fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) ->
             "only GET is supported\n",
         );
     }
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     match path {
-        "/healthz" => {
-            let body = format!(
-                "{{\"status\":\"ok\",\"uptime_secs\":{},\"nodes\":{},\"warnings\":{}}}\n",
-                started.elapsed().as_secs(),
-                state.flight.node_names().len(),
-                state.warnings.len()
-            );
+        "/healthz" => serve_healthz(stream, state, started),
+        "/profile" => {
+            if state.profilers.is_empty() {
+                return write_response(
+                    stream,
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    "no profilers attached\n",
+                );
+            }
+            let mut body = render_profile_json(&state.profilers);
+            body.push('\n');
             write_response(stream, "200 OK", "application/json", &body)
         }
+        "/metrics/history" => match &state.history {
+            Some(history) => {
+                let name = query.split('&').find_map(|kv| kv.strip_prefix("name="));
+                let body = match name {
+                    Some(name) => match history.series_json(name) {
+                        Some(series) => series,
+                        None => {
+                            return write_response(
+                                stream,
+                                "404 Not Found",
+                                "text/plain; charset=utf-8",
+                                "unknown metric name\n",
+                            )
+                        }
+                    },
+                    None => history.index_json(),
+                };
+                write_response(stream, "200 OK", "application/json", &format!("{body}\n"))
+            }
+            None => write_response(
+                stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no metrics history attached\n",
+            ),
+        },
+        "/slo" => match (&state.slo, &state.history) {
+            (Some(engine), Some(history)) => {
+                engine.evaluate(history);
+                let mut body = engine.to_json();
+                body.push('\n');
+                write_response(stream, "200 OK", "application/json", &body)
+            }
+            _ => write_response(
+                stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no slo engine attached\n",
+            ),
+        },
         "/metrics" => write_response(
             stream,
             "200 OK",
@@ -238,11 +347,68 @@ fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) ->
                     stream,
                     "404 Not Found",
                     "text/plain; charset=utf-8",
-                    "routes: /healthz /metrics /warnings /nodes/<id>/flight /runs /runs/<id>/series\n",
+                    "routes: /healthz /metrics /metrics/history /profile /slo /warnings \
+                     /nodes/<id>/flight /runs /runs/<id>/series\n",
                 )
             }
         }
     }
+}
+
+/// `GET /healthz`: liveness plus identity. Re-evaluates the SLO engine
+/// (when attached) so the answer reflects the latest history tick, and
+/// degrades to `503 Service Unavailable` while any SLO fast-burns — a
+/// load balancer polling only this route stops routing to a predictor
+/// that is blowing its latency or quality budget.
+fn serve_healthz(
+    stream: &mut TcpStream,
+    state: &Introspection,
+    started: Instant,
+) -> io::Result<()> {
+    let burning = match (&state.slo, &state.history) {
+        (Some(engine), Some(history)) => {
+            engine.evaluate(history);
+            engine.burning()
+        }
+        _ => Vec::new(),
+    };
+    let degraded = !burning.is_empty();
+    let mut body = format!(
+        "{{\"status\":\"{}\",\"uptime_secs\":{},\"nodes\":{},\"warnings\":{}",
+        if degraded { "degraded" } else { "ok" },
+        started.elapsed().as_secs(),
+        state.flight.node_names().len(),
+        state.warnings.len()
+    );
+    if let Some(h) = &state.health {
+        body.push_str(",\"version\":");
+        push_escaped(&mut body, &h.version);
+        body.push_str(",\"checkpoint\":{\"run_id\":");
+        match &h.run_id {
+            Some(id) => push_escaped(&mut body, id),
+            None => body.push_str("null"),
+        }
+        body.push_str(",\"config_hash\":");
+        match h.config_hash {
+            Some(hash) => body.push_str(&format!("{hash}")),
+            None => body.push_str("null"),
+        }
+        body.push('}');
+    }
+    body.push_str(",\"burning\":[");
+    for (i, name) in burning.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        push_escaped(&mut body, name);
+    }
+    body.push_str("]}\n");
+    let status = if degraded {
+        "503 Service Unavailable"
+    } else {
+        "200 OK"
+    };
+    write_response(stream, status, "application/json", &body)
 }
 
 /// `GET /runs/<id>/series`: stream the run's raw `series.jsonl`. The id
@@ -349,6 +515,92 @@ mod tests {
         let srv = HttpServer::start("127.0.0.1:0", state()).unwrap();
         assert!(get(srv.addr(), "/runs").starts_with("HTTP/1.1 404"));
         assert!(get(srv.addr(), "/runs/x/series").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn observability_routes_require_attached_state() {
+        let srv = HttpServer::start("127.0.0.1:0", state()).unwrap();
+        assert!(get(srv.addr(), "/profile").starts_with("HTTP/1.1 404"));
+        assert!(get(srv.addr(), "/metrics/history").starts_with("HTTP/1.1 404"));
+        assert!(get(srv.addr(), "/slo").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn observability_routes_serve_profile_history_and_slo() {
+        use crate::history::MetricsHistory;
+        use crate::profiler::SpanProfiler;
+        use crate::slo::{BurnPolicy, SloEngine, SloSignal, SloSpec};
+
+        let base = state();
+        let registry = Arc::clone(&base.registry);
+        let profiler = SpanProfiler::new(&registry, "online", &["parse", "step"], 1, 8);
+        let mut wf = profiler.begin().unwrap();
+        wf.mark(0);
+        wf.mark(1);
+        profiler.finish(wf, Some(1));
+
+        let history = MetricsHistory::new(Arc::clone(&registry), 600);
+        let engine = Arc::new(SloEngine::new(
+            vec![SloSpec {
+                name: "template_miss".into(),
+                help: "miss rate".into(),
+                signal: SloSignal::RatioOfCounters {
+                    bad: "quality.template_miss".into(),
+                    total: "quality.template_events".into(),
+                },
+                budget: 0.05,
+            }],
+            BurnPolicy::default(),
+        ));
+        // Two healthy minutes of parsing, then a total miss storm long
+        // enough to saturate the slow (300 s) burn window too.
+        let miss = registry.counter("quality.template_miss");
+        let events = registry.counter("quality.template_events");
+        for i in 0..120u64 {
+            events.add(100);
+            history.record_at(1_000 * (i + 1));
+        }
+        for i in 120..520u64 {
+            miss.add(100);
+            events.add(100);
+            history.record_at(1_000 * (i + 1));
+        }
+
+        let state = base
+            .with_profilers(vec![Arc::clone(&profiler)])
+            .with_history(Arc::clone(&history))
+            .with_slo(Arc::clone(&engine))
+            .with_health(HealthInfo {
+                version: "9.9.9".into(),
+                run_id: Some("run-x".into()),
+                config_hash: Some(77),
+            });
+        let srv = HttpServer::start("127.0.0.1:0", state).unwrap();
+        let addr = srv.addr();
+
+        let profile = get(addr, "/profile");
+        assert!(profile.starts_with("HTTP/1.1 200 OK\r\n"), "{profile}");
+        assert!(profile.contains("\"surface\":\"online\""));
+        assert!(profile.contains("\"waterfalls\":[{"));
+
+        let index = get(addr, "/metrics/history");
+        assert!(index.contains("\"samples\":520"), "{index}");
+        let series = get(addr, "/metrics/history?name=quality.template_events");
+        assert!(series.contains("\"kind\":\"counter\""), "{series}");
+        assert!(get(addr, "/metrics/history?name=ghost").starts_with("HTTP/1.1 404"));
+
+        // The storm has both burn windows saturated: /slo reports the
+        // breach and /healthz degrades to 503 with identity intact.
+        let slo = get(addr, "/slo");
+        assert!(slo.contains("\"status\":\"fast_burn\""), "{slo}");
+        assert!(slo.contains("\"burning\":true"));
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 503"), "{health}");
+        assert!(health.contains("\"status\":\"degraded\""));
+        assert!(health.contains("\"version\":\"9.9.9\""));
+        assert!(health.contains("\"run_id\":\"run-x\""));
+        assert!(health.contains("\"config_hash\":77"));
+        assert!(health.contains("\"burning\":[\"template_miss\"]"));
     }
 
     #[test]

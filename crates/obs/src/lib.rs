@@ -46,36 +46,66 @@
 //!   lead-time tracking against the paper's Table 7, and a template-miss
 //!   drift gauge.
 //!
+//! The serving-path observability layer (`profiler` + `history` + `slo`)
+//! watches the predictor itself:
+//!
+//! - [`SpanProfiler`] (`profiler`): 1-in-N sampled per-event latency
+//!   waterfalls across the fixed pipeline stages (parse → template →
+//!   encode → cell-step → threshold → warn), feeding
+//!   `profile.<surface>.<stage>_ns` histograms and a ring of recent full
+//!   waterfalls served at `GET /profile`.
+//! - [`MetricsHistory`] / [`HistorySampler`] (`history`): a ~15-minute
+//!   ring of 1 Hz registry snapshots behind `GET /metrics/history`, so
+//!   rate/p99-over-time queries work without an external scraper.
+//! - [`SloEngine`] (`slo`): declarative SLOs with SRE-style multi-window
+//!   burn-rate alerting over that ring, served at `GET /slo`; fast burn
+//!   degrades `/healthz` to 503 and appends `slo_alert` JSONL records.
+//!
 //! The training run ledger (`runs` + `timeseries` + `json`) persists one
 //! directory per training run — manifest, append-only per-epoch series
 //! with per-layer gradient stats, divergence dumps, and a final
 //! `run.json` — and reads them back for `desh-cli runs list|show|diff`.
 
 mod flight;
+mod history;
 mod http;
 mod json;
 mod jsonl;
 mod metrics;
+mod profiler;
 mod prom;
 mod quality;
 mod registry;
 mod runs;
+mod slo;
 mod snapshot;
 mod span;
 mod timeseries;
 mod trace;
 
 pub use flight::{install_panic_dump, FlightRecorder, NodeFlight, FLIGHT_CAPACITY};
-pub use http::{HttpServer, Introspection};
+pub use history::{
+    HistorySampler, MetricsHistory, DEFAULT_CAPACITY as HISTORY_CAPACITY,
+    DEFAULT_RESOLUTION_MS as HISTORY_RESOLUTION_MS,
+};
+pub use http::{HealthInfo, HttpServer, Introspection};
 pub use json::{parse_json, Json};
 pub use jsonl::{JsonValue, JsonlSink};
 pub use metrics::{Counter, Gauge, LatencyHistogram, LatencySnapshot};
+pub use profiler::{
+    render_profile_ascii, render_profile_json, sample_every_from_env, ActiveWaterfall,
+    SpanProfiler, Waterfall, DEFAULT_SAMPLE_EVERY, DEFAULT_WATERFALL_RING, SAMPLE_EVERY_ENV,
+};
 pub use prom::{render_prometheus, render_summary};
 pub use quality::QualityMonitor;
 pub use registry::{Registry, Telemetry};
 pub use runs::{
     fnv1a, list_runs, load_run, load_series, now_unix_ms, render_runs_json, DivergenceRecord,
     PhaseSummary, RunLedger, RunManifest, RunSummary,
+};
+pub use slo::{
+    default_specs as default_slo_specs, AlertRecord, BurnPolicy, SloEngine, SloReport, SloSignal,
+    SloSpec, SloStatus, WindowBurn,
 };
 pub use snapshot::Snapshot;
 pub use span::Span;

@@ -1,6 +1,6 @@
 //! Atomic metric primitives: counters, gauges, log-scale latency histograms.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Monotonically increasing event count.
 #[derive(Debug, Default)]
@@ -25,20 +25,36 @@ impl Counter {
 }
 
 /// Last-write-wins instantaneous value (stored as `f64` bits).
+///
+/// A gauge remembers whether it has ever been `set`: registry handles
+/// are get-or-create, so merely resolving one (e.g. the quality
+/// monitor's precision gauge on a replay with no labelled truth) must
+/// not make a phantom 0.0 appear in snapshots — and from there in
+/// `/metrics`, the history ring, and `GaugeBelow` SLO burn math.
 #[derive(Debug, Default)]
-pub struct Gauge(AtomicU64);
+pub struct Gauge {
+    bits: AtomicU64,
+    touched: AtomicBool,
+}
 
 impl Gauge {
     pub fn new() -> Self {
-        Self(AtomicU64::new(0.0f64.to_bits()))
+        Self::default()
     }
 
     pub fn set(&self, v: f64) {
-        self.0.store(v.to_bits(), Ordering::Relaxed);
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.touched.store(true, Ordering::Release);
     }
 
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Relaxed))
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Whether `set` has ever been called; unset gauges are omitted
+    /// from snapshots.
+    pub fn is_set(&self) -> bool {
+        self.touched.load(Ordering::Acquire)
     }
 }
 
@@ -195,6 +211,29 @@ impl LatencySnapshot {
         self.max() as f64
     }
 
+    /// Estimated number of observations strictly above `threshold`, with
+    /// linear pro-rating inside the bucket that straddles it. This is the
+    /// "bad event" count for latency SLOs (e.g. scoring slower than the
+    /// paper's 650 µs), so it only needs bucket-level accuracy.
+    pub fn count_above(&self, threshold: u64) -> f64 {
+        let mut total = 0.0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (lo, hi) = bucket_bounds(i);
+            if lo > threshold {
+                total += c as f64;
+            } else if hi > threshold + 1 {
+                // Bucket straddles the threshold: values live in [lo, hi),
+                // the ones above are [threshold+1, hi).
+                let frac = (hi - threshold - 1) as f64 / (hi - lo) as f64;
+                total += c as f64 * frac.clamp(0.0, 1.0);
+            }
+        }
+        total
+    }
+
     /// Project onto a linear-bin [`desh_util::Histogram`] over `[lo, hi)`
     /// (same under/overflow semantics), e.g. for text rendering.
     pub fn to_linear(&self, lo: f64, hi: f64, bins: usize) -> desh_util::Histogram {
@@ -303,6 +342,27 @@ mod tests {
         let s = a.snapshot();
         assert_eq!(s.count(), 3);
         assert_eq!(s.sum(), 1020);
+    }
+
+    #[test]
+    fn count_above_splits_at_threshold() {
+        let h = LatencyHistogram::new();
+        for v in [1u64, 2, 3, 10, 15] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Exact buckets below 16: the split is precise.
+        assert_eq!(s.count_above(0), 5.0);
+        assert_eq!(s.count_above(3), 2.0);
+        assert_eq!(s.count_above(15), 0.0);
+        // Log-scale region: a value far above the threshold counts fully,
+        // one far below not at all.
+        let h = LatencyHistogram::new();
+        h.record(100);
+        h.record(100_000);
+        let s = h.snapshot();
+        assert_eq!(s.count_above(650), 1.0);
+        assert_eq!(s.count_above(1_000_000), 0.0);
     }
 
     #[test]

@@ -71,14 +71,24 @@ fn render_labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String
     }
 }
 
-/// HELP text for metric families worth documenting at the scrape surface.
-fn help_for(base: &str) -> Option<&'static str> {
-    Some(match base {
+/// HELP text for a metric family. Curated strings for the families an
+/// operator will actually alert on, prefix rules for generated families
+/// (`profile.<surface>.<stage>_ns`, `span.<path>_us`), and a generic
+/// fallback — every family gets *some* HELP so real Prometheus scrapers
+/// ingest a fully self-describing exposition.
+fn help_for(base: &str) -> String {
+    let curated = match base {
         "online.score_latency_us" => {
             "Per-event online scoring latency in microseconds (paper Fig. 10 reports ~650us)"
         }
+        "online.events" => "Log events ingested by the online detector",
+        "online.warnings" => "Failure warnings fired by the online detector",
+        "online.buffered_events" => "Events currently buffered in per-node session windows",
+        "online.buffer_occupancy" => "Fraction of the per-node session buffer in use",
         "quality.precision" => "Rolling precision over labelled replay verdicts",
         "quality.recall" => "Rolling recall over labelled replay verdicts",
+        "quality.template_miss" => "Parsed events that matched no known template",
+        "quality.template_events" => "Parsed events checked against the template vocabulary",
         "quality.template_drift" => {
             "EWMA of the template-miss rate over scored events (~64-event window)"
         }
@@ -86,19 +96,30 @@ fn help_for(base: &str) -> Option<&'static str> {
         "quality.lead_vs_paper" => {
             "Mean predicted lead divided by the paper's Table 7 per-class mean\nnear 1.0 = calibrated"
         }
-        _ => return None,
-    })
+        _ => "",
+    };
+    if !curated.is_empty() {
+        return curated.to_string();
+    }
+    if let Some(stage) = base.strip_prefix("profile.") {
+        format!("Sampled span-profiler stage latency in nanoseconds ({stage})")
+    } else if base.starts_with("span.") {
+        "Wall time of the instrumented span in microseconds".to_string()
+    } else if base.starts_with("quality.confusion.") {
+        "Rolling confusion-matrix cell over labelled replay verdicts".to_string()
+    } else {
+        format!("Desh pipeline metric {base}")
+    }
 }
 
-/// Emit the `# HELP` / `# TYPE` header for a family, once per family.
+/// Emit the `# HELP` / `# TYPE` header pair for a family, once per
+/// family.
 fn push_header(out: &mut String, emitted: &mut Vec<String>, fam: &str, base: &str, ty: &str) {
     if emitted.iter().any(|f| f == fam) {
         return;
     }
     emitted.push(fam.to_string());
-    if let Some(help) = help_for(base) {
-        out.push_str(&format!("# HELP {fam} {}\n", escape_help(help)));
-    }
+    out.push_str(&format!("# HELP {fam} {}\n", escape_help(&help_for(base))));
     out.push_str(&format!("# TYPE {fam} {ty}\n"));
 }
 
@@ -280,6 +301,34 @@ mod tests {
                 assert!(!rest.contains('\r'), "unescaped control char: {line}");
             }
         }
+    }
+
+    #[test]
+    fn every_family_gets_help_and_type() {
+        let t = Telemetry::enabled();
+        t.count("online.events", 3);
+        t.count("some.novel.counter", 1);
+        t.gauge_set("quality.precision", 0.9);
+        t.observe_us("profile.online.cell_step_ns", 1_000);
+        t.observe_us("span.train.phase1_us", 5);
+        let text = render_prometheus(&t.snapshot().unwrap());
+        // Each family's TYPE line is immediately preceded by its HELP
+        // line — scrapers see a fully self-describing exposition.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let fam = rest.split(' ').next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {fam} ")),
+                    "family {fam} lacks a HELP line before its TYPE line"
+                );
+            }
+        }
+        assert!(text.contains("# HELP desh_some_novel_counter Desh pipeline metric"));
+        assert!(text.contains(
+            "# HELP desh_profile_online_cell_step_ns Sampled span-profiler stage latency"
+        ));
+        assert!(text.contains("# HELP desh_span_train_phase1_us Wall time"));
     }
 
     #[test]

@@ -70,7 +70,12 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            gauges: r.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: r
+                .gauges
+                .iter()
+                .filter(|(_, v)| v.is_set())
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
             hists: r
                 .hists
                 .iter()

@@ -1,0 +1,727 @@
+//! Declarative SLOs with multi-window burn-rate alerting over the
+//! metrics history ring.
+//!
+//! An [`SloSpec`] names a bad-event signal (scoring latency above the
+//! paper's 650 µs envelope, template misses, precision/recall gauges
+//! sagging) and an error **budget**: the fraction of events allowed to be
+//! bad. The engine turns the [`crate::MetricsHistory`] ring into a
+//! bad-event fraction per trailing window and reports the **burn rate**
+//! `bad_fraction / budget` — burn 1.0 spends the budget exactly at the
+//! sustainable pace, burn 14.4 exhausts a 30-day budget in ~2 days.
+//!
+//! Alerting follows the SRE multi-window pattern: a breach is paged only
+//! when *both* a short window (fast reaction) and a long window
+//! (debounce) burn hot, so a single slow event can't flip the fleet to
+//! red and a real regression still alerts within a minute. Status
+//! transitions append structured `slo_alert` records to the JSONL sink
+//! and to an in-memory ring served at `GET /slo`; [`SloStatus::FastBurn`]
+//! additionally degrades `/healthz` to 503 so load balancers stop
+//! routing to a predictor that is blowing its latency or quality budget.
+//!
+//! All window math is relative to the newest history sample's timestamp,
+//! never the wall clock, which keeps the engine deterministic under
+//! synthetic-timestamp tests.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::history::MetricsHistory;
+use crate::jsonl::{push_escaped, push_f64, JsonValue, JsonlSink};
+use crate::snapshot::Snapshot;
+
+/// How a spec derives (bad, total) event counts from the history ring.
+/// Signals reference metrics by name so specs stay declarative data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloSignal {
+    /// Bad = observations of histogram `hist` above `threshold_us`;
+    /// total = all observations. Counted as deltas across the window.
+    LatencyAbove { hist: String, threshold_us: u64 },
+    /// Bad/total = deltas of two counters across the window (e.g.
+    /// `quality.template_miss` over `quality.template_events`).
+    RatioOfCounters { bad: String, total: String },
+    /// Bad = history ticks where gauge `gauge` sits below `min`; total =
+    /// ticks where the gauge exists. For quality gauges like precision.
+    GaugeBelow { gauge: String, min: f64 },
+    /// Bad = ticks where the gauge exceeds `max` (e.g. event lag).
+    GaugeAbove { gauge: String, max: f64 },
+}
+
+/// One service-level objective: a signal plus the budgeted bad fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Stable identifier (`scoring_latency`), used in alerts and JSON.
+    pub name: String,
+    /// One-line human description for operators.
+    pub help: String,
+    pub signal: SloSignal,
+    /// Allowed bad-event fraction, `0.0 < budget <= 1.0`.
+    pub budget: f64,
+}
+
+/// Multi-window burn thresholds. Defaults follow the SRE workbook
+/// pairing scaled to a short-lived serving process: page when a minute
+/// *and* five minutes both burn ≥ 14.4×, ticket at ≥ 6×.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnPolicy {
+    pub fast_window_ms: u64,
+    pub fast_burn: f64,
+    pub slow_window_ms: u64,
+    pub slow_burn: f64,
+}
+
+impl Default for BurnPolicy {
+    fn default() -> Self {
+        Self {
+            fast_window_ms: 60_000,
+            fast_burn: 14.4,
+            slow_window_ms: 300_000,
+            slow_burn: 6.0,
+        }
+    }
+}
+
+/// Evaluated health of one SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloStatus {
+    /// Burn below the slow threshold in at least one window.
+    Ok,
+    /// Every window with data burns ≥ the slow threshold.
+    SlowBurn,
+    /// Every window with data burns ≥ the fast threshold: page, and
+    /// degrade `/healthz` to 503.
+    FastBurn,
+    /// No window had enough samples/traffic to compute a burn.
+    NoData,
+}
+
+impl SloStatus {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Ok => "ok",
+            Self::SlowBurn => "slow_burn",
+            Self::FastBurn => "fast_burn",
+            Self::NoData => "no_data",
+        }
+    }
+}
+
+/// One window's burn computation (reported in `/slo` for debuggability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowBurn {
+    pub window_ms: u64,
+    pub bad: f64,
+    pub total: f64,
+    /// `(bad/total)/budget`; `None` when the window lacks samples or saw
+    /// no traffic.
+    pub burn: Option<f64>,
+}
+
+/// Evaluated state of one spec: status plus the per-window evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    pub name: String,
+    pub help: String,
+    pub budget: f64,
+    pub status: SloStatus,
+    pub windows: Vec<WindowBurn>,
+}
+
+/// Structured record of a status transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRecord {
+    /// Timestamp of the history sample that triggered the transition.
+    pub at_ms: u64,
+    pub slo: String,
+    pub from: SloStatus,
+    pub to: SloStatus,
+    /// Worst (highest) burn across windows with data at transition time.
+    pub burn: f64,
+}
+
+const ALERT_RING_CAP: usize = 128;
+
+#[derive(Debug, Default)]
+struct EngineState {
+    last_status: BTreeMap<String, SloStatus>,
+    alerts: VecDeque<AlertRecord>,
+    reports: Vec<SloReport>,
+}
+
+/// Burn-rate evaluator over a set of [`SloSpec`]s. Share as an `Arc`
+/// between the history sampler (periodic evaluation → alert transitions)
+/// and the HTTP server (`/slo`, `/healthz`).
+#[derive(Debug)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    policy: BurnPolicy,
+    state: Mutex<EngineState>,
+    sink: Option<Mutex<JsonlSink>>,
+}
+
+impl SloEngine {
+    pub fn new(specs: Vec<SloSpec>, policy: BurnPolicy) -> Self {
+        Self {
+            specs,
+            policy,
+            state: Mutex::new(EngineState::default()),
+            sink: None,
+        }
+    }
+
+    /// Also append `slo_alert` lines to `sink` on status transitions.
+    pub fn with_sink(mut self, sink: JsonlSink) -> Self {
+        self.sink = Some(Mutex::new(sink));
+        self
+    }
+
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    pub fn policy(&self) -> &BurnPolicy {
+        &self.policy
+    }
+
+    /// Evaluate every spec against the current history ring, record any
+    /// status transitions as alerts, and return the fresh reports.
+    /// Idempotent between history ticks: re-evaluating unchanged history
+    /// produces no new alerts.
+    pub fn evaluate(&self, history: &MetricsHistory) -> Vec<SloReport> {
+        let at_ms = history.latest_at_ms().unwrap_or(0);
+        let fast = history.window(self.policy.fast_window_ms);
+        let slow = history.window(self.policy.slow_window_ms);
+        let reports: Vec<SloReport> = self
+            .specs
+            .iter()
+            .map(|spec| {
+                let windows = vec![
+                    window_burn(spec, &fast, self.policy.fast_window_ms),
+                    window_burn(spec, &slow, self.policy.slow_window_ms),
+                ];
+                let status = self.classify(&windows);
+                SloReport {
+                    name: spec.name.clone(),
+                    help: spec.help.clone(),
+                    budget: spec.budget,
+                    status,
+                    windows,
+                }
+            })
+            .collect();
+
+        let mut state = self.state.lock().unwrap();
+        for r in &reports {
+            let prev = state
+                .last_status
+                .insert(r.name.clone(), r.status)
+                .unwrap_or(SloStatus::NoData);
+            if prev == r.status {
+                continue;
+            }
+            let burn = r
+                .windows
+                .iter()
+                .filter_map(|w| w.burn)
+                .fold(0.0f64, f64::max);
+            let alert = AlertRecord {
+                at_ms,
+                slo: r.name.clone(),
+                from: prev,
+                to: r.status,
+                burn,
+            };
+            if let Some(sink) = &self.sink {
+                let _ = sink.lock().unwrap().event(
+                    "slo_alert",
+                    &[
+                        ("at_ms", JsonValue::U64(alert.at_ms)),
+                        ("slo", alert.slo.as_str().into()),
+                        ("from", alert.from.as_str().into()),
+                        ("to", alert.to.as_str().into()),
+                        ("burn", alert.burn.into()),
+                    ],
+                );
+            }
+            if state.alerts.len() == ALERT_RING_CAP {
+                state.alerts.pop_front();
+            }
+            state.alerts.push_back(alert);
+        }
+        state.reports = reports.clone();
+        reports
+    }
+
+    /// Multi-window classification: every window **with data** must burn
+    /// hot for a breach (the AND debounces single-window blips); no
+    /// window with data means [`SloStatus::NoData`].
+    fn classify(&self, windows: &[WindowBurn]) -> SloStatus {
+        let burns: Vec<f64> = windows.iter().filter_map(|w| w.burn).collect();
+        let Some(min_burn) = burns.iter().copied().reduce(f64::min) else {
+            return SloStatus::NoData;
+        };
+        if min_burn >= self.policy.fast_burn {
+            SloStatus::FastBurn
+        } else if min_burn >= self.policy.slow_burn {
+            SloStatus::SlowBurn
+        } else {
+            SloStatus::Ok
+        }
+    }
+
+    /// Whether the last evaluation left any SLO fast-burning (`/healthz`
+    /// degrades to 503 on this).
+    pub fn is_fast_burning(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap()
+            .reports
+            .iter()
+            .any(|r| r.status == SloStatus::FastBurn)
+    }
+
+    /// Names of the SLOs left fast-burning by the last evaluation.
+    pub fn burning(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .unwrap()
+            .reports
+            .iter()
+            .filter(|r| r.status == SloStatus::FastBurn)
+            .map(|r| r.name.clone())
+            .collect()
+    }
+
+    /// Recent status-transition alerts, oldest first.
+    pub fn alerts(&self) -> Vec<AlertRecord> {
+        self.state.lock().unwrap().alerts.iter().cloned().collect()
+    }
+
+    /// The `GET /slo` body: policy, per-SLO reports from the last
+    /// evaluation, and the alert ring.
+    pub fn to_json(&self) -> String {
+        let state = self.state.lock().unwrap();
+        let mut s = format!(
+            "{{\"policy\":{{\"fast_window_ms\":{},\"fast_burn\":{},\"slow_window_ms\":{},\"slow_burn\":{}}},\"burning\":{},\"slos\":[",
+            self.policy.fast_window_ms,
+            self.policy.fast_burn,
+            self.policy.slow_window_ms,
+            self.policy.slow_burn,
+            state.reports.iter().any(|r| r.status == SloStatus::FastBurn),
+        );
+        for (i, r) in state.reports.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            push_escaped(&mut s, &r.name);
+            s.push_str(",\"help\":");
+            push_escaped(&mut s, &r.help);
+            s.push_str(",\"budget\":");
+            push_f64(&mut s, r.budget);
+            s.push_str(&format!(
+                ",\"status\":\"{}\",\"windows\":[",
+                r.status.as_str()
+            ));
+            for (j, w) in r.windows.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{{\"window_ms\":{},\"bad\":", w.window_ms));
+                push_f64(&mut s, w.bad);
+                s.push_str(",\"total\":");
+                push_f64(&mut s, w.total);
+                s.push_str(",\"burn\":");
+                match w.burn {
+                    Some(b) => push_f64(&mut s, b),
+                    None => s.push_str("null"),
+                }
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+        s.push_str("],\"alerts\":[");
+        for (i, a) in state.alerts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"at_ms\":{},\"slo\":", a.at_ms));
+            push_escaped(&mut s, &a.slo);
+            s.push_str(&format!(
+                ",\"from\":\"{}\",\"to\":\"{}\",\"burn\":",
+                a.from.as_str(),
+                a.to.as_str()
+            ));
+            push_f64(&mut s, a.burn);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// (bad, total) for one spec over one window of samples (`samples` is
+/// oldest-first and includes the pre-window baseline, per
+/// [`MetricsHistory::window`]).
+fn window_burn(spec: &SloSpec, samples: &[(u64, Snapshot)], window_ms: u64) -> WindowBurn {
+    let (bad, total) = match &spec.signal {
+        SloSignal::LatencyAbove { hist, threshold_us } => delta(samples, |s| {
+            s.histogram(hist)
+                .map(|h| (h.count_above(*threshold_us), h.count() as f64))
+        }),
+        SloSignal::RatioOfCounters { bad, total } => {
+            delta(samples, |s| match (s.counter(bad), s.counter(total)) {
+                (Some(b), Some(t)) => Some((b as f64, t as f64)),
+                _ => None,
+            })
+        }
+        SloSignal::GaugeBelow { gauge, min } => gauge_ticks(samples, gauge, |v| v < *min),
+        SloSignal::GaugeAbove { gauge, max } => gauge_ticks(samples, gauge, |v| v > *max),
+    };
+    let burn = if total > 0.0 {
+        Some((bad / total).clamp(0.0, 1.0) / spec.budget)
+    } else {
+        None
+    };
+    WindowBurn {
+        window_ms,
+        bad,
+        total,
+        burn,
+    }
+}
+
+/// Delta of a cumulative (bad, total) pair between the oldest and newest
+/// sample that carry the metric. Fewer than two carrying samples → zero
+/// total → no data.
+fn delta(
+    samples: &[(u64, Snapshot)],
+    read: impl Fn(&Snapshot) -> Option<(f64, f64)>,
+) -> (f64, f64) {
+    let mut carrying = samples.iter().filter_map(|(_, s)| read(s));
+    let Some(first) = carrying.next() else {
+        return (0.0, 0.0);
+    };
+    let Some(last) = carrying.last() else {
+        return (0.0, 0.0);
+    };
+    ((last.0 - first.0).max(0.0), (last.1 - first.1).max(0.0))
+}
+
+/// Bad/total as "history ticks where the gauge breaches" — gauges are
+/// instantaneous, so each sample is one observation.
+fn gauge_ticks(
+    samples: &[(u64, Snapshot)],
+    gauge: &str,
+    breaches: impl Fn(f64) -> bool,
+) -> (f64, f64) {
+    let mut bad = 0.0;
+    let mut total = 0.0;
+    for (_, snap) in samples {
+        if let Some(v) = snap.gauge(gauge) {
+            total += 1.0;
+            if breaches(v) {
+                bad += 1.0;
+            }
+        }
+    }
+    (bad, total)
+}
+
+/// The serving-path SLOs `desh-cli predict --serve` installs by default.
+///
+/// * `scoring_latency`: ≤1% of events may score slower than the paper's
+///   Fig 10 budget of 650 µs.
+/// * `warning_precision` / `warning_recall`: the quality monitor's
+///   gauges may sit below 0.8 on at most 5% of ticks. (Tick-gauge
+///   signals burn at most `1/budget`×, so the budget must sit below
+///   `1/fast_burn` for paging to be reachable — 5% caps at 20×.)
+/// * `template_miss`: ≤5% of parsed events may miss the template
+///   vocabulary (drift guard for ROADMAP's retrain loop).
+/// * `event_lag`: the intake-to-score lag gauge may exceed 30 s on at
+///   most 5% of ticks. Replay drives no `online.event_lag_secs` gauge,
+///   so this reports `no_data` until a streaming intake populates it.
+pub fn default_specs() -> Vec<SloSpec> {
+    vec![
+        SloSpec {
+            name: "scoring_latency".into(),
+            help: "p99 scoring stays under the paper's 650us/event envelope".into(),
+            signal: SloSignal::LatencyAbove {
+                hist: "online.score_latency_us".into(),
+                threshold_us: 650,
+            },
+            budget: 0.01,
+        },
+        SloSpec {
+            name: "warning_precision".into(),
+            help: "warning precision holds >= 0.8".into(),
+            signal: SloSignal::GaugeBelow {
+                gauge: "quality.precision".into(),
+                min: 0.8,
+            },
+            budget: 0.05,
+        },
+        SloSpec {
+            name: "warning_recall".into(),
+            help: "warning recall holds >= 0.8".into(),
+            signal: SloSignal::GaugeBelow {
+                gauge: "quality.recall".into(),
+                min: 0.8,
+            },
+            budget: 0.05,
+        },
+        SloSpec {
+            name: "template_miss".into(),
+            help: "template vocabulary covers >= 95% of parsed events".into(),
+            signal: SloSignal::RatioOfCounters {
+                bad: "quality.template_miss".into(),
+                total: "quality.template_events".into(),
+            },
+            budget: 0.05,
+        },
+        SloSpec {
+            name: "event_lag".into(),
+            help: "intake-to-score lag stays under 30s".into(),
+            signal: SloSignal::GaugeAbove {
+                gauge: "online.event_lag_secs".into(),
+                max: 30.0,
+            },
+            budget: 0.05,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::sync::Arc;
+
+    fn ratio_spec(budget: f64) -> SloSpec {
+        SloSpec {
+            name: "template_miss".into(),
+            help: "miss rate".into(),
+            signal: SloSignal::RatioOfCounters {
+                bad: "miss".into(),
+                total: "events".into(),
+            },
+            budget,
+        }
+    }
+
+    /// Drive (miss, events) counter increments through a synthetic
+    /// 1-tick-per-second history.
+    fn ticked_history(
+        reg: &Arc<Registry>,
+        history: &MetricsHistory,
+        ticks: &[(u64, u64)], // (miss_delta, events_delta) per 1s tick
+    ) {
+        let miss = reg.counter("miss");
+        let events = reg.counter("events");
+        for (i, (m, e)) in ticks.iter().enumerate() {
+            miss.add(*m);
+            events.add(*e);
+            history.record_at(1_000 * (i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn burn_rate_window_math() {
+        let reg = Arc::new(Registry::new());
+        let history = MetricsHistory::new(Arc::clone(&reg), 600);
+        // 70 ticks of 100 events each; the last 70s run a 50% miss rate.
+        let ticks: Vec<(u64, u64)> = (0..70).map(|_| (50u64, 100u64)).collect();
+        ticked_history(&reg, &history, &ticks);
+
+        let engine = SloEngine::new(vec![ratio_spec(0.05)], BurnPolicy::default());
+        let reports = engine.evaluate(&history);
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        // Fast window: 60s ending at t=70s → baseline t=10s, delta =
+        // 60 ticks × (50 bad / 100 total) → bad fraction 0.5, which is
+        // 10× the 5% budget.
+        let fast = &r.windows[0];
+        assert_eq!(fast.window_ms, 60_000);
+        assert!((fast.bad - 3_000.0).abs() < 1e-9, "bad={}", fast.bad);
+        assert!((fast.total - 6_000.0).abs() < 1e-9);
+        assert!((fast.burn.unwrap() - 10.0).abs() < 1e-9);
+        // Slow window is wider than the ring: falls back to the full
+        // 70 ticks, same 0.5 fraction.
+        let slow = &r.windows[1];
+        assert!((slow.burn.unwrap() - 10.0).abs() < 1e-9);
+        // 10x burn: above slow (6x), below fast (14.4x).
+        assert_eq!(r.status, SloStatus::SlowBurn);
+        assert!(!engine.is_fast_burning());
+    }
+
+    #[test]
+    fn clean_traffic_is_ok_and_no_traffic_is_no_data() {
+        let reg = Arc::new(Registry::new());
+        let history = MetricsHistory::new(Arc::clone(&reg), 600);
+        let ticks: Vec<(u64, u64)> = (0..10).map(|_| (0u64, 100u64)).collect();
+        ticked_history(&reg, &history, &ticks);
+        let engine = SloEngine::new(
+            vec![ratio_spec(0.05), ratio_spec_named("idle", "nope", "nada")],
+            BurnPolicy::default(),
+        );
+        let reports = engine.evaluate(&history);
+        assert_eq!(reports[0].status, SloStatus::Ok);
+        assert_eq!(reports[0].windows[0].burn, Some(0.0));
+        // Counters that never appear → no data, not a breach.
+        assert_eq!(reports[1].status, SloStatus::NoData);
+        assert_eq!(reports[1].windows[0].burn, None);
+    }
+
+    fn ratio_spec_named(name: &str, bad: &str, total: &str) -> SloSpec {
+        SloSpec {
+            name: name.into(),
+            help: String::new(),
+            signal: SloSignal::RatioOfCounters {
+                bad: bad.into(),
+                total: total.into(),
+            },
+            budget: 0.05,
+        }
+    }
+
+    #[test]
+    fn transitions_append_alerts_and_sink_lines_once() {
+        use std::io::Write;
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<StdMutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let reg = Arc::new(Registry::new());
+        let history = MetricsHistory::new(Arc::clone(&reg), 600);
+        let buf = Shared::default();
+        let engine = SloEngine::new(vec![ratio_spec(0.01)], BurnPolicy::default())
+            .with_sink(JsonlSink::from_writer(buf.clone()));
+
+        // Healthy minute.
+        let clean: Vec<(u64, u64)> = (0..70).map(|_| (0u64, 100u64)).collect();
+        ticked_history(&reg, &history, &clean);
+        engine.evaluate(&history);
+        assert_eq!(
+            engine.alerts().iter().map(|a| a.to).collect::<Vec<_>>(),
+            vec![SloStatus::Ok],
+            "startup transition no_data->ok is recorded"
+        );
+
+        // Total miss storm for the next two minutes: both windows burn.
+        let miss = reg.counter("miss");
+        let events = reg.counter("events");
+        for i in 70..190u64 {
+            miss.add(100);
+            events.add(100);
+            history.record_at(1_000 * (i + 1));
+        }
+        engine.evaluate(&history);
+        // Re-evaluating unchanged history must not duplicate the alert.
+        engine.evaluate(&history);
+        let alerts = engine.alerts();
+        assert_eq!(alerts.len(), 2, "{alerts:?}");
+        assert_eq!(alerts[1].from, SloStatus::Ok);
+        assert_eq!(alerts[1].to, SloStatus::FastBurn);
+        assert!(alerts[1].burn >= 14.4);
+        assert!(engine.is_fast_burning());
+
+        let lines = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            lines.matches("\"kind\":\"slo_alert\"").count(),
+            2,
+            "{lines}"
+        );
+        assert!(lines.contains("\"to\":\"fast_burn\""));
+
+        let json = engine.to_json();
+        assert!(json.contains("\"burning\":true"));
+        assert!(json.contains("\"status\":\"fast_burn\""));
+        assert!(json.contains("\"alerts\":[{"));
+    }
+
+    #[test]
+    fn latency_and_gauge_signals_classify() {
+        let reg = Arc::new(Registry::new());
+        let history = MetricsHistory::new(Arc::clone(&reg), 600);
+        let lat = reg.histogram("online.score_latency_us");
+        let precision = reg.gauge("quality.precision");
+        // Precision sits collapsed the whole run; scoring is fast for the
+        // first 30s, then everything goes slow.
+        precision.set(0.3);
+        for i in 0..30u64 {
+            for _ in 0..10 {
+                lat.record(100);
+            }
+            history.record_at(1_000 * (i + 1));
+        }
+        for i in 30..70u64 {
+            for _ in 0..10 {
+                lat.record(5_000);
+            }
+            history.record_at(1_000 * (i + 1));
+        }
+        let specs = vec![
+            SloSpec {
+                name: "scoring_latency".into(),
+                help: String::new(),
+                signal: SloSignal::LatencyAbove {
+                    hist: "online.score_latency_us".into(),
+                    threshold_us: 650,
+                },
+                budget: 0.01,
+            },
+            SloSpec {
+                name: "warning_precision".into(),
+                help: String::new(),
+                signal: SloSignal::GaugeBelow {
+                    gauge: "quality.precision".into(),
+                    min: 0.8,
+                },
+                budget: 0.05,
+            },
+            SloSpec {
+                name: "event_lag".into(),
+                help: String::new(),
+                signal: SloSignal::GaugeAbove {
+                    gauge: "online.event_lag_secs".into(),
+                    max: 30.0,
+                },
+                budget: 0.05,
+            },
+        ];
+        let engine = SloEngine::new(specs, BurnPolicy::default());
+        let reports = engine.evaluate(&history);
+        // Fast window (last 60s) is ~2/3 slow events: burn way past 14.4x
+        // of a 1% budget; slow window covers all 70s, still >50% bad.
+        assert_eq!(reports[0].status, SloStatus::FastBurn, "{reports:?}");
+        // Precision below min on every tick: 20x the 5% tick budget in
+        // both windows.
+        assert_eq!(reports[1].status, SloStatus::FastBurn);
+        // Gauge never set → no data.
+        assert_eq!(reports[2].status, SloStatus::NoData);
+    }
+
+    #[test]
+    fn default_specs_cover_the_serving_slos() {
+        let names: Vec<String> = default_specs().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "scoring_latency",
+                "warning_precision",
+                "warning_recall",
+                "template_miss",
+                "event_lag"
+            ]
+        );
+    }
+}

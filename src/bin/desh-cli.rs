@@ -19,8 +19,11 @@ use desh::core::{
     RunSession,
 };
 use desh::obs::{
-    diff_series, install_panic_dump, list_runs, load_run, load_series, render_series_diff,
-    FlightRecorder, HttpServer, Introspection, JsonValue, WarningLog,
+    default_slo_specs, diff_series, install_panic_dump, list_runs, load_run, load_series,
+    parse_json, render_profile_ascii, render_runs_json, render_series_diff, sample_every_from_env,
+    BurnPolicy, FlightRecorder, HealthInfo, HistorySampler, HttpServer, Introspection, Json,
+    JsonValue, MetricsHistory, SloEngine, SpanProfiler, WarningLog, DEFAULT_SAMPLE_EVERY,
+    DEFAULT_WATERFALL_RING, HISTORY_CAPACITY, HISTORY_RESOLUTION_MS,
 };
 use desh::prelude::*;
 use std::collections::HashMap;
@@ -40,7 +43,13 @@ fn main() -> ExitCode {
     let result = if cmd == "runs" {
         cmd_runs(&args[1..])
     } else {
-        let opts = match parse_flags(&args[1..]) {
+        let boolean: &[&str] = match cmd.as_str() {
+            "train" => &["fast"],
+            "predict" => &["fast", "profile"],
+            "slo" => &["json"],
+            _ => &[],
+        };
+        let opts = match parse_flags(&args[1..], boolean) {
             Ok(o) => o,
             Err(e) => {
                 eprintln!("error: {e}\n\n{USAGE}");
@@ -52,6 +61,7 @@ fn main() -> ExitCode {
             "train" => cmd_train(&opts),
             "predict" => cmd_predict(&opts),
             "analyze" => cmd_analyze(&opts),
+            "slo" => cmd_slo(&opts),
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 Ok(())
@@ -79,8 +89,10 @@ USAGE:
   desh-cli predict  --log <logs.txt> --model <model.dshm> [--truth <truth.txt>]
                     [--telemetry <out.jsonl>] [--serve <addr:port>]
                     [--serve-secs <n>] [--trace-dir <dir>] [--runs-dir <dir>]
+                    [--profile] [--profile-every <n>]
   desh-cli analyze  --log <logs.txt>
-  desh-cli runs     list            --dir <runs-dir>
+  desh-cli slo      --addr <host:port> [--json]
+  desh-cli runs     list            --dir <runs-dir> [--json]
   desh-cli runs     show <id>       --dir <runs-dir>
   desh-cli runs     diff <a> <b>    --dir <runs-dir>
 
@@ -99,24 +111,37 @@ USAGE:
   gradient-norm series.
 
   --serve starts a read-only introspection HTTP server (GET /healthz,
-  /metrics, /warnings, /nodes/<id>/flight) during the replay and holds it
-  afterwards — forever, or for --serve-secs seconds. --runs-dir adds
-  GET /runs and /runs/<id>/series over that ledger directory. --trace-dir
-  records per-warning decision traces (warnings.jsonl), a final
-  flight-recorder dump (flight.jsonl), and installs a panic hook dumping
-  every node ring to panic-flight.jsonl. Serving or tracing enables
-  telemetry implicitly.";
+  /metrics, /metrics/history, /slo, /profile, /warnings,
+  /nodes/<id>/flight) during the replay and holds it afterwards —
+  forever, or for --serve-secs seconds. --runs-dir adds GET /runs and
+  /runs/<id>/series over that ledger directory. --trace-dir records
+  per-warning decision traces (warnings.jsonl), a final flight-recorder
+  dump (flight.jsonl), SLO alert transitions (slo-alerts.jsonl), and
+  installs a panic hook dumping every node ring to panic-flight.jsonl.
+  Serving, tracing, or profiling enables telemetry implicitly.
+
+  --profile samples per-event latency waterfalls through the detector's
+  pipeline stages (1 in DESH_PROFILE_EVERY events unless --profile-every
+  overrides it) and prints per-stage quantiles plus the latest waterfall
+  after the replay. --serve always attaches the profiler so GET /profile
+  works either way.
+
+  `slo` fetches /slo from a serving predictor and renders burn rates per
+  objective; --json dumps the raw body.";
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+/// Parse `--key value` pairs; keys listed in `boolean` take no value.
+/// Which keys are boolean depends on the command — `generate --profile`
+/// names a system profile while `predict --profile` toggles the sampler.
+fn parse_flags(args: &[String], boolean: &[&str]) -> Result<Flags, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let Some(key) = a.strip_prefix("--") else {
             return Err(format!("unexpected argument {a:?}"));
         };
-        if key == "fast" {
+        if boolean.contains(&key) {
             out.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -325,11 +350,18 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         Some(Err(_)) => return Err("--serve-secs needs an integer number of seconds".into()),
         None => None,
     };
+    let profile_every = match opts.get("profile-every").map(|s| s.parse::<u64>()) {
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => return Err("--profile-every needs an integer".into()),
+        None => None,
+    };
     let (mut telemetry, mut sink) = telemetry_of(opts)?;
     let tracing = opts.contains_key("serve") || opts.contains_key("trace-dir");
-    if tracing && !telemetry.is_enabled() {
-        // The introspection routes and trace dumps read the registry, so
-        // tracing turns it on even without --telemetry.
+    let profiling = opts.contains_key("profile") || opts.contains_key("serve");
+    if (tracing || profiling) && !telemetry.is_enabled() {
+        // The introspection routes, trace dumps, and span profiler read
+        // the registry, so any of them turns it on even without
+        // --telemetry.
         telemetry = Telemetry::enabled();
     }
     let ck = telemetry.time("load_model", || load_checkpoint(&model_path))?;
@@ -339,6 +371,11 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
             ck.run_id, ck.config_hash
         );
     }
+    let health = HealthInfo {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        run_id: (!ck.run_id.is_empty()).then(|| ck.run_id.clone()),
+        config_hash: Some(ck.config_hash),
+    };
     let (model, vocab, chains) = (ck.model, ck.vocab, ck.chains);
     let (records, bad) =
         desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
@@ -351,6 +388,22 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
     } else {
         detector.attach_chains(&chains);
     }
+    let profiler = if profiling {
+        let registry = telemetry.registry().expect("profiling enables telemetry");
+        let every = profile_every.unwrap_or_else(|| sample_every_from_env(DEFAULT_SAMPLE_EVERY));
+        let p = SpanProfiler::new(
+            registry,
+            "online",
+            &OnlineDetector::PROFILE_STAGES,
+            every,
+            DEFAULT_WATERFALL_RING,
+        );
+        detector.attach_profiler(Arc::clone(&p));
+        println!("span profiler sampling 1 in {} events", p.every());
+        Some(p)
+    } else {
+        None
+    };
     let trace = if tracing {
         let flight = Arc::new(FlightRecorder::new());
         let warning_log = Arc::new(WarningLog::new(WARNING_LOG_CAP));
@@ -370,6 +423,7 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
                 .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
         );
     }
+    let mut history_sampler = None;
     let mut server = match opts.get("serve") {
         Some(addr) => {
             let (flight, warning_log) = trace.as_ref().expect("--serve implies tracing");
@@ -385,10 +439,35 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
             } else {
                 ""
             };
+            // Serving-path observability: a background sampler snapshots
+            // the registry into the /metrics/history ring and feeds the
+            // SLO burn-rate engine behind /slo and /healthz degradation.
+            let history = MetricsHistory::new(Arc::clone(registry), HISTORY_CAPACITY);
+            let mut slo = SloEngine::new(default_slo_specs(), BurnPolicy::default());
+            if let Some(dir) = &trace_dir {
+                let path = dir.join("slo-alerts.jsonl");
+                slo = slo.with_sink(
+                    JsonlSink::create(&path)
+                        .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+                );
+            }
+            let slo = Arc::new(slo);
+            history_sampler = Some(HistorySampler::start(
+                Arc::clone(&history),
+                Duration::from_millis(HISTORY_RESOLUTION_MS),
+                Some(Arc::clone(&slo)),
+            ));
+            state = state
+                .with_history(history)
+                .with_slo(slo)
+                .with_health(health.clone());
+            if let Some(p) = &profiler {
+                state = state.with_profilers(vec![Arc::clone(p)]);
+            }
             let s = HttpServer::start(addr, state)
                 .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
             println!(
-                "introspection server on http://{}/ (/healthz /metrics /warnings /nodes/<id>/flight{runs_routes})",
+                "introspection server on http://{}/ (/healthz /metrics /metrics/history /slo /profile /warnings /nodes/<id>/flight{runs_routes})",
                 s.addr()
             );
             Some(s)
@@ -434,6 +513,11 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
     }
     drop(stream_span);
     println!("\n{} warnings over {} anomaly events", warnings.len(), detector.events_seen());
+    if let Some(p) = &profiler {
+        if opts.contains_key("profile") {
+            print!("\n{}", render_profile_ascii(p));
+        }
+    }
 
     if let Some(truth_path) = opts.get("truth") {
         let truth =
@@ -475,6 +559,76 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
                     std::thread::sleep(Duration::from_secs(3600));
                 }
             }
+        }
+    }
+    drop(history_sampler);
+    Ok(())
+}
+
+/// Fetch `path` from a serving predictor's introspection server. Accepts
+/// 503 too: `/healthz` degrades to it on a fast SLO burn and the body is
+/// exactly what the operator wants to see then.
+fn http_get_body(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).map_err(|e| e.to_string())?;
+    let (head, body) = buf.split_once("\r\n\r\n").ok_or("malformed HTTP response")?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") && !status.contains(" 503 ") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+fn cmd_slo(opts: &Flags) -> Result<(), String> {
+    let addr = need(opts, "addr")?;
+    let body = http_get_body(addr, "/slo")?;
+    if opts.contains_key("json") {
+        println!("{}", body.trim_end());
+        return Ok(());
+    }
+    let v = parse_json(&body).map_err(|e| format!("bad /slo response: {e}"))?;
+    let burning = matches!(v.get("burning"), Some(Json::Bool(true)));
+    println!(
+        "SLO status at {addr}: {}",
+        if burning { "BURNING — error budget is being consumed at paging rate" } else { "ok" }
+    );
+    if let Some(slos) = v.get("slos").and_then(Json::as_arr) {
+        println!("{:<22} {:<10} {:>8}  burn per window", "slo", "status", "budget");
+        for s in slos {
+            let name = s.get("name").and_then(Json::as_str).unwrap_or("?");
+            let status = s.get("status").and_then(Json::as_str).unwrap_or("?");
+            let budget = s.get("budget").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let mut windows = String::new();
+            for w in s.get("windows").and_then(Json::as_arr).unwrap_or_default() {
+                let secs = w.get("window_ms").and_then(Json::as_u64).unwrap_or(0) / 1000;
+                if !windows.is_empty() {
+                    windows.push_str("  ");
+                }
+                match w.get("burn").and_then(Json::as_f64) {
+                    Some(b) => windows.push_str(&format!("{secs}s:{b:.2}x")),
+                    None => windows.push_str(&format!("{secs}s:no-data")),
+                }
+            }
+            println!("{name:<22} {status:<10} {budget:>8.3}  {windows}");
+        }
+    }
+    let alerts = v.get("alerts").and_then(Json::as_arr).unwrap_or_default();
+    if !alerts.is_empty() {
+        println!("\nrecent alert transitions (newest last):");
+        for a in alerts.iter().rev().take(10).rev() {
+            println!(
+                "  {} {} -> {} (burn {:.2}x) at {}ms",
+                a.get("slo").and_then(Json::as_str).unwrap_or("?"),
+                a.get("from").and_then(Json::as_str).unwrap_or("?"),
+                a.get("to").and_then(Json::as_str).unwrap_or("?"),
+                a.get("burn").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                a.get("at_ms").and_then(Json::as_u64).unwrap_or(0),
+            );
         }
     }
     Ok(())
@@ -529,18 +683,25 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
 fn cmd_runs(args: &[String]) -> Result<(), String> {
     let split = args.iter().position(|a| a.starts_with("--")).unwrap_or(args.len());
     let (pos, flags) = args.split_at(split);
-    let opts = parse_flags(flags)?;
+    let opts = parse_flags(flags, &["json"])?;
     let dir = PathBuf::from(opts.get("dir").map(String::as_str).unwrap_or("runs"));
     match pos {
-        [sub] if sub == "list" => runs_list(&dir),
+        [sub] if sub == "list" => runs_list(&dir, opts.contains_key("json")),
         [sub, id] if sub == "show" => runs_show(&dir, id),
         [sub, a, b] if sub == "diff" => runs_diff(&dir, a, b),
         _ => Err("usage: desh-cli runs <list | show <id> | diff <a> <b>> --dir <runs-dir>".into()),
     }
 }
 
-fn runs_list(dir: &Path) -> Result<(), String> {
-    let runs = list_runs(dir);
+fn runs_list(dir: &Path, json: bool) -> Result<(), String> {
+    let mut runs = list_runs(dir);
+    // Newest first: the operator asking "what just trained?" wants the
+    // latest run at the top of the table.
+    runs.reverse();
+    if json {
+        println!("{}", render_runs_json(&runs));
+        return Ok(());
+    }
     if runs.is_empty() {
         println!("no runs under {}", dir.display());
         return Ok(());

@@ -135,3 +135,129 @@ fn introspection_server_and_warning_traces_agree_with_detector() {
 
     server.stop();
 }
+
+/// End-to-end SLO breach: a spike of unknown-template records (the drift
+/// signal ROADMAP's retrain loop watches) must flip `/slo` to a fast
+/// burn on `template_miss` and degrade `/healthz` to 503 — the full
+/// serving-path observability stack wired the way `predict --serve`
+/// wires it, driven only by real records through the detector.
+#[test]
+fn template_miss_spike_burns_slo_and_degrades_healthz() {
+    use desh::obs::{
+        default_slo_specs, BurnPolicy, HealthInfo, MetricsHistory, SloEngine, SloStatus,
+        SpanProfiler,
+    };
+
+    let mut p = SystemProfile::tiny();
+    p.nodes = 16;
+    let d = generate(&p, 808);
+    let (train, test) = d.split_by_time(0.3);
+    let desh = Desh::new(DeshConfig::fast(), 808);
+    let trained = desh.train(&train);
+
+    let telemetry = Telemetry::enabled();
+    let registry = Arc::clone(telemetry.registry().unwrap());
+    let mut det = trained.online_detector(desh.cfg.clone(), &telemetry);
+    let profiler = SpanProfiler::new(&registry, "online", &OnlineDetector::PROFILE_STAGES, 1, 16);
+    det.attach_profiler(Arc::clone(&profiler));
+
+    let history = MetricsHistory::new(Arc::clone(&registry), 256);
+    let engine = Arc::new(SloEngine::new(default_slo_specs(), BurnPolicy::default()));
+
+    // Healthy phase: replay in-vocabulary traffic across two synthetic
+    // ticks so the ratio signal has a real delta, then evaluate.
+    let half = test.records.len().min(200) / 2;
+    for r in test.records.iter().take(half) {
+        det.ingest(r);
+    }
+    let base_ms = 1_000_000u64;
+    history.record_at(base_ms);
+    for r in test.records.iter().skip(half).take(half) {
+        det.ingest(r);
+    }
+    history.record_at(base_ms + 10_000);
+    let healthy = engine.evaluate(&history);
+    let miss_report = healthy.iter().find(|r| r.name == "template_miss").unwrap();
+    assert!(
+        matches!(miss_report.status, SloStatus::Ok | SloStatus::NoData),
+        "healthy replay already burning: {:?}",
+        miss_report
+    );
+
+    // Induced breach: a storm of records whose template the training
+    // vocabulary has never seen, spread over ticks spanning more than
+    // the 60 s fast window so both burn windows saturate.
+    let t0 = test.records.last().unwrap().time;
+    let mut seq = 0u64;
+    for tick in 1..=3u64 {
+        for _ in 0..100 {
+            seq += 1;
+            let r = LogRecord::new(
+                t0 + Micros::from_secs_f64(0.01 * seq as f64),
+                NodeId::from_index((seq % 16) as usize),
+                "totally novel firmware fault string",
+            );
+            det.ingest(&r);
+        }
+        history.record_at(base_ms + 10_000 + tick * 35_000);
+    }
+    let burning = engine.evaluate(&history);
+    let miss_report = burning.iter().find(|r| r.name == "template_miss").unwrap();
+    assert_eq!(
+        miss_report.status,
+        SloStatus::FastBurn,
+        "spike did not saturate both windows: {:?}",
+        miss_report
+    );
+    // The transition was recorded as an alert.
+    let alerts = engine.alerts();
+    assert!(
+        alerts
+            .iter()
+            .any(|a| a.slo == "template_miss" && a.to == SloStatus::FastBurn),
+        "no fast-burn alert transition: {:?}",
+        alerts
+    );
+
+    // The live endpoints agree: /slo reports the burn, /healthz routes
+    // traffic away with a 503 while keeping its identity block.
+    let state = Introspection::new(
+        Arc::clone(&registry),
+        Arc::new(FlightRecorder::new()),
+        Arc::new(WarningLog::new(8)),
+    )
+    .with_profilers(vec![Arc::clone(&profiler)])
+    .with_history(Arc::clone(&history))
+    .with_slo(Arc::clone(&engine))
+    .with_health(HealthInfo {
+        version: "test".into(),
+        run_id: Some("breach-run".into()),
+        config_hash: Some(1),
+    });
+    let mut server = HttpServer::start("127.0.0.1:0", state).expect("bind introspection");
+    let addr = server.addr();
+
+    let (status, slo) = http_get(&addr, "/slo");
+    assert!(status.contains("200"), "slo: {status}");
+    assert!(slo.contains("\"name\":\"template_miss\""), "{slo}");
+    assert!(slo.contains("\"status\":\"fast_burn\""), "{slo}");
+
+    let (status, health) = http_get(&addr, "/healthz");
+    assert!(status.contains("503"), "healthz should degrade: {status}");
+    assert!(health.contains("\"status\":\"degraded\""), "{health}");
+    assert!(
+        health.contains("\"burning\":[\"template_miss\"]"),
+        "{health}"
+    );
+    assert!(health.contains("\"run_id\":\"breach-run\""), "{health}");
+
+    // The profiler sampled the replay: per-stage quantiles plus at least
+    // one complete per-event waterfall reach /profile.
+    let (status, profile) = http_get(&addr, "/profile");
+    assert!(status.contains("200"), "profile: {status}");
+    assert!(profile.contains("\"stage\":\"cell_step\""), "{profile}");
+    assert!(profile.contains("\"p99_ns\":"), "{profile}");
+    assert!(profile.contains("\"waterfalls\":[{"), "{profile}");
+
+    server.stop();
+}

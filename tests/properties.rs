@@ -183,3 +183,62 @@ proptest! {
         }
     }
 }
+
+// ---- observability: latency histograms ---------------------------------------
+
+proptest! {
+    // The log-scale bucket layout approximates, but quantile estimates must
+    // still be non-decreasing in q no matter how the samples land in buckets.
+    #[test]
+    fn latency_quantiles_monotone_in_q(
+        values in proptest::collection::vec(0u64..10_000_000, 1..256),
+        qs in proptest::collection::vec(0.0f64..1.0, 2..8),
+    ) {
+        let h = desh::obs::LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.total_cmp(b));
+        for w in qs.windows(2) {
+            let (lo, hi) = (snap.quantile(w[0]), snap.quantile(w[1]));
+            prop_assert!(lo <= hi, "quantile({}) = {lo} > quantile({}) = {hi}", w[0], w[1]);
+        }
+        // Estimates stay inside the recorded range's bucket bounds.
+        prop_assert!(snap.quantile(0.0) >= snap.min() as f64);
+        prop_assert!(snap.quantile(1.0) <= snap.max() as f64);
+    }
+
+    // Merging per-thread histograms must commute: the merged snapshot is the
+    // same whether shard A absorbs B or B absorbs A, and matches recording
+    // everything into one histogram directly.
+    #[test]
+    fn latency_merge_is_order_invariant(
+        a in proptest::collection::vec(0u64..1_000_000, 0..128),
+        b in proptest::collection::vec(0u64..1_000_000, 0..128),
+        c in proptest::collection::vec(0u64..1_000_000, 0..128),
+    ) {
+        let fill = |vals: &[u64]| {
+            let h = desh::obs::LatencyHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let ab_c = fill(&a);
+        ab_c.merge(&fill(&b));
+        ab_c.merge(&fill(&c));
+        let c_ba = fill(&c);
+        c_ba.merge(&fill(&b));
+        c_ba.merge(&fill(&a));
+        prop_assert_eq!(ab_c.snapshot(), c_ba.snapshot());
+
+        let direct = fill(&a);
+        for &v in b.iter().chain(&c) {
+            direct.record(v);
+        }
+        prop_assert_eq!(ab_c.snapshot(), direct.snapshot());
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+}
