@@ -24,6 +24,9 @@
 //! * `--json <path>` — write the measurements as machine-readable JSON
 //!   (defaults to `results/BENCH_fig10.json` in full runs; off in smoke
 //!   runs unless given explicitly).
+//! * `--int8` — replay through the int8-quantized detector instead of
+//!   the f32 one. The JSON records `kernel_backend` and `int8` either
+//!   way, so latency numbers are attributable to the exact kernel path.
 
 use desh_bench::{experiment_config, EXPERIMENT_SEED};
 use desh_core::{Desh, DeshConfig, OnlineDetector};
@@ -44,6 +47,7 @@ const BASELINE_SCORE_US: (f64, f64, f64) = (126.4, 248.0, 369.5);
 struct Args {
     smoke: bool,
     trace: bool,
+    int8: bool,
     max_p99_us: Option<f64>,
     profile_every: Option<u64>,
     max_profile_overhead_pct: Option<f64>,
@@ -54,6 +58,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         trace: false,
+        int8: false,
         max_p99_us: None,
         profile_every: None,
         max_profile_overhead_pct: None,
@@ -64,6 +69,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--smoke" => args.smoke = true,
             "--trace" => args.trace = true,
+            "--int8" => args.int8 = true,
             "--max-p99-us" => {
                 let v = it.next().expect("--max-p99-us needs a value");
                 args.max_p99_us = Some(v.parse().expect("--max-p99-us must be a number"));
@@ -126,8 +132,20 @@ fn main() {
     println!("training...");
     let trained = desh.train(&train);
 
+    let make_detector = |t: &Telemetry| {
+        if args.int8 {
+            trained.quantized_detector(desh.cfg.clone(), t)
+        } else {
+            trained.online_detector(desh.cfg.clone(), t)
+        }
+    };
+    let kernel_backend = desh_nn::kernel_backend_name();
+    println!(
+        "scoring path: {kernel_backend} kernels, {} weights",
+        if args.int8 { "int8" } else { "f32" }
+    );
     let telemetry = Telemetry::enabled();
-    let mut det = trained.online_detector(desh.cfg.clone(), &telemetry);
+    let mut det = make_detector(&telemetry);
     let flight = Arc::new(FlightRecorder::new());
     let warning_log = Arc::new(WarningLog::new(1024));
     if args.trace {
@@ -205,7 +223,7 @@ fn main() {
     // cache misses.
     {
         let t = Telemetry::enabled();
-        let mut d = trained.online_detector(desh.cfg.clone(), &t);
+        let mut d = make_detector(&t);
         for r in &test.records {
             let _ = d.ingest(r);
         }
@@ -215,7 +233,7 @@ fn main() {
         let mut pair = [0.0f64; 2];
         for profiled in order {
             let t = Telemetry::enabled();
-            let mut d = trained.online_detector(desh.cfg.clone(), &t);
+            let mut d = make_detector(&t);
             let profiler = profiled.then(|| {
                 let p = SpanProfiler::new(
                     t.registry().expect("telemetry enabled"),
@@ -276,6 +294,8 @@ fn main() {
                 "  \"profile\": \"{}\",\n",
                 "  \"smoke\": {},\n",
                 "  \"trace\": {},\n",
+                "  \"kernel_backend\": \"{}\",\n",
+                "  \"int8\": {},\n",
                 "  \"events\": {},\n",
                 "  \"elapsed_s\": {:.4},\n",
                 "  \"throughput_events_per_s\": {:.1},\n",
@@ -294,6 +314,8 @@ fn main() {
             profile.name,
             args.smoke,
             args.trace,
+            kernel_backend,
+            args.int8,
             events as u64,
             elapsed,
             throughput,

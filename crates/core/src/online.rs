@@ -151,18 +151,27 @@ impl OnlineDetector {
     /// `online.events` / `online.warnings` counters, the
     /// `online.score_latency_us` per-event scoring-latency histogram, and
     /// the `online.buffered_events` occupancy gauge. Handles are resolved
-    /// once here so `ingest` never touches the registry lock.
+    /// once here so `ingest` never touches the registry lock. Two static
+    /// gauges identify the scoring substrate: `nn.kernel_backend` (the
+    /// [`desh_nn::Backend::code`] of the dispatched SIMD backend) and
+    /// `nn.int8` (1 when the model scores through quantized weights).
     pub fn with_telemetry(
         model: LeadTimeModel,
         vocab: Arc<Vocab>,
         cfg: DeshConfig,
         telemetry: &Telemetry,
     ) -> Self {
-        let metrics = telemetry.registry().map(|r| OnlineMetrics {
-            events: r.counter("online.events"),
-            warnings: r.counter("online.warnings"),
-            score_latency: r.histogram("online.score_latency_us"),
-            buffered: r.gauge("online.buffered_events"),
+        let metrics = telemetry.registry().map(|r| {
+            r.gauge("nn.kernel_backend")
+                .set(desh_nn::kernel_backend().code() as f64);
+            r.gauge("nn.int8")
+                .set(matches!(model.net, crate::phase2::ScoringNet::Int8(_)) as u8 as f64);
+            OnlineMetrics {
+                events: r.counter("online.events"),
+                warnings: r.counter("online.warnings"),
+                score_latency: r.histogram("online.score_latency_us"),
+                buffered: r.gauge("online.buffered_events"),
+            }
         });
         let train_vocab = vocab.len() as u32;
         Self {
@@ -452,7 +461,7 @@ impl OnlineDetector {
             .map(|&(t, p)| model.vectorize(newest.saturating_sub(t).as_secs_f64(), p))
             .collect();
         let window: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
-        let next = model.model.predict_next(&window, model.history);
+        let next = model.net.predict_next(&window, model.history);
         let predicted_lead_secs = model.denormalize_dt(next[0]);
 
         let evidence: Vec<String> = state

@@ -22,16 +22,112 @@ use crate::chain::FailureChain;
 use crate::config::Phase2Config;
 use crate::observe::EpochTelemetry;
 use crate::session::RunSession;
-use desh_nn::{Optimizer, RmsProp, TrainConfig, VectorLstm, VectorStream};
+use desh_nn::{
+    Optimizer, QuantizedVectorLstm, QuantizedVectorStream, RmsProp, TrainConfig, VectorLstm,
+    VectorStream,
+};
 use desh_obs::{DivergenceRecord, Telemetry};
 use desh_util::{Micros, Xoshiro256pp};
+
+/// The scoring network behind a [`LeadTimeModel`]: either the trained f32
+/// LSTM or its int8-quantized inference-only twin. Training, checkpoint
+/// encoding, and backprop-adjacent paths require the f32 variant
+/// ([`ScoringNet::f32`]); the inference surface (windowed prediction and
+/// carried-state streaming) dispatches over both.
+#[derive(Debug, Clone)]
+pub enum ScoringNet {
+    /// Full-precision trained model (the only variant training produces).
+    F32(VectorLstm),
+    /// Int8 symmetric-quantized weights with f32 accumulation (~4× smaller
+    /// resident model, inference only).
+    Int8(QuantizedVectorLstm),
+}
+
+impl ScoringNet {
+    /// Sample width (ΔT channel + one-hot block).
+    pub fn dim(&self) -> usize {
+        match self {
+            ScoringNet::F32(m) => m.dim(),
+            ScoringNet::Int8(m) => m.dim(),
+        }
+    }
+
+    /// Short label of the numeric path, for provenance lines and gauges.
+    pub fn precision(&self) -> &'static str {
+        match self {
+            ScoringNet::F32(_) => "f32",
+            ScoringNet::Int8(_) => "int8",
+        }
+    }
+
+    /// Resident weight bytes of this variant.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            ScoringNet::F32(m) => m
+                .net
+                .params()
+                .iter()
+                .map(|p| p.w.data().len() * std::mem::size_of::<f32>())
+                .sum(),
+            ScoringNet::Int8(m) => m.resident_bytes(),
+        }
+    }
+
+    /// The f32 model, or `None` when quantized. Training, re-training and
+    /// checkpoint encoding go through this.
+    pub fn f32(&self) -> Option<&VectorLstm> {
+        match self {
+            ScoringNet::F32(m) => Some(m),
+            ScoringNet::Int8(_) => None,
+        }
+    }
+
+    /// Predict the next sample from a context window.
+    pub fn predict_next(&self, window: &[&[f32]], history: usize) -> Vec<f32> {
+        match self {
+            ScoringNet::F32(m) => m.predict_next(window, history),
+            ScoringNet::Int8(m) => m.predict_next(window, history),
+        }
+    }
+
+    fn begin_stream(&self) -> NetStream {
+        match self {
+            ScoringNet::F32(m) => NetStream::F32(m.begin_stream()),
+            ScoringNet::Int8(m) => NetStream::Int8(m.begin_stream()),
+        }
+    }
+
+    fn stream_push(&self, st: &mut NetStream, sample: &[f32]) -> Option<f64> {
+        match (self, st) {
+            (ScoringNet::F32(m), NetStream::F32(s)) => m.stream_push(s, sample),
+            (ScoringNet::Int8(m), NetStream::Int8(s)) => m.stream_push(s, sample),
+            _ => panic!("lead stream was begun under a different scoring-net variant"),
+        }
+    }
+
+    /// O(n²) batch scorer over every prefix of `seq` (replay oracle).
+    pub fn score_stream_batch(&self, seq: &[Vec<f32>]) -> Vec<f64> {
+        match self {
+            ScoringNet::F32(m) => m.score_stream_batch(seq),
+            ScoringNet::Int8(m) => m.score_stream_batch(seq),
+        }
+    }
+}
+
+/// Carried recurrent state matching the [`ScoringNet`] variant it was
+/// begun under.
+#[derive(Debug, Clone)]
+enum NetStream {
+    F32(VectorStream),
+    Int8(QuantizedVectorStream),
+}
 
 /// The trained lead-time model plus the encoding constants that must
 /// travel with it to inference.
 #[derive(Debug, Clone)]
 pub struct LeadTimeModel {
-    /// The (ΔT, one-hot phrase) regressor.
-    pub model: VectorLstm,
+    /// The (ΔT, one-hot phrase) regressor — f32 or int8-quantized.
+    pub net: ScoringNet,
     /// Seconds scale for the ΔT channel.
     pub dt_scale: f32,
     /// Vocabulary size; the one-hot block width.
@@ -64,10 +160,27 @@ impl LeadTimeModel {
             .unwrap_or(0)
     }
 
+    /// Quantize the scoring network to int8 weights. The result carries
+    /// the same encoding constants and losses but holds no f32 weight
+    /// tensors; it can score streams and predict, not retrain.
+    pub fn quantize(&self) -> LeadTimeModel {
+        let qnet = match &self.net {
+            ScoringNet::F32(m) => QuantizedVectorLstm::from_f32(m),
+            ScoringNet::Int8(m) => m.clone(),
+        };
+        LeadTimeModel {
+            net: ScoringNet::Int8(qnet),
+            dt_scale: self.dt_scale,
+            vocab_size: self.vocab_size,
+            history: self.history,
+            losses: self.losses.clone(),
+        }
+    }
+
     /// Begin an incremental scoring stream for one node's event buffer.
     pub fn begin_stream(&self) -> LeadStream {
         LeadStream {
-            stream: self.model.begin_stream(),
+            stream: self.net.begin_stream(),
             last_time: None,
             sum: 0.0,
             transitions: 0,
@@ -87,7 +200,7 @@ impl LeadTimeModel {
         };
         ls.last_time = Some(time);
         let v = self.vectorize(gap_secs, phrase);
-        let score = self.model.stream_push(&mut ls.stream, &v);
+        let score = self.net.stream_push(&mut ls.stream, &v);
         if let Some(s) = score {
             ls.sum += s;
             ls.transitions += 1;
@@ -117,7 +230,7 @@ impl LeadTimeModel {
             prev = Some(t);
             seq.push(self.vectorize(gap, p));
         }
-        self.model.score_stream_batch(&seq)
+        self.net.score_stream_batch(&seq)
     }
 }
 
@@ -127,7 +240,7 @@ impl LeadTimeModel {
 /// the online detector O(1) per event.
 #[derive(Debug, Clone)]
 pub struct LeadStream {
-    stream: VectorStream,
+    stream: NetStream,
     last_time: Option<Micros>,
     sum: f64,
     transitions: usize,
@@ -239,7 +352,7 @@ pub fn run_phase2_session(
         return Err(d);
     }
     Ok(LeadTimeModel {
-        model,
+        net: ScoringNet::F32(model),
         dt_scale: cfg.dt_scale,
         vocab_size,
         history: cfg.history,
@@ -305,7 +418,8 @@ mod tests {
         let mut n = 0usize;
         for c in &chains {
             let seq = chain_to_vectors(c, m.dt_scale, vocab);
-            for s in m.model.score_sequence(&seq, m.history) {
+            let f32_net = m.net.f32().expect("training produces the f32 variant");
+            for s in f32_net.score_sequence(&seq, m.history) {
                 total += s;
                 n += 1;
             }

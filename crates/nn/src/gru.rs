@@ -14,7 +14,7 @@
 //! h' = (1 - z) ⊙ n + z ⊙ h
 //! ```
 
-use crate::act::{dsigmoid_from_out, dtanh_from_out, sigmoid};
+use crate::act::{dsigmoid_from_out, dtanh_from_out};
 use crate::mat::Mat;
 use crate::param::Param;
 use desh_util::Xoshiro256pp;
@@ -112,15 +112,16 @@ impl GruLayer {
         let mut z = Mat::zeros(batch, hsz);
         let mut rh = Mat::zeros(batch, hsz);
         for row in 0..batch {
-            let pr = ws.pre.row(row);
-            let hw = ws.hw.row(row);
-            let hp = h_prev.row(row);
-            for k in 0..hsz {
-                let rv = sigmoid(pr[k] + hw[k]);
-                r.row_mut(row)[k] = rv;
-                z.row_mut(row)[k] = sigmoid(pr[hsz + k] + hw[hsz + k]);
-                rh.row_mut(row)[k] = rv * hp[k];
-            }
+            // Fused reset/update gate kernel; same per-element math as the
+            // inference path so the two stay bitwise consistent.
+            crate::simd::gru_gates_train_rz(
+                ws.pre.row(row),
+                ws.hw.row(row),
+                h_prev.row(row),
+                r.row_mut(row),
+                z.row_mut(row),
+                rh.row_mut(row),
+            );
         }
         // Candidate uses (r ⊙ h_prev) through the n-columns of Wh, read in
         // place rather than materialising the column slice.
@@ -128,15 +129,14 @@ impl GruLayer {
         let mut n = Mat::zeros(batch, hsz);
         let mut h = Mat::zeros(batch, hsz);
         for row in 0..batch {
-            let pr = ws.pre.row(row);
-            let rhn = ws.rh_n.row(row);
-            let hp = h_prev.row(row);
-            for k in 0..hsz {
-                let nv = (pr[2 * hsz + k] + rhn[k]).tanh();
-                n.row_mut(row)[k] = nv;
-                let zv = z[(row, k)];
-                h.row_mut(row)[k] = (1.0 - zv) * nv + zv * hp[k];
-            }
+            crate::simd::gru_gates_train_nh(
+                ws.pre.row(row),
+                ws.rh_n.row(row),
+                h_prev.row(row),
+                z.row(row),
+                n.row_mut(row),
+                h.row_mut(row),
+            );
         }
         (r, z, n, rh, h)
     }
@@ -153,26 +153,23 @@ impl GruLayer {
             ws.rh.reset(batch, hsz);
         }
         for row in 0..batch {
-            let pr = ws.pre.row(row);
-            let hw = ws.hw.row(row);
-            let hp = h.row(row);
-            let rh = ws.rh.row_mut(row);
-            for k in 0..hsz {
-                rh[k] = sigmoid(pr[k] + hw[k]) * hp[k];
-            }
+            // Fused σ(pre_r + hw_r) ⊙ h pass per batch row.
+            crate::simd::gru_rh_step(
+                ws.pre.row(row),
+                ws.hw.row(row),
+                h.row(row),
+                ws.rh.row_mut(row),
+            );
         }
         ws.rh
             .matmul_cols_into(&self.wh.w, 2 * hsz, 3 * hsz, &mut ws.rh_n);
         for row in 0..batch {
-            let pr = ws.pre.row(row);
-            let hw = ws.hw.row(row);
-            let rhn = ws.rh_n.row(row);
-            let hrow = h.row_mut(row);
-            for k in 0..hsz {
-                let zv = sigmoid(pr[hsz + k] + hw[hsz + k]);
-                let nv = (pr[2 * hsz + k] + rhn[k]).tanh();
-                hrow[k] = (1.0 - zv) * nv + zv * hrow[k];
-            }
+            crate::simd::gru_combine_step(
+                ws.pre.row(row),
+                ws.hw.row(row),
+                ws.rh_n.row(row),
+                h.row_mut(row),
+            );
         }
     }
 

@@ -2,7 +2,8 @@
 //!
 //! The Desh paper prototypes its pipeline with Keras on a TensorFlow
 //! backend. This crate rebuilds exactly the pieces that pipeline needs —
-//! nothing more — in safe, dependency-light Rust:
+//! nothing more — in dependency-light Rust (the only `unsafe` is the
+//! feature-gated SIMD intrinsics in [`simd`]):
 //!
 //! * [`mat::Mat`] — row-major f32 matrices with rayon-parallel GEMM kernels.
 //! * [`embedding::Embedding`] — phrase-id lookup tables.
@@ -18,6 +19,12 @@
 //! * [`parallel`] — data-parallel training support: fixed-count gradient
 //!   shards merged by a deterministic tree reduction, so training is
 //!   bit-for-bit reproducible at any thread count.
+//! * [`simd`] — runtime-dispatched SIMD micro-kernels (AVX2/FMA on x86_64,
+//!   NEON on aarch64, scalar fallback via `DESH_SIMD=off`) behind the GEMM,
+//!   GEMV and fused-gate paths.
+//! * [`quant`] — int8 symmetric per-tensor quantized inference models
+//!   ([`quant::QuantizedVectorLstm`]) with f32 accumulation, ~4× smaller
+//!   resident weights for the online scoring path.
 //!
 //! Everything is deterministic given a [`desh_util::Xoshiro256pp`] seed, and
 //! every layer's backward pass is covered by numerical gradient checks in
@@ -36,9 +43,11 @@ pub mod observe;
 pub mod optim;
 pub mod parallel;
 pub mod param;
+pub mod quant;
 pub mod schedule;
 pub mod serialize;
 pub mod sgns;
+pub mod simd;
 pub mod stacked;
 
 pub use dense::Dense;
@@ -52,6 +61,8 @@ pub use observe::{NoopObserver, ParamStats, RecordingObserver, ShardStats, Train
 pub use optim::{nonfinite_grad_count, Adam, Optimizer, RmsProp, Sgd};
 pub use parallel::{shard_count, GradSet};
 pub use param::Param;
+pub use quant::{QuantMat, QuantizedStackedLstm, QuantizedVectorLstm, QuantizedVectorStream};
 pub use schedule::{Constant, Cosine, Schedule, StepDecay, Warmup};
 pub use sgns::{SgnsConfig, SkipGram};
+pub use simd::{backend as kernel_backend, backend_name as kernel_backend_name, Backend};
 pub use stacked::{StackedLstm, StackedScratch};

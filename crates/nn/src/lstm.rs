@@ -6,7 +6,7 @@
 //! as one fused `[B, 4H]` GEMM per timestep; columns are laid out in
 //! `[i | f | g | o]` order.
 
-use crate::act::{dsigmoid_from_out, dtanh_from_out, sigmoid};
+use crate::act::{dsigmoid_from_out, dtanh_from_out};
 use crate::mat::Mat;
 use crate::param::Param;
 use desh_util::Xoshiro256pp;
@@ -144,19 +144,11 @@ impl LstmLayer {
         let batch = x.rows();
         let hsz = self.hidden;
         self.preactivations(x, &state.h, ws);
+        debug_assert_eq!(hsz, state.c.cols());
         for r in 0..batch {
-            let row = ws.pre.row(r);
-            let crow = state.c.row_mut(r);
-            let hrow = state.h.row_mut(r);
-            for k in 0..hsz {
-                let i = sigmoid(row[k]);
-                let f = sigmoid(row[hsz + k]);
-                let g = row[2 * hsz + k].tanh();
-                let o = sigmoid(row[3 * hsz + k]);
-                let c = f * crow[k] + i * g;
-                crow[k] = c;
-                hrow[k] = o * c.tanh();
-            }
+            // Fused gate kernel: sigmoid/tanh over all four gate blocks
+            // plus the cell/hidden update in one dispatched pass.
+            crate::simd::lstm_gates_step(ws.pre.row(r), state.c.row_mut(r), state.h.row_mut(r));
         }
     }
 
@@ -188,24 +180,20 @@ impl LstmLayer {
         let mut o = Mat::zeros(batch, hsz);
         let mut c = Mat::zeros(batch, hsz);
         let mut h = Mat::zeros(batch, hsz);
+        debug_assert_eq!(hsz, c_prev.cols());
         for r in 0..batch {
-            let row = ws.pre.row(r);
-            let cp = c_prev.row(r);
-            for k in 0..hsz {
-                // Identical scalar expressions to `step_into`, so the
-                // tape path and the scratch path agree bitwise.
-                let iv = sigmoid(row[k]);
-                let fv = sigmoid(row[hsz + k]);
-                let gv = row[2 * hsz + k].tanh();
-                let ov = sigmoid(row[3 * hsz + k]);
-                let cv = fv * cp[k] + iv * gv;
-                i.row_mut(r)[k] = iv;
-                f.row_mut(r)[k] = fv;
-                g.row_mut(r)[k] = gv;
-                o.row_mut(r)[k] = ov;
-                c.row_mut(r)[k] = cv;
-                h.row_mut(r)[k] = ov * cv.tanh();
-            }
+            // Same fused kernel math as `step_into`, so the tape path and
+            // the scratch path agree bitwise under every backend.
+            crate::simd::lstm_gates_train(
+                ws.pre.row(r),
+                c_prev.row(r),
+                i.row_mut(r),
+                f.row_mut(r),
+                g.row_mut(r),
+                o.row_mut(r),
+                c.row_mut(r),
+                h.row_mut(r),
+            );
         }
         (i, f, g, o, c, h)
     }

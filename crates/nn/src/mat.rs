@@ -15,10 +15,13 @@
 //! * the plain `ikj` loop for matrices too small to amortise packing.
 //!
 //! Output-row parallelism via rayon kicks in above [`PAR_FLOP_THRESHOLD`]
-//! exactly as before. All kernels are exact per scalar operation (no FMA
-//! reordering games); only summation order differs between paths, which
-//! keeps gradient-check tests tight.
+//! exactly as before. The innermost loops (dense GEMV sweep, the 2x8
+//! micro-kernel, and the contiguous dot) dispatch through [`crate::simd`]:
+//! the scalar backend reproduces the historical loops bit-for-bit, while
+//! the AVX2/NEON backends use explicit FMA lanes (which reassociate sums
+//! within the f64-oracle tolerances the proptests enforce).
 
+use crate::simd;
 use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -36,10 +39,10 @@ const PACK_FLOP_THRESHOLD: usize = 1 << 19;
 /// deliberately: the 2x8 f32 accumulator needs only 4 SSE registers, so
 /// the whole tile stays register-resident on the baseline x86-64 target —
 /// a 4x8 tile measurably spills and runs ~2x slower.
-const MR: usize = 2;
+pub(crate) const MR: usize = 2;
 
 /// Micro-tile columns; 8-wide so the inner loop maps onto full-width SIMD.
-const NR: usize = 8;
+pub(crate) const NR: usize = 8;
 
 /// k-dimension cache block: an `MR x KC` A-panel plus an `NR x KC` B-panel
 /// stay L1-resident while the micro-kernel streams over them.
@@ -71,48 +74,17 @@ fn gemv_acc(a: &[f32], b: &[f32], bcols: usize, lo: usize, n: usize, out: &mut [
         }
         return;
     }
-    // Dense row: 4-way k unrolling keeps four B rows streaming per pass
-    // over `out`, quartering the number of read-modify-write sweeps.
-    let mut kk = 0;
-    while kk + 4 <= k {
-        let (a0, a1, a2, a3) = (a[kk], a[kk + 1], a[kk + 2], a[kk + 3]);
-        let r0 = &b[kk * bcols + lo..kk * bcols + lo + n];
-        let r1 = &b[(kk + 1) * bcols + lo..(kk + 1) * bcols + lo + n];
-        let r2 = &b[(kk + 2) * bcols + lo..(kk + 2) * bcols + lo + n];
-        let r3 = &b[(kk + 3) * bcols + lo..(kk + 3) * bcols + lo + n];
-        for j in 0..n {
-            out[j] += a0 * r0[j] + a1 * r1[j] + a2 * r2[j] + a3 * r3[j];
-        }
-        kk += 4;
-    }
-    for kk in kk..k {
-        let av = a[kk];
-        let brow = &b[kk * bcols + lo..kk * bcols + lo + n];
-        for (o, &bv) in out.iter_mut().zip(brow) {
-            *o += av * bv;
-        }
-    }
+    // Dense row: SIMD-dispatched sweep (4-way k unrolling in the scalar
+    // backend, 8-wide FMA lanes under AVX2/NEON).
+    simd::gemv_dense_acc(a, b, bcols, lo, n, out);
 }
 
-/// Unrolled dot product with 8 partial accumulators (used by the `A @ Bᵀ`
-/// kernel, where both operands are contiguous rows).
+/// Contiguous dot product (used by the `A @ Bᵀ` small-shape kernel, where
+/// both operands are contiguous rows). Dispatches through [`crate::simd`];
+/// the scalar backend is the historical 8-accumulator unrolled loop.
 #[inline]
 fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 8];
-    let chunks = a.len() / 8;
-    for c in 0..chunks {
-        let av = &a[c * 8..c * 8 + 8];
-        let bv = &b[c * 8..c * 8 + 8];
-        for j in 0..8 {
-            acc[j] += av[j] * bv[j];
-        }
-    }
-    let mut s = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
-    for i in chunks * 8..a.len() {
-        s += a[i] * b[i];
-    }
-    s
+    simd::dot(a, b)
 }
 
 /// Pack one `kb x n` slab of B (columns `lo..lo+n`, rows `k0..k0+kb`) into
@@ -151,8 +123,9 @@ fn pack_a(a: &[f32], k: usize, i0: usize, mb: usize, k0: usize, kb: usize, packe
 
 /// The register-tiled micro-kernel: `rows[0..mb][j0..j0+nb] += pa @ pb`
 /// where `pa` is an MR-row packed A panel and `pb` an NR-col packed B
-/// strip, both `kb` deep. The MRxNR accumulator lives in registers; padded
-/// lanes compute on zeros and are simply not written back.
+/// strip, both `kb` deep. Dispatches through [`crate::simd`]; the MRxNR
+/// accumulator lives in registers (2 × `__m256` under AVX2), padded lanes
+/// compute on zeros and are simply not written back.
 #[inline]
 #[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
 fn microkernel(
@@ -165,23 +138,7 @@ fn microkernel(
     mb: usize,
     nb: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for kk in 0..kb {
-        let av = &pa[kk * MR..kk * MR + MR];
-        let bv = &pb[kk * NR..kk * NR + NR];
-        for r in 0..MR {
-            let ar = av[r];
-            for j in 0..NR {
-                acc[r][j] += ar * bv[j];
-            }
-        }
-    }
-    for r in 0..mb {
-        let orow = &mut rows[r * ldc + j0..r * ldc + j0 + nb];
-        for (o, v) in orow.iter_mut().zip(acc[r].iter()) {
-            *o += v;
-        }
-    }
+    simd::microkernel_acc(pa, pb, kb, rows, ldc, j0, mb, nb)
 }
 
 /// Sparse/small fallback: zero-skipping `ikj` accumulation of
@@ -242,6 +199,67 @@ fn gemm_packed_acc(
         let pb = &packed_b[..];
         // Each task owns an MR-row group of `out`; the A panel is packed
         // on-stack per task so worker threads never share mutable state.
+        let body = |rb: usize, rows: &mut [f32]| {
+            let i0 = rb * MR;
+            let mb = rows.len() / n;
+            let mut pa = [0.0f32; MR * KC];
+            pack_a(a, k, i0, mb, k0, kb, &mut pa);
+            for s in 0..nstrips {
+                let j0 = s * NR;
+                let nb = NR.min(n - j0);
+                microkernel(&pa, &pb[s * KC * NR..], kb, rows, n, j0, mb, nb);
+            }
+        };
+        if par {
+            out.par_chunks_mut(MR * n)
+                .enumerate()
+                .for_each(|(rb, rows)| body(rb, rows));
+        } else {
+            for (rb, rows) in out.chunks_mut(MR * n).enumerate() {
+                body(rb, rows);
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// Pack one `kb`-deep slab of Bᵀ into NR-wide strips for the `A @ Bᵀ`
+/// kernel: B is `[n,k]` row-major, and strip `s` holds output columns
+/// (= B rows) `s*NR..s*NR+NR` k-contiguously as `packed[s*KC*NR + kk*NR +
+/// j] = B[s*NR+j, k0+kk]`, tail strips zero-padded. Paying this transpose
+/// once per k-block is what lets `matmul_t` reuse the same register-tiled
+/// micro-kernel as `matmul` instead of re-walking B rows per output panel.
+fn pack_bt(b: &[f32], k: usize, n: usize, k0: usize, kb: usize, packed: &mut [f32]) {
+    let nstrips = n.div_ceil(NR);
+    for s in 0..nstrips {
+        let j0 = s * NR;
+        let nb = NR.min(n - j0);
+        let dst_base = s * KC * NR;
+        for j in 0..nb {
+            let src = (j0 + j) * k + k0;
+            for kk in 0..kb {
+                packed[dst_base + kk * NR + j] = b[src + kk];
+            }
+        }
+        for j in nb..NR {
+            for kk in 0..kb {
+                packed[dst_base + kk * NR + j] = 0.0;
+            }
+        }
+    }
+}
+
+/// Cache-blocked panel-packed `out[m,n] += A[m,k] @ Bᵀ` where B is `[n,k]`
+/// row-major. Identical task structure to [`gemm_packed_acc`]; only the B
+/// packing differs (transpose-pack via [`pack_bt`]).
+fn gemm_t_packed_acc(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32], par: bool) {
+    let nstrips = n.div_ceil(NR);
+    let mut packed_b = vec![0.0f32; KC * nstrips * NR];
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        pack_bt(b, k, n, k0, kb, &mut packed_b);
+        let pb = &packed_b[..];
         let body = |rb: usize, rows: &mut [f32]| {
             let i0 = rb * MR;
             let mb = rows.len() / n;
@@ -606,13 +624,20 @@ impl Mat {
     }
 
     /// `C = A @ Bᵀ` where A is `self` [m,k], B is [n,k]. Used for input
-    /// gradients (`dx = dy Wᵀ`). Both operands are walked along contiguous
-    /// rows, so this is a pure dot-product kernel.
+    /// gradients (`dx = dy Wᵀ`). Large shapes transpose-pack B once per
+    /// k-block ([`pack_bt`]) and reuse the same register-tiled micro-kernel
+    /// as [`Mat::matmul`]; small shapes keep the contiguous-row dot kernel,
+    /// where packing overhead would dominate.
     pub fn matmul_t(&self, b: &Mat) -> Mat {
         assert_eq!(self.cols, b.cols, "matmul_t shape mismatch");
         let (m, k, n) = (self.rows, self.cols, b.rows);
         let mut out = Mat::zeros(m, n);
         let work = m * k * n;
+        let par = work >= PAR_FLOP_THRESHOLD;
+        if work >= PACK_FLOP_THRESHOLD {
+            gemm_t_packed_acc(&self.data, k, &b.data, n, &mut out.data, par);
+            return out;
+        }
         let body = |r: usize, out_row: &mut [f32]| {
             let a_row = &self.data[r * k..(r + 1) * k];
             for (j, o) in out_row.iter_mut().enumerate() {
@@ -620,7 +645,7 @@ impl Mat {
                 *o = dot_unrolled(a_row, b_row);
             }
         };
-        if work >= PAR_FLOP_THRESHOLD {
+        if par {
             out.data
                 .par_chunks_mut(n)
                 .enumerate()
@@ -818,6 +843,12 @@ mod tests {
         // Also exercise the parallel path.
         let a = test_mat(64, 64, 9);
         let b = test_mat(64, 64, 10);
+        approx_eq(&a.matmul_t(&b), &naive_matmul(&a, &b.transpose()), 1e-4);
+        // And the transpose-packed path (work >= PACK_FLOP_THRESHOLD),
+        // with ragged dimensions so strip/panel tails are covered.
+        let a = test_mat(130, 70, 11);
+        let b = test_mat(85, 70, 12);
+        assert!(a.rows() * a.cols() * b.rows() >= PACK_FLOP_THRESHOLD);
         approx_eq(&a.matmul_t(&b), &naive_matmul(&a, &b.transpose()), 1e-4);
     }
 

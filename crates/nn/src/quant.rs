@@ -1,0 +1,579 @@
+//! Int8-quantized inference-only models.
+//!
+//! Deployment quantization for the online scoring path: weight matrices
+//! are stored as `i8` with one symmetric per-tensor scale (`scale =
+//! max|w| / 127`, zero-point 0), biases and all activations stay f32, and
+//! the GEMV kernel widens `i8 → f32` on load and accumulates in f32
+//! (dispatched through [`crate::simd`], so AVX2/NEON hosts get the
+//! vectorized widen-FMA path). This quarters the resident weight bytes —
+//! the lever that decides how many node models one scoring box can hold —
+//! while keeping the per-element dequantization error bounded by
+//! `scale / 2`.
+//!
+//! Only the inference surface of [`VectorLstm`] is mirrored
+//! ([`QuantizedVectorLstm`]): `predict_next`, the carried-state streaming
+//! scorer, and the O(n²) batch oracle used by tests. Training always stays
+//! in f32; a quantized model is produced from a trained checkpoint via
+//! [`QuantizedVectorLstm::from_f32`] (the `desh-cli quantize` subcommand)
+//! and never holds the f32 tensors it was derived from.
+
+use crate::loss::mse_vec;
+use crate::lstm::{LstmLayer, LstmState};
+use crate::mat::Mat;
+use crate::models::VectorLstm;
+use crate::simd;
+use crate::stacked::StackedLstm;
+use bytes::Bytes;
+use desh_util::codec::{CodecError, Decoder, Encoder};
+
+const MAGIC: [u8; 4] = *b"DSHQ";
+const VERSION: u32 = 1;
+
+/// A row-major i8 matrix with one symmetric dequantization scale:
+/// `w[r,c] ≈ scale · q[r,c]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMat {
+    rows: usize,
+    cols: usize,
+    scale: f32,
+    data: Vec<i8>,
+}
+
+impl QuantMat {
+    /// Symmetric per-tensor quantization: `scale = max|w| / 127`,
+    /// `q = round(w / scale)` clamped to ±127 (the all-zero tensor gets
+    /// scale 1.0). Round-trip error per element is at most `scale / 2`.
+    pub fn quantize(w: &Mat) -> Self {
+        let maxabs = w.data().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if maxabs == 0.0 { 1.0 } else { maxabs / 127.0 };
+        let data = w
+            .data()
+            .iter()
+            .map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self {
+            rows: w.rows(),
+            cols: w.cols(),
+            scale,
+            data,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The symmetric dequantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Raw quantized weights (row-major).
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Materialize the f32 approximation (tests and error analysis).
+    pub fn dequantize(&self) -> Mat {
+        let data = self.data.iter().map(|&q| q as f32 * self.scale).collect();
+        Mat::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Resident weight bytes (i8 payload + the scale).
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() + std::mem::size_of::<f32>()
+    }
+
+    /// `out[0..n] += a @ self[:, lo..lo+n]` with f32 accumulation.
+    fn gemv_acc(&self, a: &[f32], lo: usize, n: usize, out: &mut [f32]) {
+        debug_assert_eq!(a.len(), self.rows);
+        debug_assert!(lo + n <= self.cols);
+        simd::gemv_i8_acc(a, &self.data, self.cols, lo, n, self.scale, out);
+    }
+
+    /// `out += a @ self` over the full width (row vector × matrix), with
+    /// f32 accumulation. Public surface of the i8 GEMV kernel for benches
+    /// and callers composing their own layers.
+    pub fn gemv(&self, a: &[f32], out: &mut [f32]) {
+        assert_eq!(a.len(), self.rows, "activation length mismatch");
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        self.gemv_acc(a, 0, self.cols, out);
+    }
+}
+
+/// One quantized LSTM layer: i8 gate weights, f32 bias.
+#[derive(Debug, Clone)]
+pub struct QuantizedLstmLayer {
+    wx: QuantMat,
+    wh: QuantMat,
+    b: Vec<f32>,
+    input: usize,
+    hidden: usize,
+}
+
+impl QuantizedLstmLayer {
+    fn from_f32(layer: &LstmLayer) -> Self {
+        Self {
+            wx: QuantMat::quantize(&layer.wx.w),
+            wh: QuantMat::quantize(&layer.wh.w),
+            b: layer.b.w.data().to_vec(),
+            input: layer.input_dim(),
+            hidden: layer.hidden_dim(),
+        }
+    }
+
+    /// One inference step: `pre = x@Wx + h@Wh + b`, then the fused gate
+    /// kernel updates `state` in place. `pre` is caller scratch of shape
+    /// `[batch, 4*hidden]`.
+    fn step_into(&self, x: &Mat, state: &mut LstmState, pre: &mut Mat) {
+        let batch = x.rows();
+        debug_assert_eq!(x.cols(), self.input);
+        debug_assert_eq!(pre.shape(), (batch, 4 * self.hidden));
+        let gates = 4 * self.hidden;
+        for r in 0..batch {
+            let prow = pre.row_mut(r);
+            prow.copy_from_slice(&self.b);
+            self.wx.gemv_acc(x.row(r), 0, gates, prow);
+        }
+        for r in 0..batch {
+            // Two loops so the immutable borrow of state.h ends before the
+            // gate kernel takes it mutably.
+            self.wh.gemv_acc(state.h.row(r), 0, gates, pre.row_mut(r));
+        }
+        for r in 0..batch {
+            simd::lstm_gates_step(pre.row(r), state.c.row_mut(r), state.h.row_mut(r));
+        }
+    }
+}
+
+/// Per-step transients for the quantized stack: one shared gate
+/// pre-activation buffer (all layers share a hidden width) and the head
+/// output staging row.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    pre: Mat,
+    y: Mat,
+}
+
+impl QuantScratch {
+    /// Fresh scratch; buffers are sized lazily on first step.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Inference-only quantized mirror of [`StackedLstm`].
+#[derive(Debug, Clone)]
+pub struct QuantizedStackedLstm {
+    layers: Vec<QuantizedLstmLayer>,
+    head_w: QuantMat,
+    head_b: Vec<f32>,
+    output: usize,
+}
+
+impl QuantizedStackedLstm {
+    /// Quantize a trained f32 stack.
+    pub fn from_f32(net: &StackedLstm) -> Self {
+        Self {
+            layers: net
+                .layers
+                .iter()
+                .map(QuantizedLstmLayer::from_f32)
+                .collect(),
+            head_w: QuantMat::quantize(&net.head.w.w),
+            head_b: net.head.b.w.data().to_vec(),
+            output: net.output_dim(),
+        }
+    }
+
+    /// Zero recurrent states for a streaming pass.
+    pub fn zero_states(&self, batch: usize) -> Vec<LstmState> {
+        self.layers
+            .iter()
+            .map(|l| LstmState::zeros(batch, l.hidden))
+            .collect()
+    }
+
+    fn ensure_scratch(&self, batch: usize, ws: &mut QuantScratch) {
+        let gates = 4 * self.layers[0].hidden;
+        if ws.pre.shape() != (batch, gates) {
+            ws.pre.reset(batch, gates);
+        }
+        if ws.y.shape() != (batch, self.output) {
+            ws.y.reset(batch, self.output);
+        }
+    }
+
+    /// Advance all recurrent layers one step in place (no head).
+    pub fn step_layers(&self, x: &Mat, states: &mut [LstmState], ws: &mut QuantScratch) {
+        assert_eq!(states.len(), self.layers.len());
+        self.ensure_scratch(x.rows(), ws);
+        for (l, layer) in self.layers.iter().enumerate() {
+            // Split so layer l reads layer l-1's fresh output while
+            // mutating its own state, exactly like the f32 stack.
+            let (below, rest) = states.split_at_mut(l);
+            let input = if l == 0 { x } else { &below[l - 1].h };
+            layer.step_into(input, &mut rest[0], &mut ws.pre);
+        }
+    }
+
+    /// One carried-state step plus the dense head, output by reference
+    /// into the scratch buffer.
+    pub fn step_infer_ws<'w>(
+        &self,
+        x: &Mat,
+        states: &mut [LstmState],
+        ws: &'w mut QuantScratch,
+    ) -> &'w Mat {
+        self.step_layers(x, states, ws);
+        let top = &states[states.len() - 1].h;
+        for r in 0..x.rows() {
+            let yrow = ws.y.row_mut(r);
+            yrow.copy_from_slice(&self.head_b);
+            self.head_w.gemv_acc(top.row(r), 0, self.output, yrow);
+        }
+        &ws.y
+    }
+
+    /// Resident weight bytes across all quantized tensors and f32 biases.
+    pub fn resident_bytes(&self) -> usize {
+        let f32b = std::mem::size_of::<f32>();
+        let mut total = self.head_w.resident_bytes() + self.head_b.len() * f32b;
+        for l in &self.layers {
+            total += l.wx.resident_bytes() + l.wh.resident_bytes() + l.b.len() * f32b;
+        }
+        total
+    }
+}
+
+/// Inference-only int8 twin of [`VectorLstm`]: same streaming and
+/// window-prediction surface, ~4× smaller resident weights.
+#[derive(Debug, Clone)]
+pub struct QuantizedVectorLstm {
+    net: QuantizedStackedLstm,
+    dim: usize,
+}
+
+impl QuantizedVectorLstm {
+    /// Quantize a trained f32 model. The result holds no f32 weight
+    /// tensors.
+    pub fn from_f32(model: &VectorLstm) -> Self {
+        Self {
+            net: QuantizedStackedLstm::from_f32(&model.net),
+            dim: model.dim(),
+        }
+    }
+
+    /// Sample width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Resident weight bytes of the quantized model.
+    pub fn resident_bytes(&self) -> usize {
+        self.net.resident_bytes()
+    }
+
+    /// Predict the next sample from a context window (mirrors
+    /// [`VectorLstm::predict_next`], including the left zero-padding of
+    /// short windows).
+    pub fn predict_next(&self, window: &[&[f32]], history: usize) -> Vec<f32> {
+        assert!(!window.is_empty());
+        let mut states = self.net.zero_states(1);
+        let mut ws = QuantScratch::new();
+        let mut x = Mat::zeros(1, self.dim);
+        let pad = history.saturating_sub(window.len());
+        for _ in 0..pad {
+            x.clear();
+            self.net.step_layers(&x, &mut states, &mut ws);
+        }
+        for w in window.iter().skip(window.len().saturating_sub(history)) {
+            x.row_mut(0).copy_from_slice(w);
+            self.net.step_layers(&x, &mut states, &mut ws);
+        }
+        self.net.step_head(&states, &mut ws).to_vec()
+    }
+
+    /// Begin a carried-state streaming pass (same contract as
+    /// [`VectorLstm::begin_stream`]).
+    pub fn begin_stream(&self) -> QuantizedVectorStream {
+        QuantizedVectorStream {
+            states: self.net.zero_states(1),
+            ws: QuantScratch::new(),
+            x: Mat::zeros(1, self.dim),
+            pred: vec![0.0; self.dim],
+            steps: 0,
+        }
+    }
+
+    /// Feed the next sample; returns the one-step-ahead MSE of the
+    /// previous prediction against it (`None` on the first push).
+    pub fn stream_push(&self, st: &mut QuantizedVectorStream, sample: &[f32]) -> Option<f64> {
+        assert_eq!(sample.len(), self.dim, "sample width mismatch");
+        let score = (st.steps > 0).then(|| mse_vec(&st.pred, sample));
+        st.x.row_mut(0).copy_from_slice(sample);
+        let y = self.net.step_infer_ws(&st.x, &mut st.states, &mut st.ws);
+        st.pred.copy_from_slice(y.row(0));
+        st.steps += 1;
+        score
+    }
+
+    /// O(n²) batch oracle mirroring [`VectorLstm::score_stream_batch`].
+    pub fn score_stream_batch(&self, seq: &[Vec<f32>]) -> Vec<f64> {
+        let mut scores = Vec::with_capacity(seq.len().saturating_sub(1));
+        for t in 1..seq.len() {
+            let mut st = self.begin_stream();
+            for v in &seq[..t] {
+                self.stream_push(&mut st, v);
+            }
+            scores.push(mse_vec(&st.pred, &seq[t]));
+        }
+        scores
+    }
+
+    /// Serialize to bytes (`DSHQ` v1).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut e = Encoder::with_header(MAGIC, VERSION);
+        e.put_u64(self.dim as u64);
+        e.put_u64(self.net.layers.len() as u64);
+        for l in &self.net.layers {
+            e.put_u64(l.input as u64);
+            e.put_u64(l.hidden as u64);
+            put_qmat(&mut e, &l.wx);
+            put_qmat(&mut e, &l.wh);
+            e.put_f32_slice(&l.b);
+        }
+        put_qmat(&mut e, &self.net.head_w);
+        e.put_f32_slice(&self.net.head_b);
+        e.finish()
+    }
+
+    /// Restore from bytes produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: Bytes) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        d.expect_header(MAGIC, VERSION)?;
+        let dim = d.u64()? as usize;
+        let nlayers = d.u64()? as usize;
+        let mut layers = Vec::with_capacity(nlayers);
+        for _ in 0..nlayers {
+            let input = d.u64()? as usize;
+            let hidden = d.u64()? as usize;
+            let wx = get_qmat(&mut d)?;
+            let wh = get_qmat(&mut d)?;
+            let b = d.f32_vec()?;
+            layers.push(QuantizedLstmLayer {
+                wx,
+                wh,
+                b,
+                input,
+                hidden,
+            });
+        }
+        let head_w = get_qmat(&mut d)?;
+        let head_b = d.f32_vec()?;
+        let output = head_b.len();
+        Ok(Self {
+            net: QuantizedStackedLstm {
+                layers,
+                head_w,
+                head_b,
+                output,
+            },
+            dim,
+        })
+    }
+}
+
+impl QuantizedStackedLstm {
+    /// Apply only the dense head to the top layer's current hidden state.
+    fn step_head<'w>(&self, states: &[LstmState], ws: &'w mut QuantScratch) -> &'w [f32] {
+        let top = &states[states.len() - 1].h;
+        self.ensure_scratch(top.rows(), ws);
+        let yrow = ws.y.row_mut(0);
+        yrow.copy_from_slice(&self.head_b);
+        self.head_w.gemv_acc(top.row(0), 0, self.output, yrow);
+        ws.y.row(0)
+    }
+}
+
+/// Carried state for a [`QuantizedVectorLstm`] streaming pass.
+#[derive(Debug, Clone)]
+pub struct QuantizedVectorStream {
+    states: Vec<LstmState>,
+    ws: QuantScratch,
+    x: Mat,
+    pred: Vec<f32>,
+    steps: usize,
+}
+
+impl QuantizedVectorStream {
+    /// Number of samples pushed so far.
+    pub fn len(&self) -> usize {
+        self.steps
+    }
+
+    /// True when no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0
+    }
+
+    /// The model's current prediction of the *next* sample (zeros before
+    /// the first push).
+    pub fn prediction(&self) -> &[f32] {
+        &self.pred
+    }
+}
+
+fn put_qmat(e: &mut Encoder, m: &QuantMat) {
+    e.put_u64(m.rows as u64);
+    e.put_u64(m.cols as u64);
+    e.put_f32(m.scale);
+    e.put_i8_slice(&m.data);
+}
+
+fn get_qmat(d: &mut Decoder) -> Result<QuantMat, CodecError> {
+    let rows = d.u64()? as usize;
+    let cols = d.u64()? as usize;
+    let scale = d.f32()?;
+    let data = d.i8_vec()?;
+    if data.len() != rows * cols {
+        return Err(CodecError::LengthOverflow(data.len() as u64));
+    }
+    Ok(QuantMat {
+        rows,
+        cols,
+        scale,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::TrainConfig;
+    use crate::optim::RmsProp;
+    use desh_util::Xoshiro256pp;
+
+    fn toy_seqs(dim: usize, n: usize, len: usize) -> Vec<Vec<Vec<f32>>> {
+        // A predictable drifting pattern the model can track.
+        (0..n)
+            .map(|s| {
+                (0..len)
+                    .map(|t| (0..dim).map(|d| (((s + t + d) % 5) as f32) / 5.0).collect())
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn trained_model(dim: usize) -> VectorLstm {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let mut m = VectorLstm::new(dim, 16, 2, &mut rng);
+        let seqs = toy_seqs(dim, 4, 12);
+        let cfg = TrainConfig {
+            history: 6,
+            batch: 4,
+            epochs: 5,
+            clip: 5.0,
+        };
+        let mut opt = RmsProp::new(0.005);
+        m.train(&seqs, &cfg, &mut opt, &mut rng);
+        m
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let w = Mat::from_fn(13, 29, |_, _| rng.f32() * 2.0 - 1.0);
+        let q = QuantMat::quantize(&w);
+        let deq = q.dequantize();
+        let bound = q.scale() * 0.5 + 1e-7;
+        for (a, b) in w.data().iter().zip(deq.data()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_cleanly() {
+        let q = QuantMat::quantize(&Mat::zeros(3, 4));
+        assert_eq!(q.scale(), 1.0);
+        assert!(q.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn quantized_predictions_track_f32() {
+        let m = trained_model(3);
+        let qm = QuantizedVectorLstm::from_f32(&m);
+        let seq: Vec<Vec<f32>> = toy_seqs(3, 1, 10).remove(0);
+        let f32_scores = m.score_stream_batch(&seq);
+        let mut st = qm.begin_stream();
+        let mut q_scores = Vec::new();
+        for v in &seq {
+            if let Some(s) = qm.stream_push(&mut st, v) {
+                q_scores.push(s);
+            }
+        }
+        assert_eq!(f32_scores.len(), q_scores.len());
+        for (a, b) in f32_scores.iter().zip(&q_scores) {
+            assert!((a - b).abs() < 0.02, "f32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_stream_matches_batch_oracle() {
+        let m = trained_model(2);
+        let qm = QuantizedVectorLstm::from_f32(&m);
+        let seq: Vec<Vec<f32>> = toy_seqs(2, 1, 8).remove(0);
+        let batch = qm.score_stream_batch(&seq);
+        let mut st = qm.begin_stream();
+        let mut streamed = Vec::new();
+        for v in &seq {
+            if let Some(s) = qm.stream_push(&mut st, v) {
+                streamed.push(s);
+            }
+        }
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn predict_next_matches_f32_shape_and_tracks_values() {
+        let m = trained_model(3);
+        let qm = QuantizedVectorLstm::from_f32(&m);
+        let seq: Vec<Vec<f32>> = toy_seqs(3, 1, 7).remove(0);
+        let window: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
+        let f = m.predict_next(&window, 6);
+        let q = qm.predict_next(&window, 6);
+        assert_eq!(f.len(), q.len());
+        for (a, b) in f.iter().zip(&q) {
+            assert!((a - b).abs() < 0.05, "f32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip_is_exact() {
+        let m = trained_model(2);
+        let qm = QuantizedVectorLstm::from_f32(&m);
+        let bytes = qm.to_bytes();
+        let back = QuantizedVectorLstm::from_bytes(bytes).unwrap();
+        assert_eq!(qm.dim(), back.dim());
+        let seq: Vec<Vec<f32>> = toy_seqs(2, 1, 8).remove(0);
+        assert_eq!(qm.score_stream_batch(&seq), back.score_stream_batch(&seq));
+    }
+
+    #[test]
+    fn resident_bytes_are_at_least_3x_smaller_than_f32() {
+        let m = trained_model(3);
+        let qm = QuantizedVectorLstm::from_f32(&m);
+        let f32_bytes: usize = m.net.params().iter().map(|p| p.w.data().len() * 4).sum();
+        let q_bytes = qm.resident_bytes();
+        assert!(
+            q_bytes * 3 <= f32_bytes,
+            "quantized {q_bytes} B vs f32 {f32_bytes} B"
+        );
+    }
+}

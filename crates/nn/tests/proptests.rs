@@ -1,9 +1,15 @@
 //! Property-based tests for the neural substrate.
 
 use desh_nn::loss::{mse, mse_vec, softmax, softmax_xent, top_k};
-use desh_nn::{Mat, TokenLstm, VectorLstm};
+use desh_nn::simd::set_backend;
+use desh_nn::{Backend, Mat, QuantMat, TokenLstm, VectorLstm};
 use desh_util::Xoshiro256pp;
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The kernel backend is process-global; tests that pin it must not
+/// interleave with each other (the test binary is multi-threaded).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
 
 fn finite_f32() -> impl Strategy<Value = f32> {
     (-100.0f32..100.0).prop_map(|x| x)
@@ -207,6 +213,132 @@ proptest! {
         let sample: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1).collect();
         let w: Vec<&[f32]> = vec![&sample];
         prop_assert_eq!(m.predict_next(&w, 5), m2.predict_next(&w, 5));
+    }
+
+    #[test]
+    fn simd_and_scalar_gemv_both_match_f64_oracle(
+        k in 1usize..200,
+        n in 1usize..140,
+        seed in any::<u64>(),
+    ) {
+        // The GEMV dispatch must agree with the f64 oracle under BOTH
+        // backends — including n not a multiple of the 8/16/32/64-column
+        // block tiers, where the tail paths run. Pinned under a lock
+        // because the backend is process-global.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let x = random_mat(1, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let want = naive_matmul(&x, &b);
+        let guard = BACKEND_LOCK.lock().unwrap();
+        let native = desh_nn::kernel_backend();
+        set_backend(Backend::Scalar);
+        let got_scalar = x.matmul(&b);
+        let got_scalar2 = x.matmul(&b);
+        set_backend(native);
+        let got_native = x.matmul(&b);
+        drop(guard);
+        // The scalar fallback is deterministic: same inputs, same bits.
+        prop_assert_eq!(got_scalar.data(), got_scalar2.data());
+        assert_mats_close(&got_scalar, &want, gemm_tol(k))?;
+        assert_mats_close(&got_native, &want, gemm_tol(k))?;
+    }
+
+    #[test]
+    fn simd_and_scalar_gemm_agree_on_ragged_shapes(
+        m in 1usize..20,
+        k in 1usize..80,
+        n in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        // Full GEMM through the packed microkernel path: scalar and SIMD
+        // backends must stay within f32-reassociation distance of each
+        // other on shapes with ragged MR/NR tails.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let guard = BACKEND_LOCK.lock().unwrap();
+        let native = desh_nn::kernel_backend();
+        set_backend(Backend::Scalar);
+        let got_scalar = a.matmul(&b);
+        set_backend(native);
+        let got_native = a.matmul(&b);
+        drop(guard);
+        assert_mats_close(&got_native, &got_scalar, 2.0 * gemm_tol(k))?;
+    }
+
+    #[test]
+    fn matmul_t_matches_naive_transpose_product(
+        m in 1usize..24,
+        k in 1usize..96,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        // `A @ Bᵀ` with B stored row-major [n,k]: the transpose-packed
+        // kernel must match the oracle computed on the explicit transpose.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let a = random_mat(m, k, &mut rng);
+        let b = random_mat(n, k, &mut rng);
+        let bt = Mat::from_fn(k, n, |i, j| b.row(j)[i]);
+        assert_mats_close(&a.matmul_t(&b), &naive_matmul(&a, &bt), gemm_tol(k))?;
+    }
+
+    #[test]
+    fn t_matmul_matches_naive_transpose_product(
+        m in 1usize..24,
+        k in 1usize..96,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        // `Aᵀ @ B` with A stored row-major [k,m].
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let a = random_mat(k, m, &mut rng);
+        let b = random_mat(k, n, &mut rng);
+        let at = Mat::from_fn(m, k, |i, j| a.row(j)[i]);
+        assert_mats_close(&a.t_matmul(&b), &naive_matmul(&at, &b), gemm_tol(k))?;
+    }
+
+    #[test]
+    fn int8_quantize_round_trip_error_is_within_half_scale(
+        rows in 1usize..24,
+        cols in 1usize..48,
+        scale_exp in -3i32..4,
+        seed in any::<u64>(),
+    ) {
+        // Symmetric per-tensor int8: |w - dequantize(quantize(w))| is
+        // bounded by half a quantization step, across weight magnitudes.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mag = 10.0f32.powi(scale_exp);
+        let w = Mat::from_fn(rows, cols, |_, _| (rng.f32() * 2.0 - 1.0) * mag);
+        let q = QuantMat::quantize(&w);
+        let deq = q.dequantize();
+        let half_step = q.scale() * 0.5 + 1e-12;
+        for (orig, back) in w.data().iter().zip(deq.data()) {
+            prop_assert!(
+                (orig - back).abs() <= half_step,
+                "|{orig} - {back}| > {half_step}"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_gemv_matches_f64_oracle_of_dequantized_weights(
+        k in 1usize..120,
+        n in 1usize..96,
+        seed in any::<u64>(),
+    ) {
+        // The i8-weight f32-accumulate GEMV must agree with the f64
+        // oracle applied to the dequantized weights: quantization decides
+        // the values, the kernel must not add error of its own.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let x = random_mat(1, k, &mut rng);
+        let w = random_mat(k, n, &mut rng);
+        let q = QuantMat::quantize(&w);
+        let want = naive_matmul(&x, &q.dequantize());
+        let mut got = vec![0.0f32; n];
+        q.gemv(x.row(0), &mut got);
+        for (g, w) in got.iter().zip(want.row(0)) {
+            prop_assert!((g - w).abs() <= gemm_tol(k), "got {g} want {w}");
+        }
     }
 
     #[test]

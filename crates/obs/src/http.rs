@@ -56,6 +56,10 @@ pub struct HealthInfo {
     pub run_id: Option<String>,
     /// Config hash of the loaded checkpoint.
     pub config_hash: Option<u64>,
+    /// Active SIMD kernel backend (e.g. `"avx2+fma"`, `"scalar"`).
+    pub kernel_backend: Option<String>,
+    /// Numeric precision of the scoring path (`"f32"` or `"int8"`).
+    pub precision: Option<String>,
 }
 
 /// The read-only state the introspection routes expose. All fields are
@@ -394,6 +398,14 @@ fn serve_healthz(
             None => body.push_str("null"),
         }
         body.push('}');
+        if let Some(backend) = &h.kernel_backend {
+            body.push_str(",\"kernel_backend\":");
+            push_escaped(&mut body, backend);
+        }
+        if let Some(precision) = &h.precision {
+            body.push_str(",\"precision\":");
+            push_escaped(&mut body, precision);
+        }
     }
     body.push_str(",\"burning\":[");
     for (i, name) in burning.iter().enumerate() {
@@ -574,6 +586,8 @@ mod tests {
                 version: "9.9.9".into(),
                 run_id: Some("run-x".into()),
                 config_hash: Some(77),
+                kernel_backend: Some("testvec".into()),
+                precision: Some("int8".into()),
             });
         let srv = HttpServer::start("127.0.0.1:0", state).unwrap();
         let addr = srv.addr();
@@ -600,6 +614,8 @@ mod tests {
         assert!(health.contains("\"version\":\"9.9.9\""));
         assert!(health.contains("\"run_id\":\"run-x\""));
         assert!(health.contains("\"config_hash\":77"));
+        assert!(health.contains("\"kernel_backend\":\"testvec\""));
+        assert!(health.contains("\"precision\":\"int8\""));
         assert!(health.contains("\"burning\":[\"template_miss\"]"));
     }
 

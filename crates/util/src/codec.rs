@@ -120,6 +120,14 @@ impl Encoder {
         }
     }
 
+    /// Length-prefixed i8 slice (quantized weight tensors).
+    pub fn put_i8_slice(&mut self, xs: &[i8]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.buf.put_u8(x as u8);
+        }
+    }
+
     /// Finish and return the encoded bytes.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
@@ -229,6 +237,13 @@ impl Decoder {
             out.push(raw.get_u32_le());
         }
         Ok(out)
+    }
+
+    /// Length-prefixed i8 slice written by [`Encoder::put_i8_slice`].
+    pub fn i8_vec(&mut self) -> Result<Vec<i8>, CodecError> {
+        let n = self.len_prefix()?;
+        let raw = self.take(n)?;
+        Ok(raw.iter().map(|&b| b as i8).collect())
     }
 
     /// Bytes not yet consumed.

@@ -13,7 +13,9 @@
 //! them when ground truth is supplied; `analyze` runs the log mining and
 //! unknown-phrase analysis with no model at all.
 
-use desh::checkpoint::{encode_checkpoint, load_checkpoint};
+use desh::checkpoint::{
+    encode_checkpoint, encode_quantized_checkpoint, load_any_checkpoint, load_checkpoint,
+};
 use desh::core::{
     config_hash, dataset_fingerprint, run_phase1_session, run_phase2_session, OnlineDetector,
     RunSession,
@@ -45,7 +47,7 @@ fn main() -> ExitCode {
     } else {
         let boolean: &[&str] = match cmd.as_str() {
             "train" => &["fast"],
-            "predict" => &["fast", "profile"],
+            "predict" => &["fast", "profile", "int8"],
             "slo" => &["json"],
             _ => &[],
         };
@@ -60,6 +62,7 @@ fn main() -> ExitCode {
             "generate" => cmd_generate(&opts),
             "train" => cmd_train(&opts),
             "predict" => cmd_predict(&opts),
+            "quantize" => cmd_quantize(&opts),
             "analyze" => cmd_analyze(&opts),
             "slo" => cmd_slo(&opts),
             "--help" | "-h" | "help" => {
@@ -86,10 +89,12 @@ USAGE:
                     [--truth <truth.txt>] [--seed <n>]
   desh-cli train    --log <logs.txt> --out <model.dshm> [--seed <n>] [--fast]
                     [--telemetry <out.jsonl>] [--run-dir <dir>] [--run-id <id>]
-  desh-cli predict  --log <logs.txt> --model <model.dshm> [--truth <truth.txt>]
+  desh-cli predict  --log <logs.txt> --model <model.dshm|model.dshq>
+                    [--int8] [--truth <truth.txt>]
                     [--telemetry <out.jsonl>] [--serve <addr:port>]
                     [--serve-secs <n>] [--trace-dir <dir>] [--runs-dir <dir>]
                     [--profile] [--profile-every <n>]
+  desh-cli quantize --model <model.dshm> --out <model.dshq>
   desh-cli analyze  --log <logs.txt>
   desh-cli slo      --addr <host:port> [--json]
   desh-cli runs     list            --dir <runs-dir> [--json]
@@ -127,7 +132,14 @@ USAGE:
   works either way.
 
   `slo` fetches /slo from a serving predictor and renders burn rates per
-  objective; --json dumps the raw body.";
+  objective; --json dumps the raw body.
+
+  `quantize` converts a trained `.dshm` checkpoint into an int8 `.dshq`
+  sidecar (symmetric per-tensor weights, f32 accumulate, ~4× smaller
+  resident model). `predict` accepts either format; `predict --int8`
+  forces the quantized path, converting a `.dshm` in memory if needed.
+  The active SIMD kernel backend and precision are printed at load and
+  reported at /healthz and in the nn.kernel_backend / nn.int8 gauges.";
 
 type Flags = HashMap<String, String>;
 
@@ -364,17 +376,40 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         // --telemetry.
         telemetry = Telemetry::enabled();
     }
-    let ck = telemetry.time("load_model", || load_checkpoint(&model_path))?;
+    let mut ck = telemetry.time("load_model", || load_any_checkpoint(&model_path))?;
     if !ck.run_id.is_empty() {
         println!(
             "model trained under run {} (config hash {:016x})",
             ck.run_id, ck.config_hash
         );
     }
+    if opts.contains_key("int8") && ck.model.net.precision() != "int8" {
+        // Convert in memory: the quantized model replaces the f32 one, so
+        // only the int8 weights stay resident for the replay.
+        ck.f32_net_bytes = ck.model.net.resident_bytes() as u64;
+        ck.model = ck.model.quantize();
+    }
+    let precision = ck.model.net.precision();
+    let resident = ck.model.net.resident_bytes();
+    match (precision, ck.f32_net_bytes) {
+        ("int8", f32b) if f32b > 0 => println!(
+            "scoring path: {} kernels, {precision} weights ({:.1} KiB resident, {:.1}x smaller than f32)",
+            desh::nn::kernel_backend_name(),
+            resident as f64 / 1024.0,
+            f32b as f64 / resident as f64
+        ),
+        _ => println!(
+            "scoring path: {} kernels, {precision} weights ({:.1} KiB resident)",
+            desh::nn::kernel_backend_name(),
+            resident as f64 / 1024.0
+        ),
+    }
     let health = HealthInfo {
         version: env!("CARGO_PKG_VERSION").to_string(),
         run_id: (!ck.run_id.is_empty()).then(|| ck.run_id.clone()),
         config_hash: Some(ck.config_hash),
+        kernel_backend: Some(desh::nn::kernel_backend_name().to_string()),
+        precision: Some(precision.to_string()),
     };
     let (model, vocab, chains) = (ck.model, ck.vocab, ck.chains);
     let (records, bad) =
@@ -562,6 +597,51 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         }
     }
     drop(history_sampler);
+    Ok(())
+}
+
+/// `quantize`: convert a trained `.dshm` checkpoint into a standalone
+/// int8 `.dshq` sidecar. Vocabulary, chains and the provenance stamp are
+/// carried through; the f32 tensors are not.
+fn cmd_quantize(opts: &Flags) -> Result<(), String> {
+    let model_path = PathBuf::from(need(opts, "model")?);
+    let out = PathBuf::from(need(opts, "out")?);
+    if let Ok(head) = std::fs::read(&model_path) {
+        if head.starts_with(b"DSHQ") {
+            return Err(format!(
+                "{} is already an int8-quantized checkpoint (.dshq); quantize takes the f32 .dshm",
+                model_path.display()
+            ));
+        }
+    }
+    let ck = load_checkpoint(&model_path)?;
+    let f32_bytes = ck.model.net.resident_bytes();
+    let qmodel = ck.model.quantize();
+    let q_bytes = qmodel.net.resident_bytes();
+    let bytes = encode_quantized_checkpoint(
+        &qmodel,
+        &ck.vocab,
+        &ck.chains,
+        &ck.run_id,
+        ck.config_hash,
+        f32_bytes as u64,
+    );
+    std::fs::write(&out, &bytes).map_err(|e| e.to_string())?;
+    println!(
+        "quantized {} -> {}",
+        model_path.display(),
+        out.display()
+    );
+    println!(
+        "  weights: {:.1} KiB f32 -> {:.1} KiB int8 ({:.1}x smaller resident model)",
+        f32_bytes as f64 / 1024.0,
+        q_bytes as f64 / 1024.0,
+        f32_bytes as f64 / q_bytes as f64
+    );
+    println!("  file: {:.1} KiB (vocab + chains + provenance carried through)", bytes.len() as f64 / 1024.0);
+    if !ck.run_id.is_empty() {
+        println!("  provenance: run {} (config hash {:016x})", ck.run_id, ck.config_hash);
+    }
     Ok(())
 }
 

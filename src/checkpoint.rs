@@ -1,6 +1,6 @@
-//! Checkpoint encode/decode for the CLI's `.dshm` model files.
+//! Checkpoint encode/decode for the CLI's `.dshm` and `.dshq` model files.
 //!
-//! Layout (all little-endian, via [`desh_util::codec`]):
+//! `.dshm` layout (all little-endian, via [`desh_util::codec`]):
 //!
 //! * header: magic `DSHC` + format version,
 //! * vocabulary snapshot (template strings, in intern order),
@@ -15,10 +15,18 @@
 //!
 //! Older versions still load: v1 files simply have no chains and no
 //! provenance, v2 files no provenance.
+//!
+//! `.dshq` (magic `DSHQ`) is the int8-quantized sidecar produced by
+//! `desh-cli quantize`: the same vocabulary, constants, chains and
+//! provenance stamp, but the network section holds a
+//! [`desh_nn::QuantizedVectorLstm`] plus the original f32 network's
+//! resident byte count (so `predict` can report the compression ratio).
+//! A `.dshq` is standalone — it never contains the f32 tensors — and
+//! [`load_any_checkpoint`] sniffs the magic to accept either format.
 
-use desh_core::{ChainEvent, FailureChain, LeadTimeModel};
+use desh_core::{ChainEvent, FailureChain, LeadTimeModel, ScoringNet};
 use desh_logparse::Vocab;
-use desh_nn::VectorLstm;
+use desh_nn::{QuantizedVectorLstm, VectorLstm};
 use desh_util::codec::{Decoder, Encoder};
 use desh_util::Micros;
 use desh_loggen::NodeId;
@@ -29,11 +37,16 @@ use std::sync::Arc;
 pub const MODEL_MAGIC: [u8; 4] = *b"DSHC";
 /// Current checkpoint format version. This build reads `1..=MODEL_VERSION`.
 pub const MODEL_VERSION: u32 = 3;
+/// Quantized checkpoint file magic.
+pub const QUANT_MAGIC: [u8; 4] = *b"DSHQ";
+/// Current quantized checkpoint format version.
+pub const QUANT_VERSION: u32 = 1;
 
-/// Everything a `.dshm` file holds, decoded.
+/// Everything a `.dshm` or `.dshq` file holds, decoded.
 #[derive(Debug)]
 pub struct Checkpoint {
     /// The lead-time model (losses are not persisted; empty after load).
+    /// Holds the int8 scoring net when loaded from a `.dshq`.
     pub model: LeadTimeModel,
     /// Training vocabulary, in intern order.
     pub vocab: Arc<Vocab>,
@@ -46,6 +59,9 @@ pub struct Checkpoint {
     pub config_hash: u64,
     /// Format version the file was written with.
     pub version: u32,
+    /// Resident bytes of the f32 network the quantized net was derived
+    /// from (0 for `.dshm` files) — for compression-ratio reporting.
+    pub f32_net_bytes: u64,
 }
 
 fn encode_chains(chains: &[FailureChain]) -> Vec<u8> {
@@ -101,7 +117,11 @@ pub fn encode_checkpoint(
     }
     e.put_f32(model.dt_scale);
     e.put_u64(model.history as u64);
-    let net = model.model.to_bytes();
+    let net = model
+        .net
+        .f32()
+        .expect("`.dshm` checkpoints hold the f32 network; use encode_quantized_checkpoint")
+        .to_bytes();
     e.put_u64(net.len() as u64);
     let mut bytes = e.finish().to_vec();
     bytes.extend_from_slice(&net);
@@ -153,7 +173,7 @@ pub fn decode_checkpoint(bytes: Vec<u8>) -> Result<Checkpoint, String> {
         (String::new(), 0)
     };
     let model = LeadTimeModel {
-        model: net,
+        net: ScoringNet::F32(net),
         dt_scale,
         vocab_size: n,
         history,
@@ -166,12 +186,108 @@ pub fn decode_checkpoint(bytes: Vec<u8>) -> Result<Checkpoint, String> {
         run_id,
         config_hash,
         version,
+        f32_net_bytes: 0,
     })
 }
 
-/// Read and decode a checkpoint file.
+/// Serialize an int8-quantized model as a standalone `.dshq` sidecar.
+/// `f32_net_bytes` records the resident size of the f32 network the
+/// quantized one was derived from (ratio reporting only; pass 0 when
+/// unknown).
+pub fn encode_quantized_checkpoint(
+    model: &LeadTimeModel,
+    vocab: &Vocab,
+    chains: &[FailureChain],
+    run_id: &str,
+    config_hash: u64,
+    f32_net_bytes: u64,
+) -> Vec<u8> {
+    let qnet = match &model.net {
+        ScoringNet::Int8(q) => q,
+        ScoringNet::F32(_) => {
+            panic!("`.dshq` checkpoints hold the int8 network; quantize the model first")
+        }
+    };
+    let mut e = Encoder::with_header(QUANT_MAGIC, QUANT_VERSION);
+    let snapshot = vocab.snapshot();
+    e.put_u64(snapshot.len() as u64);
+    for t in &snapshot {
+        e.put_str(t);
+    }
+    e.put_f32(model.dt_scale);
+    e.put_u64(model.history as u64);
+    e.put_u64(f32_net_bytes);
+    let net = qnet.to_bytes();
+    e.put_u64(net.len() as u64);
+    let mut bytes = e.finish().to_vec();
+    bytes.extend_from_slice(&net);
+    bytes.extend_from_slice(&encode_chains(chains));
+    let mut stamp = Encoder::new();
+    stamp.put_str(run_id);
+    stamp.put_u64(config_hash);
+    bytes.extend_from_slice(&stamp.finish());
+    bytes
+}
+
+/// Decode a `.dshq` quantized checkpoint.
+pub fn decode_quantized_checkpoint(bytes: Vec<u8>) -> Result<Checkpoint, String> {
+    let mut d = Decoder::new(bytes::Bytes::from(bytes));
+    d.expect_header(QUANT_MAGIC, QUANT_VERSION)
+        .map_err(|e| e.to_string())?;
+    let n = d.u64().map_err(|e| e.to_string())? as usize;
+    let vocab = Vocab::new();
+    for _ in 0..n {
+        vocab.intern(&d.string().map_err(|e| e.to_string())?);
+    }
+    let dt_scale = d.f32().map_err(|e| e.to_string())?;
+    let history = d.u64().map_err(|e| e.to_string())? as usize;
+    let f32_net_bytes = d.u64().map_err(|e| e.to_string())?;
+    let net_len = d.u64().map_err(|e| e.to_string())? as usize;
+    let mut net_bytes = vec![0u8; net_len];
+    for b in net_bytes.iter_mut() {
+        *b = d.u8().map_err(|e| e.to_string())?;
+    }
+    let qnet = QuantizedVectorLstm::from_bytes(net_bytes.into()).map_err(|e| e.to_string())?;
+    let chains = decode_chains(&mut d)?;
+    let run_id = d.string().map_err(|e| e.to_string())?;
+    let config_hash = d.u64().map_err(|e| e.to_string())?;
+    let model = LeadTimeModel {
+        net: ScoringNet::Int8(qnet),
+        dt_scale,
+        vocab_size: n,
+        history,
+        losses: Vec::new(),
+    };
+    Ok(Checkpoint {
+        model,
+        vocab: Arc::new(vocab),
+        chains,
+        run_id,
+        config_hash,
+        version: QUANT_VERSION,
+        f32_net_bytes,
+    })
+}
+
+/// Read and decode a `.dshm` checkpoint file.
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, String> {
     decode_checkpoint(std::fs::read(path).map_err(|e| e.to_string())?)
+}
+
+/// Read a checkpoint of either format, sniffing the magic: `DSHC` (f32
+/// `.dshm`) or `DSHQ` (int8 `.dshq`).
+pub fn load_any_checkpoint(path: &Path) -> Result<Checkpoint, String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    if bytes.len() < 4 {
+        return Err("model file truncated".into());
+    }
+    match &bytes[..4] {
+        m if m == MODEL_MAGIC => decode_checkpoint(bytes),
+        m if m == QUANT_MAGIC => decode_quantized_checkpoint(bytes),
+        m => Err(format!(
+            "unrecognised model magic {m:?} (expected {MODEL_MAGIC:?} or {QUANT_MAGIC:?})"
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -209,9 +325,59 @@ mod tests {
         // The network decodes to identical behaviour.
         let seq: Vec<Vec<f32>> = (0..6).map(|i| model.vectorize(30.0 * i as f64, 0)).collect();
         assert_eq!(
-            ck.model.model.score_stream_batch(&seq),
-            model.model.score_stream_batch(&seq)
+            ck.model.net.score_stream_batch(&seq),
+            model.net.score_stream_batch(&seq)
         );
+    }
+
+    #[test]
+    fn quantized_sidecar_round_trips() {
+        let (model, vocab, chains) = trained_fixture(94);
+        let qmodel = model.quantize();
+        let f32_bytes = model.net.resident_bytes() as u64;
+        let bytes =
+            encode_quantized_checkpoint(&qmodel, &vocab, &chains, "run-94", 0xbeef, f32_bytes);
+        assert_eq!(&bytes[..4], &QUANT_MAGIC);
+        let ck = decode_quantized_checkpoint(bytes).unwrap();
+        assert_eq!(ck.run_id, "run-94");
+        assert_eq!(ck.config_hash, 0xbeef);
+        assert_eq!(ck.f32_net_bytes, f32_bytes);
+        assert_eq!(ck.chains.len(), chains.len());
+        assert_eq!(ck.model.net.precision(), "int8");
+        assert!(ck.model.net.f32().is_none(), "no f32 tensors in a .dshq");
+        // ≥3× smaller resident than the f32 original (acceptance bar).
+        assert!(ck.model.net.resident_bytes() as u64 * 3 <= f32_bytes);
+        // Scores match the in-memory quantized model exactly.
+        let seq: Vec<Vec<f32>> = (0..6).map(|i| model.vectorize(30.0 * i as f64, 0)).collect();
+        assert_eq!(
+            ck.model.net.score_stream_batch(&seq),
+            qmodel.net.score_stream_batch(&seq)
+        );
+    }
+
+    #[test]
+    fn load_any_checkpoint_sniffs_magic() {
+        let (model, vocab, chains) = trained_fixture(95);
+        let dir = std::env::temp_dir().join("desh_ckpt_sniff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f32_path = dir.join("m.dshm");
+        let q_path = dir.join("m.dshq");
+        std::fs::write(&f32_path, encode_checkpoint(&model, &vocab, &chains, "", 0)).unwrap();
+        let qmodel = model.quantize();
+        std::fs::write(
+            &q_path,
+            encode_quantized_checkpoint(&qmodel, &vocab, &chains, "", 0, 0),
+        )
+        .unwrap();
+        assert_eq!(
+            load_any_checkpoint(&f32_path).unwrap().model.net.precision(),
+            "f32"
+        );
+        assert_eq!(
+            load_any_checkpoint(&q_path).unwrap().model.net.precision(),
+            "int8"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

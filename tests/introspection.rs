@@ -233,6 +233,8 @@ fn template_miss_spike_burns_slo_and_degrades_healthz() {
         version: "test".into(),
         run_id: Some("breach-run".into()),
         config_hash: Some(1),
+        kernel_backend: Some(desh::nn::kernel_backend_name().to_string()),
+        precision: Some("f32".into()),
     });
     let mut server = HttpServer::start("127.0.0.1:0", state).expect("bind introspection");
     let addr = server.addr();
