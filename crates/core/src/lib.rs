@@ -25,6 +25,7 @@ pub mod phase1;
 pub mod phase2;
 pub mod phase3;
 pub mod pipeline;
+pub mod replay;
 pub mod report;
 pub mod session;
 pub mod tuning;
@@ -51,6 +52,10 @@ pub use phase3::{
     Verdict, PHASE3_PROFILE_STAGES,
 };
 pub use pipeline::{Desh, DeshReport, TrainedDesh};
+pub use replay::{
+    capsule_config, render_report, replay_capsule, trace_deltas, Divergence, FieldDelta,
+    ReplayOptions, ReplayReport,
+};
 pub use report::{markdown_row, render};
 pub use session::{config_hash, dataset_fingerprint, LedgerObserver, RunSession};
 pub use watchdog::{check_epoch, DivergenceReason, WatchdogConfig};

@@ -31,8 +31,8 @@ use crate::phase2::{chain_to_vectors, LeadStream, LeadTimeModel};
 use desh_loggen::{FailureClass, Label, LogRecord, NodeId};
 use desh_logparse::{extract_template, is_failure_terminal, label_template, Vocab};
 use desh_obs::{
-    ActiveWaterfall, Counter, FlightRecorder, Gauge, LatencyHistogram, NodeFlight, QualityMonitor,
-    SpanProfiler, Telemetry, TraceEvent, WarningLog,
+    ActiveWaterfall, CapsuleEvent, CaptureTap, Counter, FlightRecorder, Gauge, LatencyHistogram,
+    NodeCapture, NodeFlight, QualityMonitor, SpanProfiler, Telemetry, TraceEvent, WarningLog,
 };
 use desh_util::{duration_us, Micros};
 use std::collections::HashMap;
@@ -76,6 +76,9 @@ struct NodeState {
     /// (only when tracing is attached) and held so hot-path pushes skip
     /// the recorder's map lock.
     flight: Option<Arc<NodeFlight>>,
+    /// This node's incident-capture ring, resolved lazily like `flight`
+    /// (only when a [`CaptureTap`] is attached).
+    capture: Option<Arc<NodeCapture>>,
 }
 
 /// Decision-tracing sinks, attached via [`OnlineDetector::attach_tracing`].
@@ -127,6 +130,11 @@ pub struct OnlineDetector {
     /// Sampled span profiler; `None` (default) keeps the hot path at a
     /// single `Option` check per event.
     profiler: Option<Arc<SpanProfiler>>,
+    /// Incident-capture tap; `None` (default) keeps the scoring path free
+    /// of capture work. When attached, every non-Safe ingested event —
+    /// including unscored terminal and post-warning quiet events, which
+    /// still move buffer state — lands in the tap's per-node ring.
+    capture: Option<Arc<CaptureTap>>,
 }
 
 /// Stage indices for the online serving waterfall, in pipeline order.
@@ -188,6 +196,7 @@ impl OnlineDetector {
             train_vocab,
             quality: QualityMonitor::new(telemetry),
             profiler: None,
+            capture: None,
         }
     }
 
@@ -222,6 +231,17 @@ impl OnlineDetector {
     /// path never touches either.
     pub fn attach_tracing(&mut self, flight: Arc<FlightRecorder>, warnings: Arc<WarningLog>) {
         self.tracer = Some(Tracer { flight, warnings });
+    }
+
+    /// Attach an incident-capture tap: every non-Safe ingested event is
+    /// recorded into the tap's per-node ring — raw line, assigned phrase
+    /// id, episode-reset marker, and (for scored events) the decision
+    /// trace words — and every fired warning is pushed as a capture-side
+    /// warning record. This is the feed a `CapsuleRecorder` seals into
+    /// `.dcap` files and the ground truth bit-exact replay compares
+    /// against. Capture is observation-only: decisions are unchanged.
+    pub fn attach_capture(&mut self, tap: Arc<CaptureTap>) {
+        self.capture = Some(tap);
     }
 
     /// Attach the trained failure chains so warnings can name the nearest
@@ -306,6 +326,11 @@ impl OnlineDetector {
                 dt_secs = record.time.saturating_sub(last).as_secs_f64();
             }
         }
+        // Whether this event starts a clean episode (buffer empty right
+        // before the push). The capture tap records it because replay can
+        // only begin at such a boundary: an episode joined mid-stream has
+        // carried state a fresh detector cannot reproduce.
+        let episode_reset = state.events.is_empty();
         state.events.push((record.time, phrase));
         self.events_seen += 1;
         self.buffered_total += 1;
@@ -326,6 +351,11 @@ impl OnlineDetector {
             if let Some(m) = &self.metrics {
                 m.buffered.set(self.buffered_total as f64);
             }
+            // Unscored, but it moved buffer state — capture it so replay
+            // reproduces the reset.
+            if let Some(tap) = &self.capture {
+                Self::capture_event(tap, state, record, phrase, episode_reset, None);
+            }
             if let (Some(p), Some(w)) = (&self.profiler, wf) {
                 p.finish(w, Some(STAGE_CELL_STEP));
             }
@@ -334,6 +364,9 @@ impl OnlineDetector {
         // Already warned for this episode: stay quiet until a reset. The
         // carried state was dropped at warning time, so nothing to advance.
         if state.warned {
+            if let Some(tap) = &self.capture {
+                Self::capture_event(tap, state, record, phrase, episode_reset, None);
+            }
             if let (Some(p), Some(w)) = (&self.profiler, wf) {
                 p.finish(w, Some(STAGE_CELL_STEP));
             }
@@ -374,12 +407,12 @@ impl OnlineDetector {
         }
 
         // Decision trace: a handful of atomic stores into the node's ring.
-        // Skipped entirely (no branch below this one) when tracing is not
-        // attached, preserving the untraced hot-path latency.
-        if let Some(tr) = &self.tracer {
+        // Skipped entirely (no branch below this one) when neither tracing
+        // nor capture is attached, preserving the untraced hot-path latency.
+        let trace_ev = if self.tracer.is_some() || self.capture.is_some() {
             let unit = (self.model.vocab_size + 1) as f64 / 2.0 * self.cfg.phase3.score_scale;
             let ls = state.stream.as_ref();
-            let ev = TraceEvent {
+            Some(TraceEvent {
                 at_us: record.time.0,
                 phrase,
                 dt_secs,
@@ -398,16 +431,36 @@ impl OnlineDetector {
                     .and_then(|w| w.matched_chain)
                     .map(|c| c as i64)
                     .unwrap_or(-1),
-            };
+            })
+        } else {
+            None
+        };
+        if let (Some(tr), Some(ev)) = (&self.tracer, &trace_ev) {
             let ring = state
                 .flight
                 .get_or_insert_with(|| tr.flight.node(&record.node.to_string()));
-            ring.push(&ev);
+            ring.push(ev);
             if let Some(w) = &warning {
                 // Ship the ring contents (including the event just pushed,
                 // whose `warned` flag is set) as the warning's evidence.
                 tr.warnings
                     .push(crate::observe::warning_record(w, ring.snapshot()));
+            }
+        }
+        if let Some(tap) = &self.capture {
+            Self::capture_event(
+                tap,
+                state,
+                record,
+                phrase,
+                episode_reset,
+                trace_ev.as_ref().map(|e| e.to_words()),
+            );
+            if let Some(w) = &warning {
+                // The per-event trace words above already carry the full
+                // decision history, so the sealed warning record travels
+                // without its own trace copy.
+                tap.record_warning(crate::observe::warning_record(w, Vec::new()));
             }
         }
 
@@ -425,6 +478,31 @@ impl OnlineDetector {
             p.finish(w, Some(STAGE_CELL_STEP));
         }
         warning
+    }
+
+    /// Record one ingested event into the node's incident-capture ring
+    /// (resolving the ring lazily, like the flight ring). Static because
+    /// the caller holds a mutable borrow of the node map.
+    fn capture_event(
+        tap: &Arc<CaptureTap>,
+        state: &mut NodeState,
+        record: &LogRecord,
+        phrase: u32,
+        reset: bool,
+        trace: Option<[u64; desh_obs::TRACE_WORDS]>,
+    ) {
+        let ring = state
+            .capture
+            .get_or_insert_with(|| tap.node(&record.node.to_string()));
+        ring.push(CapsuleEvent {
+            seq: tap.next_seq(),
+            at_us: record.time.0,
+            node: record.node.to_string(),
+            text: record.text.clone(),
+            phrase,
+            reset,
+            trace,
+        });
     }
 
     /// Decide whether the node's running score crosses the warning

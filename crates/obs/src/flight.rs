@@ -25,7 +25,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use crate::trace::{TraceEvent, TRACE_WORDS};
+use crate::capsule::CapsuleRecorder;
+use crate::runs::now_unix_ms;
+use crate::trace::{TraceEvent, WarningLog, TRACE_WORDS};
 
 /// Default ring capacity per node (events retained).
 pub const FLIGHT_CAPACITY: usize = 256;
@@ -205,15 +207,54 @@ impl FlightRecorder {
     }
 }
 
-/// Install a panic hook that dumps every flight ring to `path` (JSONL)
-/// before delegating to the previous hook — the post-mortem path: when
-/// the process dies, the last ~[`FLIGHT_CAPACITY`] decisions per node
-/// survive on disk. Returns immediately; the hook stays installed for the
+/// The panic dump body: every flight ring (JSONL, nodes sorted) followed
+/// by the warning log (one `warning` record per line) when one is attached.
+pub fn panic_dump_jsonl(recorder: &FlightRecorder, warnings: Option<&WarningLog>) -> String {
+    let mut s = recorder.dump_all_jsonl();
+    if let Some(w) = warnings {
+        s.push_str(&w.to_jsonl());
+    }
+    s
+}
+
+/// Timestamped, collision-free dump path inside `dir`:
+/// `panic-<unix_ms>.jsonl`, suffixed `-1`, `-2`, … if a dump from the
+/// same millisecond already exists — so a second panic never overwrites
+/// the first.
+pub fn panic_dump_path(dir: &std::path::Path) -> std::path::PathBuf {
+    let ms = now_unix_ms();
+    let mut path = dir.join(format!("panic-{ms}.jsonl"));
+    let mut n = 0u32;
+    while path.exists() {
+        n += 1;
+        path = dir.join(format!("panic-{ms}-{n}.jsonl"));
+    }
+    path
+}
+
+/// Install a panic hook that writes a post-mortem dump into `dir` before
+/// delegating to the previous hook: every flight ring plus the warning
+/// log (when attached) as `panic-<unix_ms>.jsonl` — timestamped so a
+/// second panic gets its own file — and, when a capsule recorder is
+/// armed, a sealed `panic` capsule for bit-exact replay of the decisions
+/// that led here. Returns immediately; the hook stays installed for the
 /// process lifetime.
-pub fn install_panic_dump(recorder: Arc<FlightRecorder>, path: std::path::PathBuf) {
+pub fn install_panic_dump(
+    recorder: Arc<FlightRecorder>,
+    warnings: Option<Arc<WarningLog>>,
+    dir: std::path::PathBuf,
+    capsules: Option<Arc<CapsuleRecorder>>,
+) {
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let _ = std::fs::write(&path, recorder.dump_all_jsonl());
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(
+            panic_dump_path(&dir),
+            panic_dump_jsonl(&recorder, warnings.as_deref()),
+        );
+        if let Some(caps) = &capsules {
+            let _ = caps.capture("panic", None, 0);
+        }
         prev(info);
     }));
 }
@@ -338,5 +379,43 @@ mod tests {
         assert!(r.dump_jsonl("missing").is_none());
         let all = r.dump_all_jsonl();
         assert_eq!(all.lines().count(), 2);
+    }
+
+    #[test]
+    fn panic_dump_includes_warnings_and_timestamps_filenames() {
+        let r = FlightRecorder::with_capacity(4);
+        r.node("n1").push(&ev(1));
+        let warnings = WarningLog::new(4);
+        warnings.push(crate::trace::WarningRecord {
+            node: "n1".into(),
+            at_us: 1,
+            predicted_lead_secs: 60.0,
+            score: 0.3,
+            class: "MCE".into(),
+            matched_chain: -1,
+            chain_distance: f64::NAN,
+            evidence: vec!["mce".into()],
+            trace: vec![ev(1)],
+        });
+        let body = panic_dump_jsonl(&r, Some(&warnings));
+        assert!(body.contains("\"type\":\"trace\""));
+        assert!(body.contains("\"type\":\"warning\""), "warning log in dump");
+        assert_eq!(body.lines().count(), 2);
+        // Without a warning log the dump is just the rings.
+        assert_eq!(panic_dump_jsonl(&r, None).lines().count(), 1);
+
+        // Same-millisecond dumps get distinct, timestamped names.
+        let dir = std::env::temp_dir().join(format!("panic-dump-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = panic_dump_path(&dir);
+        assert!(p1
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("panic-"));
+        std::fs::write(&p1, "x").unwrap();
+        let p2 = panic_dump_path(&dir);
+        assert_ne!(p1, p2, "second panic never overwrites the first");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

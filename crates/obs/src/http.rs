@@ -15,14 +15,16 @@
 //! |                      | time series *                                 |
 //! | `GET /profile`       | sampled per-stage latency waterfalls *        |
 //! | `GET /slo`           | burn-rate reports + recent alerts *           |
-//! | `GET /warnings`      | JSON array of recent [`crate::WarningRecord`]s|
+//! | `GET /warnings`      | JSON array of recent [`crate::WarningRecord`]s,|
+//! |                      | newest first; `?limit=N` (default 32)         |
+//! | `GET /capsules`      | JSON array of sealed incident capsules *      |
 //! | `GET /nodes/<id>/flight` | JSONL dump of that node's flight ring     |
 //! | `GET /runs`          | JSON array of training run summaries *        |
 //! | `GET /runs/<id>/series` | that run's `series.jsonl`, verbatim *      |
 //!
 //! Routes marked `*` exist only when the corresponding state was
 //! attached (`with_runs_dir`, `with_profilers`, `with_history`,
-//! `with_slo`); otherwise they 404.
+//! `with_slo`, `with_capsules`); otherwise they 404.
 //!
 //! The accept loop runs on one background thread; handlers never touch
 //! the scoring hot path (snapshots read atomics / seqlock slots).
@@ -35,6 +37,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::capsule::{list_capsules, render_capsules_json};
 use crate::flight::FlightRecorder;
 use crate::history::MetricsHistory;
 use crate::jsonl::push_escaped;
@@ -43,7 +46,7 @@ use crate::prom::render_prometheus;
 use crate::registry::Registry;
 use crate::runs::{list_runs, render_runs_json};
 use crate::slo::SloEngine;
-use crate::trace::WarningLog;
+use crate::trace::{WarningLog, DEFAULT_WARNINGS_LIMIT};
 
 /// Identity block reported by `/healthz`: binary version plus the loaded
 /// checkpoint's provenance stamp, so a fleet rollout can be verified with
@@ -81,6 +84,9 @@ pub struct Introspection {
     pub slo: Option<Arc<SloEngine>>,
     /// Version / checkpoint identity reported by `/healthz`.
     pub health: Option<HealthInfo>,
+    /// Incident-capsule directory served under `/capsules`; `None`
+    /// disables the route.
+    pub capsules_dir: Option<PathBuf>,
 }
 
 impl Introspection {
@@ -98,6 +104,7 @@ impl Introspection {
             history: None,
             slo: None,
             health: None,
+            capsules_dir: None,
         }
     }
 
@@ -129,6 +136,12 @@ impl Introspection {
     /// Attach version/checkpoint identity for `/healthz`.
     pub fn with_health(mut self, health: HealthInfo) -> Self {
         self.health = Some(health);
+        self
+    }
+
+    /// Attach the incident-capsule directory, enabling `/capsules`.
+    pub fn with_capsules(mut self, dir: PathBuf) -> Self {
+        self.capsules_dir = Some(dir);
         self
     }
 }
@@ -308,10 +321,48 @@ fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) ->
             &render_prometheus(&state.registry.snapshot()),
         ),
         "/warnings" => {
-            let mut body = state.warnings.to_json_array();
+            // Newest-first, capped: each record carries a full evidence
+            // trace, so the default response stays bounded no matter how
+            // long the detector has been running. `?limit=N` overrides.
+            let limit = match query.split('&').find_map(|kv| kv.strip_prefix("limit=")) {
+                Some(raw) => match raw.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return write_response(
+                            stream,
+                            "400 Bad Request",
+                            "text/plain; charset=utf-8",
+                            "limit must be a non-negative integer\n",
+                        )
+                    }
+                },
+                None => DEFAULT_WARNINGS_LIMIT,
+            };
+            let mut body = state.warnings.to_json_array_newest(limit);
             body.push('\n');
             write_response(stream, "200 OK", "application/json", &body)
         }
+        "/capsules" => match &state.capsules_dir {
+            Some(dir) => match list_capsules(dir) {
+                Ok(listed) => {
+                    let mut body = render_capsules_json(&listed);
+                    body.push('\n');
+                    write_response(stream, "200 OK", "application/json", &body)
+                }
+                Err(e) => write_response(
+                    stream,
+                    "500 Internal Server Error",
+                    "text/plain; charset=utf-8",
+                    &format!("cannot scan capsule directory: {e}\n"),
+                ),
+            },
+            None => write_response(
+                stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no capsule directory attached\n",
+            ),
+        },
         "/runs" => match &state.runs_dir {
             Some(dir) => {
                 let mut body = render_runs_json(&list_runs(dir));
@@ -352,7 +403,7 @@ fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) ->
                     "404 Not Found",
                     "text/plain; charset=utf-8",
                     "routes: /healthz /metrics /metrics/history /profile /slo /warnings \
-                     /nodes/<id>/flight /runs /runs/<id>/series\n",
+                     /capsules /nodes/<id>/flight /runs /runs/<id>/series\n",
                 )
             }
         }
@@ -520,6 +571,73 @@ mod tests {
 
         assert!(get(addr, "/nodes/ghost/flight").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn warnings_limit_is_newest_first_and_validated() {
+        let st = state();
+        for i in 0..3u64 {
+            st.warnings.push(WarningRecord {
+                node: format!("extra{i}"),
+                at_us: 100 + i,
+                predicted_lead_secs: 60.0,
+                score: 0.1,
+                class: "MCE".into(),
+                matched_chain: -1,
+                chain_distance: f64::NAN,
+                evidence: vec![],
+                trace: vec![],
+            });
+        }
+        let srv = HttpServer::start("127.0.0.1:0", st).unwrap();
+        let addr = srv.addr();
+
+        let two = get(addr, "/warnings?limit=2");
+        assert!(two.starts_with("HTTP/1.1 200"), "{two}");
+        assert!(two.contains("\"node\":\"extra2\""), "newest included");
+        assert!(two.contains("\"node\":\"extra1\""));
+        assert!(!two.contains("\"node\":\"extra0\""), "limit cuts older");
+        let e2 = two.find("extra2").unwrap();
+        let e1 = two.find("extra1").unwrap();
+        assert!(e2 < e1, "newest first");
+
+        // Default response is capped but serves everything small.
+        let all = get(addr, "/warnings");
+        assert_eq!(all.matches("\"type\":\"warning\"").count(), 4);
+
+        assert!(get(addr, "/warnings?limit=zebra").starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn capsules_route_lists_sealed_captures() {
+        use crate::capsule::{Capsule, CapsuleMeta};
+
+        let dir = std::env::temp_dir().join(format!("dcap-http-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Capsule {
+            meta: CapsuleMeta {
+                reason: "warning".into(),
+                backend: "scalar".into(),
+                precision: "f32".into(),
+                ..CapsuleMeta::default()
+            },
+            events: Vec::new(),
+            warnings: Vec::new(),
+        }
+        .write(&dir.join("warning-1-000.dcap"))
+        .unwrap();
+
+        let no_dir = HttpServer::start("127.0.0.1:0", state()).unwrap();
+        assert!(get(no_dir.addr(), "/capsules").starts_with("HTTP/1.1 404"));
+
+        let srv = HttpServer::start("127.0.0.1:0", state().with_capsules(dir.clone())).unwrap();
+        let body = get(srv.addr(), "/capsules");
+        assert!(body.starts_with("HTTP/1.1 200"), "{body}");
+        assert!(body.contains("\"file\":\"warning-1-000.dcap\""));
+        assert!(body.contains("\"reason\":\"warning\""));
+        assert!(body.contains("\"backend\":\"scalar\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -45,6 +45,11 @@
 //! - [`QualityMonitor`] (`quality`): rolling confusion matrix, per-class
 //!   lead-time tracking against the paper's Table 7, and a template-miss
 //!   drift gauge.
+//! - [`CaptureTap`] / [`CapsuleRecorder`] (`capsule`): sealed, checksummed
+//!   `.dcap` incident captures — raw pre-trigger event rings, live decision
+//!   trace words, checkpoint/backend/precision provenance — written on
+//!   warning fire, SLO fast-burn, or panic, and replayed bit-exactly by
+//!   `desh-core`'s replay engine.
 //!
 //! The serving-path observability layer (`profiler` + `history` + `slo`)
 //! watches the predictor itself:
@@ -66,6 +71,7 @@
 //! with per-layer gradient stats, divergence dumps, and a final
 //! `run.json` — and reads them back for `desh-cli runs list|show|diff`.
 
+mod capsule;
 mod flight;
 mod history;
 mod http;
@@ -83,7 +89,15 @@ mod span;
 mod timeseries;
 mod trace;
 
-pub use flight::{install_panic_dump, FlightRecorder, NodeFlight, FLIGHT_CAPACITY};
+pub use capsule::{
+    list_capsules, render_capsules_json, Capsule, CapsuleContext, CapsuleEvent, CapsuleMeta,
+    CapsuleRecorder, CapsuleSummary, CaptureTap, NodeCapture, CAPSULE_MAGIC, CAPSULE_VERSION,
+    CAPTURE_MAX_FILES, CAPTURE_RING, CAPTURE_WARNINGS,
+};
+pub use flight::{
+    install_panic_dump, panic_dump_jsonl, panic_dump_path, FlightRecorder, NodeFlight,
+    FLIGHT_CAPACITY,
+};
 pub use history::{
     HistorySampler, MetricsHistory, DEFAULT_CAPACITY as HISTORY_CAPACITY,
     DEFAULT_RESOLUTION_MS as HISTORY_RESOLUTION_MS,
@@ -112,4 +126,4 @@ pub use span::Span;
 pub use timeseries::{
     diff_series, parse_series, render_series_diff, EpochDiff, EpochRecord, LayerStat,
 };
-pub use trace::{TraceEvent, WarningLog, WarningRecord, TRACE_WORDS};
+pub use trace::{TraceEvent, WarningLog, WarningRecord, DEFAULT_WARNINGS_LIMIT, TRACE_WORDS};

@@ -23,8 +23,9 @@
 //! synthetic-timestamp tests.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use crate::capsule::CapsuleRecorder;
 use crate::history::MetricsHistory;
 use crate::jsonl::{push_escaped, push_f64, JsonValue, JsonlSink};
 use crate::snapshot::Snapshot;
@@ -156,6 +157,7 @@ pub struct SloEngine {
     policy: BurnPolicy,
     state: Mutex<EngineState>,
     sink: Option<Mutex<JsonlSink>>,
+    capture: Option<Arc<CapsuleRecorder>>,
 }
 
 impl SloEngine {
@@ -165,12 +167,21 @@ impl SloEngine {
             policy,
             state: Mutex::new(EngineState::default()),
             sink: None,
+            capture: None,
         }
     }
 
     /// Also append `slo_alert` lines to `sink` on status transitions.
     pub fn with_sink(mut self, sink: JsonlSink) -> Self {
         self.sink = Some(Mutex::new(sink));
+        self
+    }
+
+    /// Also seal an incident capsule on every transition *into*
+    /// [`SloStatus::FastBurn`] — the breach becomes a replayable artifact
+    /// instead of just an alert line.
+    pub fn with_capture(mut self, capture: Arc<CapsuleRecorder>) -> Self {
+        self.capture = Some(capture);
         self
     }
 
@@ -241,6 +252,12 @@ impl SloEngine {
                         ("burn", alert.burn.into()),
                     ],
                 );
+            }
+            if alert.to == SloStatus::FastBurn {
+                if let Some(capture) = &self.capture {
+                    let _ =
+                        capture.capture("slo_fast_burn", None, alert.at_ms.saturating_mul(1_000));
+                }
             }
             if state.alerts.len() == ALERT_RING_CAP {
                 state.alerts.pop_front();

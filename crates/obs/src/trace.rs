@@ -123,7 +123,7 @@ impl TraceEvent {
 
 /// One fired warning plus its supporting evidence: the verdict fields and
 /// the node's flight-recorder trace at firing time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WarningRecord {
     /// Node the warning names.
     pub node: String,
@@ -179,6 +179,11 @@ impl WarningRecord {
     }
 }
 
+/// Default cap on records `/warnings` renders when no `?limit=N` is given.
+/// Each record carries a full evidence trace, so an unbounded response over
+/// a long soak can run to many megabytes.
+pub const DEFAULT_WARNINGS_LIMIT: usize = 32;
+
 /// Bounded in-memory log of the most recent [`WarningRecord`]s.
 ///
 /// A plain mutex-guarded deque: warnings are rare (per episode, not per
@@ -226,6 +231,22 @@ impl WarningLog {
         let q = self.inner.lock().unwrap();
         let mut s = String::from("[");
         for (i, r) in q.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.to_json());
+        }
+        s.push(']');
+        s
+    }
+
+    /// Render at most `limit` of the most recent records as a JSON array,
+    /// **newest first** (the triage order: the warning that just fired is
+    /// element 0).
+    pub fn to_json_array_newest(&self, limit: usize) -> String {
+        let q = self.inner.lock().unwrap();
+        let mut s = String::from("[");
+        for (i, r) in q.iter().rev().take(limit).enumerate() {
             if i > 0 {
                 s.push(',');
             }
@@ -320,5 +341,32 @@ mod tests {
         assert!(arr.contains("\"trace\":[{\"type\":\"trace\""));
         let jsonl = log.to_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
+    }
+
+    #[test]
+    fn newest_first_rendering_honours_limit() {
+        let log = WarningLog::new(8);
+        for i in 0..5u64 {
+            log.push(WarningRecord {
+                node: format!("n{i}"),
+                at_us: i,
+                predicted_lead_secs: 60.0,
+                score: 0.3,
+                class: "MCE".into(),
+                matched_chain: -1,
+                chain_distance: f64::NAN,
+                evidence: Vec::new(),
+                trace: Vec::new(),
+            });
+        }
+        let two = log.to_json_array_newest(2);
+        // Newest record (n4) leads; n3 follows; older records are cut.
+        let n4 = two.find("\"node\":\"n4\"").expect("newest present");
+        let n3 = two.find("\"node\":\"n3\"").expect("second newest present");
+        assert!(n4 < n3, "newest first");
+        assert!(!two.contains("\"node\":\"n2\""));
+        // A limit beyond the log size returns everything.
+        assert_eq!(log.to_json_array_newest(100).matches("\"node\"").count(), 5);
+        assert_eq!(log.to_json_array_newest(0), "[]");
     }
 }

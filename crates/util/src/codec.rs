@@ -23,6 +23,9 @@ pub enum CodecError {
     LengthOverflow(u64),
     /// A UTF-8 string field held invalid bytes.
     BadUtf8,
+    /// A sealed container's payload checksum did not match (bit rot or
+    /// a truncated/edited artifact).
+    BadChecksum { expected: u64, found: u64 },
 }
 
 impl fmt::Display for CodecError {
@@ -42,6 +45,11 @@ impl fmt::Display for CodecError {
             }
             CodecError::LengthOverflow(n) => write!(f, "length prefix too large: {n}"),
             CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            CodecError::BadChecksum { expected, found } => write!(
+                f,
+                "payload checksum mismatch: sealed {expected:#018x}, computed {found:#018x} \
+                 (artifact corrupt or truncated)"
+            ),
         }
     }
 }
@@ -252,6 +260,57 @@ impl Decoder {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sealed containers
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash — the sealed-container payload checksum. Not
+/// cryptographic; it detects bit rot, truncation, and casual edits, which
+/// is all an incident artifact needs.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wrap `payload` in a sealed container: magic, version, payload length,
+/// FNV-1a checksum of the payload, then the payload itself. [`unseal`]
+/// refuses to yield a byte of payload unless every envelope field checks
+/// out, so a sealed artifact either opens intact or fails loudly.
+pub fn seal(magic: [u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::with_header(magic, version);
+    e.put_u64(payload.len() as u64);
+    e.put_u64(checksum64(payload));
+    e.buf.put_slice(payload);
+    e.finish().to_vec()
+}
+
+/// Open a container written by [`seal`], verifying magic, version, length,
+/// and checksum before returning the payload.
+pub fn unseal(magic: [u8; 4], version: u32, bytes: &[u8]) -> Result<Bytes, CodecError> {
+    let mut d = Decoder::new(Bytes::from(bytes));
+    d.expect_header(magic, version)?;
+    let len = d.u64()?;
+    if len > MAX_LEN {
+        return Err(CodecError::LengthOverflow(len));
+    }
+    let expected = d.u64()?;
+    let payload = d.take(len as usize)?;
+    if d.remaining() != 0 {
+        return Err(CodecError::LengthOverflow(
+            len + d.remaining() as u64, // trailing garbage after the sealed payload
+        ));
+    }
+    let found = checksum64(&payload);
+    if found != expected {
+        return Err(CodecError::BadChecksum { expected, found });
+    }
+    Ok(payload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +387,49 @@ mod tests {
         e.put_u64(u64::MAX); // absurd length prefix
         let mut d = Decoder::new(e.finish());
         assert!(matches!(d.f32_vec(), Err(CodecError::LengthOverflow(_))));
+    }
+
+    #[test]
+    fn sealed_container_round_trips() {
+        let payload = b"incident capsule payload";
+        let sealed = seal(*b"DCAP", 1, payload);
+        let opened = unseal(*b"DCAP", 1, &sealed).unwrap();
+        assert_eq!(&opened[..], payload);
+    }
+
+    #[test]
+    fn sealed_container_rejects_tampering() {
+        let sealed = seal(*b"DCAP", 1, b"evidence");
+
+        // Wrong magic / version fail before any payload is read.
+        assert!(matches!(
+            unseal(*b"XXXX", 1, &sealed),
+            Err(CodecError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            unseal(*b"DCAP", 2, &sealed),
+            Err(CodecError::BadVersion { .. })
+        ));
+
+        // Any truncation point fails loudly (never panics, never yields
+        // a partial payload).
+        for cut in 0..sealed.len() {
+            assert!(unseal(*b"DCAP", 1, &sealed[..cut]).is_err());
+        }
+
+        // A single flipped payload bit trips the checksum.
+        let mut flipped = sealed.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(matches!(
+            unseal(*b"DCAP", 1, &flipped),
+            Err(CodecError::BadChecksum { .. })
+        ));
+
+        // Trailing garbage after the sealed payload is rejected too.
+        let mut padded = sealed;
+        padded.push(0);
+        assert!(unseal(*b"DCAP", 1, &padded).is_err());
     }
 
     #[test]

@@ -15,17 +15,20 @@
 
 use desh::checkpoint::{
     encode_checkpoint, encode_quantized_checkpoint, load_any_checkpoint, load_checkpoint,
+    resolve_capsule_checkpoint, Checkpoint,
 };
 use desh::core::{
-    config_hash, dataset_fingerprint, run_phase1_session, run_phase2_session, OnlineDetector,
-    RunSession,
+    config_hash, dataset_fingerprint, render_report, replay_capsule, run_phase1_session,
+    run_phase2_session, OnlineDetector, ReplayOptions, RunSession,
 };
 use desh::obs::{
-    default_slo_specs, diff_series, install_panic_dump, list_runs, load_run, load_series,
-    parse_json, render_profile_ascii, render_runs_json, render_series_diff, sample_every_from_env,
-    BurnPolicy, FlightRecorder, HealthInfo, HistorySampler, HttpServer, Introspection, Json,
-    JsonValue, MetricsHistory, SloEngine, SpanProfiler, WarningLog, DEFAULT_SAMPLE_EVERY,
-    DEFAULT_WATERFALL_RING, HISTORY_CAPACITY, HISTORY_RESOLUTION_MS,
+    default_slo_specs, diff_series, install_panic_dump, list_capsules, list_runs, load_run,
+    load_series, parse_json, render_capsules_json, render_profile_ascii, render_runs_json,
+    render_series_diff, sample_every_from_env, BurnPolicy, Capsule, CapsuleContext,
+    CapsuleRecorder, CaptureTap, FlightRecorder, HealthInfo, HistorySampler, HttpServer,
+    Introspection, Json, JsonValue, MetricsHistory, SloEngine, SpanProfiler, WarningLog,
+    CAPTURE_MAX_FILES, DEFAULT_SAMPLE_EVERY, DEFAULT_WATERFALL_RING, HISTORY_CAPACITY,
+    HISTORY_RESOLUTION_MS,
 };
 use desh::prelude::*;
 use std::collections::HashMap;
@@ -41,9 +44,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `runs` takes positional subcommands/ids, so it parses its own args.
+    // `runs` and `capsule` take positional subcommands/ids, so they parse
+    // their own args.
     let result = if cmd == "runs" {
         cmd_runs(&args[1..])
+    } else if cmd == "capsule" {
+        cmd_capsule(&args[1..])
     } else {
         let boolean: &[&str] = match cmd.as_str() {
             "train" => &["fast"],
@@ -93,6 +99,7 @@ USAGE:
                     [--int8] [--truth <truth.txt>]
                     [--telemetry <out.jsonl>] [--serve <addr:port>]
                     [--serve-secs <n>] [--trace-dir <dir>] [--runs-dir <dir>]
+                    [--capsule-dir <dir>]
                     [--profile] [--profile-every <n>]
   desh-cli quantize --model <model.dshm> --out <model.dshq>
   desh-cli analyze  --log <logs.txt>
@@ -100,6 +107,12 @@ USAGE:
   desh-cli runs     list            --dir <runs-dir> [--json]
   desh-cli runs     show <id>       --dir <runs-dir>
   desh-cli runs     diff <a> <b>    --dir <runs-dir>
+  desh-cli capsule  record          --log <logs.txt> --model <ckpt> --out <dir> [--int8]
+  desh-cli capsule  list            --dir <dir> [--json]
+  desh-cli capsule  verify <file.dcap>
+  desh-cli capsule  replay <file.dcap> [--model <ckpt>]
+                    [--allow-backend-mismatch] [--allow-precision-mismatch]
+  desh-cli capsule  diff   <file.dcap> [--model <ckpt>]
 
   --telemetry writes metric snapshots (counters, gauges, latency-histogram
   quantiles, span timings) as JSON lines and prints a stats block on exit.
@@ -116,14 +129,35 @@ USAGE:
   gradient-norm series.
 
   --serve starts a read-only introspection HTTP server (GET /healthz,
-  /metrics, /metrics/history, /slo, /profile, /warnings,
+  /metrics, /metrics/history, /slo, /profile, /warnings[?limit=N],
   /nodes/<id>/flight) during the replay and holds it afterwards —
   forever, or for --serve-secs seconds. --runs-dir adds GET /runs and
   /runs/<id>/series over that ledger directory. --trace-dir records
   per-warning decision traces (warnings.jsonl), a final flight-recorder
   dump (flight.jsonl), SLO alert transitions (slo-alerts.jsonl), and
-  installs a panic hook dumping every node ring to panic-flight.jsonl.
-  Serving, tracing, or profiling enables telemetry implicitly.
+  installs a panic hook dumping every node ring plus the fired-warning
+  log to a timestamped panic-<unix-ms>.jsonl (a second panic never
+  overwrites the first). Serving, tracing, or profiling enables
+  telemetry implicitly.
+
+  --capsule-dir arms incident capture: every event flows through a
+  per-node pre-trigger ring, and a fired warning, an SLO fast-burn, or
+  a panic seals a checksummed .dcap capsule into <dir> — raw events,
+  decision traces, fired warnings, and the pinned environment
+  (checkpoint, config hash, kernel backend, precision, DESH_SHARDS) —
+  everything `capsule replay` needs to re-run the incident bit-exactly.
+  With --serve, GET /capsules lists the sealed capsules.
+
+  `capsule record` streams a log through the detector with capture
+  armed and seals one manual capsule at end of stream. `capsule
+  replay` re-runs a capsule against its recorded checkpoint (or
+  --model) and asserts bit-exact agreement on every trace word and
+  warning field — it exits non-zero on divergence, printing the first
+  divergent event and per-field deltas. `capsule diff` is the same
+  comparison but expects divergence (backend/precision mismatches
+  allowed) and always exits zero. `capsule verify` checks a file's
+  seal (magic, version, checksum); `capsule list` summarizes a
+  directory of capsules.
 
   --profile samples per-event latency waterfalls through the detector's
   pipeline stages (1 in DESH_PROFILE_EVERY events unless --profile-every
@@ -416,13 +450,38 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
     println!("read {} records ({} corrupt skipped)", records.len(), bad.len());
 
+    let cfg = DeshConfig::default();
     let mut detector =
-        OnlineDetector::with_telemetry(model, vocab, DeshConfig::default(), &telemetry);
+        OnlineDetector::with_telemetry(model, Arc::clone(&vocab), cfg.clone(), &telemetry);
     if chains.is_empty() {
         println!("note: v1 checkpoint without chains; warnings will not name a matched chain");
     } else {
         detector.attach_chains(&chains);
     }
+    let capsules = match opts.get("capsule-dir") {
+        Some(dir) => {
+            let tap = Arc::new(CaptureTap::new());
+            detector.attach_capture(Arc::clone(&tap));
+            let ctx = capsule_context(
+                &model_path,
+                &ck.run_id,
+                ck.config_hash,
+                precision,
+                vocab.len(),
+                chains.len(),
+                &cfg,
+            );
+            let rec = Arc::new(
+                CapsuleRecorder::new(tap, ctx, PathBuf::from(dir))
+                    .map_err(|e| format!("cannot open capsule dir {dir}: {e}"))?,
+            );
+            println!(
+                "incident capture armed: sealing .dcap capsules into {dir} (max {CAPTURE_MAX_FILES})"
+            );
+            Some(rec)
+        }
+        None => None,
+    };
     let profiler = if profiling {
         let registry = telemetry.registry().expect("profiling enables telemetry");
         let every = profile_every.unwrap_or_else(|| sample_every_from_env(DEFAULT_SAMPLE_EVERY));
@@ -449,9 +508,14 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
     };
     let trace_dir = opts.get("trace-dir").map(PathBuf::from);
     let mut warn_file = None;
-    if let (Some(dir), Some((flight, _))) = (&trace_dir, &trace) {
+    if let (Some(dir), Some((flight, warning_log))) = (&trace_dir, &trace) {
         std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-        install_panic_dump(Arc::clone(flight), dir.join("panic-flight.jsonl"));
+        install_panic_dump(
+            Arc::clone(flight),
+            Some(Arc::clone(warning_log)),
+            dir.clone(),
+            capsules.clone(),
+        );
         let path = dir.join("warnings.jsonl");
         warn_file = Some(
             std::fs::File::create(&path)
@@ -486,6 +550,11 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
                         .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
                 );
             }
+            if let Some(rec) = &capsules {
+                // A fast burn is exactly the moment to freeze evidence:
+                // seal a capsule the instant the engine pages.
+                slo = slo.with_capture(Arc::clone(rec));
+            }
             let slo = Arc::new(slo);
             history_sampler = Some(HistorySampler::start(
                 Arc::clone(&history),
@@ -499,10 +568,16 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
             if let Some(p) = &profiler {
                 state = state.with_profilers(vec![Arc::clone(p)]);
             }
+            let capsule_routes = if let Some(rec) = &capsules {
+                state = state.with_capsules(rec.dir().to_path_buf());
+                " /capsules"
+            } else {
+                ""
+            };
             let s = HttpServer::start(addr, state)
                 .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
             println!(
-                "introspection server on http://{}/ (/healthz /metrics /metrics/history /slo /profile /warnings /nodes/<id>/flight{runs_routes})",
+                "introspection server on http://{}/ (/healthz /metrics /metrics/history /slo /profile /warnings /nodes/<id>/flight{capsule_routes}{runs_routes})",
                 s.addr()
             );
             Some(s)
@@ -535,6 +610,13 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
                 if let Some(rec) = warning_log.snapshot().last() {
                     writeln!(f, "{}", rec.to_json()).map_err(|e| e.to_string())?;
                     f.flush().map_err(|e| e.to_string())?;
+                }
+            }
+            if let Some(rec) = &capsules {
+                match rec.capture("warning", Some(&w.node.to_string()), w.at.0) {
+                    Ok(Some(path)) => println!("  sealed incident capsule {}", path.display()),
+                    Ok(None) => {}
+                    Err(e) => eprintln!("  capsule capture failed: {e}"),
                 }
             }
             warnings.push(w);
@@ -578,6 +660,14 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
             dir.display(),
             warnings.len(),
             flight.node_names().len()
+        );
+    }
+    if let Some(rec) = &capsules {
+        println!(
+            "{} incident capsule(s) sealed in {} — triage with `desh-cli capsule list --dir {}`",
+            rec.written(),
+            rec.dir().display(),
+            rec.dir().display()
         );
     }
     finish_telemetry(&telemetry, sink.as_mut(), "final")?;
@@ -904,4 +994,218 @@ fn runs_diff(dir: &Path, a: &str, b: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Provenance + pinned environment stamped into every capsule this
+/// process seals. Decision-relevant config rides along so replay can
+/// rebuild the exact same detector.
+fn capsule_context(
+    model_path: &Path,
+    run_id: &str,
+    config_hash: u64,
+    precision: &str,
+    vocab_len: usize,
+    chains: usize,
+    cfg: &DeshConfig,
+) -> CapsuleContext {
+    CapsuleContext {
+        checkpoint: model_path.display().to_string(),
+        run_id: run_id.to_string(),
+        config_hash,
+        backend: desh::nn::kernel_backend_name().to_string(),
+        precision: precision.to_string(),
+        shards: std::env::var("DESH_SHARDS").unwrap_or_default(),
+        vocab_len: vocab_len as u64,
+        chains: chains as u64,
+        session_gap_secs: cfg.episodes.session_gap_secs,
+        mse_threshold: cfg.phase3.mse_threshold,
+        min_evidence: cfg.phase3.min_evidence as u64,
+        score_scale: cfg.phase3.score_scale,
+    }
+}
+
+/// `capsule record|list|verify|replay|diff` — positional subcommands,
+/// parsed like [`cmd_runs`].
+fn cmd_capsule(args: &[String]) -> Result<(), String> {
+    let split = args.iter().position(|a| a.starts_with("--")).unwrap_or(args.len());
+    let (pos, flags) = args.split_at(split);
+    let opts = parse_flags(
+        flags,
+        &["json", "int8", "allow-backend-mismatch", "allow-precision-mismatch"],
+    )?;
+    match pos {
+        [sub] if sub == "record" => capsule_record(&opts),
+        [sub] if sub == "list" => capsule_list(&opts),
+        [sub, file] if sub == "verify" => capsule_verify(file),
+        [sub, file] if sub == "replay" => capsule_replay(file, &opts, false),
+        [sub, file] if sub == "diff" => capsule_replay(file, &opts, true),
+        _ => Err(
+            "usage: desh-cli capsule <record --log <logs> --model <ckpt> --out <dir> [--int8] \
+             | list --dir <dir> [--json] | verify <file.dcap> \
+             | replay <file.dcap> [--model <ckpt>] [--allow-backend-mismatch] [--allow-precision-mismatch] \
+             | diff <file.dcap> [--model <ckpt>]>"
+                .into(),
+        ),
+    }
+}
+
+/// `capsule record`: stream a log through the detector with incident
+/// capture armed and seal one manual capsule at end of stream. The
+/// deterministic counterpart of `predict --capsule-dir`, for building a
+/// known-good capsule on demand (CI soak, triage repros).
+fn capsule_record(opts: &Flags) -> Result<(), String> {
+    let log_path = PathBuf::from(need(opts, "log")?);
+    let model_path = PathBuf::from(need(opts, "model")?);
+    let out = PathBuf::from(need(opts, "out")?);
+    let mut ck = load_any_checkpoint(&model_path)?;
+    if opts.contains_key("int8") && ck.model.net.precision() != "int8" {
+        ck.model = ck.model.quantize();
+    }
+    let precision = ck.model.net.precision();
+    let Checkpoint { model, vocab, chains, run_id, config_hash, .. } = ck;
+    let cfg = DeshConfig::default();
+    let mut detector = OnlineDetector::new(model, Arc::clone(&vocab), cfg.clone());
+    if !chains.is_empty() {
+        detector.attach_chains(&chains);
+    }
+    let tap = Arc::new(CaptureTap::new());
+    detector.attach_capture(Arc::clone(&tap));
+    let ctx = capsule_context(
+        &model_path,
+        &run_id,
+        config_hash,
+        precision,
+        vocab.len(),
+        chains.len(),
+        &cfg,
+    );
+    let rec = CapsuleRecorder::new(tap, ctx, out.clone())
+        .map_err(|e| format!("cannot open capsule dir {}: {e}", out.display()))?;
+    let (records, bad) =
+        desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
+    println!(
+        "recording: {} records ({} corrupt skipped) on {} kernels, {precision} weights",
+        records.len(),
+        bad.len(),
+        desh::nn::kernel_backend_name()
+    );
+    let mut fired = 0usize;
+    let mut last_at = 0u64;
+    for r in &records {
+        last_at = r.time.0;
+        if detector.ingest(r).is_some() {
+            fired += 1;
+        }
+    }
+    match rec
+        .capture("manual", None, last_at)
+        .map_err(|e| format!("cannot seal capsule: {e}"))?
+    {
+        Some(path) => {
+            let capsule = Capsule::read(&path)?;
+            println!(
+                "sealed {} — {} events ({} traced), {} warnings, clean_start={}",
+                path.display(),
+                capsule.events.len(),
+                capsule.traced_events(),
+                capsule.warnings.len(),
+                capsule.meta.clean_start
+            );
+            println!("{fired} warnings fired during recording");
+            Ok(())
+        }
+        None => Err("nothing captured: the log produced no anomaly events".into()),
+    }
+}
+
+fn capsule_list(opts: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(opts.get("dir").map(String::as_str).unwrap_or("capsules"));
+    let caps = list_capsules(&dir).map_err(|e| format!("cannot scan {}: {e}", dir.display()))?;
+    if opts.contains_key("json") {
+        println!("{}", render_capsules_json(&caps));
+        return Ok(());
+    }
+    if caps.is_empty() {
+        println!("no capsules under {}", dir.display());
+        return Ok(());
+    }
+    println!(
+        "{:<40} {:<13} {:<12} {:>7} {:>9}  backend/precision",
+        "capsule", "reason", "node", "events", "warnings"
+    );
+    for c in &caps {
+        if let Some(err) = &c.error {
+            println!("{:<40} CORRUPT: {err}", c.file);
+            continue;
+        }
+        let node = if c.meta.node.is_empty() { "(all)" } else { &c.meta.node };
+        println!(
+            "{:<40} {:<13} {:<12} {:>7} {:>9}  {}/{}{}",
+            c.file,
+            c.meta.reason,
+            node,
+            c.events,
+            c.warnings,
+            c.meta.backend,
+            c.meta.precision,
+            if c.meta.clean_start { "" } else { "  (ring-truncated)" }
+        );
+    }
+    Ok(())
+}
+
+/// `capsule verify`: check the seal (magic, version, length, checksum)
+/// and decode; prints a one-line summary or the exact corruption error.
+fn capsule_verify(file: &str) -> Result<(), String> {
+    let capsule = Capsule::read(Path::new(file))?;
+    let m = &capsule.meta;
+    println!(
+        "OK {file}: reason={} node={} events={} (traced {}) warnings={} backend={} precision={} clean_start={}",
+        m.reason,
+        if m.node.is_empty() { "(all)" } else { &m.node },
+        capsule.events.len(),
+        capsule.traced_events(),
+        capsule.warnings.len(),
+        m.backend,
+        m.precision,
+        m.clean_start
+    );
+    if !m.checkpoint.is_empty() {
+        println!(
+            "   checkpoint {} (run {:?}, config hash {:016x})",
+            m.checkpoint, m.run_id, m.config_hash
+        );
+    }
+    Ok(())
+}
+
+/// `capsule replay` (`expect_divergence=false`) asserts bit-exact
+/// agreement and exits non-zero on divergence; `capsule diff`
+/// (`expect_divergence=true`) runs the same comparison with environment
+/// mismatches allowed and always exits zero — its job is the diff itself.
+fn capsule_replay(file: &str, opts: &Flags, expect_divergence: bool) -> Result<(), String> {
+    let capsule = Capsule::read(Path::new(file))?;
+    let override_path = opts.get("model").map(PathBuf::from);
+    let (ck, drift) = resolve_capsule_checkpoint(&capsule.meta, override_path.as_deref())?;
+    for d in &drift {
+        println!("warning: {d}");
+    }
+    let replay_opts = ReplayOptions {
+        allow_backend_mismatch: expect_divergence || opts.contains_key("allow-backend-mismatch"),
+        allow_precision_mismatch: expect_divergence
+            || opts.contains_key("allow-precision-mismatch"),
+    };
+    let report = replay_capsule(&capsule, ck.model, ck.vocab, &ck.chains, &replay_opts)?;
+    print!("{}", render_report(&report));
+    if expect_divergence {
+        return Ok(());
+    }
+    if report.bit_exact() {
+        Ok(())
+    } else {
+        Err(format!(
+            "replay diverged from the capture (see diff above); \
+             if the environment intentionally differs, use `capsule diff {file}`"
+        ))
+    }
 }

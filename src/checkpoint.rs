@@ -290,6 +290,52 @@ pub fn load_any_checkpoint(path: &Path) -> Result<Checkpoint, String> {
     }
 }
 
+/// Resolve the checkpoint an incident capsule references. An explicit
+/// `override_path` (the CLI's `--model`) wins; otherwise the path sealed
+/// into the capsule meta is used. Returns the loaded checkpoint plus any
+/// provenance warnings — config-hash or run-id drift between the capsule
+/// and the file actually loaded — for the caller to surface. Drift does
+/// not abort the load: a diff against a *different* checkpoint is a
+/// legitimate triage move, it just can't be bit-exact.
+pub fn resolve_capsule_checkpoint(
+    meta: &desh_obs::CapsuleMeta,
+    override_path: Option<&Path>,
+) -> Result<(Checkpoint, Vec<String>), String> {
+    let path = match override_path {
+        Some(p) => p.to_path_buf(),
+        None => {
+            if meta.checkpoint.is_empty() {
+                return Err(
+                    "capsule does not record a checkpoint path; pass --model <file.dshm|file.dshq>"
+                        .to_string(),
+                );
+            }
+            std::path::PathBuf::from(&meta.checkpoint)
+        }
+    };
+    let ck = load_any_checkpoint(&path)
+        .map_err(|e| format!("failed to load checkpoint {}: {e}", path.display()))?;
+    let mut drift = Vec::new();
+    if meta.config_hash != 0 && ck.config_hash != 0 && meta.config_hash != ck.config_hash {
+        drift.push(format!(
+            "config hash drift: capsule was captured under {:#018x} but {} carries {:#018x} — \
+             replay will not be bit-exact",
+            meta.config_hash,
+            path.display(),
+            ck.config_hash
+        ));
+    }
+    if !meta.run_id.is_empty() && !ck.run_id.is_empty() && meta.run_id != ck.run_id {
+        drift.push(format!(
+            "run id drift: capsule was captured from run '{}' but {} was trained in run '{}'",
+            meta.run_id,
+            path.display(),
+            ck.run_id
+        ));
+    }
+    Ok((ck, drift))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +443,45 @@ mod tests {
         assert_eq!(ck.run_id, "");
         assert_eq!(ck.config_hash, 0);
         assert_eq!(ck.chains.len(), chains.len());
+    }
+
+    #[test]
+    fn capsule_resolution_flags_provenance_drift() {
+        let (model, vocab, chains) = trained_fixture(96);
+        let dir = std::env::temp_dir().join("desh_ckpt_capsule_resolve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.dshm");
+        std::fs::write(
+            &path,
+            encode_checkpoint(&model, &vocab, &chains, "run-a", 0x1111),
+        )
+        .unwrap();
+
+        let mut meta = desh_obs::CapsuleMeta::default();
+        assert!(
+            resolve_capsule_checkpoint(&meta, None)
+                .unwrap_err()
+                .contains("--model"),
+            "empty capsule path must ask for --model"
+        );
+
+        meta.checkpoint = path.display().to_string();
+        meta.config_hash = 0x1111;
+        meta.run_id = "run-a".into();
+        let (_, drift) = resolve_capsule_checkpoint(&meta, None).unwrap();
+        assert!(drift.is_empty(), "{drift:?}");
+
+        meta.config_hash = 0x2222;
+        meta.run_id = "run-b".into();
+        let (_, drift) = resolve_capsule_checkpoint(&meta, None).unwrap();
+        assert_eq!(drift.len(), 2, "{drift:?}");
+        assert!(drift[0].contains("config hash drift"));
+        assert!(drift[1].contains("run id drift"));
+
+        // --model override wins over a bogus sealed path.
+        meta.checkpoint = "/nonexistent/gone.dshm".into();
+        assert!(resolve_capsule_checkpoint(&meta, Some(&path)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -91,9 +91,10 @@ fn introspection_server_and_warning_traces_agree_with_detector() {
         "render_summary lost the counter"
     );
 
-    // /warnings serves every fired warning with its decision trace; the
-    // matched chain in the JSON is the one format_warning reports.
-    let (status, wjson) = http_get(&addr, "/warnings");
+    // /warnings serves fired warnings newest-first; ?limit=N large enough
+    // returns every one with its decision trace; the matched chain in the
+    // JSON is the one format_warning reports.
+    let (status, wjson) = http_get(&addr, &format!("/warnings?limit={}", warnings.len()));
     assert!(status.contains("200"), "warnings: {status}");
     let records = warning_log.snapshot();
     assert_eq!(records.len(), warnings.len());
@@ -120,6 +121,27 @@ fn introspection_server_and_warning_traces_agree_with_detector() {
         wjson.contains("\"step_mse\":"),
         "warnings JSON lacks step MSEs"
     );
+    // Newest first: the first rendered at_us is the latest fired warning.
+    let newest = records.last().unwrap();
+    let first_at = wjson
+        .split("\"at_us\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .expect("warnings JSON has at_us");
+    assert_eq!(first_at, newest.at_us, "/warnings is not newest-first");
+    // The default (no query) response is capped at the newest
+    // DEFAULT_WARNINGS_LIMIT records.
+    let (status, capped) = http_get(&addr, "/warnings");
+    assert!(status.contains("200"), "warnings default: {status}");
+    assert!(
+        capped.matches("\"class\":").count()
+            <= records.len().min(desh::obs::DEFAULT_WARNINGS_LIMIT),
+        "default /warnings not capped"
+    );
+    // A malformed limit is a client error, not a silent default.
+    let (status, _) = http_get(&addr, "/warnings?limit=abc");
+    assert!(status.contains("400"), "bad limit should 400: {status}");
 
     // /nodes/<id>/flight serves that node's ring as JSONL; unknown → 404.
     let node = warnings[0].node.to_string();

@@ -184,6 +184,96 @@ proptest! {
     }
 }
 
+// ---- observability: decision traces & sealed containers -----------------------
+
+proptest! {
+    // The 11-word trace encoding is lossless for every representable
+    // decision — including NaN and infinite MSEs (bit patterns preserved).
+    #[test]
+    fn trace_event_words_round_trip(
+        at_us in any::<u64>(),
+        phrase in any::<u32>(),
+        dt_secs in any::<f64>(),
+        step_mse in any::<f64>(),
+        mean_mse in any::<f64>(),
+        threshold in any::<f64>(),
+        transitions in any::<u32>(),
+        min_evidence in any::<u32>(),
+        replayed in any::<bool>(),
+        warned in any::<bool>(),
+        matched_chain in any::<i64>(),
+    ) {
+        let ev = desh::obs::TraceEvent {
+            at_us, phrase, dt_secs, step_mse, mean_mse, threshold,
+            transitions, min_evidence, replayed, warned, matched_chain,
+        };
+        let back = desh::obs::TraceEvent::from_words(&ev.to_words());
+        prop_assert_eq!(back.at_us, ev.at_us);
+        prop_assert_eq!(back.phrase, ev.phrase);
+        // Bit-compare the floats: NaN payloads must survive too.
+        prop_assert_eq!(back.dt_secs.to_bits(), ev.dt_secs.to_bits());
+        prop_assert_eq!(back.step_mse.to_bits(), ev.step_mse.to_bits());
+        prop_assert_eq!(back.mean_mse.to_bits(), ev.mean_mse.to_bits());
+        prop_assert_eq!(back.threshold.to_bits(), ev.threshold.to_bits());
+        prop_assert_eq!(back.transitions, ev.transitions);
+        prop_assert_eq!(back.min_evidence, ev.min_evidence);
+        prop_assert_eq!(back.replayed, ev.replayed);
+        prop_assert_eq!(back.warned, ev.warned);
+        prop_assert_eq!(back.matched_chain, ev.matched_chain);
+    }
+
+    // Sealed containers (the .dcap framing) round-trip any payload and
+    // reject every corruption: truncation at any cut point, any single
+    // bit flip, wrong magic, trailing garbage — always an error naming
+    // the problem, never a panic or a silent wrong payload.
+    #[test]
+    fn sealed_container_rejects_all_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        cut_frac in 0.0f64..1.0,
+        flip_frac in 0.0f64..1.0,
+        garbage in 1usize..8,
+    ) {
+        use desh::util::codec::{seal, unseal, CodecError};
+        let magic = *b"PCAP";
+        let sealed = seal(magic, 3, &payload);
+        let unsealed = unseal(magic, 3, &sealed).unwrap();
+        prop_assert_eq!(unsealed.as_ref(), payload.as_slice());
+
+        // Truncation at any point short of the full length must fail.
+        let cut = ((sealed.len() as f64) * cut_frac) as usize;
+        if cut < sealed.len() {
+            prop_assert!(unseal(magic, 3, &sealed[..cut]).is_err());
+        }
+
+        // Any single bit flip fails: header flips break magic/version/
+        // length/checksum fields, payload flips break the checksum.
+        let bit = ((sealed.len() * 8 - 1) as f64 * flip_frac) as usize;
+        let mut flipped = sealed.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(unseal(magic, 3, &flipped).is_err());
+
+        // A bit flip inside the payload is specifically a checksum error.
+        if !payload.is_empty() {
+            let mut corrupt = sealed.clone();
+            let last = corrupt.len() - 1;
+            corrupt[last] ^= 0x40;
+            prop_assert!(matches!(
+                unseal(magic, 3, &corrupt),
+                Err(CodecError::BadChecksum { .. })
+            ));
+        }
+
+        // Wrong magic / wrong version are rejected up front.
+        prop_assert!(unseal(*b"XXXX", 3, &sealed).is_err());
+        prop_assert!(unseal(magic, 4, &sealed).is_err());
+
+        // Trailing garbage means the file is not what was sealed.
+        let mut padded = sealed.clone();
+        padded.extend(std::iter::repeat_n(0xAA, garbage));
+        prop_assert!(unseal(magic, 3, &padded).is_err());
+    }
+}
+
 // ---- observability: latency histograms ---------------------------------------
 
 proptest! {
