@@ -11,12 +11,14 @@
 //! * [`metrics`], [`leadtime`], [`classes`], [`unknown`] — the evaluation
 //!   machinery behind the paper's tables and figures.
 
+pub mod batch;
 pub mod chain;
 pub mod classes;
 pub mod config;
 pub mod crossval;
 pub mod episode;
 pub mod explain;
+pub mod intake;
 pub mod leadtime;
 pub mod metrics;
 pub mod observe;
@@ -27,21 +29,26 @@ pub mod phase3;
 pub mod pipeline;
 pub mod replay;
 pub mod report;
+pub mod router;
 pub mod session;
 pub mod tuning;
 pub mod unknown;
 pub mod watchdog;
 
+pub use batch::BatchDetector;
 pub use chain::{extract_chains, ChainEvent, FailureChain};
 pub use classes::{classify_chain, classify_templates};
-pub use crossval::{stability_run, StabilityReport};
 pub use config::{DeshConfig, EpisodeConfig, Phase1Config, Phase2Config, Phase3Config};
+pub use crossval::{stability_run, StabilityReport};
 pub use episode::{extract_episodes, Episode};
 pub use explain::{dtw_distance, explain_episode, nearest_chain, Explanation};
-pub use leadtime::{lead_by_class, lead_overall, observation4, recall_by_class, sensitivity_sweep, SweepPoint};
+pub use intake::{Backpressure, IntakeConfig, IntakeServer};
+pub use leadtime::{
+    lead_by_class, lead_overall, observation4, recall_by_class, sensitivity_sweep, SweepPoint,
+};
 pub use metrics::Confusion;
-pub use online::{OnlineDetector, Warning};
 pub use observe::{warning_record, EpochTelemetry};
+pub use online::{EvictionPolicy, OnlineDetector, Warning};
 pub use phase1::{run_phase1, run_phase1_session, run_phase1_telemetry, Phase1Output};
 pub use phase2::{
     chain_to_vectors, run_phase2, run_phase2_session, run_phase2_telemetry, LeadTimeModel,
@@ -57,7 +64,8 @@ pub use replay::{
     ReplayOptions, ReplayReport,
 };
 pub use report::{markdown_row, render};
+pub use router::{node_hash, shard_of};
 pub use session::{config_hash, dataset_fingerprint, LedgerObserver, RunSession};
-pub use watchdog::{check_epoch, DivergenceReason, WatchdogConfig};
 pub use tuning::{calibrate, Calibration, OperatingPoint};
 pub use unknown::{unknown_contributions, PhraseContribution};
+pub use watchdog::{check_epoch, DivergenceReason, WatchdogConfig};

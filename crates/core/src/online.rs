@@ -66,6 +66,8 @@ pub struct Warning {
 struct NodeState {
     /// Recent non-Safe events: (time, phrase id).
     events: Vec<(Micros, u32)>,
+    /// Timestamp of this node's most recent event, for idle eviction.
+    last_seen: Micros,
     /// A warning was already raised for the current episode.
     warned: bool,
     /// Carried model state for the current episode. `None` after any
@@ -102,6 +104,42 @@ struct OnlineMetrics {
     score_latency: Arc<LatencyHistogram>,
     /// `online.buffered_events` — events currently buffered across nodes.
     buffered: Arc<Gauge>,
+    /// `online.resident_nodes` — node states currently held in memory.
+    resident: Arc<Gauge>,
+    /// `online.evicted_nodes` — idle node states dropped by the sweeper.
+    evicted: Arc<Counter>,
+}
+
+/// Idle-state eviction policy: a fleet intake sees an unbounded node-id
+/// space, so per-node state must not grow forever. With the default TTL
+/// (the session gap) eviction is observationally invisible on
+/// time-ordered streams — any evicted node was idle past the gap, so its
+/// next event would have reset the buffer, warned flag, and carried
+/// stream anyway.
+#[derive(Debug, Clone)]
+pub struct EvictionPolicy {
+    /// Evict a node once idle longer than this many seconds. Values below
+    /// the session gap can drop buffered context a gap reset would have
+    /// kept; at or above it, the warning stream is unchanged.
+    pub ttl_secs: f64,
+    /// Hard cap on resident node states; beyond it the sweep drops the
+    /// longest-idle nodes first (LRU), regardless of TTL.
+    pub max_nodes: usize,
+    /// Sweep cadence, in ingested (non-Safe) events.
+    pub sweep_every: u64,
+}
+
+impl EvictionPolicy {
+    /// Default policy for a given session gap: TTL exactly the gap (so
+    /// eviction never changes decisions), a generous resident cap, and a
+    /// sweep every few thousand events.
+    pub(crate) fn for_gap(session_gap_secs: f64) -> Self {
+        Self {
+            ttl_secs: session_gap_secs,
+            max_nodes: 65_536,
+            sweep_every: 4096,
+        }
+    }
 }
 
 /// Streaming detector wrapping a trained [`LeadTimeModel`].
@@ -116,6 +154,14 @@ pub struct OnlineDetector {
     /// Running total of buffered events (kept incrementally so the gauge
     /// update stays O(1) per event).
     buffered_total: u64,
+    /// Idle-state eviction policy (see [`EvictionPolicy`]).
+    eviction: EvictionPolicy,
+    /// Non-Safe events ingested since the last eviction sweep.
+    since_sweep: u64,
+    /// High-water mark of record timestamps, the sweep's notion of "now".
+    clock: Micros,
+    /// Total node states evicted so far.
+    evicted_nodes: u64,
     metrics: Option<OnlineMetrics>,
     /// Decision-trace sinks; `None` (default) keeps the hot path trace-free.
     tracer: Option<Tracer>,
@@ -179,9 +225,12 @@ impl OnlineDetector {
                 warnings: r.counter("online.warnings"),
                 score_latency: r.histogram("online.score_latency_us"),
                 buffered: r.gauge("online.buffered_events"),
+                resident: r.gauge("online.resident_nodes"),
+                evicted: r.counter("online.evicted_nodes"),
             }
         });
         let train_vocab = vocab.len() as u32;
+        let eviction = EvictionPolicy::for_gap(cfg.episodes.session_gap_secs);
         Self {
             model,
             cfg,
@@ -190,6 +239,10 @@ impl OnlineDetector {
             warnings_emitted: 0,
             events_seen: 0,
             buffered_total: 0,
+            eviction,
+            since_sweep: 0,
+            clock: Micros(0),
+            evicted_nodes: 0,
             metrics,
             tracer: None,
             chains: Vec::new(),
@@ -265,6 +318,65 @@ impl OnlineDetector {
         self.warnings_emitted
     }
 
+    /// Override the idle-state eviction policy (see [`EvictionPolicy`]
+    /// for the defaults and the TTL-vs-gap safety argument).
+    pub fn set_eviction(&mut self, policy: EvictionPolicy) {
+        assert!(policy.sweep_every > 0, "sweep cadence must be non-zero");
+        self.eviction = policy;
+    }
+
+    /// Node states currently resident in memory.
+    pub fn resident_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total idle node states evicted so far.
+    pub fn evicted_nodes(&self) -> u64 {
+        self.evicted_nodes
+    }
+
+    /// Drop node states idle past the TTL, then enforce the LRU cap.
+    /// "Now" is the high-water mark of record timestamps, so wall-clock
+    /// stalls in the feed never evict anything.
+    fn sweep_idle_nodes(&mut self) {
+        let ttl = Micros::from_secs_f64(self.eviction.ttl_secs);
+        let clock = self.clock;
+        let mut dropped_events = 0u64;
+        let mut dropped_nodes = 0u64;
+        self.nodes.retain(|_, s| {
+            if clock.saturating_sub(s.last_seen) > ttl {
+                dropped_events += s.events.len() as u64;
+                dropped_nodes += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if self.nodes.len() > self.eviction.max_nodes {
+            // Over the hard cap even after the TTL pass: shed the
+            // longest-idle nodes first. Rare, so the sort is acceptable.
+            let mut by_idle: Vec<(NodeId, Micros)> =
+                self.nodes.iter().map(|(n, s)| (*n, s.last_seen)).collect();
+            by_idle.sort_by_key(|&(_, t)| t);
+            let excess = self.nodes.len() - self.eviction.max_nodes;
+            for &(node, _) in by_idle.iter().take(excess) {
+                if let Some(s) = self.nodes.remove(&node) {
+                    dropped_events += s.events.len() as u64;
+                    dropped_nodes += 1;
+                }
+            }
+        }
+        self.buffered_total -= dropped_events;
+        self.evicted_nodes += dropped_nodes;
+        if let Some(m) = &self.metrics {
+            m.buffered.set(self.buffered_total as f64);
+            m.resident.set(self.nodes.len() as f64);
+            if dropped_nodes > 0 {
+                m.evicted.add(dropped_nodes);
+            }
+        }
+    }
+
     /// Ingest one raw text line. Returns a warning if this line completed
     /// a recognisable failure-chain prefix; `None` for benign/ignored
     /// lines; `Err` for unparseable lines (which a deployment would count
@@ -309,7 +421,14 @@ impl OnlineDetector {
             w.set_at_us(record.time.0);
             w.mark(STAGE_TEMPLATE);
         }
+        self.clock = self.clock.max(record.time);
+        self.since_sweep += 1;
+        if self.since_sweep >= self.eviction.sweep_every {
+            self.since_sweep = 0;
+            self.sweep_idle_nodes();
+        }
         let state = self.nodes.entry(record.node).or_default();
+        state.last_seen = record.time;
 
         // Session split: a long quiet gap starts a new episode. `dt_secs`
         // (ΔT to the previous buffered event, 0 at episode start) is kept
@@ -394,8 +513,14 @@ impl OnlineDetector {
         if let Some(w) = wf.as_mut() {
             w.mark(STAGE_CELL_STEP);
         }
-        let warning =
-            Self::evaluate(&self.model, &self.cfg, &self.vocab, &self.chains, state, record);
+        let warning = Self::evaluate(
+            &self.model,
+            &self.cfg,
+            &self.vocab,
+            &self.chains,
+            state,
+            record,
+        );
         if let Some(w) = wf.as_mut() {
             w.mark(STAGE_THRESHOLD);
         }
@@ -519,72 +644,107 @@ impl OnlineDetector {
         record: &LogRecord,
     ) -> Option<Warning> {
         let ls = state.stream.as_ref()?;
-        if ls.transitions() < cfg.phase3.min_evidence {
-            return None;
-        }
-        let unit = (model.vocab_size + 1) as f64 / 2.0 * cfg.phase3.score_scale;
-        let score = model.stream_mean(ls)? * unit;
-        if score > cfg.phase3.mse_threshold {
-            return None;
-        }
-
-        // Chain recognised. Only now pay for the full-buffer work: the
-        // countdown-encoded window (the batch pipeline's ΔT form) feeds
-        // `predict_next`, whose channel 0 carries the expected remaining
-        // ΔT, and the evidence strings are materialised for the report.
-        let newest = state.events.last().unwrap().0;
-        let seq: Vec<Vec<f32>> = state
-            .events
-            .iter()
-            .map(|&(t, p)| model.vectorize(newest.saturating_sub(t).as_secs_f64(), p))
-            .collect();
-        let window: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
-        let next = model.net.predict_next(&window, model.history);
-        let predicted_lead_secs = model.denormalize_dt(next[0]);
-
-        let evidence: Vec<String> = state
-            .events
-            .iter()
-            .map(|&(_, p)| vocab.text(p).unwrap_or_default())
-            .collect();
-        let class = classify_templates(evidence.iter().cloned());
-        // The episode is already encoded in the batch ΔT form `seq`; the
-        // DTW retrieval against the attached chains reuses it. Paid only
-        // on the (rare) warning path.
-        let (matched_chain, chain_distance) = match nearest_chain(&seq, chains) {
-            Some((i, d)) => (Some(i), Some(d)),
-            None => (None, None),
-        };
-        Some(Warning {
-            node: record.node,
-            at: record.time,
-            predicted_lead_secs,
-            score,
-            class,
-            evidence,
-            matched_chain,
-            chain_distance,
-        })
+        evaluate_stream(
+            model,
+            cfg,
+            vocab,
+            chains,
+            &state.events,
+            ls.transitions(),
+            model.stream_mean(ls),
+            record.node,
+            record.time,
+        )
     }
 
     /// Render a warning the way the paper phrases it (§4.5), naming the
     /// matched trained chain when one was retrieved.
     pub fn format_warning(w: &Warning) -> String {
-        let mut line = format!(
-            "In {:.1} seconds, node {} (cabinet {}-{}, chassis {}, slot {}) is expected to fail [{}]",
-            w.predicted_lead_secs,
-            w.node,
-            w.node.cab_x,
-            w.node.cab_y,
-            w.node.chassis,
-            w.node.slot,
-            w.class.name()
-        );
-        if let (Some(c), Some(d)) = (w.matched_chain, w.chain_distance) {
-            line.push_str(&format!(" — matched chain #{c} (dtw {d:.4})"));
-        }
-        line
+        format_warning_impl(w)
     }
+}
+
+/// The warning decision shared by the sequential [`OnlineDetector`] and
+/// the wave-batched `BatchDetector`: threshold the stream aggregate
+/// (`transitions`, `mean_raw` — a [`LeadStream`]'s or a batch slot's),
+/// and on a hit pay for the full-buffer work over `events`. Keeping one
+/// implementation is what makes "batched scoring matches sequential"
+/// a statement about the cell-step kernels alone.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_stream(
+    model: &LeadTimeModel,
+    cfg: &DeshConfig,
+    vocab: &Vocab,
+    chains: &[Vec<Vec<f32>>],
+    events: &[(Micros, u32)],
+    transitions: usize,
+    mean_raw: Option<f64>,
+    node: NodeId,
+    at: Micros,
+) -> Option<Warning> {
+    if transitions < cfg.phase3.min_evidence {
+        return None;
+    }
+    let unit = (model.vocab_size + 1) as f64 / 2.0 * cfg.phase3.score_scale;
+    let score = mean_raw? * unit;
+    if score > cfg.phase3.mse_threshold {
+        return None;
+    }
+
+    // Chain recognised. Only now pay for the full-buffer work: the
+    // countdown-encoded window (the batch pipeline's ΔT form) feeds
+    // `predict_next`, whose channel 0 carries the expected remaining
+    // ΔT, and the evidence strings are materialised for the report.
+    let newest = events.last().unwrap().0;
+    let seq: Vec<Vec<f32>> = events
+        .iter()
+        .map(|&(t, p)| model.vectorize(newest.saturating_sub(t).as_secs_f64(), p))
+        .collect();
+    let window: Vec<&[f32]> = seq.iter().map(|v| v.as_slice()).collect();
+    let next = model.net.predict_next(&window, model.history);
+    let predicted_lead_secs = model.denormalize_dt(next[0]);
+
+    let evidence: Vec<String> = events
+        .iter()
+        .map(|&(_, p)| vocab.text(p).unwrap_or_default())
+        .collect();
+    let class = classify_templates(evidence.iter().cloned());
+    // The episode is already encoded in the batch ΔT form `seq`; the
+    // DTW retrieval against the attached chains reuses it. Paid only
+    // on the (rare) warning path.
+    let (matched_chain, chain_distance) = match nearest_chain(&seq, chains) {
+        Some((i, d)) => (Some(i), Some(d)),
+        None => (None, None),
+    };
+    Some(Warning {
+        node,
+        at,
+        predicted_lead_secs,
+        score,
+        class,
+        evidence,
+        matched_chain,
+        chain_distance,
+    })
+}
+
+/// Free-function body of [`OnlineDetector::format_warning`], shared with
+/// the batched detector's surface.
+fn format_warning_impl(w: &Warning) -> String {
+    let mut line = format!(
+        "In {:.1} seconds, node {} (cabinet {}-{}, chassis {}, slot {}) is expected to fail [{}]",
+        w.predicted_lead_secs,
+        w.node,
+        w.node.cab_x,
+        w.node.cab_y,
+        w.node.chassis,
+        w.node.slot,
+        w.class.name()
+    );
+    if let (Some(c), Some(d)) = (w.matched_chain, w.chain_distance) {
+        line.push_str(&format!(" — matched chain #{c} (dtw {d:.4})"));
+    }
+    line
 }
 
 #[cfg(test)]
@@ -630,7 +790,11 @@ mod tests {
             }
         }
         let frac = hit as f64 / test.failures.len() as f64;
-        assert!(frac > 0.5, "only {hit}/{} failures warned ahead", test.failures.len());
+        assert!(
+            frac > 0.5,
+            "only {hit}/{} failures warned ahead",
+            test.failures.len()
+        );
     }
 
     #[test]
@@ -692,7 +856,10 @@ mod tests {
         }
         let snap = t.snapshot().unwrap();
         assert_eq!(snap.counter("online.events"), Some(det.events_seen()));
-        assert_eq!(snap.counter("online.warnings"), Some(det.warnings_emitted()));
+        assert_eq!(
+            snap.counter("online.warnings"),
+            Some(det.warnings_emitted())
+        );
         assert!(det.warnings_emitted() > 0);
         let lat = snap.histogram("online.score_latency_us").unwrap();
         assert!(lat.count() > 0, "no scoring passes recorded");
@@ -714,7 +881,9 @@ mod tests {
         let mut checked = 0usize;
         for r in &test.records {
             det.ingest(r);
-            let Some(state) = det.nodes.get(&r.node) else { continue };
+            let Some(state) = det.nodes.get(&r.node) else {
+                continue;
+            };
             let Some(ls) = &state.stream else { continue };
             if ls.transitions() == 0 {
                 continue;
@@ -830,7 +999,12 @@ mod tests {
         for r in &test.records {
             let a = plain.ingest(r);
             let b = traced.ingest(r);
-            assert_eq!(a.is_some(), b.is_some(), "warning divergence at {:?}", r.time);
+            assert_eq!(
+                a.is_some(),
+                b.is_some(),
+                "warning divergence at {:?}",
+                r.time
+            );
             if let (Some(a), Some(b)) = (a, b) {
                 assert_eq!(a.node, b.node);
                 assert_eq!(a.score, b.score);
@@ -874,12 +1048,18 @@ mod tests {
         let steps = snap.histogram("profile.online.cell_step_ns").unwrap();
         assert!(steps.count() > 0);
         assert!(
-            snap.histogram("profile.online.threshold_ns").unwrap().count() > 0,
+            snap.histogram("profile.online.threshold_ns")
+                .unwrap()
+                .count()
+                > 0,
             "threshold stage never recorded"
         );
         // ingest() starts at the template stage; parse is only marked on
         // the ingest_line surface.
-        assert_eq!(snap.histogram("profile.online.parse_ns").unwrap().count(), 0);
+        assert_eq!(
+            snap.histogram("profile.online.parse_ns").unwrap().count(),
+            0
+        );
     }
 
     #[test]
@@ -934,6 +1114,81 @@ mod tests {
         let before = det.events_seen();
         let r = LogRecord::new(Micros(1), NodeId::from_index(0), "Wait4Boot");
         assert!(det.ingest(&r).is_none());
-        assert_eq!(det.events_seen(), before, "Safe events must not enter buffers");
+        assert_eq!(
+            det.events_seen(),
+            before,
+            "Safe events must not enter buffers"
+        );
+    }
+
+    #[test]
+    fn idle_eviction_is_invisible_to_the_warning_stream() {
+        // A default-TTL (session gap) sweep at maximum cadence must evict
+        // idle nodes without changing a single warning: every evicted node
+        // was idle past the gap, so its next event would have reset the
+        // buffer anyway.
+        let (mut plain, test) = trained_detector(313);
+        let (mut sweeping, _) = trained_detector(313);
+        let mut policy = EvictionPolicy::for_gap(plain.cfg.episodes.session_gap_secs);
+        policy.sweep_every = 1;
+        sweeping.set_eviction(policy);
+        for r in &test.records {
+            let a = plain.ingest(r);
+            let b = sweeping.ingest(r);
+            assert_eq!(
+                a.is_some(),
+                b.is_some(),
+                "warning divergence at {:?}",
+                r.time
+            );
+            if let (Some(a), Some(b)) = (a, b) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.score, b.score);
+                assert_eq!(a.predicted_lead_secs, b.predicted_lead_secs);
+            }
+        }
+        assert!(sweeping.evicted_nodes() > 0, "no idle node ever evicted");
+        assert!(sweeping.resident_nodes() <= plain.resident_nodes());
+        // Incremental occupancy accounting survives the evictions.
+        let direct: u64 = sweeping.nodes.values().map(|s| s.events.len() as u64).sum();
+        assert_eq!(sweeping.buffered_total, direct);
+    }
+
+    #[test]
+    fn lru_cap_bounds_resident_nodes() {
+        let (mut det, test) = trained_detector(314);
+        det.set_eviction(EvictionPolicy {
+            ttl_secs: f64::INFINITY,
+            max_nodes: 4,
+            sweep_every: 1,
+        });
+        let t = Telemetry::enabled();
+        let r = t.registry().unwrap();
+        det.metrics = Some(OnlineMetrics {
+            events: r.counter("online.events"),
+            warnings: r.counter("online.warnings"),
+            score_latency: r.histogram("online.score_latency_us"),
+            buffered: r.gauge("online.buffered_events"),
+            resident: r.gauge("online.resident_nodes"),
+            evicted: r.counter("online.evicted_nodes"),
+        });
+        for rec in &test.records {
+            det.ingest(rec);
+            // The sweep runs before the current node is (re)inserted, so
+            // the map holds at most cap + 1 states at any instant.
+            assert!(
+                det.resident_nodes() <= 5,
+                "cap breached: {}",
+                det.resident_nodes()
+            );
+        }
+        assert!(det.evicted_nodes() > 0);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(
+            snap.counter("online.evicted_nodes"),
+            Some(det.evicted_nodes())
+        );
+        let resident = snap.gauge("online.resident_nodes").unwrap();
+        assert!(resident <= 5.0 && resident >= 1.0, "gauge {resident}");
     }
 }

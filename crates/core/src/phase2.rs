@@ -23,8 +23,8 @@ use crate::config::Phase2Config;
 use crate::observe::EpochTelemetry;
 use crate::session::RunSession;
 use desh_nn::{
-    Optimizer, QuantizedVectorLstm, QuantizedVectorStream, RmsProp, TrainConfig, VectorLstm,
-    VectorStream,
+    Optimizer, QuantizedVectorLstm, QuantizedVectorStream, QuantizedVectorStreamBatch, RmsProp,
+    TrainConfig, VectorLstm, VectorStream, VectorStreamBatch,
 };
 use desh_obs::{DivergenceRecord, Telemetry};
 use desh_util::{Micros, Xoshiro256pp};
@@ -105,6 +105,26 @@ impl ScoringNet {
         }
     }
 
+    fn begin_stream_batch(&self, slots: usize) -> NetStreamBatch {
+        match self {
+            ScoringNet::F32(m) => NetStreamBatch::F32(m.begin_stream_batch(slots)),
+            ScoringNet::Int8(m) => NetStreamBatch::Int8(m.begin_stream_batch(slots)),
+        }
+    }
+
+    fn stream_push_rows(
+        &self,
+        sb: &mut NetStreamBatch,
+        rows: &[usize],
+        scores: &mut Vec<Option<f64>>,
+    ) {
+        match (self, sb) {
+            (ScoringNet::F32(m), NetStreamBatch::F32(s)) => m.stream_push_rows(s, rows, scores),
+            (ScoringNet::Int8(m), NetStreamBatch::Int8(s)) => m.stream_push_rows(s, rows, scores),
+            _ => panic!("lead batch was begun under a different scoring-net variant"),
+        }
+    }
+
     /// O(n²) batch scorer over every prefix of `seq` (replay oracle).
     pub fn score_stream_batch(&self, seq: &[Vec<f32>]) -> Vec<f64> {
         match self {
@@ -120,6 +140,30 @@ impl ScoringNet {
 enum NetStream {
     F32(VectorStream),
     Int8(QuantizedVectorStream),
+}
+
+/// Slot-resident batch of carried recurrent states, matching the
+/// [`ScoringNet`] variant it was begun under.
+#[derive(Debug)]
+enum NetStreamBatch {
+    F32(VectorStreamBatch),
+    Int8(QuantizedVectorStreamBatch),
+}
+
+impl NetStreamBatch {
+    fn input_row_mut(&mut self, slot: usize) -> &mut [f32] {
+        match self {
+            NetStreamBatch::F32(b) => b.input_row_mut(slot),
+            NetStreamBatch::Int8(b) => b.input_row_mut(slot),
+        }
+    }
+
+    fn reset_slot(&mut self, slot: usize) {
+        match self {
+            NetStreamBatch::F32(b) => b.reset_slot(slot),
+            NetStreamBatch::Int8(b) => b.reset_slot(slot),
+        }
+    }
 }
 
 /// The trained lead-time model plus the encoding constants that must
@@ -214,6 +258,63 @@ impl LeadTimeModel {
         (ls.transitions > 0).then(|| ls.sum / ls.transitions as f64)
     }
 
+    /// Begin a slot-resident batch of `slots` scoring streams. Every slot
+    /// starts in the [`Self::begin_stream`] state.
+    pub fn begin_batch(&self, slots: usize) -> LeadBatch {
+        LeadBatch {
+            net: self.net.begin_stream_batch(slots),
+            slots: vec![SlotAgg::default(); slots],
+        }
+    }
+
+    /// Stage one `(timestamp, phrase)` event into `slot`'s input row:
+    /// gap-encode against the slot's carried last-event time and write the
+    /// sample in place (no per-event allocation). The slot must then be
+    /// included in the next [`Self::batch_push_rows`] wave — staging twice
+    /// without a push in between would overwrite the pending sample.
+    pub fn batch_stage(&self, lb: &mut LeadBatch, slot: usize, time: Micros, phrase: u32) {
+        let agg = &mut lb.slots[slot];
+        let gap_secs = match agg.last_time {
+            Some(prev) => time.saturating_sub(prev).as_secs_f64(),
+            None => 0.0,
+        };
+        agg.last_time = Some(time);
+        // Bit-identical to `vectorize`, written into the resident row.
+        let row = lb.net.input_row_mut(slot);
+        row.fill(0.0);
+        row[0] = (gap_secs as f32 / self.dt_scale).min(4.0);
+        let idx = (phrase as usize).min(self.vocab_size.saturating_sub(1));
+        row[1 + idx] = 1.0;
+    }
+
+    /// Advance every staged slot in `rows` by one cell step per layer and
+    /// fold each slot's raw one-step MSE into its running aggregate —
+    /// [`Self::stream_push`] for a whole wave. `scores[i]` is the raw MSE
+    /// contributed by `rows[i]` (`None` for a slot's first event), exactly
+    /// what `stream_push` would have returned.
+    pub fn batch_push_rows(
+        &self,
+        lb: &mut LeadBatch,
+        rows: &[usize],
+        scores: &mut Vec<Option<f64>>,
+    ) {
+        self.net.stream_push_rows(&mut lb.net, rows, scores);
+        for (&slot, score) in rows.iter().zip(scores.iter()) {
+            if let Some(s) = score {
+                let agg = &mut lb.slots[slot];
+                agg.sum += s;
+                agg.transitions += 1;
+            }
+        }
+    }
+
+    /// Mean raw one-step MSE accumulated by `slot`, or `None` before its
+    /// first scored transition — [`Self::stream_mean`] for a batch slot.
+    pub fn batch_mean(&self, lb: &LeadBatch, slot: usize) -> Option<f64> {
+        let agg = &lb.slots[slot];
+        (agg.transitions > 0).then(|| agg.sum / agg.transitions as f64)
+    }
+
     /// Batch reference for the incremental stream: gap-encode the whole
     /// buffer and re-run the model from zero state over every prefix.
     /// O(n²) in the buffer length — this is what [`Self::stream_push`]
@@ -250,6 +351,46 @@ impl LeadStream {
     /// Number of scored transitions (events beyond the first).
     pub fn transitions(&self) -> usize {
         self.transitions
+    }
+}
+
+/// Per-slot stream aggregate carried by a [`LeadBatch`]: the same
+/// last-time/sum/transitions triple a [`LeadStream`] keeps, minus the
+/// recurrent state (which lives as a row of the shared batch).
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotAgg {
+    last_time: Option<Micros>,
+    sum: f64,
+    transitions: usize,
+}
+
+/// A batch of [`LeadStream`]s sharing one slot-resident recurrent-state
+/// block: each node's carried state is a fixed row, so same-wave cell
+/// steps from different nodes advance together through the row-wise
+/// batched kernels. Scores and state are bit-identical to running one
+/// [`LeadStream`] per slot (test-gated).
+#[derive(Debug)]
+pub struct LeadBatch {
+    net: NetStreamBatch,
+    slots: Vec<SlotAgg>,
+}
+
+impl LeadBatch {
+    /// Number of slots this batch was begun with.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of scored transitions accumulated by `slot`.
+    pub fn transitions(&self, slot: usize) -> usize {
+        self.slots[slot].transitions
+    }
+
+    /// Reset `slot` to the begin-stream state (zero recurrent state, no
+    /// carried time or aggregate), leaving every other slot untouched.
+    pub fn reset_slot(&mut self, slot: usize) {
+        self.net.reset_slot(slot);
+        self.slots[slot] = SlotAgg::default();
     }
 }
 
@@ -309,7 +450,10 @@ pub fn run_phase2_session(
     mut session: Option<&mut RunSession>,
 ) -> Result<LeadTimeModel, DivergenceRecord> {
     let _span = telemetry.span("phase2");
-    assert!(!chains.is_empty(), "phase 2 requires at least one failure chain");
+    assert!(
+        !chains.is_empty(),
+        "phase 2 requires at least one failure chain"
+    );
     assert!(vocab_size > 0);
     telemetry.count("phase2.chains", chains.len() as u64);
     let seqs: Vec<Vec<Vec<f32>>> = chains
@@ -327,13 +471,8 @@ pub fn run_phase2_session(
     let losses = match session.as_deref_mut() {
         Some(s) => {
             let mut obs = s.observer("phase2", telemetry);
-            let losses = model.train_observed(
-                &seqs,
-                &tcfg,
-                &mut opt as &mut dyn Optimizer,
-                rng,
-                &mut obs,
-            );
+            let losses =
+                model.train_observed(&seqs, &tcfg, &mut opt as &mut dyn Optimizer, rng, &mut obs);
             obs.finish();
             losses
         }
@@ -452,5 +591,62 @@ mod tests {
     fn phase2_requires_chains() {
         let mut rng = Xoshiro256pp::seed_from_u64(84);
         run_phase2(&[], 10, &Phase2Config::default(), &mut rng);
+    }
+
+    /// Drive interleaved per-node event sequences through a [`LeadBatch`]
+    /// (wave-batched) and through one sequential [`LeadStream`] per node;
+    /// every raw score, running mean, and transition count must agree
+    /// bit-for-bit, including across a mid-flight slot reset.
+    fn assert_lead_batch_matches_streams(m: &LeadTimeModel) {
+        let slots = 4usize;
+        let mut lb = m.begin_batch(slots);
+        let mut streams: Vec<LeadStream> = (0..slots).map(|_| m.begin_stream()).collect();
+        let mut scores = Vec::new();
+        let vocab = m.vocab_size as u32;
+        for t in 0..7u64 {
+            // Slot 1 resets mid-flight (a terminal or warning would do this).
+            if t == 3 {
+                lb.reset_slot(1);
+                streams[1] = m.begin_stream();
+            }
+            // Slots drop in and out of waves: slot s skips ticks where
+            // (t + s) % 3 == 0, so gap encodings differ per slot.
+            let rows: Vec<usize> = (0..slots).filter(|s| (t + *s as u64) % 3 != 0).collect();
+            let mut want = Vec::new();
+            for &s in &rows {
+                let time = Micros::from_secs_f64(10.0 + t as f64 * 7.5 + s as f64);
+                let phrase = ((t as u32 * 5 + s as u32 * 3) % (vocab + 2)) as u32;
+                m.batch_stage(&mut lb, s, time, phrase);
+                want.push(m.stream_push(&mut streams[s], time, phrase));
+            }
+            m.batch_push_rows(&mut lb, &rows, &mut scores);
+            assert_eq!(scores.len(), rows.len());
+            for (i, &s) in rows.iter().enumerate() {
+                assert_eq!(
+                    scores[i].map(f64::to_bits),
+                    want[i].map(f64::to_bits),
+                    "slot {s} tick {t}"
+                );
+            }
+            for s in 0..slots {
+                assert_eq!(
+                    m.batch_mean(&lb, s).map(f64::to_bits),
+                    m.stream_mean(&streams[s]).map(f64::to_bits),
+                    "slot {s} mean after tick {t}"
+                );
+                assert_eq!(lb.transitions(s), streams[s].transitions());
+            }
+        }
+    }
+
+    #[test]
+    fn lead_batch_bit_identical_to_lead_streams() {
+        let (chains, vocab) = chains_fixture(85);
+        let mut rng = Xoshiro256pp::seed_from_u64(85);
+        let mut cfg = DeshConfig::fast().phase2;
+        cfg.epochs = 2;
+        let m = run_phase2(&chains, vocab, &cfg, &mut rng);
+        assert_lead_batch_matches_streams(&m);
+        assert_lead_batch_matches_streams(&m.quantize());
     }
 }

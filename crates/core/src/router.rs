@@ -1,0 +1,106 @@
+//! Node-id → shard routing for the fleet intake.
+//!
+//! The intake hash-partitions nodes across detector shards so each
+//! shard *owns* its nodes' carried scoring state — no cross-shard
+//! locking, no state migration. The requirements the hash must meet:
+//!
+//! * **Deterministic across runs and builds**: routing decides which
+//!   shard's batch a node's recurrent state lives in, so a restart must
+//!   send every node to the same shard (stability is test-pinned).
+//! * **Balanced**: physical node ids are highly structured (dense
+//!   cabinet/chassis/slot grids), so a naive modulus over the raw bytes
+//!   would alias the topology onto shards. FNV-1a mixes the five
+//!   coordinate bytes enough that real grids spread within ~2× of even.
+//! * **Total**: every node id maps to exactly one shard, for any shard
+//!   count ≥ 1.
+//!
+//! The shard *count* follows the same discipline as gradient sharding
+//! (`desh_nn::parallel`): fixed per process, `DESH_SHARDS`-overridable,
+//! independent of how many OS threads serve the shards.
+
+use desh_loggen::NodeId;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over the five physical-coordinate bytes of a node id.
+/// Identical input bytes on every platform (the coordinates are plain
+/// `u8`s, no endianness involved), so the value — pinned in tests —
+/// never moves between runs, builds, or machines.
+pub fn node_hash(node: NodeId) -> u64 {
+    let bytes = [node.cab_x, node.cab_y, node.chassis, node.slot, node.node];
+    let mut h = FNV_OFFSET;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The shard that owns `node` in a `shards`-way partition.
+pub fn shard_of(node: NodeId, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be non-zero");
+    (node_hash(node) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desh_loggen::Cluster;
+
+    #[test]
+    fn hash_values_are_pinned_across_runs() {
+        // Routing stability is a persistence contract: these exact values
+        // must never change, or a restarted fleet re-shards every node.
+        assert_eq!(node_hash(NodeId::new(0, 0, 0, 0, 0)), 0xe4bc_4fd9_252b_e94f);
+        assert_eq!(node_hash(NodeId::new(1, 0, 2, 5, 3)), 0xe971_61ae_b1ba_edc2);
+        assert_eq!(
+            node_hash(NodeId::new(7, 1, 2, 15, 3)),
+            0x700e_4562_0d51_d227
+        );
+    }
+
+    #[test]
+    fn every_node_lands_on_exactly_one_shard() {
+        // shard_of is a pure function into [0, shards): re-evaluating it
+        // must agree with itself, and the range must hold for any count.
+        for idx in 0..1000 {
+            let node = NodeId::from_index(idx * 7 % NodeId::MAX_INDEX);
+            for shards in [1usize, 2, 3, 8, 13] {
+                let s = shard_of(node, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(node, shards), "unstable routing for {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn structured_node_grids_balance_within_2x() {
+        // 10k dense topology-ordered ids (the adversarial case for a
+        // structured hash): every shard must hold between half and twice
+        // the even share.
+        let cluster = Cluster::with_nodes(10_000);
+        for shards in [2usize, 4, 8, 16] {
+            let mut counts = vec![0usize; shards];
+            for &n in cluster.nodes() {
+                counts[shard_of(n, shards)] += 1;
+            }
+            let even = cluster.len() / shards;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c * 2 >= even && c <= even * 2,
+                    "shard {s}/{shards} holds {c} of {} (even share {even})",
+                    cluster.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_is_rejected() {
+        shard_of(NodeId::new(0, 0, 0, 0, 0), 0);
+    }
+}

@@ -21,11 +21,10 @@ pub mod tokenize;
 pub mod vocab;
 
 pub use coalesce::{coalesce, CoalesceStats};
-pub use stats::{find_bursts, node_activity, template_frequencies};
 pub use label::{is_failure_terminal, label_template};
+pub use stats::{find_bursts, node_activity, template_frequencies};
 pub use stream::{
-    parse_lines, parse_records, parse_records_telemetry, parse_records_with_vocab, Event,
-    ParsedLog,
+    parse_lines, parse_records, parse_records_telemetry, parse_records_with_vocab, Event, ParsedLog,
 };
-pub use template::{extract_template, DrainMiner};
+pub use template::{extract_template, extract_template_into, DrainMiner};
 pub use vocab::Vocab;

@@ -113,7 +113,10 @@ fn rewrite_embedded(tok: &str) -> Option<String> {
     let mut changed = false;
     while i < bytes.len() {
         // 0x… hex run anywhere.
-        if bytes[i] == b'0' && i + 2 < bytes.len() && bytes[i + 1] == b'x' && is_hex_digit(bytes[i + 2])
+        if bytes[i] == b'0'
+            && i + 2 < bytes.len()
+            && bytes[i + 1] == b'x'
+            && is_hex_digit(bytes[i + 2])
         {
             let mut j = i + 2;
             while j < bytes.len() && is_hex_digit(bytes[j]) {
@@ -167,6 +170,113 @@ pub fn is_dynamic_token(tok: &str) -> bool {
     template_token(tok).is_some()
 }
 
+/// Byte-level twin of the [`TRIM`] char test — every trim char is ASCII,
+/// so trimming bytes from the ends matches `trim_matches` exactly (a
+/// multi-byte UTF-8 char has no bytes below 0x80 and can never match).
+fn is_trim_byte(b: u8) -> bool {
+    matches!(
+        b,
+        b',' | b'.' | b';' | b':' | b'(' | b')' | b'[' | b']' | b'<' | b'>'
+    )
+}
+
+/// Dry-run of [`rewrite_embedded`]: true iff it would rewrite something.
+/// Walks the same positions in the same order (a failed digit run advances
+/// one byte, exactly like the rewriting loop), so the first rewrite both
+/// loops would take is the same one.
+fn embedded_rewrite_would_change(bytes: &[u8]) -> bool {
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'0'
+            && i + 2 < bytes.len()
+            && bytes[i + 1] == b'x'
+            && is_hex_digit(bytes[i + 2])
+        {
+            return true;
+        }
+        if bytes[i].is_ascii_digit() {
+            let left_ok = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let right_ok = j == bytes.len() || !bytes[j].is_ascii_alphanumeric();
+            if left_ok && right_ok {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Append `tok`'s templated form to `out` without allocating: the
+/// zero-copy twin of [`template_token`] (static tokens are appended
+/// verbatim). Byte-identical to the allocating path — the property the
+/// `template_token_append_is_byte_identical` test pins down — so the
+/// fleet intake's hot loop can template events without a `String` per
+/// token.
+pub fn template_token_append(tok: &str, out: &mut String) {
+    let bytes = tok.as_bytes();
+    // Tier 1: trim positions computed directly. `l`/`r` land on char
+    // boundaries (trim bytes are ASCII), and because the core's first
+    // byte is never a trim byte, `l` equals the `tok.find(core)` the
+    // allocating path uses.
+    let mut l = 0;
+    while l < bytes.len() && is_trim_byte(bytes[l]) {
+        l += 1;
+    }
+    let mut r = bytes.len();
+    while r > l && is_trim_byte(bytes[r - 1]) {
+        r -= 1;
+    }
+    if core_is_dynamic(&tok[l..r]) {
+        out.push_str(&tok[..l]);
+        out.push('*');
+        out.push_str(&tok[r..]);
+        return;
+    }
+    // Tier 2: pre-scan so the common all-static token is one memcpy.
+    if !embedded_rewrite_would_change(bytes) {
+        out.push_str(tok);
+        return;
+    }
+    // Same loop as `rewrite_embedded`, writing straight into `out` —
+    // including its byte-as-char handling of non-ASCII bytes, so the two
+    // paths agree byte-for-byte even on tokens it mangles.
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'0'
+            && i + 2 < bytes.len()
+            && bytes[i + 1] == b'x'
+            && is_hex_digit(bytes[i + 2])
+        {
+            let mut j = i + 2;
+            while j < bytes.len() && is_hex_digit(bytes[j]) {
+                j += 1;
+            }
+            out.push('*');
+            i = j;
+            continue;
+        }
+        if bytes[i].is_ascii_digit() {
+            let left_ok = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
+            let mut j = i;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let right_ok = j == bytes.len() || !bytes[j].is_ascii_alphanumeric();
+            if left_ok && right_ok {
+                out.push('*');
+                i = j;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+}
+
 /// Tokenize a message into classified tokens.
 pub fn tokenize(text: &str) -> Vec<Token<'_>> {
     text.split_whitespace()
@@ -183,21 +293,42 @@ mod tests {
 
     #[test]
     fn numbers_and_hex_are_dynamic() {
-        for t in ["42", "-108", "0x6624", "0x4c", "ffffffff810a1b2c", "deadbeef99"] {
+        for t in [
+            "42",
+            "-108",
+            "0x6624",
+            "0x4c",
+            "ffffffff810a1b2c",
+            "deadbeef99",
+        ] {
             assert!(is_dynamic_token(t), "{t} should be dynamic");
         }
     }
 
     #[test]
     fn words_are_static() {
-        for t in ["LustreError:", "kernel", "panic", "DVS:", "mcelog", "face", "=", "h/w"] {
+        for t in [
+            "LustreError:",
+            "kernel",
+            "panic",
+            "DVS:",
+            "mcelog",
+            "face",
+            "=",
+            "h/w",
+        ] {
             assert!(!is_dynamic_token(t), "{t} should be static");
         }
     }
 
     #[test]
     fn paths_stamps_kv_are_dynamic() {
-        for t in ["/etc/sysctl.conf", "20141216t162520,", "Info1=0x4c00054064:", "*"] {
+        for t in [
+            "/etc/sysctl.conf",
+            "20141216t162520,",
+            "Info1=0x4c00054064:",
+            "*",
+        ] {
             assert!(is_dynamic_token(t), "{t} should be dynamic");
         }
     }
@@ -219,7 +350,10 @@ mod tests {
 
     #[test]
     fn embedded_runs_are_wildcarded() {
-        assert_eq!(template_token("hwerr[0x1a2b]:").as_deref(), Some("hwerr[*]:"));
+        assert_eq!(
+            template_token("hwerr[0x1a2b]:").as_deref(),
+            Some("hwerr[*]:")
+        );
         assert_eq!(template_token("debug[0]:").as_deref(), Some("debug[*]:"));
         // Digit run inside a word is NOT rewritten.
         assert_eq!(template_token("EXT4-fs"), None);
@@ -228,16 +362,100 @@ mod tests {
 
     #[test]
     fn tokenize_table2_row() {
-        let toks = tokenize("hwerr 0x4c: ssid_rsp status msg protocol err Info1=0x4c00054064: Info2=0x0: Info3=0x2");
-        let dynamic: Vec<&str> = toks.iter().filter(|t| t.is_dynamic()).map(|t| t.text()).collect();
-        assert_eq!(dynamic, vec!["0x4c:", "Info1=0x4c00054064:", "Info2=0x0:", "Info3=0x2"]);
-        let stat: Vec<&str> = toks.iter().filter(|t| !t.is_dynamic()).map(|t| t.text()).collect();
-        assert_eq!(stat, vec!["hwerr", "ssid_rsp", "status", "msg", "protocol", "err"]);
+        let toks = tokenize(
+            "hwerr 0x4c: ssid_rsp status msg protocol err Info1=0x4c00054064: Info2=0x0: Info3=0x2",
+        );
+        let dynamic: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.is_dynamic())
+            .map(|t| t.text())
+            .collect();
+        assert_eq!(
+            dynamic,
+            vec!["0x4c:", "Info1=0x4c00054064:", "Info2=0x0:", "Info3=0x2"]
+        );
+        let stat: Vec<&str> = toks
+            .iter()
+            .filter(|t| !t.is_dynamic())
+            .map(|t| t.text())
+            .collect();
+        assert_eq!(
+            stat,
+            vec!["hwerr", "ssid_rsp", "status", "msg", "protocol", "err"]
+        );
     }
 
     #[test]
     fn empty_text_gives_no_tokens() {
         assert!(tokenize("").is_empty());
         assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn template_token_append_is_byte_identical() {
+        let cases = [
+            "0x4c:",
+            "(12345)",
+            "12:",
+            "[28451]:0x6624,",
+            "hwerr[0x1a2b]:",
+            "debug[0]:",
+            "EXT4-fs",
+            "Info3",
+            "LustreError:",
+            "severity=Corrected,",
+            "Info1=0x4c00054064:",
+            "20141216t162520,",
+            "/etc/sysctl.conf",
+            "ffffffff810a1b2c",
+            "deadbeef99",
+            "-108",
+            "*",
+            "::",
+            "",
+            "a00xff",
+            "=",
+            "h/w",
+            "éclair",
+            "café42",
+            "näme[37]:",
+            "0x",
+            "0xzz",
+            "x123y",
+            "99bottles",
+            "[[<(:;,.)>]]",
+        ];
+        for tok in cases {
+            let mut fast = String::new();
+            template_token_append(tok, &mut fast);
+            let slow = template_token(tok).unwrap_or_else(|| tok.to_string());
+            assert_eq!(fast, slow, "token {tok:?}");
+        }
+    }
+
+    #[test]
+    fn template_token_append_matches_on_random_corpus() {
+        // Deterministic pseudo-random byte soup over a log-ish alphabet,
+        // including multi-byte chars next to digit runs.
+        let alphabet: Vec<char> = "abz09:=[]().,x/é-μ*<>".chars().collect();
+        let mut state = 0x243f6a8885a308d3u64;
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let len = (state >> 59) as usize; // 0..32
+            let mut tok = String::new();
+            let mut s = state;
+            for _ in 0..len {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                tok.push(alphabet[(s >> 33) as usize % alphabet.len()]);
+            }
+            let mut fast = String::new();
+            template_token_append(&tok, &mut fast);
+            let slow = template_token(&tok).unwrap_or_else(|| tok.clone());
+            assert_eq!(fast, slow, "token {tok:?}");
+        }
     }
 }

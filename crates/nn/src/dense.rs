@@ -61,6 +61,26 @@ impl Dense {
         y.add_row_broadcast(&self.b.w);
     }
 
+    /// Inference for one row of a slot-resident batch:
+    /// `y.row(r) = x.row(r) @ W + b`, through the same single-row GEMV
+    /// kernel a batch=1 [`Dense::infer_into`] uses, leaving every other
+    /// row of `y` untouched. Bit-identical to the sequential path.
+    pub fn infer_row_into(&self, x: &Mat, r: usize, y: &mut Mat) {
+        x.matmul_row_into(r, &self.w.w, y);
+        y.add_bias_row(r, &self.b.w);
+    }
+
+    /// Wave form of [`Dense::infer_row_into`]: all listed rows in one
+    /// call, dense rows sharing weight sweeps through
+    /// [`Mat::matmul_rows_into`] — bit-identical per row to the per-row
+    /// loop. `rows` must be distinct.
+    pub fn infer_rows_into(&self, x: &Mat, rows: &[usize], y: &mut Mat) {
+        x.matmul_rows_into(rows, &self.w.w, y);
+        for &r in rows {
+            y.add_bias_row(r, &self.b.w);
+        }
+    }
+
     /// Backward pass: accumulates into `w.g` / `b.g`, returns `dx`.
     pub fn backward(&mut self, cache: &DenseCache, dy: &Mat) -> Mat {
         Self::backward_parts(&self.w.w, &mut self.w.g, &mut self.b.g, cache, dy)

@@ -56,12 +56,17 @@ pub use embedding::Embedding;
 pub use gru::{GruLayer, GruScratch};
 pub use lstm::{LstmLayer, LstmScratch, LstmState};
 pub use mat::Mat;
-pub use models::{ScoreWorkspace, TokenLstm, TrainConfig, VectorLstm, VectorStream};
+pub use models::{
+    ScoreWorkspace, TokenLstm, TrainConfig, VectorLstm, VectorStream, VectorStreamBatch,
+};
 pub use observe::{NoopObserver, ParamStats, RecordingObserver, ShardStats, TrainObserver};
 pub use optim::{nonfinite_grad_count, Adam, Optimizer, RmsProp, Sgd};
 pub use parallel::{shard_count, GradSet};
 pub use param::Param;
-pub use quant::{QuantMat, QuantizedStackedLstm, QuantizedVectorLstm, QuantizedVectorStream};
+pub use quant::{
+    QuantMat, QuantizedStackedLstm, QuantizedVectorLstm, QuantizedVectorStream,
+    QuantizedVectorStreamBatch,
+};
 pub use schedule::{Constant, Cosine, Schedule, StepDecay, Warmup};
 pub use sgns::{SgnsConfig, SkipGram};
 pub use simd::{backend as kernel_backend, backend_name as kernel_backend_name, Backend};

@@ -152,6 +152,39 @@ impl LstmLayer {
         }
     }
 
+    /// Step only the listed rows of a slot-resident batch. Each row of
+    /// `x`/`state` holds an independent stream (one fleet node), and only
+    /// `rows` carry a live event this wave; the other rows' state is left
+    /// untouched. The wave's pre-activations go through
+    /// [`Mat::matmul_rows_into`]/[`Mat::matmul_rows_acc`], which fuse
+    /// dense rows so one sweep of the weight matrices feeds the whole
+    /// wave — but fold every output element in the identical order the
+    /// batch=1 kernels use, so each stream's state stays bit-identical
+    /// to its sequential history (the property the capsule-replay tests
+    /// pin down). `rows` must be distinct — they are independent streams,
+    /// which is also what makes hoisting the GEMVs ahead of the gate
+    /// updates legal (no row reads another row's state).
+    pub fn step_rows_into(
+        &self,
+        x: &Mat,
+        rows: &[usize],
+        state: &mut LstmState,
+        ws: &mut LstmScratch,
+    ) {
+        debug_assert_eq!(x.cols(), self.input);
+        debug_assert_eq!(state.h.cols(), self.hidden);
+        debug_assert_eq!(state.h.rows(), x.rows());
+        if ws.pre.shape() != (x.rows(), 4 * self.hidden) {
+            ws.pre.reset(x.rows(), 4 * self.hidden);
+        }
+        x.matmul_rows_into(rows, &self.wx.w, &mut ws.pre);
+        state.h.matmul_rows_acc(rows, &self.wh.w, &mut ws.pre);
+        for &r in rows {
+            ws.pre.add_bias_row(r, &self.b.w);
+            crate::simd::lstm_gates_step(ws.pre.row(r), state.c.row_mut(r), state.h.row_mut(r));
+        }
+    }
+
     /// One timestep without a caller-provided scratch (convenience; pays
     /// one buffer allocation). Hot loops should hold an [`LstmScratch`]
     /// and call [`LstmLayer::step_into`].

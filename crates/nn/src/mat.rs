@@ -79,6 +79,26 @@ fn gemv_acc(a: &[f32], b: &[f32], bcols: usize, lo: usize, n: usize, out: &mut [
     simd::gemv_dense_acc(a, b, bcols, lo, n, out);
 }
 
+/// Split `R` distinct rows of a row-major buffer into simultaneous `&mut`
+/// slices (the fused multi-row GEMV writes them in one pass). Distinctness
+/// is asserted — aliasing rows would be UB.
+fn disjoint_rows_mut<const R: usize>(
+    data: &mut [f32],
+    n: usize,
+    rows: [usize; R],
+) -> [&mut [f32]; R] {
+    for i in 0..R {
+        assert!((rows[i] + 1) * n <= data.len(), "row out of bounds");
+        for j in i + 1..R {
+            assert_ne!(rows[i], rows[j], "wave rows must be distinct");
+        }
+    }
+    let p = data.as_mut_ptr();
+    // SAFETY: row indices are distinct (asserted above) and in bounds, so
+    // the produced slices are non-overlapping views into `data`.
+    rows.map(|r| unsafe { std::slice::from_raw_parts_mut(p.add(r * n), n) })
+}
+
 /// Contiguous dot product (used by the `A @ Bᵀ` small-shape kernel, where
 /// both operands are contiguous rows). Dispatches through [`crate::simd`];
 /// the scalar backend is the historical 8-accumulator unrolled loop.
@@ -574,6 +594,157 @@ impl Mat {
         );
     }
 
+    /// `out.row(r) = self.row(r) @ B` through the exact batch=1 GEMV
+    /// kernel a one-row [`Mat::matmul_into`] dispatches to. The fleet
+    /// batching path steps many independent streams held as rows of one
+    /// matrix; routing each row through the single-row kernel keeps every
+    /// row bit-identical to the stream's sequential batch=1 history —
+    /// the packed multi-row micro-kernel has a different accumulation
+    /// order and would break bit-exact capsule replay.
+    pub fn matmul_row_into(&self, r: usize, b: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, b.rows, "matmul_row shape mismatch");
+        assert_eq!(out.shape(), (self.rows, b.cols), "matmul_row output shape");
+        let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        let orow = &mut out.data[r * b.cols..(r + 1) * b.cols];
+        orow.iter_mut().for_each(|x| *x = 0.0);
+        gemv_acc(row, &b.data, b.cols, 0, b.cols, orow);
+    }
+
+    /// `out.row(r) += self.row(r) @ B` (accumulating twin of
+    /// [`Mat::matmul_row_into`], bit-identical to a one-row
+    /// [`Mat::matmul_acc`]).
+    pub fn matmul_row_acc(&self, r: usize, b: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, b.rows, "matmul_row shape mismatch");
+        assert_eq!(out.shape(), (self.rows, b.cols), "matmul_row output shape");
+        let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        let orow = &mut out.data[r * b.cols..(r + 1) * b.cols];
+        gemv_acc(row, &b.data, b.cols, 0, b.cols, orow);
+    }
+
+    /// `out.row(r) = self.row(r) @ B` for every `r` in `rows` — the wave
+    /// form of [`Mat::matmul_row_into`]. Each row is dispatched exactly as
+    /// the single-row kernel would dispatch it (zero-skipping axpy for
+    /// near-one-hot rows, dense sweep otherwise), and dense rows are
+    /// grouped four and two at a time into fused kernels that share one
+    /// sweep of `B` while folding every output element in the identical
+    /// k-ascending order. Every row's result is therefore bit-for-bit
+    /// what a per-row loop produces, while the weight traffic for an
+    /// R-row wave drops toward 1/R — the fleet batching win. Rows must be
+    /// distinct (independent stream slots; the wave cut rule upstream
+    /// guarantees it, and the fused groups assert it).
+    pub fn matmul_rows_into(&self, rows: &[usize], b: &Mat, out: &mut Mat) {
+        self.matmul_rows_impl(rows, b, out, true);
+    }
+
+    /// `out.row(r) += self.row(r) @ B` for every `r` in `rows`
+    /// (accumulating twin of [`Mat::matmul_rows_into`], bit-identical
+    /// per row to [`Mat::matmul_row_acc`]).
+    pub fn matmul_rows_acc(&self, rows: &[usize], b: &Mat, out: &mut Mat) {
+        self.matmul_rows_impl(rows, b, out, false);
+    }
+
+    fn matmul_rows_impl(&self, rows: &[usize], b: &Mat, out: &mut Mat, zero_first: bool) {
+        assert_eq!(self.cols, b.rows, "matmul_rows shape mismatch");
+        assert_eq!(out.shape(), (self.rows, b.cols), "matmul_rows output shape");
+        let k = self.cols;
+        let n = b.cols;
+        // Dense rows wait in `pend` until a fused group fills; sparse rows
+        // are cheap enough that sharing B sweeps buys nothing, so they run
+        // immediately through the same axpy form `gemv_acc` picks.
+        let mut pend = [0usize; 4];
+        let mut np = 0;
+        for &r in rows {
+            let orow = &mut out.data[r * n..(r + 1) * n];
+            if zero_first {
+                orow.iter_mut().for_each(|x| *x = 0.0);
+            }
+            let arow = &self.data[r * k..(r + 1) * k];
+            let nnz = arow.iter().filter(|&&x| x != 0.0).count();
+            if nnz * 4 <= k {
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b.data[kk * n..kk * n + n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            } else {
+                pend[np] = r;
+                np += 1;
+                if np == 4 {
+                    self.flush_dense4([pend[0], pend[1], pend[2], pend[3]], b, out);
+                    np = 0;
+                }
+            }
+        }
+        match np {
+            0 => {}
+            1 => self.flush_dense1(pend[0], b, out),
+            2 => self.flush_dense2([pend[0], pend[1]], b, out),
+            3 => {
+                self.flush_dense2([pend[0], pend[1]], b, out);
+                self.flush_dense1(pend[2], b, out);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn flush_dense1(&self, r: usize, b: &Mat, out: &mut Mat) {
+        let n = b.cols;
+        let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+        let orow = &mut out.data[r * n..(r + 1) * n];
+        simd::gemv_dense_acc(arow, &b.data, n, 0, n, orow);
+    }
+
+    fn flush_dense2(&self, rows: [usize; 2], b: &Mat, out: &mut Mat) {
+        let k = self.cols;
+        let n = b.cols;
+        let [o0, o1] = disjoint_rows_mut(&mut out.data, n, rows);
+        simd::gemv_dense_acc2(
+            [
+                &self.data[rows[0] * k..(rows[0] + 1) * k],
+                &self.data[rows[1] * k..(rows[1] + 1) * k],
+            ],
+            &b.data,
+            n,
+            0,
+            n,
+            [o0, o1],
+        );
+    }
+
+    fn flush_dense4(&self, rows: [usize; 4], b: &Mat, out: &mut Mat) {
+        let k = self.cols;
+        let n = b.cols;
+        let [o0, o1, o2, o3] = disjoint_rows_mut(&mut out.data, n, rows);
+        simd::gemv_dense_acc4(
+            [
+                &self.data[rows[0] * k..(rows[0] + 1) * k],
+                &self.data[rows[1] * k..(rows[1] + 1) * k],
+                &self.data[rows[2] * k..(rows[2] + 1) * k],
+                &self.data[rows[3] * k..(rows[3] + 1) * k],
+            ],
+            &b.data,
+            n,
+            0,
+            n,
+            [o0, o1, o2, o3],
+        );
+    }
+
+    /// `self.row(r) += bias.row(0)` — the per-row form of
+    /// [`Mat::add_row_broadcast`], element order identical.
+    pub fn add_bias_row(&mut self, r: usize, bias: &Mat) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+        for (x, b) in row.iter_mut().zip(&bias.data) {
+            *x += b;
+        }
+    }
+
     /// `out = A @ B[:, lo..hi]` without materialising the column slice
     /// (the GRU candidate gate multiplies by one third of its fused weight
     /// matrix every step).
@@ -813,6 +984,88 @@ mod tests {
         // Overwrite again: stale contents must not leak through.
         a.matmul_into(&b, &mut out);
         approx_eq(&out, &naive_matmul(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn row_matmul_bit_identical_to_single_row_matmul() {
+        // The fleet batching path depends on matmul_row_into/_acc producing
+        // exactly the bits a 1-row matmul_into/_acc would — for both the
+        // dense GEMV sweep and the zero-skipping one-hot branch.
+        let k = 120;
+        let n = 64;
+        let mut a = test_mat(6, k, 20);
+        // Rows 0 and 3 one-hot-sparse to hit the zero-skip branch.
+        for &r in &[0usize, 3] {
+            for v in a.row_mut(r) {
+                *v = 0.0;
+            }
+            a[(r, (r * 13) % k)] = 1.0;
+            a[(r, 2)] = 0.5;
+        }
+        let b = test_mat(k, n, 21);
+        let h = test_mat(6, 40, 22);
+        let w = test_mat(40, n, 23);
+        let bias = test_mat(1, n, 24);
+
+        let mut out = Mat::full(6, n, f32::NAN);
+        for r in 0..6 {
+            a.matmul_row_into(r, &b, &mut out);
+            h.matmul_row_acc(r, &w, &mut out);
+            out.add_bias_row(r, &bias);
+        }
+        for r in 0..6 {
+            let a1 = Mat::from_vec(1, k, a.row(r).to_vec());
+            let h1 = Mat::from_vec(1, 40, h.row(r).to_vec());
+            let mut e = Mat::zeros(1, n);
+            a1.matmul_into(&b, &mut e);
+            h1.matmul_acc(&w, &mut e);
+            e.add_row_broadcast(&bias);
+            assert_eq!(
+                out.row(r).iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                e.row(0).iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "row {r} diverged from the 1-row kernel"
+            );
+        }
+    }
+
+    /// The fused wave forms must be bit-identical per row to the per-row
+    /// loop they replace, across every grouping the dispatcher can form:
+    /// sparse rows interleaved with dense, waves from 1 to 9 rows (quads,
+    /// a pair, singles), and both the fused n%64==0 shape and the
+    /// fallback shapes.
+    #[test]
+    fn wave_matmul_bit_identical_to_per_row_loop() {
+        for &(k, n) in &[(64usize, 256usize), (40, 64), (33, 50)] {
+            let mut a = test_mat(9, k, 30);
+            for &r in &[1usize, 4] {
+                for v in a.row_mut(r) {
+                    *v = 0.0;
+                }
+                a[(r, (r * 7) % k)] = 1.0;
+                a[(r, 1)] = 0.25;
+            }
+            let b = test_mat(k, n, 31);
+            let h = test_mat(9, 48, 32);
+            let w = test_mat(48, n, 33);
+            for wave in 1..=9usize {
+                let rows: Vec<usize> = (0..wave).collect();
+                let mut want = Mat::full(9, n, f32::NAN);
+                for &r in &rows {
+                    a.matmul_row_into(r, &b, &mut want);
+                    h.matmul_row_acc(r, &w, &mut want);
+                }
+                let mut got = Mat::full(9, n, f32::NAN);
+                a.matmul_rows_into(&rows, &b, &mut got);
+                h.matmul_rows_acc(&rows, &w, &mut got);
+                for &r in &rows {
+                    assert_eq!(
+                        want.row(r).iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        got.row(r).iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "wave {wave} row {r} diverged at {k}x{n}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -798,6 +798,48 @@ impl VectorLstm {
         score
     }
 
+    /// Begin a slot-resident batched streaming pass: `slots` independent
+    /// carried-state streams living as rows of shared state matrices. A
+    /// fleet shard parks one node per slot and steps only the rows with a
+    /// live event each wave via [`VectorLstm::stream_push_rows`] — no
+    /// per-event gather/scatter of recurrent state.
+    pub fn begin_stream_batch(&self, slots: usize) -> VectorStreamBatch {
+        VectorStreamBatch {
+            states: self.net.zero_states(slots),
+            ws: StackedScratch::new(),
+            x: Mat::zeros(slots, self.dim),
+            preds: Mat::zeros(slots, self.dim),
+            steps: vec![0; slots],
+        }
+    }
+
+    /// Feed one staged sample per listed slot, batched. Callers stage each
+    /// slot's sample into [`VectorStreamBatch::input_row_mut`] first;
+    /// `scores` is cleared and refilled with one entry per entry of
+    /// `rows`, in order — the same one-step-ahead MSE a sequential
+    /// [`VectorLstm::stream_push`] of that slot's stream would return
+    /// (`None` on a slot's first push). Every slot's scores, predictions,
+    /// and recurrent state are bit-identical to the sequential path; see
+    /// the `stream_push_rows_bit_identical_to_streams` test.
+    pub fn stream_push_rows(
+        &self,
+        sb: &mut VectorStreamBatch,
+        rows: &[usize],
+        scores: &mut Vec<Option<f64>>,
+    ) {
+        scores.clear();
+        for &r in rows {
+            scores.push((sb.steps[r] > 0).then(|| mse_vec(sb.preds.row(r), sb.x.row(r))));
+        }
+        let y = self
+            .net
+            .step_infer_rows_ws(&sb.x, rows, &mut sb.states, &mut sb.ws);
+        for &r in rows {
+            sb.preds.row_mut(r).copy_from_slice(y.row(r));
+            sb.steps[r] += 1;
+        }
+    }
+
     /// Batch reference for the streaming scorer: for every position `t`,
     /// re-run the net from zero state over the full prefix `..=t` and
     /// score its prediction of sample `t+1`. O(n²) — exists so tests can
@@ -853,6 +895,59 @@ impl VectorStream {
     /// the first push).
     pub fn prediction(&self) -> &[f32] {
         &self.pred
+    }
+}
+
+/// Slot-resident carried state for a batched [`VectorLstm`] streaming
+/// pass: row `s` of every matrix belongs to stream slot `s`. Fixed
+/// capacity; callers recycle slots with [`VectorStreamBatch::reset_slot`].
+#[derive(Debug, Clone)]
+pub struct VectorStreamBatch {
+    states: Vec<LstmState>,
+    ws: StackedScratch,
+    x: Mat,
+    preds: Mat,
+    steps: Vec<usize>,
+}
+
+impl VectorStreamBatch {
+    /// Slot capacity.
+    pub fn slots(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Stage buffer for `slot`'s next sample; overwrite the whole row
+    /// before listing the slot in a [`VectorLstm::stream_push_rows`] wave.
+    pub fn input_row_mut(&mut self, slot: usize) -> &mut [f32] {
+        self.x.row_mut(slot)
+    }
+
+    /// Samples pushed through `slot` so far.
+    pub fn len(&self, slot: usize) -> usize {
+        self.steps[slot]
+    }
+
+    /// True when `slot` has seen no samples since its last reset.
+    pub fn is_empty(&self, slot: usize) -> bool {
+        self.steps[slot] == 0
+    }
+
+    /// The model's current prediction of `slot`'s next sample (zeros
+    /// before the slot's first push).
+    pub fn prediction(&self, slot: usize) -> &[f32] {
+        self.preds.row(slot)
+    }
+
+    /// Return `slot` to the fresh-stream state (recurrent rows zeroed,
+    /// step count cleared) so a new node can take it over. Bit-identical
+    /// to handing the node a fresh [`VectorLstm::begin_stream`].
+    pub fn reset_slot(&mut self, slot: usize) {
+        for st in &mut self.states {
+            st.h.row_mut(slot).fill(0.0);
+            st.c.row_mut(slot).fill(0.0);
+        }
+        self.preds.row_mut(slot).fill(0.0);
+        self.steps[slot] = 0;
     }
 }
 
@@ -1220,5 +1315,58 @@ mod tests {
         assert_eq!(st.len(), seq.len());
         assert_eq!(streamed, batch);
         assert!(st.prediction().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn stream_push_rows_bit_identical_to_streams() {
+        // A slot-resident batch stepped in waves must reproduce each
+        // slot's sequential stream bitwise: scores, predictions, and a
+        // mid-flight reset.
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let m = VectorLstm::new(3, 8, 2, &mut rng);
+        let slots = 4usize;
+        let seqs: Vec<Vec<Vec<f32>>> = (0..slots)
+            .map(|s| {
+                (0..6 + s)
+                    .map(|_| (0..3).map(|_| rng.f32() - 0.5).collect())
+                    .collect()
+            })
+            .collect();
+
+        let mut sb = m.begin_stream_batch(slots);
+        let mut wave_scores = Vec::new();
+        let mut batched: Vec<Vec<Option<f64>>> = vec![Vec::new(); slots];
+        let max_t = seqs.iter().map(|s| s.len()).max().unwrap();
+        for t in 0..max_t {
+            // Slot 2 is recycled after its 3rd event, as if its node was
+            // evicted and a fresh one took the slot over.
+            if t == 3 {
+                sb.reset_slot(2);
+            }
+            let rows: Vec<usize> = (0..slots).filter(|&s| t < seqs[s].len()).collect();
+            for &s in &rows {
+                sb.input_row_mut(s).copy_from_slice(&seqs[s][t]);
+            }
+            m.stream_push_rows(&mut sb, &rows, &mut wave_scores);
+            for (&s, sc) in rows.iter().zip(&wave_scores) {
+                batched[s].push(*sc);
+            }
+        }
+
+        for s in 0..slots {
+            let mut st = m.begin_stream();
+            let mut want = Vec::new();
+            for (t, sample) in seqs[s].iter().enumerate() {
+                if s == 2 && t == 3 {
+                    st = m.begin_stream();
+                }
+                want.push(m.stream_push(&mut st, sample));
+            }
+            assert_eq!(batched[s], want, "slot {s} scores diverged");
+            let pb: Vec<u32> = sb.prediction(s).iter().map(|x| x.to_bits()).collect();
+            let ps: Vec<u32> = st.prediction().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(pb, ps, "slot {s} prediction diverged");
+            assert_eq!(sb.len(s), st.len());
+        }
     }
 }

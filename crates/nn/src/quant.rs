@@ -150,6 +150,27 @@ impl QuantizedLstmLayer {
             simd::lstm_gates_step(pre.row(r), state.c.row_mut(r), state.h.row_mut(r));
         }
     }
+
+    /// [`QuantizedLstmLayer::step_into`] over only the listed rows of a
+    /// slot-resident batch; untouched rows keep their state. The per-row
+    /// i8 GEMV is already the batch=1 kernel, so each stepped row is
+    /// bit-identical to its sequential history.
+    fn step_rows_into(&self, x: &Mat, rows: &[usize], state: &mut LstmState, pre: &mut Mat) {
+        debug_assert_eq!(x.cols(), self.input);
+        debug_assert_eq!(pre.shape(), (x.rows(), 4 * self.hidden));
+        let gates = 4 * self.hidden;
+        for &r in rows {
+            let prow = pre.row_mut(r);
+            prow.copy_from_slice(&self.b);
+            self.wx.gemv_acc(x.row(r), 0, gates, prow);
+        }
+        for &r in rows {
+            self.wh.gemv_acc(state.h.row(r), 0, gates, pre.row_mut(r));
+        }
+        for &r in rows {
+            simd::lstm_gates_step(pre.row(r), state.c.row_mut(r), state.h.row_mut(r));
+        }
+    }
 }
 
 /// Per-step transients for the quantized stack: one shared gate
@@ -241,6 +262,33 @@ impl QuantizedStackedLstm {
         &ws.y
     }
 
+    /// Slot-resident batched step: advance only the listed rows through
+    /// every layer and the head, mirroring
+    /// [`crate::StackedLstm::step_infer_rows_ws`]. Per row bit-identical
+    /// to a batch=1 [`QuantizedStackedLstm::step_infer_ws`].
+    pub fn step_infer_rows_ws<'w>(
+        &self,
+        x: &Mat,
+        rows: &[usize],
+        states: &mut [LstmState],
+        ws: &'w mut QuantScratch,
+    ) -> &'w Mat {
+        assert_eq!(states.len(), self.layers.len());
+        self.ensure_scratch(x.rows(), ws);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (below, rest) = states.split_at_mut(l);
+            let input = if l == 0 { x } else { &below[l - 1].h };
+            layer.step_rows_into(input, rows, &mut rest[0], &mut ws.pre);
+        }
+        let top = &states[states.len() - 1].h;
+        for &r in rows {
+            let yrow = ws.y.row_mut(r);
+            yrow.copy_from_slice(&self.head_b);
+            self.head_w.gemv_acc(top.row(r), 0, self.output, yrow);
+        }
+        &ws.y
+    }
+
     /// Resident weight bytes across all quantized tensors and f32 biases.
     pub fn resident_bytes(&self) -> usize {
         let f32b = std::mem::size_of::<f32>();
@@ -322,6 +370,41 @@ impl QuantizedVectorLstm {
         st.pred.copy_from_slice(y.row(0));
         st.steps += 1;
         score
+    }
+
+    /// Begin a slot-resident batched streaming pass (same contract as
+    /// [`VectorLstm::begin_stream_batch`]).
+    pub fn begin_stream_batch(&self, slots: usize) -> QuantizedVectorStreamBatch {
+        QuantizedVectorStreamBatch {
+            states: self.net.zero_states(slots),
+            ws: QuantScratch::new(),
+            x: Mat::zeros(slots, self.dim),
+            preds: Mat::zeros(slots, self.dim),
+            steps: vec![0; slots],
+        }
+    }
+
+    /// Batched twin of [`QuantizedVectorLstm::stream_push`]: one staged
+    /// sample per listed slot, scores refilled in `rows` order, each slot
+    /// bit-identical to its sequential stream (same contract as
+    /// [`VectorLstm::stream_push_rows`]).
+    pub fn stream_push_rows(
+        &self,
+        sb: &mut QuantizedVectorStreamBatch,
+        rows: &[usize],
+        scores: &mut Vec<Option<f64>>,
+    ) {
+        scores.clear();
+        for &r in rows {
+            scores.push((sb.steps[r] > 0).then(|| mse_vec(sb.preds.row(r), sb.x.row(r))));
+        }
+        let y = self
+            .net
+            .step_infer_rows_ws(&sb.x, rows, &mut sb.states, &mut sb.ws);
+        for &r in rows {
+            sb.preds.row_mut(r).copy_from_slice(y.row(r));
+            sb.steps[r] += 1;
+        }
     }
 
     /// O(n²) batch oracle mirroring [`VectorLstm::score_stream_batch`].
@@ -427,6 +510,56 @@ impl QuantizedVectorStream {
     /// the first push).
     pub fn prediction(&self) -> &[f32] {
         &self.pred
+    }
+}
+
+/// Slot-resident carried state for a batched [`QuantizedVectorLstm`]
+/// streaming pass (int8 twin of [`crate::VectorStreamBatch`]).
+#[derive(Debug, Clone)]
+pub struct QuantizedVectorStreamBatch {
+    states: Vec<LstmState>,
+    ws: QuantScratch,
+    x: Mat,
+    preds: Mat,
+    steps: Vec<usize>,
+}
+
+impl QuantizedVectorStreamBatch {
+    /// Slot capacity.
+    pub fn slots(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Stage buffer for `slot`'s next sample; overwrite the whole row
+    /// before listing the slot in a push wave.
+    pub fn input_row_mut(&mut self, slot: usize) -> &mut [f32] {
+        self.x.row_mut(slot)
+    }
+
+    /// Samples pushed through `slot` so far.
+    pub fn len(&self, slot: usize) -> usize {
+        self.steps[slot]
+    }
+
+    /// True when `slot` has seen no samples since its last reset.
+    pub fn is_empty(&self, slot: usize) -> bool {
+        self.steps[slot] == 0
+    }
+
+    /// The model's current prediction of `slot`'s next sample.
+    pub fn prediction(&self, slot: usize) -> &[f32] {
+        self.preds.row(slot)
+    }
+
+    /// Return `slot` to the fresh-stream state so a new node can take it
+    /// over.
+    pub fn reset_slot(&mut self, slot: usize) {
+        for st in &mut self.states {
+            st.h.row_mut(slot).fill(0.0);
+            st.c.row_mut(slot).fill(0.0);
+        }
+        self.preds.row_mut(slot).fill(0.0);
+        self.steps[slot] = 0;
     }
 }
 
@@ -551,6 +684,47 @@ mod tests {
         assert_eq!(f.len(), q.len());
         for (a, b) in f.iter().zip(&q) {
             assert!((a - b).abs() < 0.05, "f32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_stream_push_rows_bit_identical_to_streams() {
+        let m = trained_model(2);
+        let qm = QuantizedVectorLstm::from_f32(&m);
+        let slots = 3usize;
+        let seqs: Vec<Vec<Vec<f32>>> = (0..slots)
+            .map(|s| toy_seqs(2, 1, 6 + s).remove(0))
+            .collect();
+        let mut sb = qm.begin_stream_batch(slots);
+        let mut wave_scores = Vec::new();
+        let mut batched: Vec<Vec<Option<f64>>> = vec![Vec::new(); slots];
+        let max_t = seqs.iter().map(|s| s.len()).max().unwrap();
+        for t in 0..max_t {
+            if t == 2 {
+                sb.reset_slot(1);
+            }
+            let rows: Vec<usize> = (0..slots).filter(|&s| t < seqs[s].len()).collect();
+            for &s in &rows {
+                sb.input_row_mut(s).copy_from_slice(&seqs[s][t]);
+            }
+            qm.stream_push_rows(&mut sb, &rows, &mut wave_scores);
+            for (&s, sc) in rows.iter().zip(&wave_scores) {
+                batched[s].push(*sc);
+            }
+        }
+        for s in 0..slots {
+            let mut st = qm.begin_stream();
+            let mut want = Vec::new();
+            for (t, sample) in seqs[s].iter().enumerate() {
+                if s == 1 && t == 2 {
+                    st = qm.begin_stream();
+                }
+                want.push(qm.stream_push(&mut st, sample));
+            }
+            assert_eq!(batched[s], want, "slot {s} scores diverged");
+            let pb: Vec<u32> = sb.prediction(s).iter().map(|x| x.to_bits()).collect();
+            let ps: Vec<u32> = st.prediction().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(pb, ps, "slot {s} prediction diverged");
         }
     }
 

@@ -159,6 +159,35 @@ pub(crate) fn gemv_dense_acc(
     dispatch!(gemv_dense_acc(a, b, bcols, lo, n, out))
 }
 
+/// Fused two-row twin of [`gemv_dense_acc`]: one sweep of `B` feeds both
+/// rows' accumulators. Every output element still folds the identical
+/// k-ascending chain the single-row kernel uses, so each row's result is
+/// bit-for-bit what two single-row calls produce — only the `B` loads are
+/// shared. Rows must not alias.
+pub(crate) fn gemv_dense_acc2(
+    a: [&[f32]; 2],
+    b: &[f32],
+    bcols: usize,
+    lo: usize,
+    n: usize,
+    out: [&mut [f32]; 2],
+) {
+    dispatch!(gemv_dense_acc2(a, b, bcols, lo, n, out))
+}
+
+/// Four-row twin of [`gemv_dense_acc2`]; same bit-exactness contract,
+/// quarter the `B` traffic.
+pub(crate) fn gemv_dense_acc4(
+    a: [&[f32]; 4],
+    b: &[f32],
+    bcols: usize,
+    lo: usize,
+    n: usize,
+    out: [&mut [f32]; 4],
+) {
+    dispatch!(gemv_dense_acc4(a, b, bcols, lo, n, out))
+}
+
 /// The MR×NR register-tiled micro-kernel over packed panels; see
 /// `mat.rs` for the packing layout.
 #[allow(clippy::too_many_arguments)] // BLAS-style kernel signature
@@ -298,6 +327,35 @@ mod scalar {
             for (o, &bv) in out.iter_mut().zip(brow) {
                 *o += av * bv;
             }
+        }
+    }
+
+    // The scalar backend has no load-bandwidth story to optimise, so the
+    // fused multi-row forms are literally per-row calls (which is also
+    // what makes them trivially bit-identical to the single-row kernel).
+    pub(super) fn gemv_dense_acc2(
+        a: [&[f32]; 2],
+        b: &[f32],
+        bcols: usize,
+        lo: usize,
+        n: usize,
+        out: [&mut [f32]; 2],
+    ) {
+        for (ar, or) in a.into_iter().zip(out) {
+            gemv_dense_acc(ar, b, bcols, lo, n, or);
+        }
+    }
+
+    pub(super) fn gemv_dense_acc4(
+        a: [&[f32]; 4],
+        b: &[f32],
+        bcols: usize,
+        lo: usize,
+        n: usize,
+        out: [&mut [f32]; 4],
+    ) {
+        for (ar, or) in a.into_iter().zip(out) {
+            gemv_dense_acc(ar, b, bcols, lo, n, or);
         }
     }
 
@@ -694,6 +752,127 @@ mod avx2 {
                     *o += av * *row.add(jj);
                 }
             }
+        }
+    }
+
+    /// Fused two-row GEMV: 32-column blocks, both rows' accumulators live
+    /// across one shared k sweep of `B`, halving the weight-load traffic
+    /// that bounds the batch-1 kernel once `B` spills L1d. Each output
+    /// element folds the same straight k-ascending FMA chain as the
+    /// single-row kernel's 64-column path, so the fused form is only
+    /// taken when `n % 64 == 0` — i.e. when the single-row kernel would
+    /// use that path for every column — and is then bit-identical per
+    /// row. Other widths (where the single-row kernel switches to
+    /// even/odd k-split accumulators) fall back to per-row calls.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gemv_dense_acc2(
+        a: [&[f32]; 2],
+        b: &[f32],
+        bcols: usize,
+        lo: usize,
+        n: usize,
+        out: [&mut [f32]; 2],
+    ) {
+        let [a0, a1] = a;
+        let [o0, o1] = out;
+        if !n.is_multiple_of(64) {
+            gemv_dense_acc(a0, b, bcols, lo, n, o0);
+            gemv_dense_acc(a1, b, bcols, lo, n, o1);
+            return;
+        }
+        let k = a0.len();
+        debug_assert_eq!(a1.len(), k);
+        let (ap0, ap1) = (a0.as_ptr(), a1.as_ptr());
+        let bp = b.as_ptr().add(lo);
+        let (op0, op1) = (o0.as_mut_ptr(), o1.as_mut_ptr());
+        let spills_l1 = k * bcols * 4 > 48 * 1024;
+        let mut j = 0;
+        while j + 32 <= n {
+            let mut acc0 = [_mm256_setzero_ps(); 4];
+            let mut acc1 = [_mm256_setzero_ps(); 4];
+            for v in 0..4 {
+                acc0[v] = _mm256_loadu_ps(op0.add(j + 8 * v));
+                acc1[v] = _mm256_loadu_ps(op1.add(j + 8 * v));
+            }
+            for kk in 0..k {
+                let av0 = _mm256_set1_ps(*ap0.add(kk));
+                let av1 = _mm256_set1_ps(*ap1.add(kk));
+                let row = bp.add(kk * bcols + j);
+                if spills_l1 && kk + 6 < k {
+                    let pf = bp.add((kk + 6) * bcols + j) as *const i8;
+                    _mm_prefetch(pf, _MM_HINT_T0);
+                    _mm_prefetch(pf.add(64), _MM_HINT_T0);
+                }
+                for v in 0..4 {
+                    let bv = _mm256_loadu_ps(row.add(8 * v));
+                    acc0[v] = _mm256_fmadd_ps(av0, bv, acc0[v]);
+                    acc1[v] = _mm256_fmadd_ps(av1, bv, acc1[v]);
+                }
+            }
+            for v in 0..4 {
+                _mm256_storeu_ps(op0.add(j + 8 * v), acc0[v]);
+                _mm256_storeu_ps(op1.add(j + 8 * v), acc1[v]);
+            }
+            j += 32;
+        }
+    }
+
+    /// Fused four-row GEMV: 16-column blocks, four rows per shared `B`
+    /// sweep (quarter traffic). Same contract as [`gemv_dense_acc2`]:
+    /// straight k-ascending folds, fused only when `n % 64 == 0`,
+    /// bit-identical per row to the single-row kernel.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gemv_dense_acc4(
+        a: [&[f32]; 4],
+        b: &[f32],
+        bcols: usize,
+        lo: usize,
+        n: usize,
+        out: [&mut [f32]; 4],
+    ) {
+        if !n.is_multiple_of(64) {
+            for (ar, or) in a.into_iter().zip(out) {
+                gemv_dense_acc(ar, b, bcols, lo, n, or);
+            }
+            return;
+        }
+        let k = a[0].len();
+        debug_assert!(a.iter().all(|r| r.len() == k));
+        let aps = [a[0].as_ptr(), a[1].as_ptr(), a[2].as_ptr(), a[3].as_ptr()];
+        let bp = b.as_ptr().add(lo);
+        let [o0, o1, o2, o3] = out;
+        let ops = [
+            o0.as_mut_ptr(),
+            o1.as_mut_ptr(),
+            o2.as_mut_ptr(),
+            o3.as_mut_ptr(),
+        ];
+        let spills_l1 = k * bcols * 4 > 48 * 1024;
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr[0] = _mm256_loadu_ps(ops[r].add(j));
+                accr[1] = _mm256_loadu_ps(ops[r].add(j + 8));
+            }
+            for kk in 0..k {
+                let row = bp.add(kk * bcols + j);
+                if spills_l1 && kk + 6 < k {
+                    _mm_prefetch(bp.add((kk + 6) * bcols + j) as *const i8, _MM_HINT_T0);
+                }
+                let bv0 = _mm256_loadu_ps(row);
+                let bv1 = _mm256_loadu_ps(row.add(8));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*aps[r].add(kk));
+                    accr[0] = _mm256_fmadd_ps(av, bv0, accr[0]);
+                    accr[1] = _mm256_fmadd_ps(av, bv1, accr[1]);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                _mm256_storeu_ps(ops[r].add(j), accr[0]);
+                _mm256_storeu_ps(ops[r].add(j + 8), accr[1]);
+            }
+            j += 16;
         }
     }
 
@@ -1123,6 +1302,34 @@ mod neon {
         }
     }
 
+    // No fused multi-row form tuned for NEON yet: per-row calls keep the
+    // bit-exactness contract trivially.
+    pub(super) unsafe fn gemv_dense_acc2(
+        a: [&[f32]; 2],
+        b: &[f32],
+        bcols: usize,
+        lo: usize,
+        n: usize,
+        out: [&mut [f32]; 2],
+    ) {
+        for (ar, or) in a.into_iter().zip(out) {
+            gemv_dense_acc(ar, b, bcols, lo, n, or);
+        }
+    }
+
+    pub(super) unsafe fn gemv_dense_acc4(
+        a: [&[f32]; 4],
+        b: &[f32],
+        bcols: usize,
+        lo: usize,
+        n: usize,
+        out: [&mut [f32]; 4],
+    ) {
+        for (ar, or) in a.into_iter().zip(out) {
+            gemv_dense_acc(ar, b, bcols, lo, n, or);
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(super) unsafe fn microkernel_acc(
         pa: &[f32],
@@ -1466,6 +1673,79 @@ mod tests {
             assert!((d_s - d_v).abs() <= 1e-4 * (k as f32).sqrt() + 1e-6);
         }
         set_backend(native);
+    }
+
+    /// The fused multi-row GEMVs must be BIT-identical per row to the
+    /// single-row kernel on the active backend — the fleet wave path
+    /// relies on this to keep batched streams byte-equal to their
+    /// sequential batch=1 histories. Covers both the fused shape
+    /// (n % 64 == 0) and the per-row fallback shapes.
+    #[test]
+    fn fused_multirow_gemv_bit_identical_to_single_row() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        for &(k, n) in &[(64usize, 256usize), (64, 128), (64, 96), (17, 40), (64, 5)] {
+            let rows: Vec<Vec<f32>> = (0..4).map(|_| randv(&mut rng, k, -1.0, 1.0)).collect();
+            let b = randv(&mut rng, k * n, -1.0, 1.0);
+            let init = randv(&mut rng, n, -0.5, 0.5);
+            let single: Vec<Vec<f32>> = rows
+                .iter()
+                .map(|a| {
+                    let mut out = init.clone();
+                    gemv_dense_acc(a, &b, n, 0, n, &mut out);
+                    out
+                })
+                .collect();
+            let mut o2: Vec<Vec<f32>> = vec![init.clone(); 2];
+            {
+                let (lo, hi) = o2.split_at_mut(1);
+                gemv_dense_acc2(
+                    [rows[0].as_slice(), rows[1].as_slice()],
+                    &b,
+                    n,
+                    0,
+                    n,
+                    [lo[0].as_mut_slice(), hi[0].as_mut_slice()],
+                );
+            }
+            let mut o4: Vec<Vec<f32>> = vec![init.clone(); 4];
+            {
+                let (ab, cd) = o4.split_at_mut(2);
+                let (oa, ob) = ab.split_at_mut(1);
+                let (oc, od) = cd.split_at_mut(1);
+                gemv_dense_acc4(
+                    [
+                        rows[0].as_slice(),
+                        rows[1].as_slice(),
+                        rows[2].as_slice(),
+                        rows[3].as_slice(),
+                    ],
+                    &b,
+                    n,
+                    0,
+                    n,
+                    [
+                        oa[0].as_mut_slice(),
+                        ob[0].as_mut_slice(),
+                        oc[0].as_mut_slice(),
+                        od[0].as_mut_slice(),
+                    ],
+                );
+            }
+            for r in 0..2 {
+                assert_eq!(
+                    single[r].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    o2[r].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "acc2 row {r} diverged at {k}x{n}"
+                );
+            }
+            for r in 0..4 {
+                assert_eq!(
+                    single[r].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    o4[r].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "acc4 row {r} diverged at {k}x{n}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -187,6 +187,36 @@ impl StackedLstm {
         &ws.y
     }
 
+    /// Slot-resident batched streaming inference: each row of `x`/`states`
+    /// holds an independent stream (one fleet node), and only the listed
+    /// `rows` carry a live event this wave. Steps those rows through every
+    /// recurrent layer and the head, leaving all other rows' state and
+    /// head output untouched. Per row this is bit-identical to driving a
+    /// batch=1 [`StackedLstm::step_infer_ws`] stream (single-row GEMV
+    /// kernels throughout) — the invariant the fleet intake's capsule
+    /// replay depends on.
+    pub fn step_infer_rows_ws<'w>(
+        &self,
+        x: &Mat,
+        rows: &[usize],
+        states: &mut [LstmState],
+        ws: &'w mut StackedScratch,
+    ) -> &'w Mat {
+        assert_eq!(states.len(), self.layers.len());
+        self.ensure_scratch(ws);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (below, rest) = states.split_at_mut(l);
+            let input = if l == 0 { x } else { &below[l - 1].h };
+            layer.step_rows_into(input, rows, &mut rest[0], &mut ws.layers[l]);
+        }
+        if ws.y.shape() != (x.rows(), self.head.output_dim()) {
+            ws.y.reset(x.rows(), self.head.output_dim());
+        }
+        let top = &states[states.len() - 1].h;
+        self.head.infer_rows_into(top, rows, &mut ws.y);
+        &ws.y
+    }
+
     /// Stateful streaming inference with a throwaway workspace.
     pub fn step_infer(&self, x: &Mat, states: &mut [LstmState]) -> Mat {
         let mut ws = StackedScratch::new();
@@ -341,6 +371,44 @@ mod tests {
         let batch = net.infer(&xs);
         for (a, b) in last.data().iter().zip(batch.data()) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn step_infer_rows_bit_identical_to_sequential_streams() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let net = StackedLstm::new(3, 4, 2, 3, &mut rng);
+        let slots = 5usize;
+        // Independent per-slot event sequences of differing lengths, so
+        // waves step a different row subset each tick.
+        let seqs: Vec<Vec<Mat>> = (0..slots)
+            .map(|s| rand_seq(3 + s % 3, 1, 3, &mut rng))
+            .collect();
+        // Batched: all slots resident as rows of one state/input matrix.
+        let mut bstates = net.zero_states(slots);
+        let mut bws = StackedScratch::new();
+        let mut x = Mat::zeros(slots, 3);
+        let mut outs: Vec<Vec<Vec<u32>>> = vec![Vec::new(); slots];
+        let max_t = seqs.iter().map(|s| s.len()).max().unwrap();
+        for t in 0..max_t {
+            let rows: Vec<usize> = (0..slots).filter(|&s| t < seqs[s].len()).collect();
+            for &s in &rows {
+                x.row_mut(s).copy_from_slice(seqs[s][t].row(0));
+            }
+            let y = net.step_infer_rows_ws(&x, &rows, &mut bstates, &mut bws);
+            for &s in &rows {
+                outs[s].push(y.row(s).iter().map(|v| v.to_bits()).collect());
+            }
+        }
+        // Sequential: each slot through its own batch=1 stream.
+        for s in 0..slots {
+            let mut states = net.zero_states(1);
+            let mut ws = StackedScratch::new();
+            for (t, xt) in seqs[s].iter().enumerate() {
+                let y = net.step_infer_ws(xt, &mut states, &mut ws);
+                let bits: Vec<u32> = y.row(0).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(outs[s][t], bits, "slot {s} step {t} diverged");
+            }
         }
     }
 

@@ -19,7 +19,8 @@ use desh::checkpoint::{
 };
 use desh::core::{
     config_hash, dataset_fingerprint, render_report, replay_capsule, run_phase1_session,
-    run_phase2_session, OnlineDetector, ReplayOptions, RunSession,
+    run_phase2_session, Backpressure, BatchDetector, IntakeConfig, IntakeServer, OnlineDetector,
+    ReplayOptions, RunSession,
 };
 use desh::obs::{
     default_slo_specs, diff_series, install_panic_dump, list_capsules, list_runs, load_run,
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
         let boolean: &[&str] = match cmd.as_str() {
             "train" => &["fast"],
             "predict" => &["fast", "profile", "int8"],
+            "serve" => &["int8", "drop-oldest"],
             "slo" => &["json"],
             _ => &[],
         };
@@ -68,6 +70,8 @@ fn main() -> ExitCode {
             "generate" => cmd_generate(&opts),
             "train" => cmd_train(&opts),
             "predict" => cmd_predict(&opts),
+            "serve" => cmd_serve(&opts),
+            "drive" => cmd_drive(&opts),
             "quantize" => cmd_quantize(&opts),
             "analyze" => cmd_analyze(&opts),
             "slo" => cmd_slo(&opts),
@@ -101,6 +105,11 @@ USAGE:
                     [--serve-secs <n>] [--trace-dir <dir>] [--runs-dir <dir>]
                     [--capsule-dir <dir>]
                     [--profile] [--profile-every <n>]
+  desh-cli serve    --model <model.dshm|model.dshq> --listen <host:port>
+                    [--int8] [--shards <n>] [--slots <n>] [--queue-depth <n>]
+                    [--batch-max <n>] [--drop-oldest] [--http <host:port>]
+                    [--serve-secs <n>]
+  desh-cli drive    --log <logs.txt> --to <host:port> [--secs <n>] [--rate <lines/s>]
   desh-cli quantize --model <model.dshm> --out <model.dshq>
   desh-cli analyze  --log <logs.txt>
   desh-cli slo      --addr <host:port> [--json]
@@ -168,6 +177,20 @@ USAGE:
   `slo` fetches /slo from a serving predictor and renders burn rates per
   objective; --json dumps the raw body.
 
+  `serve` is the fleet-scale streaming intake: raw log lines (one record
+  per line, node-id tagged) arrive over TCP on --listen, are
+  hash-partitioned by node id across --shards detector shards (default
+  DESH_SHARDS), and scored through the wave-batched detector — same-tick
+  cell steps from different nodes fuse into multi-row GEMM batches that
+  are bit-identical to per-node sequential scoring. Queues are bounded
+  (--queue-depth) with explicit backpressure: producers block by default
+  (lossless); --drop-oldest sheds the oldest queued record instead,
+  counted per shard. --http serves /healthz and /metrics with per-shard
+  ingest.events_per_s / ingest.queue_depth / ingest.resident_nodes
+  gauges and ingest.dropped counters. `drive` is the matching traffic
+  generator: it streams a log file's raw lines to a serving intake,
+  optionally looping for --secs at a target --rate.
+
   `quantize` converts a trained `.dshm` checkpoint into an int8 `.dshq`
   sidecar (symmetric per-tensor weights, f32 accumulate, ~4× smaller
   resident model). `predict` accepts either format; `predict --int8`
@@ -206,7 +229,9 @@ fn need<'a>(opts: &'a Flags, key: &str) -> Result<&'a str, String> {
 }
 
 fn seed_of(opts: &Flags) -> u64 {
-    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2018)
+    opts.get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2018)
 }
 
 /// Telemetry handle plus JSONL sink when `--telemetry <path>` was given.
@@ -227,7 +252,9 @@ fn finish_telemetry(
     sink: Option<&mut JsonlSink>,
     label: &str,
 ) -> Result<(), String> {
-    let Some(snap) = telemetry.snapshot() else { return Ok(()) };
+    let Some(snap) = telemetry.snapshot() else {
+        return Ok(());
+    };
     if let Some(sink) = sink {
         sink.snapshot(label, &snap).map_err(|e| e.to_string())?;
         sink.flush().map_err(|e| e.to_string())?;
@@ -270,23 +297,28 @@ fn cmd_generate(opts: &Flags) -> Result<(), String> {
 fn cmd_train(opts: &Flags) -> Result<(), String> {
     let log_path = PathBuf::from(need(opts, "log")?);
     let out = PathBuf::from(need(opts, "out")?);
-    let (records, bad) =
-        desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
+    let (records, bad) = desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
     if records.is_empty() {
         return Err("log file contains no parseable lines".into());
     }
-    println!("read {} records ({} corrupt lines skipped)", records.len(), bad.len());
+    println!(
+        "read {} records ({} corrupt lines skipped)",
+        records.len(),
+        bad.len()
+    );
 
-    let cfg = if opts.contains_key("fast") { DeshConfig::fast() } else { DeshConfig::default() };
+    let cfg = if opts.contains_key("fast") {
+        DeshConfig::fast()
+    } else {
+        DeshConfig::default()
+    };
     let (telemetry, mut sink) = telemetry_of(opts)?;
     let mut session = match opts.get("run-dir") {
         Some(dir) => {
             let root = PathBuf::from(dir);
             let fp = dataset_fingerprint(&records);
             let s = match opts.get("run-id") {
-                Some(id) => {
-                    RunSession::create_with_id(&root, id.clone(), seed_of(opts), &cfg, fp)
-                }
+                Some(id) => RunSession::create_with_id(&root, id.clone(), seed_of(opts), &cfg, fp),
                 None => RunSession::create(&root, seed_of(opts), &cfg, fp),
             }
             .map_err(|e| format!("cannot open run ledger under {dir}: {e}"))?;
@@ -302,7 +334,10 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
         Arc::new(desh::logparse::Vocab::new()),
         &telemetry,
     );
-    println!("vocabulary: {} templates; running phase 1...", parsed.vocab_size());
+    println!(
+        "vocabulary: {} templates; running phase 1...",
+        parsed.vocab_size()
+    );
     let p1 = match run_phase1_session(&parsed, &cfg, &mut rng, &telemetry, session.as_mut()) {
         Ok(p1) => p1,
         Err(d) => return Err(finish_diverged(session, d)),
@@ -357,10 +392,7 @@ fn cmd_train(opts: &Flags) -> Result<(), String> {
 }
 
 /// Seal a diverged run's ledger and describe the abort for the operator.
-fn finish_diverged(
-    session: Option<RunSession>,
-    d: desh::obs::DivergenceRecord,
-) -> String {
+fn finish_diverged(session: Option<RunSession>, d: desh::obs::DivergenceRecord) -> String {
     if let Some(s) = session {
         let dir = s.dir().to_path_buf();
         if s.finish(&[]).is_ok() {
@@ -446,9 +478,12 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         precision: Some(precision.to_string()),
     };
     let (model, vocab, chains) = (ck.model, ck.vocab, ck.chains);
-    let (records, bad) =
-        desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
-    println!("read {} records ({} corrupt skipped)", records.len(), bad.len());
+    let (records, bad) = desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
+    println!(
+        "read {} records ({} corrupt skipped)",
+        records.len(),
+        bad.len()
+    );
 
     let cfg = DeshConfig::default();
     let mut detector =
@@ -589,7 +624,11 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
     let stream_span = telemetry.span("stream");
     for (i, r) in records.iter().enumerate() {
         if let Some(w) = detector.ingest(r) {
-            println!("[{}] {}", w.at.as_clock(), OnlineDetector::format_warning(&w));
+            println!(
+                "[{}] {}",
+                w.at.as_clock(),
+                OnlineDetector::format_warning(&w)
+            );
             if let Some(sink) = sink.as_mut() {
                 sink.event(
                     "warning",
@@ -629,7 +668,11 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         }
     }
     drop(stream_span);
-    println!("\n{} warnings over {} anomaly events", warnings.len(), detector.events_seen());
+    println!(
+        "\n{} warnings over {} anomaly events",
+        warnings.len(),
+        detector.events_seen()
+    );
     if let Some(p) = &profiler {
         if opts.contains_key("profile") {
             print!("\n{}", render_profile_ascii(p));
@@ -642,7 +685,9 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         let mut caught = 0usize;
         for f in &truth {
             if warnings.iter().any(|w| {
-                w.node == f.node && w.at < f.time && f.time.saturating_sub(w.at).as_mins_f64() < 10.0
+                w.node == f.node
+                    && w.at < f.time
+                    && f.time.saturating_sub(w.at).as_mins_f64() < 10.0
             }) {
                 caught += 1;
             }
@@ -690,6 +735,230 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: the fleet-scale streaming intake. Binds a TCP line listener,
+/// hash-partitions incoming records across shard-owned batch detectors,
+/// and (optionally) exposes the introspection HTTP server with per-shard
+/// ingest gauges.
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    let model_path = PathBuf::from(need(opts, "model")?);
+    let listen = need(opts, "listen")?;
+    let parse_num = |key: &str, default: usize| -> Result<usize, String> {
+        match opts.get(key).map(|s| s.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => Ok(n),
+            Some(_) => Err(format!("--{key} needs a positive integer")),
+            None => Ok(default),
+        }
+    };
+    let shards = parse_num("shards", desh::nn::shard_count())?;
+    let slots = parse_num("slots", 256)?;
+    let serve_secs = match opts.get("serve-secs").map(|s| s.parse::<u64>()) {
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => return Err("--serve-secs needs an integer number of seconds".into()),
+        None => None,
+    };
+    let mut icfg = IntakeConfig {
+        queue_depth: parse_num("queue-depth", IntakeConfig::default().queue_depth)?,
+        batch_max: parse_num("batch-max", IntakeConfig::default().batch_max)?,
+        ..IntakeConfig::default()
+    };
+    if opts.contains_key("drop-oldest") {
+        icfg.backpressure = Backpressure::DropOldest;
+    }
+
+    let telemetry = Telemetry::enabled();
+    let mut ck = load_any_checkpoint(&model_path)?;
+    if !ck.run_id.is_empty() {
+        println!(
+            "model trained under run {} (config hash {:016x})",
+            ck.run_id, ck.config_hash
+        );
+    }
+    if opts.contains_key("int8") && ck.model.net.precision() != "int8" {
+        ck.f32_net_bytes = ck.model.net.resident_bytes() as u64;
+        ck.model = ck.model.quantize();
+    }
+    let precision = ck.model.net.precision();
+    println!(
+        "scoring path: {} kernels, {precision} weights ({:.1} KiB resident per shard)",
+        desh::nn::kernel_backend_name(),
+        ck.model.net.resident_bytes() as f64 / 1024.0
+    );
+
+    let cfg = DeshConfig::default();
+    let flight = Arc::new(FlightRecorder::new());
+    let warning_log = Arc::new(WarningLog::new(WARNING_LOG_CAP));
+    let detectors: Vec<BatchDetector> = (0..shards)
+        .map(|_| {
+            let mut d = BatchDetector::with_telemetry(
+                ck.model.clone(),
+                Arc::clone(&ck.vocab),
+                cfg.clone(),
+                slots,
+                &telemetry,
+            );
+            if !ck.chains.is_empty() {
+                d.attach_chains(&ck.chains);
+            }
+            d.attach_tracing(Arc::clone(&flight), Arc::clone(&warning_log));
+            d
+        })
+        .collect();
+    if ck.chains.is_empty() {
+        println!("note: v1 checkpoint without chains; warnings will not name a matched chain");
+    }
+
+    let mut server = IntakeServer::start(detectors, icfg.clone(), &telemetry);
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot bind intake listener on {listen}: {e}"))?;
+    let bound = listener.local_addr().map_err(|e| e.to_string())?;
+    server.serve_tcp(listener).map_err(|e| e.to_string())?;
+    println!(
+        "intake listening on {bound}: {shards} shards x {slots} slots, queue depth {}, batch window {}, backpressure {:?}",
+        icfg.queue_depth, icfg.batch_max, icfg.backpressure
+    );
+
+    let mut http = match opts.get("http") {
+        Some(addr) => {
+            let registry = telemetry.registry().expect("serve enables telemetry");
+            let health = HealthInfo {
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                run_id: (!ck.run_id.is_empty()).then(|| ck.run_id.clone()),
+                config_hash: Some(ck.config_hash),
+                kernel_backend: Some(desh::nn::kernel_backend_name().to_string()),
+                precision: Some(precision.to_string()),
+            };
+            let state = Introspection::new(
+                Arc::clone(registry),
+                Arc::clone(&flight),
+                Arc::clone(&warning_log),
+            )
+            .with_health(health);
+            let s = HttpServer::start(addr, state)
+                .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
+            println!(
+                "introspection server on http://{}/ (/healthz /metrics /warnings /nodes/<id>/flight)",
+                s.addr()
+            );
+            Some(s)
+        }
+        None => None,
+    };
+
+    let started = std::time::Instant::now();
+    let deadline = serve_secs.map(Duration::from_secs);
+    match deadline {
+        Some(d) => println!("serving for {}s...", d.as_secs()),
+        None => println!("serving until killed..."),
+    }
+    loop {
+        std::thread::sleep(Duration::from_millis(250));
+        for w in server.take_warnings() {
+            println!(
+                "[{}] {}",
+                w.at.as_clock(),
+                OnlineDetector::format_warning(&w)
+            );
+        }
+        if let Some(d) = deadline {
+            if started.elapsed() >= d {
+                break;
+            }
+        }
+    }
+    server.drain();
+    for w in server.take_warnings() {
+        println!(
+            "[{}] {}",
+            w.at.as_clock(),
+            OnlineDetector::format_warning(&w)
+        );
+    }
+    let processed = server.records_processed();
+    let dropped = server.records_dropped();
+    let parse_errors = server.parse_errors();
+    let dets = server.stop();
+    let events: u64 = dets.iter().map(|d| d.events_seen()).sum();
+    let warnings: u64 = dets.iter().map(|d| d.warnings_emitted()).sum();
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "intake done: {processed} records in {secs:.1}s ({:.0} records/s), {dropped} dropped, {parse_errors} parse errors",
+        processed as f64 / secs.max(1e-9)
+    );
+    println!("scored {events} anomaly events, {warnings} warnings across {shards} shards");
+    if let Some(s) = http.as_mut() {
+        s.stop();
+    }
+    Ok(())
+}
+
+/// `drive`: stream a log file's raw lines to a serving intake over TCP —
+/// the traffic half of a serve/drive soak pair.
+fn cmd_drive(opts: &Flags) -> Result<(), String> {
+    let log_path = PathBuf::from(need(opts, "log")?);
+    let to = need(opts, "to")?;
+    let secs = match opts.get("secs").map(|s| s.parse::<u64>()) {
+        Some(Ok(n)) => Some(Duration::from_secs(n)),
+        Some(Err(_)) => return Err("--secs needs an integer number of seconds".into()),
+        None => None,
+    };
+    let rate = match opts.get("rate").map(|s| s.parse::<u64>()) {
+        Some(Ok(n)) if n > 0 => Some(n),
+        Some(_) => return Err("--rate needs a positive lines/s integer".into()),
+        None => None,
+    };
+    let text = std::fs::read_to_string(&log_path)
+        .map_err(|e| format!("cannot read {}: {e}", log_path.display()))?;
+    // Skip blanks and `#` comments (the loggen header) — every line we
+    // send should parse as a record, so drive/serve accounting lines up.
+    let lines: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .collect();
+    if lines.is_empty() {
+        return Err(format!("{} has no log lines", log_path.display()));
+    }
+    let stream = std::net::TcpStream::connect(to)
+        .map_err(|e| format!("cannot connect to intake at {to}: {e}"))?;
+    let mut out = std::io::BufWriter::new(stream);
+    let started = std::time::Instant::now();
+    let mut sent = 0u64;
+    'drive: loop {
+        for line in &lines {
+            out.write_all(line.as_bytes()).map_err(|e| e.to_string())?;
+            out.write_all(b"\n").map_err(|e| e.to_string())?;
+            sent += 1;
+            if sent % 1024 == 0 {
+                if let Some(r) = rate {
+                    let due = Duration::from_secs_f64(sent as f64 / r as f64);
+                    let elapsed = started.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                }
+                if let Some(d) = secs {
+                    if started.elapsed() >= d {
+                        break 'drive;
+                    }
+                }
+            }
+        }
+        if secs.is_none() {
+            break;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    drop(out);
+    let secs_elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "drove {sent} lines to {to} in {secs_elapsed:.1}s ({:.0} lines/s)",
+        sent as f64 / secs_elapsed.max(1e-9)
+    );
+    Ok(())
+}
+
 /// `quantize`: convert a trained `.dshm` checkpoint into a standalone
 /// int8 `.dshq` sidecar. Vocabulary, chains and the provenance stamp are
 /// carried through; the f32 tensors are not.
@@ -717,20 +986,22 @@ fn cmd_quantize(opts: &Flags) -> Result<(), String> {
         f32_bytes as u64,
     );
     std::fs::write(&out, &bytes).map_err(|e| e.to_string())?;
-    println!(
-        "quantized {} -> {}",
-        model_path.display(),
-        out.display()
-    );
+    println!("quantized {} -> {}", model_path.display(), out.display());
     println!(
         "  weights: {:.1} KiB f32 -> {:.1} KiB int8 ({:.1}x smaller resident model)",
         f32_bytes as f64 / 1024.0,
         q_bytes as f64 / 1024.0,
         f32_bytes as f64 / q_bytes as f64
     );
-    println!("  file: {:.1} KiB (vocab + chains + provenance carried through)", bytes.len() as f64 / 1024.0);
+    println!(
+        "  file: {:.1} KiB (vocab + chains + provenance carried through)",
+        bytes.len() as f64 / 1024.0
+    );
     if !ck.run_id.is_empty() {
-        println!("  provenance: run {} (config hash {:016x})", ck.run_id, ck.config_hash);
+        println!(
+            "  provenance: run {} (config hash {:016x})",
+            ck.run_id, ck.config_hash
+        );
     }
     Ok(())
 }
@@ -740,13 +1011,18 @@ fn cmd_quantize(opts: &Flags) -> Result<(), String> {
 /// exactly what the operator wants to see then.
 fn http_get_body(addr: &str, path: &str) -> Result<String, String> {
     use std::io::Read;
-    let mut stream = std::net::TcpStream::connect(addr)
-        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
-        .map_err(|e| e.to_string())?;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| e.to_string())?;
     let mut buf = String::new();
     stream.read_to_string(&mut buf).map_err(|e| e.to_string())?;
-    let (head, body) = buf.split_once("\r\n\r\n").ok_or("malformed HTTP response")?;
+    let (head, body) = buf
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?;
     let status = head.lines().next().unwrap_or_default();
     if !status.contains(" 200 ") && !status.contains(" 503 ") {
         return Err(format!("{addr}{path}: {status}"));
@@ -765,10 +1041,17 @@ fn cmd_slo(opts: &Flags) -> Result<(), String> {
     let burning = matches!(v.get("burning"), Some(Json::Bool(true)));
     println!(
         "SLO status at {addr}: {}",
-        if burning { "BURNING — error budget is being consumed at paging rate" } else { "ok" }
+        if burning {
+            "BURNING — error budget is being consumed at paging rate"
+        } else {
+            "ok"
+        }
     );
     if let Some(slos) = v.get("slos").and_then(Json::as_arr) {
-        println!("{:<22} {:<10} {:>8}  burn per window", "slo", "status", "budget");
+        println!(
+            "{:<22} {:<10} {:>8}  burn per window",
+            "slo", "status", "budget"
+        );
         for s in slos {
             let name = s.get("name").and_then(Json::as_str).unwrap_or("?");
             let status = s.get("status").and_then(Json::as_str).unwrap_or("?");
@@ -806,8 +1089,7 @@ fn cmd_slo(opts: &Flags) -> Result<(), String> {
 
 fn cmd_analyze(opts: &Flags) -> Result<(), String> {
     let log_path = PathBuf::from(need(opts, "log")?);
-    let (records, bad) =
-        desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
+    let (records, bad) = desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
     let parsed = parse_records(&records);
     println!(
         "{} records ({} corrupt), {} templates, {} nodes",
@@ -821,7 +1103,12 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
 
     println!("\nbusiest nodes by anomaly count:");
     for a in desh::logparse::node_activity(&parsed).iter().take(5) {
-        println!("  {:<12} {:>6} events, {:>5} anomalies", a.node.to_string(), a.events, a.anomalies);
+        println!(
+            "  {:<12} {:>6} events, {:>5} anomalies",
+            a.node.to_string(),
+            a.events,
+            a.anomalies
+        );
     }
     let bursts = desh::logparse::find_bursts(&parsed, 4, Micros::from_secs(30));
     if !bursts.is_empty() {
@@ -851,7 +1138,10 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
 /// `runs list|show|diff` — positional subcommands, so this parses its own
 /// argument list instead of going through [`parse_flags`] first.
 fn cmd_runs(args: &[String]) -> Result<(), String> {
-    let split = args.iter().position(|a| a.starts_with("--")).unwrap_or(args.len());
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
     let (pos, flags) = args.split_at(split);
     let opts = parse_flags(flags, &["json"])?;
     let dir = PathBuf::from(opts.get("dir").map(String::as_str).unwrap_or("runs"));
@@ -881,7 +1171,11 @@ fn runs_list(dir: &Path, json: bool) -> Result<(), String> {
         "run", "status", "seed", "epochs", "final loss"
     );
     for r in &runs {
-        let seed = r.manifest.as_ref().map(|m| m.seed.to_string()).unwrap_or_else(|| "?".into());
+        let seed = r
+            .manifest
+            .as_ref()
+            .map(|m| m.seed.to_string())
+            .unwrap_or_else(|| "?".into());
         let epochs: u64 = r.phases.iter().map(|p| p.epochs).sum();
         let final_loss = r
             .phases
@@ -906,7 +1200,10 @@ fn runs_show(dir: &Path, id: &str) -> Result<(), String> {
     let run = load_run(&dir.join(id)).map_err(|e| format!("cannot load run {id}: {e}"))?;
     println!("run {} — {}", run.id, run.status);
     if let Some(m) = &run.manifest {
-        println!("  seed {} | shards {} | threads {}", m.seed, m.shards, m.threads);
+        println!(
+            "  seed {} | shards {} | threads {}",
+            m.seed, m.shards, m.threads
+        );
         println!("  dataset {}", m.dataset);
         println!("  config hash {:016x}", m.config_hash);
         for (k, v) in &m.config {
@@ -926,7 +1223,10 @@ fn runs_show(dir: &Path, id: &str) -> Result<(), String> {
         }
     }
     if let Some(d) = &run.divergence {
-        println!("  DIVERGED in {} at epoch {}: {} ({})", d.phase, d.epoch, d.reason, d.detail);
+        println!(
+            "  DIVERGED in {} at epoch {}: {} ({})",
+            d.phase, d.epoch, d.reason, d.detail
+        );
         if let Some(c) = &d.last_good_checkpoint {
             println!("  last good weights: {c}");
         }
@@ -1027,11 +1327,19 @@ fn capsule_context(
 /// `capsule record|list|verify|replay|diff` — positional subcommands,
 /// parsed like [`cmd_runs`].
 fn cmd_capsule(args: &[String]) -> Result<(), String> {
-    let split = args.iter().position(|a| a.starts_with("--")).unwrap_or(args.len());
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
     let (pos, flags) = args.split_at(split);
     let opts = parse_flags(
         flags,
-        &["json", "int8", "allow-backend-mismatch", "allow-precision-mismatch"],
+        &[
+            "json",
+            "int8",
+            "allow-backend-mismatch",
+            "allow-precision-mismatch",
+        ],
     )?;
     match pos {
         [sub] if sub == "record" => capsule_record(&opts),
@@ -1062,7 +1370,14 @@ fn capsule_record(opts: &Flags) -> Result<(), String> {
         ck.model = ck.model.quantize();
     }
     let precision = ck.model.net.precision();
-    let Checkpoint { model, vocab, chains, run_id, config_hash, .. } = ck;
+    let Checkpoint {
+        model,
+        vocab,
+        chains,
+        run_id,
+        config_hash,
+        ..
+    } = ck;
     let cfg = DeshConfig::default();
     let mut detector = OnlineDetector::new(model, Arc::clone(&vocab), cfg.clone());
     if !chains.is_empty() {
@@ -1081,8 +1396,7 @@ fn capsule_record(opts: &Flags) -> Result<(), String> {
     );
     let rec = CapsuleRecorder::new(tap, ctx, out.clone())
         .map_err(|e| format!("cannot open capsule dir {}: {e}", out.display()))?;
-    let (records, bad) =
-        desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
+    let (records, bad) = desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
     println!(
         "recording: {} records ({} corrupt skipped) on {} kernels, {precision} weights",
         records.len(),
@@ -1138,7 +1452,11 @@ fn capsule_list(opts: &Flags) -> Result<(), String> {
             println!("{:<40} CORRUPT: {err}", c.file);
             continue;
         }
-        let node = if c.meta.node.is_empty() { "(all)" } else { &c.meta.node };
+        let node = if c.meta.node.is_empty() {
+            "(all)"
+        } else {
+            &c.meta.node
+        };
         println!(
             "{:<40} {:<13} {:<12} {:>7} {:>9}  {}/{}{}",
             c.file,
@@ -1148,7 +1466,11 @@ fn capsule_list(opts: &Flags) -> Result<(), String> {
             c.warnings,
             c.meta.backend,
             c.meta.precision,
-            if c.meta.clean_start { "" } else { "  (ring-truncated)" }
+            if c.meta.clean_start {
+                ""
+            } else {
+                "  (ring-truncated)"
+            }
         );
     }
     Ok(())

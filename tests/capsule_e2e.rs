@@ -4,7 +4,7 @@
 //! differs, a structured diff naming the first divergent event.
 
 use desh::checkpoint::decode_checkpoint;
-use desh::core::{render_report, replay_capsule, OnlineDetector, ReplayOptions};
+use desh::core::{render_report, replay_capsule, BatchDetector, OnlineDetector, ReplayOptions};
 use desh::obs::{Capsule, CapsuleContext, CapsuleRecorder, CaptureTap};
 use desh::prelude::*;
 use std::path::{Path, PathBuf};
@@ -79,6 +79,86 @@ fn capture_fixture(train_seed: u64, int8: bool, dir: &Path) -> (Capsule, Vec<u8>
         .unwrap()
         .expect("stream produced nothing to capture");
     (Capsule::read(&path).unwrap(), ckpt)
+}
+
+#[test]
+fn capsule_captured_under_batching_replays_bit_exactly() {
+    // The fleet intake scores through the wave-batched detector. A
+    // capsule sealed from that path must replay bit-exactly through the
+    // *sequential* replayer: same capture order (the deferred in-order
+    // walk), same trace words (row-wise kernels + shared decision code).
+    let dir = temp_dir("batched");
+    let mut p = SystemProfile::tiny();
+    p.failures = 30;
+    p.nodes = 24;
+    let d = generate(&p, 777);
+    let (train, test) = d.split_by_time(0.3);
+    let desh = Desh::new(DeshConfig::fast(), 777);
+    let trained = desh.train(&train);
+    let ckpt = desh::checkpoint::encode_checkpoint(
+        &trained.lead_model,
+        &trained.parsed_train.vocab,
+        &trained.phase1.chains,
+        "e2e-batched",
+        0xba7c,
+    );
+
+    let vocab = trained.parsed_train.vocab.clone();
+    let mut det = BatchDetector::new(
+        trained.lead_model.clone(),
+        Arc::clone(&vocab),
+        desh.cfg.clone(),
+        64,
+    );
+    det.attach_chains(&trained.phase1.chains);
+    let tap = Arc::new(CaptureTap::with_ring(test.records.len() + 8));
+    det.attach_capture(Arc::clone(&tap));
+    let ctx = CapsuleContext {
+        checkpoint: String::new(),
+        run_id: "e2e-batched".into(),
+        config_hash: 0xba7c,
+        backend: desh::nn::kernel_backend_name().to_string(),
+        precision: "f32".into(),
+        shards: String::new(),
+        vocab_len: vocab.len() as u64,
+        chains: trained.phase1.chains.len() as u64,
+        session_gap_secs: desh.cfg.episodes.session_gap_secs,
+        mse_threshold: desh.cfg.phase3.mse_threshold,
+        min_evidence: desh.cfg.phase3.min_evidence as u64,
+        score_scale: desh.cfg.phase3.score_scale,
+    };
+    let rec = CapsuleRecorder::new(tap, ctx, dir.to_path_buf()).unwrap();
+
+    let mut warnings = Vec::new();
+    for chunk in test.records.chunks(128) {
+        det.ingest_chunk(chunk, &mut warnings);
+    }
+    assert!(!warnings.is_empty(), "batched stream fired no warnings");
+    let last = test.records.last().unwrap().time.0;
+    let path = rec
+        .capture("manual", None, last)
+        .unwrap()
+        .expect("batched stream produced nothing to capture");
+    let capsule = Capsule::read(&path).unwrap();
+    assert!(capsule.traced_events() > 0, "no decision traces captured");
+    assert!(!capsule.warnings.is_empty(), "no warnings captured");
+
+    let ck = decode_checkpoint(ckpt).unwrap();
+    let report = replay_capsule(
+        &capsule,
+        ck.model,
+        ck.vocab,
+        &ck.chains,
+        &ReplayOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        report.bit_exact(),
+        "batched capture diverged from sequential replay:\n{}",
+        render_report(&report)
+    );
+    assert_eq!(report.warnings_replayed, report.warnings_captured);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
