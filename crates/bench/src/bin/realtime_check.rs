@@ -27,11 +27,19 @@
 //! * `--int8` — replay through the int8-quantized detector instead of
 //!   the f32 one. The JSON records `kernel_backend` and `int8` either
 //!   way, so latency numbers are attributable to the exact kernel path.
+//! * `--shadow` — train a second candidate (seed+1) and run it as a
+//!   shadow scorer beside the measured primary, the way
+//!   `desh-cli predict --shadow` does. The gated p99 is still the
+//!   primary's own `online.score_latency_us`: the flag proves shadow
+//!   scoring keeps the primary inside its latency budget.
 
 use desh_bench::{experiment_config, EXPERIMENT_SEED};
-use desh_core::{Desh, DeshConfig, OnlineDetector};
+use desh_core::{Desh, DeshConfig, OnlineDetector, ShadowScorer};
 use desh_loggen::{generate, SystemProfile};
-use desh_obs::{FlightRecorder, SpanProfiler, Telemetry, WarningLog, DEFAULT_SAMPLE_EVERY};
+use desh_obs::{
+    FlightRecorder, ShadowMonitor, SpanProfiler, Telemetry, WarningLog, DEFAULT_SAMPLE_EVERY,
+    DEFAULT_SHADOW_SLACK_SECS,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,6 +56,7 @@ struct Args {
     smoke: bool,
     trace: bool,
     int8: bool,
+    shadow: bool,
     max_p99_us: Option<f64>,
     profile_every: Option<u64>,
     max_profile_overhead_pct: Option<f64>,
@@ -59,6 +68,7 @@ fn parse_args() -> Args {
         smoke: false,
         trace: false,
         int8: false,
+        shadow: false,
         max_p99_us: None,
         profile_every: None,
         max_profile_overhead_pct: None,
@@ -70,6 +80,7 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--trace" => args.trace = true,
             "--int8" => args.int8 = true,
+            "--shadow" => args.shadow = true,
             "--max-p99-us" => {
                 let v = it.next().expect("--max-p99-us needs a value");
                 args.max_p99_us = Some(v.parse().expect("--max-p99-us must be a number"));
@@ -152,10 +163,31 @@ fn main() {
         det.attach_tracing(Arc::clone(&flight), Arc::clone(&warning_log));
         println!("decision tracing attached (flight recorder + warning log)");
     }
+    // A differently-seeded candidate riding shotgun, exactly as
+    // `predict --shadow` runs it. Its detector and monitor live on a
+    // private registry so the gated histogram stays the primary's alone.
+    let mut shadow = args.shadow.then(|| {
+        println!("training shadow candidate (seed {})...", EXPERIMENT_SEED + 1);
+        let st = Desh::new(desh.cfg.clone(), EXPERIMENT_SEED + 1).train(&train);
+        let quiet = Telemetry::disabled();
+        let candidate = if args.int8 {
+            st.quantized_detector(desh.cfg.clone(), &quiet)
+        } else {
+            st.online_detector(desh.cfg.clone(), &quiet)
+        };
+        det.set_observe_scores(true);
+        let monitor = Arc::new(ShadowMonitor::new(&quiet, DEFAULT_SHADOW_SLACK_SECS));
+        println!("shadow scoring attached beside the measured primary");
+        ShadowScorer::new(candidate, monitor)
+    });
     let t0 = Instant::now();
     let mut warnings = 0usize;
     for r in &test.records {
-        if det.ingest(r).is_some() {
+        let w = det.ingest(r);
+        if let Some(sh) = shadow.as_mut() {
+            sh.observe(r, w.as_ref(), det.last_score());
+        }
+        if w.is_some() {
             warnings += 1;
         }
     }
@@ -200,6 +232,14 @@ fn main() {
             "  tracing: {} node flight rings, {} warning records",
             flight.node_names().len(),
             warning_log.len()
+        );
+    }
+    if let Some(sh) = &shadow {
+        sh.finish();
+        let s = sh.monitor().summary();
+        println!(
+            "  shadow divergence: {} agree, {} primary-only, {} candidate-only (drift {:.4})",
+            s.agree_both, s.primary_only, s.candidate_only, s.score_drift
         );
     }
     println!("\nThe paper's requirement is satisfied when headroom > 1.");
@@ -294,6 +334,7 @@ fn main() {
                 "  \"profile\": \"{}\",\n",
                 "  \"smoke\": {},\n",
                 "  \"trace\": {},\n",
+                "  \"shadow\": {},\n",
                 "  \"kernel_backend\": \"{}\",\n",
                 "  \"int8\": {},\n",
                 "  \"events\": {},\n",
@@ -314,6 +355,7 @@ fn main() {
             profile.name,
             args.smoke,
             args.trace,
+            args.shadow,
             kernel_backend,
             args.int8,
             events as u64,

@@ -159,18 +159,27 @@ fn main() {
         let snap = telemetry.snapshot().expect("telemetry enabled");
         let waves = snap.histogram("ingest.batch_size").expect("waves recorded");
         let mean_wave = waves.sum() as f64 / waves.count().max(1) as f64;
+        // Worst shard's enqueue→drain wait p99: the queueing component of
+        // end-to-end serve latency, next to the scoring-side budget that
+        // realtime_check gates.
+        let queue_wait_p99 = (0..args.shards)
+            .filter_map(|s| snap.histogram(&format!("ingest.queue_wait_us[shard={s}]")))
+            .map(|h| h.quantile(0.99))
+            .fold(0.0f64, f64::max);
         server.stop();
-        (dt, warnings, mean_wave)
+        (dt, warnings, mean_wave, queue_wait_p99)
     };
     run_intake();
     let mut intake_best = f64::INFINITY;
     let mut intake_warnings = 0usize;
     let mut mean_wave = 0.0f64;
+    let mut queue_wait_p99 = 0.0f64;
     for _ in 0..passes {
-        let (dt, w, mw) = run_intake();
+        let (dt, w, mw, qw) = run_intake();
         if dt < intake_best {
             intake_best = dt;
             mean_wave = mw;
+            queue_wait_p99 = qw;
         }
         intake_warnings = w;
     }
@@ -191,6 +200,7 @@ fn main() {
     );
     println!("  batched throughput  : {intake_tput:.0} events/s");
     println!("  mean wave occupancy : {mean_wave:.1} rows");
+    println!("  queue wait p99      : {queue_wait_p99:.0} us (worst shard)");
     println!("  vs in-process seq   : {ratio_vs_seq:.2}x");
     println!("  vs fig10 single-stream ({FIG10_SINGLE_STREAM_EV_S:.0} ev/s): {ratio_vs_fig10:.2}x");
 
@@ -210,6 +220,7 @@ fn main() {
                 "  \"sequential_events_per_s\": {:.1},\n",
                 "  \"batched_events_per_s\": {:.1},\n",
                 "  \"mean_wave_rows\": {:.1},\n",
+                "  \"queue_wait_p99_us\": {:.1},\n",
                 "  \"ratio_vs_sequential\": {:.2},\n",
                 "  \"fig10_single_stream_events_per_s\": {:.1},\n",
                 "  \"ratio_vs_fig10\": {:.2},\n",
@@ -227,6 +238,7 @@ fn main() {
             seq_tput,
             intake_tput,
             mean_wave,
+            queue_wait_p99,
             ratio_vs_seq,
             FIG10_SINGLE_STREAM_EV_S,
             ratio_vs_fig10,

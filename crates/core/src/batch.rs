@@ -38,6 +38,7 @@ use crate::chain::FailureChain;
 use crate::config::DeshConfig;
 use crate::online::{evaluate_stream, EvictionPolicy, Warning};
 use crate::phase2::{chain_to_vectors, LeadBatch, LeadTimeModel};
+use crate::shadow::ShadowScorer;
 use desh_loggen::{Label, LogRecord, NodeId};
 use desh_logparse::{extract_template_into, is_failure_terminal, label_template, Vocab};
 use desh_obs::{
@@ -168,6 +169,9 @@ pub struct BatchDetector {
     chains: Vec<Vec<Vec<f32>>>,
     tracer: Option<Tracer>,
     capture: Option<Arc<CaptureTap>>,
+    /// Shadow candidate fed after each chunk settles; observation-only,
+    /// so the wave-batched decision stream is untouched by attachment.
+    shadow: Option<ShadowScorer>,
     metrics: Option<BatchMetrics>,
     eviction: EvictionPolicy,
     since_sweep: u64,
@@ -225,6 +229,7 @@ impl BatchDetector {
             chains: Vec::new(),
             tracer: None,
             capture: None,
+            shadow: None,
             metrics,
             eviction,
             since_sweep: 0,
@@ -264,6 +269,19 @@ impl BatchDetector {
         self.capture = Some(tap);
     }
 
+    /// Attach a shadow scorer: after each chunk settles, every record and
+    /// every primary warning from that chunk flows through the candidate
+    /// and its divergence monitor. Pure observation — the primary's
+    /// warnings stay bit-identical to an unshadowed run.
+    pub fn attach_shadow(&mut self, scorer: ShadowScorer) {
+        self.shadow = Some(scorer);
+    }
+
+    /// The attached shadow scorer, if any.
+    pub fn shadow(&self) -> Option<&ShadowScorer> {
+        self.shadow.as_ref()
+    }
+
     /// Override the idle-slot eviction policy. `max_nodes` above the slot
     /// capacity is harmless (capacity binds first).
     pub fn set_eviction(&mut self, policy: EvictionPolicy) {
@@ -300,6 +318,7 @@ impl BatchDetector {
     /// warnings (in record order) to `warnings`. The wave window never
     /// extends past the chunk: state is fully settled on return.
     pub fn ingest_chunk(&mut self, records: &[LogRecord], warnings: &mut Vec<Warning>) {
+        let warn_base = warnings.len();
         for (rec, record) in records.iter().enumerate() {
             extract_template_into(&record.text, &mut self.tmpl);
             let info = match self.memo.get(self.tmpl.as_str()) {
@@ -435,6 +454,24 @@ impl BatchDetector {
         if self.since_sweep >= self.eviction.sweep_every {
             self.since_sweep = 0;
             self.sweep_idle_slots();
+        }
+        if let Some(shadow) = &mut self.shadow {
+            // Feed the settled chunk in record order, interleaving each
+            // primary warning just before the record that triggered it so
+            // the monitor's slack window sees monotone timestamps. The
+            // primary fired those warnings above; this pass only observes.
+            let fired = &warnings[warn_base..];
+            let mut used = vec![false; fired.len()];
+            for record in records {
+                for (i, w) in fired.iter().enumerate() {
+                    if !used[i] && w.node == record.node && w.at == record.time {
+                        used[i] = true;
+                        shadow.observe_primary_warning(w);
+                        break;
+                    }
+                }
+                shadow.observe_record(record);
+            }
         }
     }
 

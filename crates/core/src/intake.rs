@@ -19,15 +19,17 @@
 //!   (`ingest.dropped[shard=N]`), never silent.
 //!
 //! Per-shard gauges (`ingest.events_per_s[shard=N]`,
-//! `ingest.queue_depth[shard=N]`, `ingest.resident_nodes[shard=N]`)
-//! render on `/metrics` with proper Prometheus labels; wave occupancy
-//! lands in the shared `ingest.batch_size` histogram.
+//! `ingest.queue_depth[shard=N]`, `ingest.resident_nodes[shard=N]`) and
+//! the per-shard queue-wait histogram (`ingest.queue_wait_us[shard=N]`,
+//! enqueue → worker drain) render on `/metrics` with proper Prometheus
+//! labels; wave occupancy lands in the shared `ingest.batch_size`
+//! histogram.
 
 use crate::batch::BatchDetector;
 use crate::online::Warning;
 use crate::router::shard_of;
 use desh_loggen::LogRecord;
-use desh_obs::{Counter, Gauge, Telemetry};
+use desh_obs::{Counter, Gauge, LatencyHistogram, Telemetry};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader};
 use std::net::TcpListener;
@@ -84,7 +86,9 @@ struct ShardQueue {
 
 #[derive(Debug, Default)]
 struct QueueState {
-    buf: VecDeque<LogRecord>,
+    /// Each record carries its enqueue instant so the worker can measure
+    /// queue wait (enqueue → drain) into `ingest.queue_wait_us[shard=N]`.
+    buf: VecDeque<(Instant, LogRecord)>,
     /// No more pushes; workers exit once the buffer drains.
     closed: bool,
     /// The worker is mid-chunk (drained records not yet scored).
@@ -107,6 +111,8 @@ struct ShardMetrics {
     queue_depth: Arc<Gauge>,
     resident: Arc<Gauge>,
     dropped: Arc<Counter>,
+    /// Enqueue-to-drain wait per record, microseconds.
+    queue_wait: Arc<LatencyHistogram>,
 }
 
 #[derive(Debug)]
@@ -148,6 +154,7 @@ impl IntakeServer {
                     queue_depth: r.gauge(&format!("ingest.queue_depth[shard={s}]")),
                     resident: r.gauge(&format!("ingest.resident_nodes[shard={s}]")),
                     dropped: r.counter(&format!("ingest.dropped[shard={s}]")),
+                    queue_wait: r.histogram(&format!("ingest.queue_wait_us[shard={s}]")),
                 })
                 .collect()
         });
@@ -447,7 +454,7 @@ fn push_group<I: IntoIterator<Item = LogRecord>>(inner: &Inner, shard: usize, re
                 }
             }
         }
-        st.buf.push_back(record);
+        st.buf.push_back((Instant::now(), record));
     }
     if let Some(ms) = &inner.metrics {
         ms[shard].queue_depth.set(st.buf.len() as f64);
@@ -475,7 +482,15 @@ fn worker_loop(shard: usize, mut det: BatchDetector, inner: Arc<Inner>) -> Batch
             }
             st.inflight = true;
             let n = st.buf.len().min(inner.cfg.batch_max);
-            chunk.extend(st.buf.drain(..n));
+            let drained = Instant::now();
+            chunk.extend(st.buf.drain(..n).map(|(enq, r)| {
+                if let Some(ms) = &inner.metrics {
+                    ms[shard]
+                        .queue_wait
+                        .record(drained.saturating_duration_since(enq).as_micros() as u64);
+                }
+                r
+            }));
             if let Some(ms) = &inner.metrics {
                 ms[shard].queue_depth.set(st.buf.len() as f64);
             }
@@ -658,6 +673,7 @@ mod tests {
         );
         server.push_records(test.records.iter().cloned());
         server.drain();
+        let processed = server.records_processed();
         server.stop();
         let snap = telemetry.snapshot().unwrap();
         for s in 0..2 {
@@ -669,6 +685,15 @@ mod tests {
         }
         let sizes = snap.histogram("ingest.batch_size").unwrap();
         assert!(sizes.count() > 0, "no waves recorded");
+        // Every drained record measured its enqueue→drain wait, so the
+        // per-shard waits must sum to the records processed.
+        let waited: u64 = (0..2)
+            .map(|s| {
+                snap.histogram(&format!("ingest.queue_wait_us[shard={s}]"))
+                    .map_or(0, |h| h.count())
+            })
+            .sum();
+        assert_eq!(waited, processed, "queue-wait coverage");
         let prom = desh_obs::render_prometheus(&snap);
         assert!(
             prom.contains("ingest_resident_nodes{shard=\"0\"}"),

@@ -31,6 +31,7 @@ pub mod replay;
 pub mod report;
 pub mod router;
 pub mod session;
+pub mod shadow;
 pub mod tuning;
 pub mod unknown;
 pub mod watchdog;
@@ -66,6 +67,7 @@ pub use replay::{
 pub use report::{markdown_row, render};
 pub use router::{node_hash, shard_of};
 pub use session::{config_hash, dataset_fingerprint, LedgerObserver, RunSession};
+pub use shadow::{ShadowDetector, ShadowScorer};
 pub use tuning::{calibrate, Calibration, OperatingPoint};
 pub use unknown::{unknown_contributions, PhraseContribution};
 pub use watchdog::{check_epoch, DivergenceReason, WatchdogConfig};

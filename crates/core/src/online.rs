@@ -181,6 +181,15 @@ pub struct OnlineDetector {
     /// including unscored terminal and post-warning quiet events, which
     /// still move buffer state — lands in the tap's per-node ring.
     capture: Option<Arc<CaptureTap>>,
+    /// When set, each ingest publishes the event's decision score through
+    /// [`OnlineDetector::last_score`] — the shadow-scoring layer's feed.
+    /// Off (default) the scoring path pays one bool check; either way the
+    /// decision stream is bit-identical (the probe only reads state).
+    observe_scores: bool,
+    /// The most recent ingest's decision score (mean MSE, same units as
+    /// warning scores), when the event was scored and
+    /// `observe_scores` is on.
+    last_score: Option<f64>,
 }
 
 /// Stage indices for the online serving waterfall, in pipeline order.
@@ -250,6 +259,8 @@ impl OnlineDetector {
             quality: QualityMonitor::new(telemetry),
             profiler: None,
             capture: None,
+            observe_scores: false,
+            last_score: None,
         }
     }
 
@@ -306,6 +317,23 @@ impl OnlineDetector {
             .iter()
             .map(|c| chain_to_vectors(c, self.model.dt_scale, self.model.vocab_size))
             .collect();
+    }
+
+    /// Publish per-event decision scores through
+    /// [`OnlineDetector::last_score`]. Observation-only: decisions and
+    /// their bit patterns are unchanged either way.
+    pub fn set_observe_scores(&mut self, on: bool) {
+        self.observe_scores = on;
+        if !on {
+            self.last_score = None;
+        }
+    }
+
+    /// The decision score (mean MSE) of the most recent `ingest`, when
+    /// score observation is on and the event was actually scored (`None`
+    /// for Safe-filtered, terminal, and post-warning quiet events).
+    pub fn last_score(&self) -> Option<f64> {
+        self.last_score
     }
 
     /// Total events ingested (after Safe filtering).
@@ -407,6 +435,7 @@ impl OnlineDetector {
         record: &LogRecord,
         mut wf: Option<ActiveWaterfall>,
     ) -> Option<Warning> {
+        self.last_score = None;
         let template = extract_template(&record.text);
         if label_template(&template) == Label::Safe {
             return None;
@@ -529,6 +558,17 @@ impl OnlineDetector {
             if warning.is_some() {
                 m.warnings.inc();
             }
+        }
+        // Score probe for the shadow layer: a pure read of the carried
+        // aggregate, after the latency window closed, so neither the
+        // decision stream nor the measured hot-path cost moves.
+        if self.observe_scores {
+            let unit = (self.model.vocab_size + 1) as f64 / 2.0 * self.cfg.phase3.score_scale;
+            self.last_score = state
+                .stream
+                .as_ref()
+                .and_then(|l| self.model.stream_mean(l))
+                .map(|m| m * unit);
         }
 
         // Decision trace: a handful of atomic stores into the node's ring.

@@ -21,10 +21,12 @@
 //! | `GET /nodes/<id>/flight` | JSONL dump of that node's flight ring     |
 //! | `GET /runs`          | JSON array of training run summaries *        |
 //! | `GET /runs/<id>/series` | that run's `series.jsonl`, verbatim *      |
+//! | `GET /shadow`        | live shadow-scoring agreement snapshot *      |
+//! | `GET /shadow/report` | promotion-gate verdict vs thresholds *        |
 //!
 //! Routes marked `*` exist only when the corresponding state was
 //! attached (`with_runs_dir`, `with_profilers`, `with_history`,
-//! `with_slo`, `with_capsules`); otherwise they 404.
+//! `with_slo`, `with_capsules`, `with_shadow`); otherwise they 404.
 //!
 //! The accept loop runs on one background thread; handlers never touch
 //! the scoring hot path (snapshots read atomics / seqlock slots).
@@ -45,6 +47,7 @@ use crate::profiler::{render_profile_json, SpanProfiler};
 use crate::prom::render_prometheus;
 use crate::registry::Registry;
 use crate::runs::{list_runs, render_runs_json};
+use crate::shadow::{evaluate_gates, render_shadow_report_json, ShadowMonitor, ShadowThresholds};
 use crate::slo::SloEngine;
 use crate::trace::{WarningLog, DEFAULT_WARNINGS_LIMIT};
 
@@ -63,6 +66,10 @@ pub struct HealthInfo {
     pub kernel_backend: Option<String>,
     /// Numeric precision of the scoring path (`"f32"` or `"int8"`).
     pub precision: Option<String>,
+    /// Run id of the shadow candidate's checkpoint, when one is attached.
+    pub shadow_run_id: Option<String>,
+    /// Config hash of the shadow candidate's checkpoint.
+    pub shadow_config_hash: Option<u64>,
 }
 
 /// The read-only state the introspection routes expose. All fields are
@@ -87,6 +94,11 @@ pub struct Introspection {
     /// Incident-capsule directory served under `/capsules`; `None`
     /// disables the route.
     pub capsules_dir: Option<PathBuf>,
+    /// Shadow-scoring monitor behind `/shadow` and `/shadow/report`;
+    /// `None` disables both routes.
+    pub shadow: Option<Arc<ShadowMonitor>>,
+    /// Promotion-gate thresholds `/shadow/report` evaluates against.
+    pub shadow_thresholds: ShadowThresholds,
 }
 
 impl Introspection {
@@ -105,6 +117,8 @@ impl Introspection {
             slo: None,
             health: None,
             capsules_dir: None,
+            shadow: None,
+            shadow_thresholds: ShadowThresholds::default(),
         }
     }
 
@@ -142,6 +156,19 @@ impl Introspection {
     /// Attach the incident-capsule directory, enabling `/capsules`.
     pub fn with_capsules(mut self, dir: PathBuf) -> Self {
         self.capsules_dir = Some(dir);
+        self
+    }
+
+    /// Attach a shadow-scoring monitor, enabling `/shadow` (live
+    /// agreement snapshot) and `/shadow/report` (promotion-gate verdict
+    /// evaluated against `thresholds`).
+    pub fn with_shadow(
+        mut self,
+        monitor: Arc<ShadowMonitor>,
+        thresholds: ShadowThresholds,
+    ) -> Self {
+        self.shadow = Some(monitor);
+        self.shadow_thresholds = thresholds;
         self
     }
 }
@@ -363,6 +390,36 @@ fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) ->
                 "no capsule directory attached\n",
             ),
         },
+        "/shadow" => match &state.shadow {
+            Some(monitor) => {
+                let mut body = monitor.render_live_json();
+                body.push('\n');
+                write_response(stream, "200 OK", "application/json", &body)
+            }
+            None => write_response(
+                stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no shadow monitor attached\n",
+            ),
+        },
+        "/shadow/report" => match &state.shadow {
+            Some(monitor) => {
+                let report = evaluate_gates(&monitor.summary(), &state.shadow_thresholds);
+                write_response(
+                    stream,
+                    "200 OK",
+                    "application/json",
+                    &render_shadow_report_json(&report),
+                )
+            }
+            None => write_response(
+                stream,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "no shadow monitor attached\n",
+            ),
+        },
         "/runs" => match &state.runs_dir {
             Some(dir) => {
                 let mut body = render_runs_json(&list_runs(dir));
@@ -403,7 +460,8 @@ fn serve_one(stream: &mut TcpStream, state: &Introspection, started: Instant) ->
                     "404 Not Found",
                     "text/plain; charset=utf-8",
                     "routes: /healthz /metrics /metrics/history /profile /slo /warnings \
-                     /capsules /nodes/<id>/flight /runs /runs/<id>/series\n",
+                     /capsules /nodes/<id>/flight /runs /runs/<id>/series /shadow \
+                     /shadow/report\n",
                 )
             }
         }
@@ -449,6 +507,22 @@ fn serve_healthz(
             None => body.push_str("null"),
         }
         body.push('}');
+        // Shadow candidate identity next to the primary's, so a rollout
+        // dashboard can confirm *which* challenger is being scored with
+        // the same one-curl check it uses for the serving checkpoint.
+        if h.shadow_run_id.is_some() || h.shadow_config_hash.is_some() {
+            body.push_str(",\"shadow\":{\"run_id\":");
+            match &h.shadow_run_id {
+                Some(id) => push_escaped(&mut body, id),
+                None => body.push_str("null"),
+            }
+            body.push_str(",\"config_hash\":");
+            match h.shadow_config_hash {
+                Some(hash) => body.push_str(&format!("{hash}")),
+                None => body.push_str("null"),
+            }
+            body.push('}');
+        }
         if let Some(backend) = &h.kernel_backend {
             body.push_str(",\"kernel_backend\":");
             push_escaped(&mut body, backend);
@@ -706,6 +780,8 @@ mod tests {
                 config_hash: Some(77),
                 kernel_backend: Some("testvec".into()),
                 precision: Some("int8".into()),
+                shadow_run_id: Some("run-y".into()),
+                shadow_config_hash: Some(78),
             });
         let srv = HttpServer::start("127.0.0.1:0", state).unwrap();
         let addr = srv.addr();
@@ -734,7 +810,44 @@ mod tests {
         assert!(health.contains("\"config_hash\":77"));
         assert!(health.contains("\"kernel_backend\":\"testvec\""));
         assert!(health.contains("\"precision\":\"int8\""));
+        assert!(health.contains("\"shadow\":{\"run_id\":\"run-y\",\"config_hash\":78}"));
         assert!(health.contains("\"burning\":[\"template_miss\"]"));
+    }
+
+    #[test]
+    fn shadow_routes_serve_snapshot_and_report() {
+        use crate::registry::Telemetry;
+        use crate::shadow::{ObservedWarning, ShadowMonitor};
+
+        let srv = HttpServer::start("127.0.0.1:0", state()).unwrap();
+        assert!(get(srv.addr(), "/shadow").starts_with("HTTP/1.1 404"));
+        assert!(get(srv.addr(), "/shadow/report").starts_with("HTTP/1.1 404"));
+
+        let t = Telemetry::enabled();
+        let monitor = Arc::new(ShadowMonitor::new(&t, 60.0));
+        let w = |at_us| ObservedWarning {
+            at_us,
+            lead_secs: 90.0,
+            score: 0.2,
+            class: "MCE".into(),
+        };
+        monitor.observe_primary("n1", w(1_000_000));
+        monitor.observe_candidate("n1", w(2_000_000));
+        monitor.finish();
+
+        let srv = HttpServer::start(
+            "127.0.0.1:0",
+            state().with_shadow(Arc::clone(&monitor), ShadowThresholds::default()),
+        )
+        .unwrap();
+        let live = get(srv.addr(), "/shadow");
+        assert!(live.starts_with("HTTP/1.1 200"), "{live}");
+        assert!(live.contains("\"agree_both\":1"), "{live}");
+        assert!(live.contains("\"agreement\":1"), "{live}");
+        let report = get(srv.addr(), "/shadow/report");
+        assert!(report.starts_with("HTTP/1.1 200"), "{report}");
+        assert!(report.contains("\"verdict\":\"PASS\""), "{report}");
+        assert!(report.contains("warning_volume_delta_pct"), "{report}");
     }
 
     #[test]

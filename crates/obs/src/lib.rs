@@ -66,6 +66,16 @@
 //!   burn-rate alerting over that ring, served at `GET /slo`; fast burn
 //!   degrades `/healthz` to 503 and appends `slo_alert` JSONL records.
 //!
+//! The shadow-scoring layer (`shadow`) compares a candidate checkpoint
+//! against the serving primary on the same live stream: [`ShadowMonitor`]
+//! keeps warning agreement/confusion counters, per-class lead-time delta
+//! histograms, and a score-divergence EWMA; [`ShadowLedger`] seals the
+//! run as an auditable JSONL trail with both checkpoints' identities
+//! pinned; and [`evaluate_gates`] turns the summary into a PASS/FAIL
+//! promotion verdict against [`ShadowThresholds`], served at
+//! `GET /shadow` and `GET /shadow/report` and rendered by
+//! `desh-cli shadow report`.
+//!
 //! The training run ledger (`runs` + `timeseries` + `json`) persists one
 //! directory per training run — manifest, append-only per-epoch series
 //! with per-layer gradient stats, divergence dumps, and a final
@@ -83,6 +93,7 @@ mod prom;
 mod quality;
 mod registry;
 mod runs;
+mod shadow;
 mod slo;
 mod snapshot;
 mod span;
@@ -116,6 +127,11 @@ pub use registry::{Registry, Telemetry};
 pub use runs::{
     fnv1a, list_runs, load_run, load_series, now_unix_ms, render_runs_json, DivergenceRecord,
     PhaseSummary, RunLedger, RunManifest, RunSummary,
+};
+pub use shadow::{
+    evaluate_gates, load_shadow_ledger, render_shadow_report_json, render_shadow_report_table,
+    GateResult, ObservedWarning, ShadowIdentity, ShadowLedger, ShadowLedgerDoc, ShadowMonitor,
+    ShadowReport, ShadowSideSummary, ShadowSummary, ShadowThresholds, DEFAULT_SHADOW_SLACK_SECS,
 };
 pub use slo::{
     default_specs as default_slo_specs, AlertRecord, BurnPolicy, SloEngine, SloReport, SloSignal,

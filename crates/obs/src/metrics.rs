@@ -82,7 +82,7 @@ impl Default for LatencyHistogram {
     }
 }
 
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < 16 {
         v as usize
     } else {

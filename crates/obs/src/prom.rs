@@ -96,6 +96,28 @@ fn help_for(base: &str) -> String {
         "quality.lead_vs_paper" => {
             "Mean predicted lead divided by the paper's Table 7 per-class mean\nnear 1.0 = calibrated"
         }
+        "shadow.events" => "Events scored through both the primary and shadow candidate detectors",
+        "shadow.agree_both" => {
+            "Warning episodes where primary and shadow candidate both fired within the match slack"
+        }
+        "shadow.primary_only" => "Warnings only the primary fired (candidate silent within slack)",
+        "shadow.candidate_only" => {
+            "Warnings only the shadow candidate fired (primary silent within slack)"
+        }
+        "shadow.primary_warnings" => "Warnings fired by the primary detector under shadow scoring",
+        "shadow.candidate_warnings" => "Warnings fired by the shadow candidate detector",
+        "shadow.agreement" => "Fraction of resolved warning episodes where both detectors fired",
+        "shadow.score_drift" => {
+            "EWMA of absolute primary-vs-candidate score divergence (~64-event window)"
+        }
+        "shadow.score_samples" => "Events where both detectors produced a comparable score",
+        "shadow.lead_secs" => "Predicted lead time in seconds under shadow scoring, per side",
+        "shadow.lead_delta_secs" => {
+            "Absolute primary-vs-candidate lead-time delta in seconds, per failure class"
+        }
+        "ingest.queue_wait_us" => {
+            "Per-shard intake queue wait from enqueue to worker drain, microseconds"
+        }
         _ => "",
     };
     if !curated.is_empty() {

@@ -193,6 +193,42 @@ mod tests {
     }
 
     #[test]
+    fn template_drift_crosses_threshold_after_step_change() {
+        // Alerting depends on *threshold crossing*, not just asymptotic
+        // convergence: after a step change from all-hit to all-miss, the
+        // EWMA must climb past an alert threshold within the ~64-event
+        // window its alpha implies.
+        let t = Telemetry::enabled();
+        let q = QualityMonitor::new(&t).unwrap();
+        for _ in 0..512 {
+            q.record_template(false);
+        }
+        let settled = t.snapshot().unwrap().gauge("quality.template_drift");
+        assert!(settled.unwrap() < 1e-9, "clean stream must read ~0 drift");
+        // Step change: the vocabulary stops covering the stream entirely.
+        let threshold = 0.5;
+        let mut crossed_at = None;
+        for i in 0..128u64 {
+            q.record_template(true);
+            let drift = t
+                .snapshot()
+                .unwrap()
+                .gauge("quality.template_drift")
+                .unwrap();
+            if crossed_at.is_none() && drift > threshold {
+                crossed_at = Some(i + 1);
+            }
+        }
+        let crossed_at = crossed_at.expect("drift EWMA must cross the 0.5 threshold");
+        // 1 - (1 - 1/64)^n > 0.5 at n = 45; anywhere inside the nominal
+        // window is healthy, far outside means the alpha changed.
+        assert!(
+            (30..=64).contains(&crossed_at),
+            "crossing after {crossed_at} events is outside the ~64-event window"
+        );
+    }
+
+    #[test]
     fn template_drift_converges_toward_miss_rate() {
         let t = Telemetry::enabled();
         let q = QualityMonitor::new(&t).unwrap();

@@ -20,15 +20,17 @@ use desh::checkpoint::{
 use desh::core::{
     config_hash, dataset_fingerprint, render_report, replay_capsule, run_phase1_session,
     run_phase2_session, Backpressure, BatchDetector, IntakeConfig, IntakeServer, OnlineDetector,
-    ReplayOptions, RunSession,
+    ReplayOptions, RunSession, ShadowScorer, Warning,
 };
 use desh::obs::{
-    default_slo_specs, diff_series, install_panic_dump, list_capsules, list_runs, load_run,
-    load_series, parse_json, render_capsules_json, render_profile_ascii, render_runs_json,
-    render_series_diff, sample_every_from_env, BurnPolicy, Capsule, CapsuleContext,
+    default_slo_specs, diff_series, evaluate_gates, install_panic_dump, list_capsules, list_runs,
+    load_run, load_series, load_shadow_ledger, parse_json, render_capsules_json,
+    render_profile_ascii, render_runs_json, render_series_diff, render_shadow_report_json,
+    render_shadow_report_table, sample_every_from_env, BurnPolicy, Capsule, CapsuleContext,
     CapsuleRecorder, CaptureTap, FlightRecorder, HealthInfo, HistorySampler, HttpServer,
-    Introspection, Json, JsonValue, MetricsHistory, SloEngine, SpanProfiler, WarningLog,
-    CAPTURE_MAX_FILES, DEFAULT_SAMPLE_EVERY, DEFAULT_WATERFALL_RING, HISTORY_CAPACITY,
+    Introspection, Json, JsonValue, MetricsHistory, ShadowIdentity, ShadowLedger, ShadowMonitor,
+    ShadowSideSummary, ShadowThresholds, SloEngine, SpanProfiler, WarningLog, CAPTURE_MAX_FILES,
+    DEFAULT_SAMPLE_EVERY, DEFAULT_SHADOW_SLACK_SECS, DEFAULT_WATERFALL_RING, HISTORY_CAPACITY,
     HISTORY_RESOLUTION_MS,
 };
 use desh::prelude::*;
@@ -51,6 +53,8 @@ fn main() -> ExitCode {
         cmd_runs(&args[1..])
     } else if cmd == "capsule" {
         cmd_capsule(&args[1..])
+    } else if cmd == "shadow" {
+        cmd_shadow(&args[1..])
     } else {
         let boolean: &[&str] = match cmd.as_str() {
             "train" => &["fast"],
@@ -104,11 +108,14 @@ USAGE:
                     [--telemetry <out.jsonl>] [--serve <addr:port>]
                     [--serve-secs <n>] [--trace-dir <dir>] [--runs-dir <dir>]
                     [--capsule-dir <dir>]
+                    [--shadow <ckpt>] [--shadow-ledger <out.jsonl>]
+                    [--shadow-slack <secs>]
                     [--profile] [--profile-every <n>]
   desh-cli serve    --model <model.dshm|model.dshq> --listen <host:port>
                     [--int8] [--shards <n>] [--slots <n>] [--queue-depth <n>]
                     [--batch-max <n>] [--drop-oldest] [--http <host:port>]
-                    [--serve-secs <n>]
+                    [--shadow <ckpt>] [--shadow-ledger <out.jsonl>]
+                    [--shadow-slack <secs>] [--serve-secs <n>]
   desh-cli drive    --log <logs.txt> --to <host:port> [--secs <n>] [--rate <lines/s>]
   desh-cli quantize --model <model.dshm> --out <model.dshq>
   desh-cli analyze  --log <logs.txt>
@@ -122,6 +129,9 @@ USAGE:
   desh-cli capsule  replay <file.dcap> [--model <ckpt>]
                     [--allow-backend-mismatch] [--allow-precision-mismatch]
   desh-cli capsule  diff   <file.dcap> [--model <ckpt>]
+  desh-cli shadow   report --ledger <shadow.jsonl> [--json]
+                    [--max-warning-delta-pct <x>] [--max-pr-regression <y>]
+                    [--max-lead-regression-buckets <z>]
 
   --telemetry writes metric snapshots (counters, gauges, latency-histogram
   quantiles, span timings) as JSON lines and prints a stats block on exit.
@@ -190,6 +200,17 @@ USAGE:
   gauges and ingest.dropped counters. `drive` is the matching traffic
   generator: it streams a log file's raw lines to a serving intake,
   optionally looping for --secs at a target --rate.
+
+  --shadow loads a second checkpoint as a *shadow candidate*: every event
+  is scored through both models, the primary's warnings stay bit-identical
+  to an unshadowed run, and divergence (warning agreement within
+  --shadow-slack seconds, per-class lead-time deltas, score-drift EWMA)
+  streams into shadow.* metrics, GET /shadow, and — with --shadow-ledger —
+  a sealed JSONL ledger pinning both checkpoints' run ids and config
+  hashes. GET /shadow/report and `shadow report` evaluate the promotion
+  gates (warning-volume delta, precision/recall regression, lead-time p50
+  regression in log-scale buckets) and render a PASS/FAIL verdict; `shadow
+  report` exits non-zero on FAIL so CI can gate promotions on it.
 
   `quantize` converts a trained `.dshm` checkpoint into an int8 `.dshq`
   sidecar (symmetric per-tensor weights, f32 accumulate, ~4× smaller
@@ -261,6 +282,108 @@ fn finish_telemetry(
     }
     println!("\nstats:\n{}", render_summary(&snap));
     Ok(())
+}
+
+/// `--shadow-slack` in seconds, defaulting to the obs-layer window.
+fn shadow_slack_of(opts: &Flags) -> Result<f64, String> {
+    match opts.get("shadow-slack").map(|s| s.parse::<f64>()) {
+        Some(Ok(s)) if s.is_finite() && s >= 0.0 => Ok(s),
+        Some(_) => Err("--shadow-slack needs a non-negative number of seconds".into()),
+        None => Ok(DEFAULT_SHADOW_SLACK_SECS),
+    }
+}
+
+/// Pin a checkpoint's identity for the sealed shadow ledger header.
+fn shadow_identity_of(path: &str, ck: &Checkpoint) -> ShadowIdentity {
+    ShadowIdentity {
+        path: path.to_string(),
+        run_id: (!ck.run_id.is_empty()).then(|| ck.run_id.clone()),
+        config_hash: Some(ck.config_hash),
+        precision: Some(ck.model.net.precision().to_string()),
+    }
+}
+
+/// Load the `--shadow` candidate checkpoint, mirroring the primary's
+/// `--int8` conversion so both sides score through the same kernel path.
+fn shadow_checkpoint_of(opts: &Flags) -> Result<Option<(String, Checkpoint)>, String> {
+    let Some(path) = opts.get("shadow") else {
+        return Ok(None);
+    };
+    let mut sck = load_any_checkpoint(Path::new(path))
+        .map_err(|e| format!("cannot load shadow checkpoint {path}: {e}"))?;
+    if opts.contains_key("int8") && sck.model.net.precision() != "int8" {
+        sck.f32_net_bytes = sck.model.net.resident_bytes() as u64;
+        sck.model = sck.model.quantize();
+    }
+    match &sck.run_id[..] {
+        "" => println!(
+            "shadow candidate {path} ({} weights)",
+            sck.model.net.precision()
+        ),
+        id => println!(
+            "shadow candidate {path}: run {id} (config hash {:016x}, {} weights)",
+            sck.config_hash,
+            sck.model.net.precision()
+        ),
+    }
+    Ok(Some((path.clone(), sck)))
+}
+
+/// End-of-stream shadow accounting shared by `predict` and `serve`:
+/// resolve pendings, fill precision/recall when ground truth is at hand,
+/// seal the ledger summary, and print the divergence line.
+fn finish_shadow(
+    monitor: &ShadowMonitor,
+    truth: Option<(&[GroundTruthFailure], &[Warning], &[Warning])>,
+) -> Result<(), String> {
+    monitor.finish();
+    let mut summary = monitor.summary();
+    if let Some((failures, primary, candidate)) = truth {
+        let fill = |side: &mut ShadowSideSummary, warnings: &[Warning]| {
+            let (p, r) = truth_scores(warnings, failures);
+            side.precision = p;
+            side.recall = r;
+        };
+        fill(&mut summary.primary, primary);
+        fill(&mut summary.candidate, candidate);
+    }
+    monitor
+        .write_summary(&summary)
+        .map_err(|e| format!("cannot seal shadow ledger summary: {e}"))?;
+    let agreement = summary
+        .agreement()
+        .map(|a| format!("{:.1}%", a * 100.0))
+        .unwrap_or_else(|| "n/a".to_string());
+    println!(
+        "shadow divergence: {} agree, {} primary-only, {} candidate-only (agreement {agreement}, score drift {:.4})",
+        summary.agree_both, summary.primary_only, summary.candidate_only, summary.score_drift
+    );
+    Ok(())
+}
+
+/// A warning counts when it lands on the failing node inside the same
+/// 10-minute ahead-of-failure window `predict --truth` scores with.
+fn warning_hits(w: &Warning, f: &GroundTruthFailure) -> bool {
+    w.node == f.node && w.at < f.time && f.time.saturating_sub(w.at).as_mins_f64() < 10.0
+}
+
+/// Precision (useful warnings / warnings) and recall (caught failures /
+/// failures) against ground truth; `None` when the denominator is empty.
+fn truth_scores(
+    warnings: &[Warning],
+    failures: &[GroundTruthFailure],
+) -> (Option<f64>, Option<f64>) {
+    let tp = warnings
+        .iter()
+        .filter(|w| failures.iter().any(|f| warning_hits(w, f)))
+        .count();
+    let caught = failures
+        .iter()
+        .filter(|f| warnings.iter().any(|w| warning_hits(w, f)))
+        .count();
+    let precision = (!warnings.is_empty()).then(|| tp as f64 / warnings.len() as f64);
+    let recall = (!failures.is_empty()).then(|| caught as f64 / failures.len() as f64);
+    (precision, recall)
 }
 
 fn profile_of(name: &str) -> Result<SystemProfile, String> {
@@ -470,13 +593,20 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
             resident as f64 / 1024.0
         ),
     }
+    let shadow_slack = shadow_slack_of(opts)?;
+    let shadow_ck = shadow_checkpoint_of(opts)?;
     let health = HealthInfo {
         version: env!("CARGO_PKG_VERSION").to_string(),
         run_id: (!ck.run_id.is_empty()).then(|| ck.run_id.clone()),
         config_hash: Some(ck.config_hash),
         kernel_backend: Some(desh::nn::kernel_backend_name().to_string()),
         precision: Some(precision.to_string()),
+        shadow_run_id: shadow_ck
+            .as_ref()
+            .and_then(|(_, s)| (!s.run_id.is_empty()).then(|| s.run_id.clone())),
+        shadow_config_hash: shadow_ck.as_ref().map(|(_, s)| s.config_hash),
     };
+    let primary_identity = shadow_identity_of(&model_path.display().to_string(), &ck);
     let (model, vocab, chains) = (ck.model, ck.vocab, ck.chains);
     let (records, bad) = desh::loggen::io::read_log_file(&log_path).map_err(|e| e.to_string())?;
     println!(
@@ -493,6 +623,34 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
     } else {
         detector.attach_chains(&chains);
     }
+    let mut shadow = match &shadow_ck {
+        Some((spath, sck)) => {
+            let monitor = Arc::new(ShadowMonitor::new(&telemetry, shadow_slack));
+            if let Some(path) = opts.get("shadow-ledger") {
+                let ledger = ShadowLedger::create(
+                    Path::new(path),
+                    shadow_slack,
+                    &primary_identity,
+                    &shadow_identity_of(spath, sck),
+                )
+                .map_err(|e| format!("cannot create shadow ledger {path}: {e}"))?;
+                monitor.attach_ledger(ledger);
+                println!("shadow ledger sealing into {path}");
+            }
+            // The candidate is a full independent detector (own model,
+            // own vocabulary) on a private registry, so its online.*
+            // metrics never mix with the primary's.
+            let mut candidate =
+                OnlineDetector::new(sck.model.clone(), Arc::clone(&sck.vocab), cfg.clone());
+            if !sck.chains.is_empty() {
+                candidate.attach_chains(&sck.chains);
+            }
+            detector.set_observe_scores(true);
+            println!("shadow scoring armed (warning match slack {shadow_slack:.0}s)");
+            Some(ShadowScorer::new(candidate, monitor))
+        }
+        None => None,
+    };
     let capsules = match opts.get("capsule-dir") {
         Some(dir) => {
             let tap = Arc::new(CaptureTap::new());
@@ -609,10 +767,16 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
             } else {
                 ""
             };
+            let shadow_routes = if let Some(sh) = &shadow {
+                state = state.with_shadow(Arc::clone(sh.monitor()), ShadowThresholds::default());
+                " /shadow /shadow/report"
+            } else {
+                ""
+            };
             let s = HttpServer::start(addr, state)
                 .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
             println!(
-                "introspection server on http://{}/ (/healthz /metrics /metrics/history /slo /profile /warnings /nodes/<id>/flight{capsule_routes}{runs_routes})",
+                "introspection server on http://{}/ (/healthz /metrics /metrics/history /slo /profile /warnings /nodes/<id>/flight{capsule_routes}{shadow_routes}{runs_routes})",
                 s.addr()
             );
             Some(s)
@@ -621,9 +785,18 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
     };
 
     let mut warnings = Vec::new();
+    let mut shadow_warnings = Vec::new();
     let stream_span = telemetry.span("stream");
     for (i, r) in records.iter().enumerate() {
-        if let Some(w) = detector.ingest(r) {
+        let fired = detector.ingest(r);
+        if let Some(sh) = shadow.as_mut() {
+            // Observation only: the candidate scores the same record and
+            // divergence streams into the monitor; `fired` is untouched.
+            if let Some(cw) = sh.observe(r, fired.as_ref(), detector.last_score()) {
+                shadow_warnings.push(cw);
+            }
+        }
+        if let Some(w) = fired {
             println!(
                 "[{}] {}",
                 w.at.as_clock(),
@@ -679,23 +852,29 @@ fn cmd_predict(opts: &Flags) -> Result<(), String> {
         }
     }
 
-    if let Some(truth_path) = opts.get("truth") {
-        let truth =
-            desh::loggen::io::read_truth_file(Path::new(truth_path)).map_err(|e| e.to_string())?;
-        let mut caught = 0usize;
-        for f in &truth {
-            if warnings.iter().any(|w| {
-                w.node == f.node
-                    && w.at < f.time
-                    && f.time.saturating_sub(w.at).as_mins_f64() < 10.0
-            }) {
-                caught += 1;
-            }
-        }
+    let truth = match opts.get("truth") {
+        Some(p) => Some(
+            desh::loggen::io::read_truth_file(Path::new(p)).map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+    if let Some(truth) = &truth {
+        let caught = truth
+            .iter()
+            .filter(|f| warnings.iter().any(|w| warning_hits(w, f)))
+            .count();
         println!(
             "scored against ground truth: {caught}/{} failures warned ahead of time",
             truth.len()
         );
+    }
+    if let Some(sh) = &shadow {
+        finish_shadow(
+            sh.monitor(),
+            truth
+                .as_deref()
+                .map(|t| (t, &warnings[..], &shadow_warnings[..])),
+        )?;
     }
     if let (Some(dir), Some((flight, _))) = (&trace_dir, &trace) {
         let path = dir.join("flight.jsonl");
@@ -783,6 +962,29 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         desh::nn::kernel_backend_name(),
         ck.model.net.resident_bytes() as f64 / 1024.0
     );
+    let shadow_slack = shadow_slack_of(opts)?;
+    let shadow_ck = shadow_checkpoint_of(opts)?;
+    // One monitor shared by every shard's scorer: agreement and drift are
+    // fleet-wide numbers, not per-shard ones.
+    let shadow_monitor = match &shadow_ck {
+        Some((spath, sck)) => {
+            let monitor = Arc::new(ShadowMonitor::new(&telemetry, shadow_slack));
+            if let Some(path) = opts.get("shadow-ledger") {
+                let ledger = ShadowLedger::create(
+                    Path::new(path),
+                    shadow_slack,
+                    &shadow_identity_of(&model_path.display().to_string(), &ck),
+                    &shadow_identity_of(spath, sck),
+                )
+                .map_err(|e| format!("cannot create shadow ledger {path}: {e}"))?;
+                monitor.attach_ledger(ledger);
+                println!("shadow ledger sealing into {path}");
+            }
+            println!("shadow scoring armed across shards (warning match slack {shadow_slack:.0}s)");
+            Some(monitor)
+        }
+        None => None,
+    };
 
     let cfg = DeshConfig::default();
     let flight = Arc::new(FlightRecorder::new());
@@ -800,6 +1002,14 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
                 d.attach_chains(&ck.chains);
             }
             d.attach_tracing(Arc::clone(&flight), Arc::clone(&warning_log));
+            if let (Some((_, sck)), Some(mon)) = (&shadow_ck, &shadow_monitor) {
+                let mut candidate =
+                    OnlineDetector::new(sck.model.clone(), Arc::clone(&sck.vocab), cfg.clone());
+                if !sck.chains.is_empty() {
+                    candidate.attach_chains(&sck.chains);
+                }
+                d.attach_shadow(ShadowScorer::new(candidate, Arc::clone(mon)));
+            }
             d
         })
         .collect();
@@ -826,17 +1036,27 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
                 config_hash: Some(ck.config_hash),
                 kernel_backend: Some(desh::nn::kernel_backend_name().to_string()),
                 precision: Some(precision.to_string()),
+                shadow_run_id: shadow_ck
+                    .as_ref()
+                    .and_then(|(_, s)| (!s.run_id.is_empty()).then(|| s.run_id.clone())),
+                shadow_config_hash: shadow_ck.as_ref().map(|(_, s)| s.config_hash),
             };
-            let state = Introspection::new(
+            let mut state = Introspection::new(
                 Arc::clone(registry),
                 Arc::clone(&flight),
                 Arc::clone(&warning_log),
             )
             .with_health(health);
+            let shadow_routes = if let Some(mon) = &shadow_monitor {
+                state = state.with_shadow(Arc::clone(mon), ShadowThresholds::default());
+                " /shadow /shadow/report"
+            } else {
+                ""
+            };
             let s = HttpServer::start(addr, state)
                 .map_err(|e| format!("cannot bind introspection server on {addr}: {e}"))?;
             println!(
-                "introspection server on http://{}/ (/healthz /metrics /warnings /nodes/<id>/flight)",
+                "introspection server on http://{}/ (/healthz /metrics /warnings /nodes/<id>/flight{shadow_routes})",
                 s.addr()
             );
             Some(s)
@@ -885,6 +1105,9 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         processed as f64 / secs.max(1e-9)
     );
     println!("scored {events} anomaly events, {warnings} warnings across {shards} shards");
+    if let Some(mon) = &shadow_monitor {
+        finish_shadow(mon, None)?;
+    }
     if let Some(s) = http.as_mut() {
         s.stop();
     }
@@ -1137,6 +1360,61 @@ fn cmd_analyze(opts: &Flags) -> Result<(), String> {
 
 /// `runs list|show|diff` — positional subcommands, so this parses its own
 /// argument list instead of going through [`parse_flags`] first.
+fn cmd_shadow(args: &[String]) -> Result<(), String> {
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (pos, flags) = args.split_at(split);
+    let opts = parse_flags(flags, &["json"])?;
+    match pos {
+        [sub] if sub == "report" => shadow_report(&opts),
+        _ => Err(
+            "usage: desh-cli shadow report --ledger <shadow.jsonl> [--json] \
+             [--max-warning-delta-pct <x>] [--max-pr-regression <y>] \
+             [--max-lead-regression-buckets <z>]"
+                .into(),
+        ),
+    }
+}
+
+/// `shadow report`: render the promotion-gate verdict from a sealed
+/// shadow ledger. Exits non-zero on FAIL so CI can gate on it.
+fn shadow_report(opts: &Flags) -> Result<(), String> {
+    let ledger = need(opts, "ledger")?;
+    let doc = load_shadow_ledger(Path::new(ledger))
+        .map_err(|e| format!("cannot load shadow ledger {ledger}: {e}"))?;
+    let summary = doc
+        .summary
+        .ok_or_else(|| format!("{ledger} has no summary line (run did not finish?)"))?;
+    let mut th = ShadowThresholds::default();
+    let parse_f = |key: &str, slot: &mut f64| -> Result<(), String> {
+        if let Some(v) = opts.get(key) {
+            *slot = v
+                .parse::<f64>()
+                .map_err(|_| format!("--{key} needs a number"))?;
+        }
+        Ok(())
+    };
+    parse_f("max-warning-delta-pct", &mut th.max_warning_delta_pct)?;
+    parse_f("max-pr-regression", &mut th.max_pr_regression)?;
+    parse_f(
+        "max-lead-regression-buckets",
+        &mut th.max_lead_p50_regression_buckets,
+    )?;
+    let report = evaluate_gates(&summary, &th);
+    if opts.contains_key("json") {
+        print!("{}", render_shadow_report_json(&report));
+    } else {
+        print!("{}", render_shadow_report_table(&report));
+    }
+    if report.pass {
+        Ok(())
+    } else {
+        Err("shadow promotion gate FAILED".into())
+    }
+}
+
 fn cmd_runs(args: &[String]) -> Result<(), String> {
     let split = args
         .iter()

@@ -257,6 +257,8 @@ fn template_miss_spike_burns_slo_and_degrades_healthz() {
         config_hash: Some(1),
         kernel_backend: Some(desh::nn::kernel_backend_name().to_string()),
         precision: Some("f32".into()),
+        shadow_run_id: None,
+        shadow_config_hash: None,
     });
     let mut server = HttpServer::start("127.0.0.1:0", state).expect("bind introspection");
     let addr = server.addr();
